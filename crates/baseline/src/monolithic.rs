@@ -1,0 +1,963 @@
+//! A monolithic hypervisor in the style of KVM (Section 3.2): CPU
+//! virtualization, the instruction emulator, the virtual devices and
+//! the host device driver all execute in one privileged component, so
+//! exit handling involves no IPC and no protection-domain crossings —
+//! at the price of a trusted computing base that includes all of it
+//! (Figure 1).
+//!
+//! Cost knobs turn the same engine into the paravirtualized
+//! comparators: `pv_trap_cost` replaces the VM-transition cost with a
+//! syscall-priced trap (Xen-PV-style direct execution), and
+//! `flush_per_irq` models L4Linux after the small-space optimization
+//! was removed — a full TLB flush and refill on every kernel entry.
+
+use nova_core::counters::Counters;
+use nova_core::hostpt::{FrameAllocator, NestedTable, ShadowPt};
+use nova_core::obj::{MemMapping, MemRights, MemSpace};
+use nova_core::vtlb::{self, VtlbOutcome};
+use nova_hw::cpu::run_guest;
+use nova_hw::machine::{Machine, MachineConfig};
+use nova_hw::pic::DualPic;
+use nova_hw::tlb::Tlb;
+use nova_hw::vmx::{ExitReason, Injection, PagingVirt, Vmcs};
+use nova_hw::Cycles;
+use nova_x86::decode::{decode, DecodeError, MAX_INSN_LEN};
+use nova_x86::exec::{execute, Env, Fault};
+use nova_x86::insn::OpSize;
+use nova_x86::paging::{pte, split_2level, NestedFormat, LARGE_PAGE_SIZE};
+use nova_x86::reg::{cr4, Reg, Reg8, Regs};
+
+/// Memory-virtualization mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonoPaging {
+    /// Hardware nested paging.
+    Nested(NestedFormat),
+    /// Software shadow paging (the in-kernel vTLB).
+    Shadow,
+}
+
+/// Configuration of the monolithic comparator.
+#[derive(Clone, Copy, Debug)]
+pub struct MonoConfig {
+    /// Paging mode.
+    pub paging: MonoPaging,
+    /// Use tagged TLB entries.
+    pub use_tags: bool,
+    /// Use large host pages in the nested table.
+    pub large_pages: bool,
+    /// Flat software cost per exit (the in-kernel handling path;
+    /// monolithic kernels have heavier, less specialized exit paths
+    /// than the microhypervisor's portal dispatch).
+    pub exit_sw_cost: Cycles,
+    /// Paravirt mode: privileged operations are syscall-priced traps
+    /// instead of VM transitions (no VT-x).
+    pub pv_trap_cost: Option<Cycles>,
+    /// L4Linux model: full TLB flush + refill on every trap.
+    pub flush_per_trap: bool,
+    /// Software cost of shadow-class exits (vTLB fill / CR / INVLPG)
+    /// in place of `exit_sw_cost` — these paths are short even in
+    /// monolithic kernels.
+    pub shadow_sw_cost: Cycles,
+    /// Pages mapped per shadow fault: KVM's shadow code prefetches
+    /// neighbouring entries; Xen PV validates whole batches of
+    /// writable-page-table updates per trap.
+    pub shadow_prefetch: u32,
+}
+
+impl MonoConfig {
+    /// KVM-like: EPT, tags, large pages.
+    pub fn kvm_ept() -> MonoConfig {
+        MonoConfig {
+            paging: MonoPaging::Nested(NestedFormat::Ept4Level),
+            use_tags: true,
+            large_pages: true,
+            exit_sw_cost: 2900,
+            pv_trap_cost: None,
+            flush_per_trap: false,
+            shadow_sw_cost: 450,
+            shadow_prefetch: 4,
+        }
+    }
+
+    /// KVM-like with shadow paging.
+    pub fn kvm_shadow() -> MonoConfig {
+        MonoConfig {
+            paging: MonoPaging::Shadow,
+            ..MonoConfig::kvm_ept()
+        }
+    }
+
+    /// Xen-PV-like: direct execution, syscall-priced traps, writable
+    /// page tables with batched validation (modeled as shadow paging
+    /// with a large per-trap batch).
+    pub fn xen_pv() -> MonoConfig {
+        MonoConfig {
+            paging: MonoPaging::Shadow,
+            use_tags: true,
+            large_pages: true,
+            exit_sw_cost: 900,
+            pv_trap_cost: Some(250),
+            flush_per_trap: false,
+            shadow_sw_cost: 250,
+            shadow_prefetch: 24,
+        }
+    }
+
+    /// L4Linux-like: paravirtual traps plus a full TLB flush per trap
+    /// (the removed small-space optimization, Section 8.1) and
+    /// page-granular mapping IPC.
+    pub fn l4linux() -> MonoConfig {
+        MonoConfig {
+            flush_per_trap: true,
+            shadow_prefetch: 8,
+            pv_trap_cost: Some(350),
+            ..MonoConfig::xen_pv()
+        }
+    }
+}
+
+/// Run result.
+#[derive(Debug)]
+pub struct MonoOutcome {
+    /// Guest exit code, if it shut down.
+    pub guest_exit: Option<u8>,
+    /// Total cycles.
+    pub cycles: Cycles,
+    /// Idle cycles.
+    pub idle_cycles: Cycles,
+    /// Event counters.
+    pub counters: Counters,
+    /// Guest console.
+    pub console: String,
+    /// Benchmark marks.
+    pub marks: Vec<(Cycles, u32)>,
+}
+
+impl MonoOutcome {
+    /// CPU utilization.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.cycles - self.idle_cycles) as f64 / self.cycles as f64
+    }
+}
+
+/// Guest physical frames start at this host page (16 MB).
+const GUEST_BASE_PAGE: u64 = 0x1000;
+
+struct MonoDisk {
+    clb: u64,
+    is: u32,
+    p0is: u32,
+    p0ie: u32,
+    ci: u32,
+    inflight_slot: Option<u8>,
+}
+
+/// The monolithic hypervisor instance: everything in one struct,
+/// everything privileged.
+pub struct Monolithic {
+    /// The machine.
+    pub machine: Machine,
+    cfg: MonoConfig,
+    vmcs: Vmcs,
+    ms: MemSpace,
+    alloc: FrameAllocator,
+    _nested: Option<NestedTable>,
+    shadow: Option<ShadowPt>,
+    _guest_pages: u64,
+    // In-kernel device models.
+    vpic: DualPic,
+    vserial: Vec<u8>,
+    vpit_divisor: u32,
+    vpit_lo: Option<u8>,
+    vpit_deadline: Option<Cycles>,
+    disk: MonoDisk,
+    /// Event counters (same classes as the microhypervisor's).
+    pub counters: Counters,
+    guest_exit: Option<u8>,
+}
+
+impl Monolithic {
+    /// Builds the hypervisor with a guest of `guest_pages` pages,
+    /// loading `image` at `load_gpa`.
+    pub fn new(
+        machine_cfg: MachineConfig,
+        cfg: MonoConfig,
+        guest_pages: u64,
+        image: &[u8],
+        load_gpa: u64,
+        entry: u32,
+        stack: u32,
+    ) -> Monolithic {
+        let mut machine = Machine::new(machine_cfg);
+        let ram = machine.mem.size() as u64;
+        let mut alloc = FrameAllocator::new(ram - (16 << 20), 16 << 20);
+
+        // Guest memory: identity-offset mapping, with the legacy hole.
+        let mut ms = MemSpace::default();
+        for p in 0..guest_pages {
+            if (0xa0..0x100).contains(&p) {
+                continue;
+            }
+            ms.map(
+                p,
+                MemMapping {
+                    hpa: (GUEST_BASE_PAGE + p) * 4096,
+                    rights: MemRights::RW,
+                },
+            );
+        }
+        // VGA window direct-mapped.
+        ms.map(
+            nova_hw::vga::VGA_BASE / 4096,
+            MemMapping {
+                hpa: nova_hw::vga::VGA_BASE,
+                rights: MemRights::RW,
+            },
+        );
+
+        let (nested, shadow, paging, vpid) = match cfg.paging {
+            MonoPaging::Nested(fmt) => {
+                let mut t = NestedTable::new(fmt, &mut alloc, &mut machine.mem);
+                // Mirror the memory space, using large pages where
+                // aligned runs allow.
+                let cp = fmt.large_page_size() / 4096;
+                let mut p = 0;
+                while p < guest_pages {
+                    if (0xa0..0x100).contains(&p) {
+                        p += 1;
+                        continue;
+                    }
+                    let hpa = (GUEST_BASE_PAGE + p) * 4096;
+                    if cfg.large_pages
+                        && p % cp == 0
+                        && hpa.is_multiple_of(cp * 4096)
+                        && p + cp <= guest_pages
+                        && !(p..p + cp).any(|q| (0xa0..0x100).contains(&q))
+                    {
+                        t.map_large(&mut machine.mem, &mut alloc, p * 4096, hpa, true);
+                        p += cp;
+                    } else {
+                        t.map_page(&mut machine.mem, &mut alloc, p * 4096, hpa, true);
+                        p += 1;
+                    }
+                }
+                t.map_page(
+                    &mut machine.mem,
+                    &mut alloc,
+                    nova_hw::vga::VGA_BASE,
+                    nova_hw::vga::VGA_BASE,
+                    true,
+                );
+                let root = t.root;
+                let vpid = if cfg.use_tags && machine.cost.has_tagged_tlb {
+                    1
+                } else {
+                    0
+                };
+                (Some(t), None, PagingVirt::Nested { root, fmt }, vpid)
+            }
+            MonoPaging::Shadow => {
+                let s = ShadowPt::new(&mut alloc, &mut machine.mem);
+                let vpid = if cfg.use_tags && machine.cost.has_tagged_tlb {
+                    1
+                } else {
+                    0
+                };
+                (None, Some(s), PagingVirt::Shadow { root: 0 }, vpid)
+            }
+        };
+
+        let mut vmcs = match paging {
+            PagingVirt::Shadow { .. } => Vmcs::new_shadow(shadow.as_ref().unwrap().root, vpid),
+            p => Vmcs::new(p, vpid),
+        };
+
+        // Boot state.
+        machine
+            .mem
+            .write_bytes((GUEST_BASE_PAGE * 4096) + load_gpa, image);
+        vmcs.guest = Regs::at(entry);
+        vmcs.guest.set(Reg::Esp, stack);
+
+        // Unmask the physical interrupt lines the host driver uses.
+        machine.bus.pic.io_write(nova_hw::pic::MASTER_DATA, 0);
+        machine.bus.pic.io_write(nova_hw::pic::SLAVE_DATA, 0);
+
+        Monolithic {
+            machine,
+            cfg,
+            vmcs,
+            ms,
+            alloc,
+            _nested: nested,
+            shadow,
+            _guest_pages: guest_pages,
+            vpic: DualPic::new(),
+            vserial: Vec::new(),
+            vpit_divisor: 0x1_0000,
+            vpit_lo: None,
+            vpit_deadline: None,
+            disk: MonoDisk {
+                clb: 0,
+                is: 0,
+                p0is: 0,
+                p0ie: 0,
+                ci: 0,
+                inflight_slot: None,
+            },
+            counters: Counters::new(),
+            guest_exit: None,
+        }
+    }
+
+    /// The guest console output so far.
+    pub fn console(&self) -> String {
+        String::from_utf8_lossy(&self.vserial).into_owned()
+    }
+
+    fn gpa_hpa(&self, gpa: u64) -> Option<u64> {
+        self.ms.translate(gpa)
+    }
+
+    fn read_gpa_u32(&self, gpa: u64) -> u32 {
+        self.gpa_hpa(gpa)
+            .map(|h| self.machine.mem.read_u32(h))
+            .unwrap_or(0)
+    }
+
+    /// Guest-virtual to guest-physical walk (for the emulator).
+    fn gva_to_gpa(&self, regs: &Regs, addr: u32, write: bool) -> Result<u64, Fault> {
+        if !regs.paging() {
+            return Ok(addr as u64);
+        }
+        let fault = |present| Fault::Page {
+            addr,
+            write,
+            fetch: false,
+            present,
+        };
+        let pse = regs.cr4 & cr4::PSE != 0;
+        let (di, ti, off) = split_2level(addr);
+        let pde = self.read_gpa_u32((regs.cr3 & pte::ADDR) as u64 + di as u64 * 4);
+        if pde & pte::P == 0 {
+            return Err(fault(false));
+        }
+        if pse && pde & pte::PS != 0 {
+            if write && pde & pte::W == 0 {
+                return Err(fault(true));
+            }
+            return Ok((pde & pte::ADDR_LARGE) as u64 + (addr & (LARGE_PAGE_SIZE - 1)) as u64);
+        }
+        let ptev = self.read_gpa_u32((pde & pte::ADDR) as u64 + ti as u64 * 4);
+        if ptev & pte::P == 0 {
+            return Err(fault(false));
+        }
+        if write && (ptev & pte::W == 0 || pde & pte::W == 0) {
+            return Err(fault(true));
+        }
+        Ok((ptev & pte::ADDR) as u64 + off as u64)
+    }
+
+    fn vpit_period(&self) -> Cycles {
+        (self.vpit_divisor as u64 * self.machine.cost.ident.hz() / nova_hw::pit::PIT_HZ).max(1)
+    }
+
+    // ---- In-kernel virtual device dispatch ----
+
+    fn io_read(&mut self, port: u16, size: OpSize) -> u32 {
+        match port {
+            0x20 | 0x21 | 0xa0 | 0xa1 => self.vpic.io_read(port) as u32,
+            0x3f8..=0x3ff => {
+                if port == 0x3fd {
+                    0x60
+                } else {
+                    0
+                }
+            }
+            _ => size.mask(),
+        }
+    }
+
+    fn io_write(&mut self, port: u16, _size: OpSize, val: u32) {
+        match port {
+            0x20 | 0x21 | 0xa0 | 0xa1 => self.vpic.io_write(port, val as u8),
+            0x3f8 => self.vserial.push(val as u8),
+            0x43 => self.vpit_lo = None,
+            0x40 => match self.vpit_lo.take() {
+                None => self.vpit_lo = Some(val as u8),
+                Some(lo) => {
+                    let d = (val & 0xff) << 8 | lo as u32;
+                    self.vpit_divisor = if d == 0 { 0x1_0000 } else { d };
+                    self.vpit_deadline = Some(self.machine.clock + self.vpit_period());
+                }
+            },
+            0xf4 => self.guest_exit = Some(val as u8),
+            0xf5 => self.machine.bus.ctl.marks.push((self.machine.clock, val)),
+            _ => {}
+        }
+    }
+
+    /// Virtual AHCI MMIO (in-kernel model, driving the physical
+    /// controller directly — no IPC, no separate driver domain).
+    fn disk_mmio_read(&mut self, off: u32) -> u32 {
+        use nova_hw::ahci::regs;
+        match off {
+            regs::CAP => 0x4000_0000,
+            regs::IS => self.disk.is,
+            regs::P0IS => self.disk.p0is,
+            regs::P0IE => self.disk.p0ie,
+            regs::P0CI => self.disk.ci,
+            regs::P0CLB => self.disk.clb as u32,
+            regs::P0TFD => 0x50,
+            _ => 0,
+        }
+    }
+
+    fn disk_mmio_write(&mut self, off: u32, val: u32) {
+        use nova_hw::ahci::regs;
+        match off {
+            regs::IS => self.disk.is &= !val,
+            regs::P0IS => self.disk.p0is &= !val,
+            regs::P0IE => self.disk.p0ie = val,
+            regs::P0CLB => self.disk.clb = val as u64,
+            regs::P0CI => {
+                let new = val & !self.disk.ci;
+                self.disk.ci |= val;
+                for slot in 0..32u8 {
+                    if new & (1 << slot) != 0 {
+                        self.disk_issue(slot);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Forwards a guest disk command to the physical controller: the
+    /// in-kernel host driver path. Guest buffers are used directly
+    /// (identity-offset bus addresses; the IOMMU is not consulted —
+    /// in-kernel drivers are trusted, Section 4.2).
+    fn disk_issue(&mut self, slot: u8) {
+        use nova_hw::ahci::regs;
+        // Parse the guest's command structures.
+        let hdr = self.read_gpa_u32(self.disk.clb + slot as u64 * 32);
+        let _prdtl = hdr >> 16;
+        let ctba = self.read_gpa_u32(self.disk.clb + slot as u64 * 32 + 8) as u64;
+        // Copy the guest command table into a host-owned command page
+        // (top of guest frames region), rewriting buffer addresses from
+        // guest-physical to host-physical.
+        let host_cmd = (GUEST_BASE_PAGE - 4) * 4096; // host-private frames
+        let host_tbl = (GUEST_BASE_PAGE - 3) * 4096;
+        let Some(tbl_hpa) = self.gpa_hpa(ctba) else {
+            return;
+        };
+        let cfis = self.machine.mem.read_bytes(tbl_hpa, 64);
+        self.machine.mem.write_bytes(host_tbl, &cfis);
+        let dba = self.machine.mem.read_u64(tbl_hpa + 0x80);
+        let dbc = self.machine.mem.read_u32(tbl_hpa + 0x8c);
+        let host_dba = self.gpa_hpa(dba).unwrap_or(0);
+        self.machine.mem.write_u64(host_tbl + 0x80, host_dba);
+        self.machine.mem.write_u32(host_tbl + 0x8c, dbc);
+        self.machine.mem.write_u32(host_cmd, 1 << 16);
+        self.machine.mem.write_u64(host_cmd + 8, host_tbl);
+
+        let now = self.machine.clock;
+        let m = &mut self.machine;
+        m.bus.iommu.set_passthrough(m.dev.ahci);
+        let base = nova_hw::machine::AHCI_BASE;
+        m.bus.mmio_write(
+            &mut m.mem,
+            now,
+            base + regs::P0CLB as u64,
+            OpSize::Dword,
+            host_cmd as u32,
+        );
+        m.bus
+            .mmio_write(&mut m.mem, now, base + regs::P0IE as u64, OpSize::Dword, 1);
+        m.bus
+            .mmio_write(&mut m.mem, now, base + regs::P0CI as u64, OpSize::Dword, 1);
+        self.disk.inflight_slot = Some(slot);
+    }
+
+    /// Physical AHCI interrupt: acknowledge the controller, complete
+    /// the virtual command, raise the virtual line.
+    fn disk_irq(&mut self) {
+        use nova_hw::ahci::regs;
+        let now = self.machine.clock;
+        let m = &mut self.machine;
+        let base = nova_hw::machine::AHCI_BASE;
+        let is = m
+            .bus
+            .mmio_read(&mut m.mem, now, base + regs::IS as u64, OpSize::Dword);
+        m.bus
+            .mmio_write(&mut m.mem, now, base + regs::IS as u64, OpSize::Dword, is);
+        let p0is = m
+            .bus
+            .mmio_read(&mut m.mem, now, base + regs::P0IS as u64, OpSize::Dword);
+        m.bus.mmio_write(
+            &mut m.mem,
+            now,
+            base + regs::P0IS as u64,
+            OpSize::Dword,
+            p0is,
+        );
+        if let Some(slot) = self.disk.inflight_slot.take() {
+            self.disk.ci &= !(1 << slot);
+            self.disk.p0is |= 1;
+            self.disk.is |= 1;
+            if self.disk.p0ie != 0 {
+                self.vpic.pulse(11);
+            }
+            self.counters.disk_ops += 1;
+        }
+    }
+
+    /// Services an acknowledged physical interrupt vector: EOI the
+    /// controller and run the in-kernel host driver.
+    fn service_physical(&mut self, vector: u8) {
+        if vector >= 0x28 {
+            self.machine.bus.pic.io_write(nova_hw::pic::SLAVE_CMD, 0x20);
+        }
+        self.machine
+            .bus
+            .pic
+            .io_write(nova_hw::pic::MASTER_CMD, 0x20);
+        if vector == 0x28 + 3 {
+            self.disk_irq();
+        }
+    }
+
+    fn inject_if_possible(&mut self) {
+        if self.vmcs.injection.is_some() {
+            return;
+        }
+        if self.vpic.intr() {
+            if self.vmcs.guest.if_set() && !self.vmcs.sti_shadow {
+                if let Some(vector) = self.vpic.ack() {
+                    self.vmcs.injection = Some(Injection {
+                        vector,
+                        error_code: None,
+                    });
+                    self.vmcs.halted = false;
+                    self.counters.injected_virq += 1;
+                }
+            } else {
+                self.vmcs.intwin_exit = true;
+            }
+        }
+    }
+
+    fn charge_exit(&mut self, shadow_class: bool) {
+        let tagged = self.vmcs.vpid != 0;
+        let cost = self.machine.cost;
+        let sw_base = if shadow_class {
+            self.cfg.shadow_sw_cost
+        } else {
+            self.cfg.exit_sw_cost
+        };
+        let (trans, sw) = match self.cfg.pv_trap_cost {
+            // Paravirtual trap: syscall-priced, no VMX transition.
+            Some(pv) => (2 * cost.syscall_entry_exit, pv.min(sw_base)),
+            None => (cost.vm_transition_cost(tagged), sw_base),
+        };
+        self.machine.clock += trans + sw;
+        self.counters.cycles_transition += trans;
+        self.counters.cycles_emulation += sw;
+        if self.cfg.flush_per_trap {
+            // L4Linux: no small spaces — full flush + refill per trap.
+            let occ = self.machine.cpus[0].tlb.occupancy();
+            self.machine.cpus[0].tlb.flush_all();
+            let refill = Tlb::refill_penalty(occ, cost.tlb_refill_per_entry);
+            self.machine.clock += refill;
+            self.counters.cycles_kernel += refill;
+        }
+    }
+
+    /// Runs until the guest exits or the budget elapses. Returns the
+    /// outcome summary.
+    pub fn run(&mut self, budget: Option<Cycles>) -> MonoOutcome {
+        let deadline = budget.map(|b| self.machine.clock + b);
+        loop {
+            if self.guest_exit.is_some() {
+                break;
+            }
+            if deadline.is_some_and(|d| self.machine.clock >= d) {
+                break;
+            }
+
+            // Device events, physical interrupts, virtual timer.
+            let now = self.machine.clock;
+            self.machine.bus.process_events(&mut self.machine.mem, now);
+            while self.machine.bus.pic.intr() {
+                match self.machine.bus.pic.ack() {
+                    Some(v) => self.service_physical(v),
+                    None => break,
+                }
+            }
+            if let Some(dl) = self.vpit_deadline {
+                if self.machine.clock >= dl {
+                    self.vpic.pulse(0);
+                    self.vpit_deadline = Some(dl + self.vpit_period());
+                }
+            }
+            self.inject_if_possible();
+
+            // Idle guest: fast-forward.
+            if self.vmcs.halted && self.vmcs.injection.is_none() {
+                let next = [self.machine.bus.next_event_due(), self.vpit_deadline]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                match next {
+                    Some(due) if due > self.machine.clock => {
+                        self.machine.cpus[0].idle_cycles += due - self.machine.clock;
+                        self.machine.clock = due;
+                        continue;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+
+            // Enter the guest.
+            let quantum = self
+                .vpit_deadline
+                .map(|d| d.saturating_sub(self.machine.clock).max(1000))
+                .unwrap_or(1_000_000);
+            let m = &mut self.machine;
+            let cost = m.cost;
+            let reason = run_guest(
+                &mut m.cpus[0],
+                &mut m.mem,
+                &mut m.bus,
+                &cost,
+                &mut m.clock,
+                &mut self.vmcs,
+                Some(quantum),
+            );
+            self.counters.count_exit(&reason);
+            let shadow_class = matches!(
+                reason,
+                ExitReason::PageFault { .. } | ExitReason::MovCr { .. } | ExitReason::Invlpg { .. }
+            );
+            self.charge_exit(shadow_class);
+            self.handle_exit(reason);
+        }
+        MonoOutcome {
+            guest_exit: self.guest_exit,
+            cycles: self.machine.clock,
+            idle_cycles: self.machine.cpus[0].idle_cycles,
+            counters: self.counters.clone(),
+            console: self.console(),
+            marks: self.machine.marks().to_vec(),
+        }
+    }
+
+    fn handle_exit(&mut self, reason: ExitReason) {
+        match reason {
+            ExitReason::Preempt | ExitReason::IntWindow => {
+                self.vmcs.intwin_exit = false;
+            }
+            // The exit already acknowledged the vector at the PIC: it
+            // must be serviced here or its in-service bit wedges.
+            ExitReason::ExtInt { vector } => self.service_physical(vector),
+            ExitReason::Cpuid { len } => {
+                let leaf = self.vmcs.guest.get(Reg::Eax);
+                let mut r = self.machine.cost.ident.cpuid(leaf);
+                if leaf == 1 {
+                    r[2] &= !nova_x86::cpuid::feature::VMX;
+                }
+                self.vmcs.guest.set(Reg::Eax, r[0]);
+                self.vmcs.guest.set(Reg::Ebx, r[1]);
+                self.vmcs.guest.set(Reg::Ecx, r[2]);
+                self.vmcs.guest.set(Reg::Edx, r[3]);
+                self.vmcs.guest.eip = self.vmcs.guest.eip.wrapping_add(len as u32);
+            }
+            ExitReason::Rdtsc { len } => {
+                let t = self.machine.clock;
+                self.vmcs.guest.set(Reg::Eax, t as u32);
+                self.vmcs.guest.set(Reg::Edx, (t >> 32) as u32);
+                self.vmcs.guest.eip = self.vmcs.guest.eip.wrapping_add(len as u32);
+            }
+            ExitReason::Hlt { len } => {
+                self.vmcs.guest.eip = self.vmcs.guest.eip.wrapping_add(len as u32);
+                self.vmcs.halted = true;
+            }
+            ExitReason::IoPort {
+                port,
+                size,
+                write,
+                len,
+            } => {
+                if write {
+                    let val = match size {
+                        OpSize::Byte => self.vmcs.guest.get8(Reg8::Al) as u32,
+                        OpSize::Dword => self.vmcs.guest.get(Reg::Eax),
+                    };
+                    self.io_write(port, size, val);
+                } else {
+                    let val = self.io_read(port, size);
+                    match size {
+                        OpSize::Byte => self.vmcs.guest.set8(Reg8::Al, val as u8),
+                        OpSize::Dword => self.vmcs.guest.set(Reg::Eax, val),
+                    }
+                }
+                self.vmcs.guest.eip = self.vmcs.guest.eip.wrapping_add(len as u32);
+            }
+            ExitReason::EptViolation { .. } => self.emulate_mmio(),
+            ExitReason::PageFault { addr, err } => self.vtlb_fault(addr, err),
+            ExitReason::MovCr {
+                cr,
+                write,
+                gpr,
+                len,
+            } => {
+                if let Some(shadow) = self.shadow.as_mut() {
+                    let flushed = vtlb::handle_cr_access(
+                        &mut self.machine.mem,
+                        shadow,
+                        &mut self.vmcs,
+                        cr,
+                        write,
+                        gpr,
+                        len,
+                    );
+                    if flushed {
+                        self.counters.vtlb_flushes += 1;
+                        let vpid = self.vmcs.vpid;
+                        if vpid == 0 {
+                            self.machine.cpus[0].tlb.flush_all();
+                        } else {
+                            self.machine.cpus[0].tlb.flush_vpid(vpid);
+                        }
+                    }
+                }
+            }
+            ExitReason::Invlpg { addr, len } => {
+                if let Some(shadow) = self.shadow.as_mut() {
+                    vtlb::handle_invlpg(&mut self.machine.mem, shadow, &mut self.vmcs, addr, len);
+                    let vpid = self.vmcs.vpid;
+                    self.machine.cpus[0].tlb.invalidate(vpid, addr as u64);
+                }
+            }
+            ExitReason::Vmcall { len } => {
+                match self.vmcs.guest.get(Reg::Eax) {
+                    0 => self.vserial.push(self.vmcs.guest.get8(Reg8::Bl)),
+                    1 => self.guest_exit = Some(self.vmcs.guest.get(Reg::Ebx) as u8),
+                    _ => {}
+                }
+                self.vmcs.guest.eip = self.vmcs.guest.eip.wrapping_add(len as u32);
+            }
+            ExitReason::Recall | ExitReason::TripleFault => {
+                if reason == ExitReason::TripleFault {
+                    self.guest_exit = Some(0xfd);
+                }
+            }
+        }
+    }
+
+    fn vtlb_fault(&mut self, addr: u32, err: u32) {
+        let cost = self.machine.cost;
+        self.machine.clock += 6 * cost.vmread + cost.vtlb_fill_sw;
+        let prefetch = self.cfg.shadow_prefetch.max(1);
+        let Some(shadow) = self.shadow.as_mut() else {
+            return;
+        };
+        match vtlb::handle_page_fault(
+            &mut self.machine.mem,
+            &mut self.alloc,
+            &self.ms,
+            shadow,
+            &self.vmcs,
+            addr,
+            err,
+        ) {
+            VtlbOutcome::Filled => {
+                self.counters.vtlb_fills += 1;
+                // Prefetch neighbouring translations in the same trap
+                // (KVM shadow-page batching / Xen batched updates).
+                for i in 1..prefetch {
+                    let next = addr.wrapping_add(i * 4096);
+                    if vtlb::handle_page_fault(
+                        &mut self.machine.mem,
+                        &mut self.alloc,
+                        &self.ms,
+                        shadow,
+                        &self.vmcs,
+                        next,
+                        err & !nova_x86::reg::pf_err::WRITE,
+                    ) == VtlbOutcome::Filled
+                    {
+                        self.counters.vtlb_fills += 1;
+                        self.machine.clock += 60; // per-entry batch cost
+                    } else {
+                        break;
+                    }
+                }
+            }
+            VtlbOutcome::InjectPf { err } => {
+                self.counters.guest_page_faults += 1;
+                self.vmcs.guest.cr2 = addr;
+                self.vmcs.injection = Some(Injection {
+                    vector: nova_x86::reg::vector::PAGE_FAULT,
+                    error_code: Some(err),
+                });
+            }
+            VtlbOutcome::Mmio { .. } => self.emulate_mmio(),
+        }
+    }
+
+    /// In-kernel instruction emulation for MMIO (decode + execute +
+    /// device dispatch, all in the privileged component).
+    fn emulate_mmio(&mut self) {
+        let mut regs = self.vmcs.guest.clone();
+        // Fetch.
+        let mut bytes = Vec::with_capacity(MAX_INSN_LEN);
+        for i in 0..MAX_INSN_LEN as u32 {
+            let gva = regs.eip.wrapping_add(i);
+            let Ok(gpa) = self.gva_to_gpa(&regs, gva, false) else {
+                break;
+            };
+            let Some(hpa) = self.gpa_hpa(gpa) else { break };
+            bytes.push(self.machine.mem.read_u8(hpa));
+            if i >= 1 {
+                match decode(&bytes) {
+                    Ok(_) => break,
+                    Err(DecodeError::Truncated) => continue,
+                    Err(DecodeError::InvalidOpcode) => break,
+                }
+            }
+        }
+        let Ok(insn) = decode(&bytes) else {
+            self.guest_exit = Some(0xfe);
+            return;
+        };
+
+        struct MonoEnv<'a> {
+            mono: &'a mut Monolithic,
+        }
+        impl Env for MonoEnv<'_> {
+            type Err = Fault;
+            fn read_mem(&mut self, addr: u32, size: OpSize) -> Result<u32, Fault> {
+                let regs = self.mono.vmcs.guest.clone();
+                let gpa = self.mono.gva_to_gpa(&regs, addr, false)?;
+                if let Some(hpa) = self.mono.gpa_hpa(gpa) {
+                    Ok(self.mono.machine.mem.read_sized(hpa, size))
+                } else if (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000)
+                    .contains(&gpa)
+                {
+                    Ok(self
+                        .mono
+                        .disk_mmio_read((gpa - nova_hw::machine::AHCI_BASE) as u32))
+                } else {
+                    Ok(size.mask())
+                }
+            }
+            fn write_mem(&mut self, addr: u32, size: OpSize, val: u32) -> Result<(), Fault> {
+                let regs = self.mono.vmcs.guest.clone();
+                let gpa = self.mono.gva_to_gpa(&regs, addr, true)?;
+                if let Some(hpa) = self.mono.gpa_hpa(gpa) {
+                    self.mono.machine.mem.write_sized(hpa, size, val);
+                } else if (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000)
+                    .contains(&gpa)
+                {
+                    self.mono
+                        .disk_mmio_write((gpa - nova_hw::machine::AHCI_BASE) as u32, val);
+                }
+                Ok(())
+            }
+            fn io_in(&mut self, port: u16, size: OpSize) -> Result<u32, Fault> {
+                Ok(self.mono.io_read(port, size))
+            }
+            fn io_out(&mut self, port: u16, size: OpSize, val: u32) -> Result<(), Fault> {
+                self.mono.io_write(port, size, val);
+                Ok(())
+            }
+            fn cpuid(&mut self, leaf: u32) -> [u32; 4] {
+                self.mono.machine.cost.ident.cpuid(leaf)
+            }
+            fn rdtsc(&mut self) -> u64 {
+                self.mono.machine.clock
+            }
+        }
+
+        let mut env = MonoEnv { mono: self };
+        match execute(&insn, &mut regs, &mut env) {
+            Ok(_) => self.vmcs.guest = regs,
+            Err(f) => {
+                if let Fault::Page { addr, .. } = f {
+                    self.vmcs.guest.cr2 = addr;
+                }
+                self.vmcs.injection = Some(Injection {
+                    vector: f.vector(),
+                    error_code: f.error_code(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_guest::compile::{self, CompileParams};
+
+    fn run_cfg(cfg: MonoConfig) -> MonoOutcome {
+        let prog = compile::build(CompileParams::smoke());
+        let mut m = Monolithic::new(
+            MachineConfig::core_i7(96 << 20),
+            cfg,
+            8192,
+            &prog.bytes,
+            prog.load_gpa,
+            prog.entry,
+            prog.stack,
+        );
+        m.run(Some(60_000_000_000))
+    }
+
+    #[test]
+    fn kvm_ept_runs_compile() {
+        let out = run_cfg(MonoConfig::kvm_ept());
+        assert_eq!(out.guest_exit, Some(0), "guest completed: {out:?}");
+        assert_eq!(out.counters.exits_of(8), 0, "no #PF exits under EPT");
+        assert!(out.counters.exits_of(6) > 0);
+    }
+
+    #[test]
+    fn kvm_shadow_runs_compile() {
+        let out = run_cfg(MonoConfig::kvm_shadow());
+        assert_eq!(out.guest_exit, Some(0));
+        assert!(out.counters.vtlb_fills > 0);
+        assert!(out.counters.guest_page_faults > 0);
+    }
+
+    #[test]
+    fn paravirt_runs_compile_cheaper_than_shadow() {
+        let pv = run_cfg(MonoConfig::xen_pv());
+        assert_eq!(pv.guest_exit, Some(0));
+        let sh = run_cfg(MonoConfig::kvm_shadow());
+        assert!(
+            pv.cycles < sh.cycles,
+            "paravirt ({}) beats shadow paging ({})",
+            pv.cycles,
+            sh.cycles
+        );
+    }
+
+    #[test]
+    fn l4linux_slower_than_xen_pv() {
+        let xen = run_cfg(MonoConfig::xen_pv());
+        let l4 = run_cfg(MonoConfig::l4linux());
+        assert_eq!(l4.guest_exit, Some(0));
+        assert!(
+            l4.cycles > xen.cycles,
+            "TLB flushes per trap cost: l4 {} vs xen {}",
+            l4.cycles,
+            xen.cycles
+        );
+    }
+}

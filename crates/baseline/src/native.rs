@@ -1,0 +1,115 @@
+//! The bare-metal baseline: the guest image runs natively on the
+//! simulated machine — its own IDT and page tables on the real MMU,
+//! physical devices, physical interrupts. This is the "Native" bar of
+//! Figures 5–7.
+
+use nova_hw::cpu::NativeStop;
+use nova_hw::machine::{Machine, MachineConfig};
+use nova_hw::Cycles;
+
+/// Result of a native run.
+#[derive(Debug)]
+pub struct NativeOutcome {
+    /// How the run stopped.
+    pub stop: NativeStop,
+    /// Total wall-clock cycles.
+    pub cycles: Cycles,
+    /// Cycles spent halted.
+    pub idle_cycles: Cycles,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Benchmark marks `(cycle, value)`.
+    pub marks: Vec<(Cycles, u32)>,
+    /// Serial console output.
+    pub console: String,
+}
+
+impl NativeOutcome {
+    /// Busy (non-idle) cycles.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.cycles - self.idle_cycles
+    }
+
+    /// CPU utilization over the whole run.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles() as f64 / self.cycles as f64
+    }
+}
+
+/// Runs a guest program natively on a fresh machine. `prepare` can
+/// adjust the machine (e.g. start a traffic generator) before
+/// execution.
+pub fn run_native_image(
+    config: MachineConfig,
+    image: &[u8],
+    load: u64,
+    entry: u32,
+    stack: u32,
+    budget: Option<Cycles>,
+    prepare: impl FnOnce(&mut Machine),
+) -> NativeOutcome {
+    let mut m = Machine::new(config);
+    // Bare metal: no hypervisor programs the IOMMU, so DMA is
+    // unrestricted (the exact trust problem Section 4.2 describes).
+    m.bus.iommu = nova_hw::iommu::Iommu::disabled();
+    m.load_image(load, image);
+    m.cpus[0].regs.eip = entry;
+    m.cpus[0].regs.set(nova_x86::Reg::Esp, stack);
+    prepare(&mut m);
+    let stop = m.run_native(budget);
+    NativeOutcome {
+        stop,
+        cycles: m.clock,
+        idle_cycles: m.cpus[0].idle_cycles,
+        instret: m.cpus[0].instret,
+        marks: m.marks().to_vec(),
+        console: m.serial_text(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_guest::compile::{self, CompileParams};
+    use nova_guest::diskload::{self, DiskLoadParams};
+
+    #[test]
+    fn compile_workload_runs_natively() {
+        let prog = compile::build(CompileParams::smoke());
+        let out = run_native_image(
+            MachineConfig::core_i7(64 << 20),
+            &prog.bytes,
+            prog.load_gpa,
+            prog.entry,
+            prog.stack,
+            Some(2_000_000_000),
+            |_| {},
+        );
+        assert_eq!(out.stop, NativeStop::Shutdown(0));
+        assert!(out.instret > 10_000);
+    }
+
+    #[test]
+    fn disk_workload_runs_natively_with_idle_time() {
+        let prog = diskload::build(DiskLoadParams {
+            requests: 4,
+            block_bytes: 8192,
+        });
+        let out = run_native_image(
+            MachineConfig::core_i7(64 << 20),
+            &prog.bytes,
+            prog.load_gpa,
+            prog.entry,
+            prog.stack,
+            Some(10_000_000_000),
+            |_| {},
+        );
+        assert_eq!(out.stop, NativeStop::Shutdown(0));
+        assert!(out.idle_cycles > 0, "waits for the disk");
+        assert!(out.utilization() < 0.9);
+        assert_eq!(out.marks.len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 1: trusted-computing-base size comparison.
+//!
+//! Counts the lines of this reproduction's components and prints them
+//! next to the paper's published sizes for NOVA and the contemporary
+//! virtualization stacks (which cannot be rebuilt here; their numbers
+//! are the paper's).
+
+use nova_bench::loc;
+use nova_bench::paper::FIG1_TCB_KLOC;
+use nova_bench::report::{banner, Table};
+
+fn main() {
+    banner("Figure 1: TCB size of virtual environments");
+
+    println!("\nThis reproduction (counted from source, non-comment lines):\n");
+    let mut t = Table::new(&["component", "LoC", "privileged"]);
+    let mut hv = 0;
+    let mut total = 0;
+    for (label, n, priv_) in loc::nova_tcb() {
+        if priv_ {
+            hv += n;
+        }
+        total += n;
+        t.row(vec![
+            label.to_string(),
+            n.to_string(),
+            if priv_ { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t.row(vec![
+        "TOTAL (per-VM TCB)".into(),
+        total.to_string(),
+        String::new(),
+    ]);
+    t.print();
+
+    println!(
+        "\nPrivileged (hypervisor) share: {hv} LoC — {:.0}% of the stack",
+        100.0 * hv as f64 / total as f64
+    );
+
+    println!("\nPaper's Figure 1 (KLOC):\n");
+    let mut t = Table::new(&["system", "privileged", "total stack"]);
+    for (name, p, tot) in FIG1_TCB_KLOC {
+        t.row(vec![name.into(), format!("{p}K"), format!("{tot}K")]);
+    }
+    t.print();
+
+    let nova_paper_total = 36.0;
+    let smallest_other = FIG1_TCB_KLOC[1..]
+        .iter()
+        .map(|(_, _, t)| *t as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nShape check: paper's NOVA stack ({nova_paper_total}K) is {:.0}x smaller than \
+         the smallest contemporary stack ({smallest_other}K) — 'at least an order of \
+         magnitude' holds for the privileged component (9K vs 100K+).",
+        smallest_other / nova_paper_total
+    );
+}

@@ -1,0 +1,152 @@
+//! Figure 5: the kernel-compilation benchmark across virtualization
+//! environments and paging configurations.
+//!
+//! Runs the compile-like workload (Section 8.1) under every
+//! configuration this reproduction implements and prints relative
+//! native performance next to the paper's bars. ESXi/Hyper-V/Xen-HVM
+//! are closed comparators and appear as paper-reported rows only.
+
+use nova_baseline::MonoConfig;
+use nova_bench::configs::*;
+use nova_bench::paper;
+use nova_bench::report::{banner, Table};
+use nova_guest::compile::{self, CompileParams};
+use nova_x86::paging::NestedFormat;
+
+const BUDGET: u64 = 3_000_000_000_000;
+
+fn main() {
+    banner("Figure 5: Linux kernel compilation (relative native performance)");
+
+    let prog = compile::build(CompileParams::bench());
+    let blm = nova_hw::cost::BLM;
+    let amd = nova_hw::cost::PHENOM_X3;
+
+    let mut rows: Vec<(String, u64, bool, Option<f64>)> = Vec::new();
+
+    // --- Intel Core i7 group ---
+    let native = run_native(blm, &prog, BUDGET);
+    assert!(native.ok, "native run completed");
+    rows.push((
+        "Native (Intel)".into(),
+        native.cycles,
+        native.ok,
+        Some(100.0),
+    ));
+
+    let direct = run_direct_limit(blm, NestedFormat::Ept4Level, true, true, &prog, BUDGET);
+    rows.push((
+        "Direct (no exits)".into(),
+        direct.cycles,
+        direct.ok,
+        Some(99.4),
+    ));
+
+    let mut knobs = NovaKnobs::best();
+    let r = run_nova(blm, knobs, "NOVA EPT+VPID 2M", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(99.2)));
+
+    let r = run_mono(blm, MonoConfig::kvm_ept(), "KVM EPT+VPID", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(98.1)));
+
+    rows.push(("Xen HVM (paper only)".into(), 0, true, Some(97.3)));
+    rows.push(("ESXi (paper only)".into(), 0, true, Some(97.3)));
+    rows.push(("Hyper-V (paper only)".into(), 0, true, Some(95.9)));
+
+    // --- EPT without VPID ---
+    knobs.tags = false;
+    let r = run_nova(blm, knobs, "NOVA EPT w/o VPID", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(97.7)));
+    let mut mc = MonoConfig::kvm_ept();
+    mc.use_tags = false;
+    let r = run_mono(blm, mc, "KVM EPT w/o VPID", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(97.4)));
+
+    // --- EPT with 4K host pages ---
+    knobs.tags = true;
+    knobs.large_pages = false;
+    let r = run_nova(blm, knobs, "NOVA EPT 4K pages", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(97.0)));
+    let mut mc = MonoConfig::kvm_ept();
+    mc.large_pages = false;
+    let r = run_mono(blm, mc, "KVM EPT 4K pages", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(95.7)));
+
+    // --- Shadow paging (vTLB) ---
+    let shadow = NovaKnobs {
+        paging: nova_core::obj::VmPaging::Shadow,
+        ..NovaKnobs::best()
+    };
+    let r = run_nova(blm, shadow, "NOVA shadow paging", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(72.3)));
+    let r = run_mono(
+        blm,
+        MonoConfig::kvm_shadow(),
+        "KVM shadow paging",
+        &prog,
+        BUDGET,
+    );
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(78.5)));
+
+    // --- Paravirtualization ---
+    let r = run_mono(blm, MonoConfig::xen_pv(), "Xen PV (model)", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(96.5)));
+    let r = run_mono(blm, MonoConfig::l4linux(), "L4Linux (model)", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(88.0)));
+
+    // --- AMD Phenom group (2-level NPT, 4 MB host pages) ---
+    let native_amd = run_native(amd, &prog, BUDGET);
+    rows.push((
+        "Native (AMD)".into(),
+        native_amd.cycles,
+        native_amd.ok,
+        Some(100.0),
+    ));
+    let npt = NovaKnobs {
+        paging: nova_core::obj::VmPaging::Nested(NestedFormat::Npt2Level),
+        ..NovaKnobs::best()
+    };
+    let r = run_nova(amd, npt, "NOVA NPT+ASID 4M", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(99.4)));
+    let mc = MonoConfig {
+        paging: nova_baseline::MonoPaging::Nested(NestedFormat::Npt2Level),
+        ..MonoConfig::kvm_ept()
+    };
+    let r = run_mono(amd, mc, "KVM NPT+ASID", &prog, BUDGET);
+    rows.push((r.label.clone(), r.cycles, r.ok, Some(97.2)));
+
+    // --- Report ---
+    let mut t = Table::new(&["configuration", "cycles", "rel. native %", "paper %"]);
+    let mut native_cycles = native.cycles as f64;
+    for (label, cycles, ok, paper_pct) in &rows {
+        if label.starts_with("Native (AMD)") {
+            native_cycles = native_amd.cycles as f64;
+        }
+        let rel = if *cycles == 0 {
+            "-".to_string()
+        } else if !ok {
+            "DNF".to_string()
+        } else {
+            format!("{:.1}", 100.0 * native_cycles / *cycles as f64)
+        };
+        t.row(vec![
+            label.clone(),
+            if *cycles == 0 {
+                "-".into()
+            } else {
+                nova_bench::report::fmt_count(*cycles)
+            },
+            rel,
+            paper_pct.map(|p| format!("{p:.1}")).unwrap_or_default(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nShape checks: NOVA EPT+VPID should be within ~2% of native, beat the \
+         monolithic comparator, lose a little without VPIDs, a little more with 4K \
+         pages, and drop to 70–80% with shadow paging. The AMD NPT bar should beat \
+         the Intel EPT bar slightly (2-level host walk)."
+    );
+    let _ = paper::FIG5_RELATIVE;
+}

@@ -1,0 +1,77 @@
+//! Figure 6: CPU overhead of sequential disk reads by block size,
+//! comparing native, directly assigned (IOMMU) and fully virtualized
+//! AHCI controllers (Section 8.2).
+
+use nova_bench::configs::*;
+use nova_bench::paper;
+use nova_bench::report::{banner, Table};
+use nova_guest::diskload::{self, DiskLoadParams};
+
+const BUDGET: u64 = 2_000_000_000_000;
+const REQUESTS: u32 = 96;
+
+fn series(block: u32) -> (RunResult, RunResult, RunResult) {
+    let prog = diskload::build(DiskLoadParams {
+        requests: REQUESTS,
+        block_bytes: block,
+    });
+    let blm = nova_hw::cost::BLM;
+    let native = run_native(blm, &prog, BUDGET);
+    let direct = run_nova_direct_disk(blm, &prog, BUDGET);
+    let virt = run_nova(blm, NovaKnobs::best(), "virtualized", &prog, BUDGET);
+    (native, direct, virt)
+}
+
+fn main() {
+    banner("Figure 6: CPU overhead for sequential disk reads");
+    let hz = nova_hw::cost::BLM.ident.hz() as f64;
+
+    let mut t = Table::new(&[
+        "block",
+        "native util%",
+        "direct util%",
+        "virt util%",
+        "req/s",
+        "MB/s",
+        "direct cyc/req",
+        "virt cyc/req",
+    ]);
+
+    for block in [512u32, 1024, 2048, 4096, 8192, 16384, 32768, 65536] {
+        let (native, direct, virt) = series(block);
+        assert!(native.ok && direct.ok && virt.ok, "all runs complete");
+
+        let secs = native.cycles as f64 / hz;
+        let rps = REQUESTS as f64 / secs;
+        let mbs = rps * block as f64 / 1e6;
+
+        // Per-request virtualization overhead in cycles (busy-cycle
+        // delta over native, per request) — the paper reports ~21 500
+        // for direct at 16 KB.
+        let nat_busy = (native.cycles - native.idle) as f64;
+        let dir_busy = (direct.cycles - direct.idle) as f64;
+        let virt_busy = (virt.cycles - virt.idle) as f64;
+        let dir_per_req = (dir_busy - nat_busy) / REQUESTS as f64;
+        let virt_per_req = (virt_busy - nat_busy) / REQUESTS as f64;
+
+        t.row(vec![
+            format!("{block}"),
+            format!("{:.1}", 100.0 * native.utilization()),
+            format!("{:.1}", 100.0 * direct.utilization()),
+            format!("{:.1}", 100.0 * virt.utilization()),
+            format!("{rps:.0}"),
+            format!("{mbs:.1}"),
+            format!("{dir_per_req:.0}"),
+            format!("{virt_per_req:.0}"),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nPaper anchors: direct assignment costs ~{} cycles/request (6 exits); full \
+         virtualization roughly doubles that again (6 more MMIO exits). Utilization \
+         is flat below ~8 KB (latency-bound) and falls once bandwidth limits the \
+         request rate.",
+        paper::S82_DIRECT_CYCLES_PER_REQUEST
+    );
+}

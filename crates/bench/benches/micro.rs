@@ -1,0 +1,216 @@
+//! Criterion microbenchmarks of the hot code paths: instruction
+//! decode, TLB lookup, page walks, capability lookup, mapping-database
+//! delegation/revocation, shadow fills, and the full IPC path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nova_core::cap::{CapSpace, Capability, Perms};
+use nova_core::hostpt::{FrameAllocator, ShadowPt};
+use nova_core::mdb::MapDb;
+use nova_core::obj::{ObjRef, SmId};
+use nova_core::{CompCtx, Component, Hypercall, Kernel, KernelConfig, Utcb};
+use nova_hw::machine::{Machine, MachineConfig};
+use nova_hw::mem::PhysMem;
+use nova_hw::tlb::{Tlb, TlbEntry};
+use nova_user::RootPm;
+use nova_x86::decode::decode;
+
+fn bench_decode(c: &mut Criterion) {
+    let streams: Vec<&[u8]> = vec![
+        &[0xb8, 0x78, 0x56, 0x34, 0x12],       // mov eax, imm32
+        &[0x8b, 0x44, 0xb3, 0x10],             // mov eax, [ebx+esi*4+16]
+        &[0x0f, 0x84, 0x00, 0x01, 0x00, 0x00], // je rel32
+        &[0xf3, 0xab],                         // rep stosd
+        &[0x0f, 0x22, 0xd8],                   // mov cr3, eax
+    ];
+    c.bench_function("decode_mixed_instructions", |b| {
+        b.iter(|| {
+            for s in &streams {
+                black_box(decode(black_box(s)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut tlb = Tlb::new();
+    for vpn in 0..256u64 {
+        tlb.insert(TlbEntry {
+            vpid: 1,
+            vpn,
+            hpa: vpn << 12,
+            page_size: 4096,
+            write: true,
+        });
+    }
+    c.bench_function("tlb_lookup_hit", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 4096) % (256 << 12);
+            black_box(tlb.lookup(1, black_box(a)));
+        })
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    use nova_x86::paging::{pte, Access};
+    let mut mem = PhysMem::new(16 << 20);
+    let root = 0x10_0000u32;
+    let pt = 0x11_0000u32;
+    mem.write_u32(root as u64 + 4, pt | pte::P | pte::W);
+    for i in 0..1024u64 {
+        mem.write_u32(
+            pt as u64 + i * 4,
+            ((0x20_0000 + i * 4096) as u32) | pte::P | pte::W,
+        );
+    }
+    let cost = nova_hw::cost::BLM;
+    c.bench_function("walk_2level", |b| {
+        let mut cyc = 0;
+        b.iter(|| {
+            black_box(
+                nova_hw::mmu::walk_2level(
+                    &mem,
+                    root,
+                    black_box(0x40_0000),
+                    Access::READ,
+                    false,
+                    &cost,
+                    &mut cyc,
+                )
+                .unwrap(),
+            );
+        })
+    });
+}
+
+fn bench_capspace(c: &mut Criterion) {
+    let mut cs = CapSpace::new();
+    for i in 0..512 {
+        cs.set(
+            i,
+            Capability {
+                obj: ObjRef::Sm(SmId(i)),
+                perms: Perms::ALL,
+            },
+        );
+    }
+    c.bench_function("capability_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 7) % 512;
+            black_box(cs.get(black_box(i)));
+        })
+    });
+}
+
+fn bench_mdb(c: &mut Criterion) {
+    c.bench_function("mdb_delegate_revoke_chain4", |b| {
+        b.iter(|| {
+            let mut db: MapDb<u64> = MapDb::new();
+            db.insert_root(0, 1);
+            db.delegate((0, 1), (1, 1));
+            db.delegate((1, 1), (2, 1));
+            db.delegate((2, 1), (3, 1));
+            let mut n = 0;
+            db.revoke((0, 1), false, &mut |_| n += 1);
+            black_box(n);
+        })
+    });
+}
+
+fn bench_shadow_fill(c: &mut Criterion) {
+    let mut mem = PhysMem::new(32 << 20);
+    let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
+    let mut s = ShadowPt::new(&mut alloc, &mut mem);
+    c.bench_function("shadow_fill", |b| {
+        let mut va = 0u32;
+        b.iter(|| {
+            va = va.wrapping_add(4096);
+            s.fill(&mut mem, &mut alloc, black_box(va), 0x9000, true);
+        })
+    });
+}
+
+struct Echo;
+impl Component for Echo {
+    fn name(&self) -> &str {
+        "echo"
+    }
+    fn on_call(&mut self, _k: &mut Kernel, _c: CompCtx, _p: u64, u: &mut Utcb) {
+        u.set_msg(&[]);
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_ipc(c: &mut Criterion) {
+    let m = Machine::new(MachineConfig::core_i7(32 << 20));
+    let mut k = Kernel::new(m, KernelConfig::default());
+    let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+    k.start_component(rc, re);
+    let ctx = k.component_mut::<RootPm>(rc).unwrap().ctx.unwrap();
+    let (comp, ec) = k.load_component(k.root_pd, 0, Box::new(Echo));
+    k.start_component(comp, ec);
+    let srv = CompCtx {
+        pd: k.root_pd,
+        ec,
+        comp,
+    };
+    k.hypercall(
+        srv,
+        Hypercall::CreatePt {
+            ec: nova_core::kernel::SEL_SELF_EC,
+            mtd: 0,
+            id: 1,
+            dst: 0x20,
+        },
+    )
+    .unwrap();
+    c.bench_function("ipc_call_roundtrip", |b| {
+        b.iter(|| {
+            let mut utcb = Utcb::new();
+            k.ipc_call(ctx, 0x20, &mut utcb).unwrap();
+            black_box(&utcb);
+        })
+    });
+}
+
+/// Raw simulator throughput: how many guest instructions per second
+/// the interpreter retires in a tight native loop (host wall-clock).
+fn bench_sim_speed(c: &mut Criterion) {
+    use nova_x86::Asm;
+    let mut m = Machine::new(MachineConfig::core_i7(16 << 20));
+    let mut a = Asm::new(0x1000);
+    a.mov_ri(nova_x86::Reg::Ecx, 10_000);
+    let top = a.here_label();
+    a.add_ri(nova_x86::Reg::Eax, 3);
+    a.dec_r(nova_x86::Reg::Ecx);
+    a.jcc(nova_x86::Cond::Ne, top);
+    a.mov_ri(nova_x86::Reg::Edx, nova_hw::machine::DEBUG_EXIT_PORT as u32);
+    a.out_dx_al();
+    let img = a.finish();
+    m.load_image(0x1000, &img);
+    c.bench_function("simulate_30k_native_instructions", |b| {
+        b.iter(|| {
+            m.cpus[0].regs = nova_x86::reg::Regs::at(0x1000);
+            m.cpus[0].regs.set(nova_x86::Reg::Esp, 0x8000);
+            black_box(m.run_native(None));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_tlb,
+    bench_walks,
+    bench_capspace,
+    bench_mdb,
+    bench_shadow_fill,
+    bench_ipc,
+    bench_sim_speed
+);
+criterion_main!(benches);

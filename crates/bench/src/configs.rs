@@ -1,0 +1,368 @@
+//! Configuration runners: execute a guest workload under every
+//! virtualization architecture of Figure 5 and summarize the result.
+
+use nova_baseline::{MonoConfig, MonoOutcome, Monolithic};
+use nova_core::hostpt::NestedTable;
+use nova_core::obj::VmPaging;
+use nova_core::{KernelConfig, RunOutcome};
+use nova_guest::os::Program;
+use nova_hw::cost::CostModel;
+use nova_hw::cpu::run_guest;
+use nova_hw::machine::{Machine, MachineConfig};
+use nova_hw::vmx::{PagingVirt, Vmcs};
+use nova_hw::Cycles;
+use nova_vmm::{GuestImage, LaunchOptions, System, VmmConfig};
+use nova_x86::paging::NestedFormat;
+use nova_x86::reg::Regs;
+
+/// Guest memory for workload runs (32 MB).
+pub const GUEST_PAGES: u64 = 8192;
+
+/// Result of one configuration run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration label.
+    pub label: String,
+    /// Wall-clock cycles of the whole run.
+    pub cycles: Cycles,
+    /// Idle cycles.
+    pub idle: Cycles,
+    /// Total VM exits (0 for native).
+    pub exits: u64,
+    /// Event counters, if the run had a hypervisor.
+    pub counters: Option<nova_core::Counters>,
+    /// Guest exit code (None = did not finish).
+    pub ok: bool,
+    /// Benchmark marks (cycle, value).
+    pub marks: Vec<(Cycles, u32)>,
+}
+
+impl RunResult {
+    /// CPU utilization.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.cycles - self.idle) as f64 / self.cycles as f64
+    }
+}
+
+fn image(p: &Program) -> GuestImage {
+    GuestImage {
+        bytes: p.bytes.clone(),
+        load_gpa: p.load_gpa,
+        entry: p.entry,
+        stack: p.stack,
+    }
+}
+
+fn machine_cfg(cost: CostModel) -> MachineConfig {
+    MachineConfig {
+        cost,
+        ram: 96 << 20,
+        iommu: true,
+        cpus: 1,
+    }
+}
+
+/// Native bare-metal run.
+pub fn run_native(cost: CostModel, prog: &Program, budget: Cycles) -> RunResult {
+    let out = nova_baseline::run_native_image(
+        machine_cfg(cost),
+        &prog.bytes,
+        prog.load_gpa,
+        prog.entry,
+        prog.stack,
+        Some(budget),
+        |_| {},
+    );
+    RunResult {
+        label: "Native".into(),
+        cycles: out.cycles,
+        idle: out.idle_cycles,
+        exits: 0,
+        counters: None,
+        ok: matches!(out.stop, nova_hw::cpu::NativeStop::Shutdown(_)),
+        marks: out.marks,
+    }
+}
+
+/// The "Direct" limit configuration: guest mode with nested paging,
+/// every intercept disabled, all devices and interrupts delivered
+/// straight to the guest — no virtualization software runs at all
+/// (Section 8.1: "this bar represents a limit ... which no virtual
+/// environment using nested paging can exceed").
+pub fn run_direct_limit(
+    cost: CostModel,
+    fmt: NestedFormat,
+    large_pages: bool,
+    tagged: bool,
+    prog: &Program,
+    budget: Cycles,
+) -> RunResult {
+    let mut m = Machine::new(machine_cfg(cost));
+    m.bus.iommu = nova_hw::iommu::Iommu::disabled();
+    let ram = m.mem.size() as u64;
+    let mut alloc = nova_core::hostpt::FrameAllocator::new(ram - (16 << 20), 16 << 20);
+
+    // Identity nested table over the whole low RAM + device windows.
+    let mut t = NestedTable::new(fmt, &mut alloc, &mut m.mem);
+    let cp = fmt.large_page_size() / 4096;
+    let pages = (ram - (16 << 20)) / 4096;
+    let mut p = 0u64;
+    while p < pages {
+        if large_pages && p.is_multiple_of(cp) && p + cp <= pages {
+            t.map_large(&mut m.mem, &mut alloc, p * 4096, p * 4096, true);
+            p += cp;
+        } else {
+            t.map_page(&mut m.mem, &mut alloc, p * 4096, p * 4096, true);
+            p += 1;
+        }
+    }
+    for dev_page in [
+        nova_hw::vga::VGA_BASE / 4096,
+        nova_hw::machine::AHCI_BASE / 4096,
+        nova_hw::machine::NIC_BASE / 4096,
+        nova_hw::machine::NIC_BASE / 4096 + 1,
+        nova_hw::machine::NIC_BASE / 4096 + 2,
+        nova_hw::machine::NIC_BASE / 4096 + 3,
+    ] {
+        t.map_page(
+            &mut m.mem,
+            &mut alloc,
+            dev_page * 4096,
+            dev_page * 4096,
+            true,
+        );
+    }
+
+    let vpid = if tagged && cost.has_tagged_tlb { 1 } else { 0 };
+    let mut vmcs = Vmcs::new(PagingVirt::Nested { root: t.root, fmt }, vpid);
+    vmcs.intercept_hlt = false;
+    vmcs.intercept_extint = false;
+    vmcs.passthrough_ports(0, u16::MAX);
+    vmcs.passthrough_ports(u16::MAX, 1);
+    m.mem.write_bytes(prog.load_gpa, &prog.bytes);
+    vmcs.guest = Regs::at(prog.entry);
+    vmcs.guest.set(nova_x86::Reg::Esp, prog.stack);
+    m.bus.pic.io_write(nova_hw::pic::MASTER_DATA, 0);
+    m.bus.pic.io_write(nova_hw::pic::SLAVE_DATA, 0);
+
+    let mut ok = false;
+    while m.clock < budget {
+        let cost = m.cost;
+        let _ = run_guest(
+            &mut m.cpus[0],
+            &mut m.mem,
+            &mut m.bus,
+            &cost,
+            &mut m.clock,
+            &mut vmcs,
+            Some(10_000_000),
+        );
+        if let Some(_code) = m.bus.ctl.shutdown.take() {
+            ok = true;
+            break;
+        }
+        if vmcs.halted && m.bus.next_event_due().is_none() {
+            break;
+        }
+    }
+    RunResult {
+        label: "Direct".into(),
+        cycles: m.clock,
+        idle: m.cpus[0].idle_cycles,
+        exits: 0,
+        counters: None,
+        ok,
+        marks: m.marks().to_vec(),
+    }
+}
+
+/// NOVA configuration knobs for a Figure 5 run.
+#[derive(Clone, Copy, Debug)]
+pub struct NovaKnobs {
+    /// Memory-virtualization mode of the VM.
+    pub paging: VmPaging,
+    /// VPID/ASID tags on.
+    pub tags: bool,
+    /// Large host pages in the nested table.
+    pub large_pages: bool,
+    /// Full-state transfer descriptors (the MTD ablation).
+    pub mtd_full: bool,
+}
+
+impl NovaKnobs {
+    /// The paper's best configuration: EPT + VPID + large pages.
+    pub fn best() -> NovaKnobs {
+        NovaKnobs {
+            paging: VmPaging::Nested(NestedFormat::Ept4Level),
+            tags: true,
+            large_pages: true,
+            mtd_full: false,
+        }
+    }
+}
+
+/// Full NOVA run (microhypervisor + disk server + VMM + VM).
+pub fn run_nova(
+    cost: CostModel,
+    knobs: NovaKnobs,
+    label: &str,
+    prog: &Program,
+    budget: Cycles,
+) -> RunResult {
+    let mut cfg = VmmConfig::full_virt(image(prog), GUEST_PAGES);
+    cfg.paging = knobs.paging;
+    cfg.mtd_full = knobs.mtd_full;
+    let mut opts = LaunchOptions::standard(cfg);
+    opts.machine = machine_cfg(cost);
+    opts.kernel = KernelConfig {
+        use_tags: knobs.tags,
+        host_large_pages: knobs.large_pages,
+        scheduler_timer_hz: Some(1000),
+        ..KernelConfig::default()
+    };
+    let mut sys = System::build(opts);
+    let out = sys.run(Some(budget));
+    RunResult {
+        label: label.into(),
+        cycles: sys.k.machine.clock,
+        idle: sys.k.machine.cpus[0].idle_cycles,
+        exits: sys.k.counters.total_exits(),
+        counters: Some(sys.k.counters.clone()),
+        ok: matches!(out, RunOutcome::Shutdown(_)),
+        marks: sys.k.machine.marks().to_vec(),
+    }
+}
+
+/// NOVA run with the disk assigned directly to the VM (Figure 6's
+/// "Direct" series: interrupt virtualization only).
+pub fn run_nova_direct_disk(cost: CostModel, prog: &Program, budget: Cycles) -> RunResult {
+    let cfg = VmmConfig::full_virt(image(prog), GUEST_PAGES);
+    let mut opts = LaunchOptions::standard(cfg);
+    opts.machine = machine_cfg(cost);
+    opts.with_disk = false;
+    opts.direct_disk = true;
+    let mut sys = System::build(opts);
+    let out = sys.run(Some(budget));
+    RunResult {
+        label: "NOVA direct disk".into(),
+        cycles: sys.k.machine.clock,
+        idle: sys.k.machine.cpus[0].idle_cycles,
+        exits: sys.k.counters.total_exits(),
+        counters: Some(sys.k.counters.clone()),
+        ok: matches!(out, RunOutcome::Shutdown(_)),
+        marks: sys.k.machine.marks().to_vec(),
+    }
+}
+
+/// NOVA run with the NIC assigned directly (Figure 7).
+pub fn run_nova_direct_nic(
+    cost: CostModel,
+    prog: &Program,
+    budget: Cycles,
+    start_traffic: impl FnOnce(&mut Machine),
+) -> RunResult {
+    let cfg = VmmConfig::full_virt(image(prog), GUEST_PAGES);
+    let mut opts = LaunchOptions::standard(cfg);
+    opts.machine = machine_cfg(cost);
+    opts.with_disk = false;
+    opts.direct_nic = true;
+    let mut sys = System::build(opts);
+    start_traffic(&mut sys.k.machine);
+    let out = sys.run(Some(budget));
+    RunResult {
+        label: "NOVA direct NIC".into(),
+        cycles: sys.k.machine.clock,
+        idle: sys.k.machine.cpus[0].idle_cycles,
+        exits: sys.k.counters.total_exits(),
+        counters: Some(sys.k.counters.clone()),
+        ok: matches!(out, RunOutcome::Shutdown(_)),
+        marks: sys.k.machine.marks().to_vec(),
+    }
+}
+
+/// Monolithic comparator run.
+pub fn run_mono(
+    cost: CostModel,
+    cfg: MonoConfig,
+    label: &str,
+    prog: &Program,
+    budget: Cycles,
+) -> RunResult {
+    let mut m = Monolithic::new(
+        machine_cfg(cost),
+        cfg,
+        GUEST_PAGES,
+        &prog.bytes,
+        prog.load_gpa,
+        prog.entry,
+        prog.stack,
+    );
+    let out: MonoOutcome = m.run(Some(budget));
+    RunResult {
+        label: label.into(),
+        cycles: out.cycles,
+        idle: out.idle_cycles,
+        exits: out.counters.total_exits(),
+        counters: Some(out.counters),
+        ok: out.guest_exit.is_some(),
+        marks: out.marks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_guest::compile::{self, CompileParams};
+
+    #[test]
+    fn direct_limit_runs_the_compile_workload() {
+        let prog = compile::build(CompileParams {
+            disk_every: 0, // direct limit has no disk server
+            ..CompileParams::smoke()
+        });
+        let r = run_direct_limit(
+            nova_hw::cost::BLM,
+            NestedFormat::Ept4Level,
+            true,
+            true,
+            &prog,
+            20_000_000_000,
+        );
+        assert!(r.ok, "direct run finished");
+        assert_eq!(r.exits, 0);
+    }
+
+    #[test]
+    fn direct_limit_close_to_native() {
+        let prog = compile::build(CompileParams {
+            disk_every: 0,
+            timer_divisor: None,
+            ..CompileParams::smoke()
+        });
+        let native = run_native(nova_hw::cost::BLM, &prog, 20_000_000_000);
+        let direct = run_direct_limit(
+            nova_hw::cost::BLM,
+            NestedFormat::Ept4Level,
+            true,
+            true,
+            &prog,
+            20_000_000_000,
+        );
+        assert!(native.ok && direct.ok);
+        // The smoke workload is tiny, so the two-dimensional walk
+        // cost is not amortized the way the benchmark-scale workload
+        // amortizes it (Figure 5's Direct bar is 99.4%).
+        let rel = native.cycles as f64 / direct.cycles as f64;
+        assert!(
+            (0.7..=1.0).contains(&rel),
+            "direct within range of native: {rel}"
+        );
+        assert!(
+            direct.cycles >= native.cycles,
+            "nested page walks cannot be free"
+        );
+    }
+}

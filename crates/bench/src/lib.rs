@@ -1,0 +1,11 @@
+//! Benchmark harness library: everything the per-figure bench targets
+//! share — the LoC census for Figure 1, the paper's reported numbers,
+//! and runners that execute a workload under each virtualization
+//! configuration and summarize the result.
+
+#![forbid(unsafe_code)]
+
+pub mod configs;
+pub mod loc;
+pub mod paper;
+pub mod report;

@@ -1,0 +1,182 @@
+//! Capabilities and capability spaces (Section 5).
+//!
+//! Capabilities are opaque and immutable to user components: they name
+//! a kernel object plus a permission mask and are addressed through
+//! integral *capability selectors*, like Unix file descriptors. A
+//! domain can delegate copies with equal or reduced permissions; the
+//! hypercall interface checks a capability for every operation,
+//! enforcing the principle of least privilege.
+
+use crate::obj::ObjRef;
+
+/// Index into a protection domain's capability space.
+pub type CapSel = usize;
+
+/// Permission bits carried by a capability. The meaning of each bit
+/// depends on the object type, as in NOVA's ABI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Perms(pub u8);
+
+impl Perms {
+    /// PD: create objects inside / destroy the domain.
+    pub const CTRL: Perms = Perms(1 << 0);
+    /// Portal: call through it.
+    pub const CALL: Perms = Perms(1 << 1);
+    /// Semaphore: up.
+    pub const UP: Perms = Perms(1 << 2);
+    /// Semaphore: down / bind.
+    pub const DOWN: Perms = Perms(1 << 3);
+    /// EC: recall / resume.
+    pub const EC_CTRL: Perms = Perms(1 << 4);
+    /// SC: control.
+    pub const SC_CTRL: Perms = Perms(1 << 5);
+    /// Right to delegate this capability onward.
+    pub const DELEGATE: Perms = Perms(1 << 6);
+
+    /// All permission bits.
+    pub const ALL: Perms = Perms(0x7f);
+    /// No permissions.
+    pub const NONE: Perms = Perms(0);
+
+    /// `true` if every bit of `other` is present in `self`.
+    pub fn allows(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Intersection (used when delegating with reduced permissions).
+    pub fn mask(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Union.
+    pub fn union(self, other: Perms) -> Perms {
+        Perms(self.0 | other.0)
+    }
+}
+
+/// A capability: an object reference plus permissions. Opaque to user
+/// components — they only ever hold selectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capability {
+    /// The kernel object this capability designates.
+    pub obj: ObjRef,
+    /// Permission mask.
+    pub perms: Perms,
+}
+
+/// A capability space: a growable table of capabilities indexed by
+/// selector.
+#[derive(Default)]
+pub struct CapSpace {
+    slots: Vec<Option<Capability>>,
+}
+
+impl CapSpace {
+    /// An empty capability space.
+    pub fn new() -> CapSpace {
+        CapSpace::default()
+    }
+
+    /// Looks up a selector.
+    pub fn get(&self, sel: CapSel) -> Option<Capability> {
+        self.slots.get(sel).copied().flatten()
+    }
+
+    /// Installs a capability at a specific selector (growing the
+    /// table), replacing whatever was there.
+    pub fn set(&mut self, sel: CapSel, cap: Capability) {
+        if sel >= self.slots.len() {
+            self.slots.resize(sel + 1, None);
+        }
+        self.slots[sel] = Some(cap);
+    }
+
+    /// Installs a capability at the first free selector and returns it.
+    pub fn insert(&mut self, cap: Capability) -> CapSel {
+        match self.slots.iter().position(|s| s.is_none()) {
+            Some(sel) => {
+                self.slots[sel] = Some(cap);
+                sel
+            }
+            None => {
+                self.slots.push(Some(cap));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Removes a capability.
+    pub fn remove(&mut self, sel: CapSel) -> Option<Capability> {
+        self.slots.get_mut(sel).and_then(|s| s.take())
+    }
+
+    /// Number of occupied slots.
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over `(selector, capability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CapSel, Capability)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|c| (i, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj::{ObjRef, SmId};
+
+    fn cap(perms: Perms) -> Capability {
+        Capability {
+            obj: ObjRef::Sm(SmId(3)),
+            perms,
+        }
+    }
+
+    #[test]
+    fn perms_lattice() {
+        let rw = Perms::UP.union(Perms::DOWN);
+        assert!(rw.allows(Perms::UP));
+        assert!(rw.allows(Perms::DOWN));
+        assert!(!rw.allows(Perms::CALL));
+        assert!(Perms::ALL.allows(rw));
+        assert_eq!(rw.mask(Perms::UP), Perms::UP);
+        assert_eq!(rw.mask(Perms::CALL), Perms::NONE);
+    }
+
+    #[test]
+    fn capspace_set_get_remove() {
+        let mut cs = CapSpace::new();
+        cs.set(5, cap(Perms::CALL));
+        assert_eq!(cs.get(5).unwrap().perms, Perms::CALL);
+        assert!(cs.get(4).is_none());
+        assert!(cs.get(100).is_none());
+        assert!(cs.remove(5).is_some());
+        assert!(cs.get(5).is_none());
+        assert!(cs.remove(5).is_none());
+    }
+
+    #[test]
+    fn insert_reuses_holes() {
+        let mut cs = CapSpace::new();
+        let a = cs.insert(cap(Perms::UP));
+        let b = cs.insert(cap(Perms::UP));
+        cs.remove(a);
+        let c = cs.insert(cap(Perms::DOWN));
+        assert_eq!(c, a, "freed slot reused");
+        assert_ne!(b, c);
+        assert_eq!(cs.count(), 2);
+    }
+
+    #[test]
+    fn iter_enumerates_occupied() {
+        let mut cs = CapSpace::new();
+        cs.set(0, cap(Perms::UP));
+        cs.set(7, cap(Perms::DOWN));
+        let got: Vec<CapSel> = cs.iter().map(|(s, _)| s).collect();
+        assert_eq!(got, vec![0, 7]);
+    }
+}

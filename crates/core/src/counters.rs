@@ -1,0 +1,103 @@
+//! Virtualization-event counters: the raw data behind Table 2 and the
+//! Section 8.5 per-exit cost breakdown.
+
+use nova_hw::vmx::ExitReason;
+use nova_hw::Cycles;
+
+/// Event and cycle counters maintained by the microhypervisor.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    /// VM exits by reason index (see [`ExitReason::index`]).
+    pub exits: [u64; ExitReason::COUNT],
+    /// vTLB fills (subset of the #PF exits).
+    pub vtlb_fills: u64,
+    /// vTLB flushes (CR writes that dropped the shadow table).
+    pub vtlb_flushes: u64,
+    /// Page faults forwarded to the guest kernel.
+    pub guest_page_faults: u64,
+    /// Virtual interrupts injected by VMMs.
+    pub injected_virq: u64,
+    /// Disk requests completed by the disk server.
+    pub disk_ops: u64,
+    /// Portal calls (IPC rendezvous) performed.
+    pub ipc_calls: u64,
+    /// Hypercalls executed.
+    pub hypercalls: u64,
+
+    /// Cycles spent in guest/host transitions (Section 8.5: 26%).
+    pub cycles_transition: Cycles,
+    /// Cycles spent transferring state via IPC (Section 8.5: 15%).
+    pub cycles_ipc: Cycles,
+    /// Cycles spent in VMM instruction/device emulation (59%).
+    pub cycles_emulation: Cycles,
+    /// Cycles spent in hypervisor-internal handling (vTLB and
+    /// interrupt paths).
+    pub cycles_kernel: Cycles,
+}
+
+impl Counters {
+    /// Fresh counters.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Records an exit.
+    pub fn count_exit(&mut self, reason: &ExitReason) {
+        self.exits[reason.index()] += 1;
+    }
+
+    /// Exits of one reason.
+    pub fn exits_of(&self, reason_index: usize) -> u64 {
+        self.exits[reason_index]
+    }
+
+    /// Total VM exits (every reason, including preemptions).
+    pub fn total_exits(&self) -> u64 {
+        self.exits.iter().sum()
+    }
+
+    /// Average cycles per exit over the accounted categories
+    /// (the paper's ~3900-cycle figure for the compile workload).
+    pub fn avg_exit_cycles(&self) -> f64 {
+        let total = self.total_exits();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.cycles_transition + self.cycles_ipc + self.cycles_emulation + self.cycles_kernel)
+            as f64
+            / total as f64
+    }
+
+    /// Resets everything (between benchmark phases).
+    pub fn reset(&mut self) {
+        *self = Counters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_totals() {
+        let mut c = Counters::new();
+        c.count_exit(&ExitReason::Cpuid { len: 2 });
+        c.count_exit(&ExitReason::Cpuid { len: 2 });
+        c.count_exit(&ExitReason::Hlt { len: 1 });
+        assert_eq!(c.exits_of(ExitReason::Cpuid { len: 2 }.index()), 2);
+        assert_eq!(c.total_exits(), 3);
+        c.reset();
+        assert_eq!(c.total_exits(), 0);
+    }
+
+    #[test]
+    fn avg_exit_cycles() {
+        let mut c = Counters::new();
+        assert_eq!(c.avg_exit_cycles(), 0.0);
+        c.count_exit(&ExitReason::Hlt { len: 1 });
+        c.cycles_transition = 1000;
+        c.cycles_ipc = 600;
+        c.cycles_emulation = 2300;
+        assert!((c.avg_exit_cycles() - 3900.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,582 @@
+//! Hypervisor-owned hardware page tables: the frame allocator over the
+//! hypervisor's memory region, the nested (EPT/NPT) table builder for
+//! VM domains, and the shadow tables used by the vTLB algorithm.
+//!
+//! These are *real* tables in simulated physical memory — the MMU in
+//! `nova-hw` walks them entry by entry, so host-page-size choices
+//! (2 MB/4 MB vs 4 KB) change walk depth and TLB pressure exactly as
+//! the paper measures in Figure 5.
+
+use nova_hw::mem::PhysMem;
+use nova_hw::PAddr;
+use nova_x86::paging::{npte, pte, NestedFormat, LARGE_PAGE_SIZE, PAGE_SIZE};
+
+/// Bump allocator over the hypervisor's private memory region, with a
+/// free list for recycled frames.
+pub struct FrameAllocator {
+    next: PAddr,
+    end: PAddr,
+    free: Vec<PAddr>,
+    /// Frames handed out (diagnostics).
+    pub allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Manages the region `[base, base + size)`; both 4 KB aligned.
+    pub fn new(base: PAddr, size: u64) -> FrameAllocator {
+        assert_eq!(base % PAGE_SIZE as u64, 0);
+        FrameAllocator {
+            next: base,
+            end: base + size,
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Allocates one zeroed frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the hypervisor region is exhausted — a
+    /// configuration error, not a runtime condition.
+    pub fn alloc(&mut self, mem: &mut PhysMem) -> PAddr {
+        let frame = match self.free.pop() {
+            Some(f) => f,
+            None => {
+                assert!(self.next < self.end, "hypervisor memory exhausted");
+                let f = self.next;
+                self.next += PAGE_SIZE as u64;
+                f
+            }
+        };
+        mem.fill(frame, PAGE_SIZE as usize, 0);
+        self.allocated += 1;
+        frame
+    }
+
+    /// Returns a frame to the pool.
+    pub fn release(&mut self, frame: PAddr) {
+        self.free.push(frame);
+    }
+
+    /// Remaining capacity in frames (fresh region + free list).
+    pub fn available(&self) -> u64 {
+        (self.end - self.next) / PAGE_SIZE as u64 + self.free.len() as u64
+    }
+}
+
+/// A nested page table (EPT or NPT) under construction.
+pub struct NestedTable {
+    /// Root physical address (goes into the VMCS).
+    pub root: PAddr,
+    /// Format.
+    pub fmt: NestedFormat,
+    frames: Vec<PAddr>,
+}
+
+impl NestedTable {
+    /// Allocates an empty table.
+    pub fn new(fmt: NestedFormat, alloc: &mut FrameAllocator, mem: &mut PhysMem) -> NestedTable {
+        let root = alloc.alloc(mem);
+        NestedTable {
+            root,
+            fmt,
+            frames: vec![root],
+        }
+    }
+
+    fn read_entry(&self, mem: &PhysMem, table: PAddr, idx: u64) -> u64 {
+        match self.fmt.entry_size() {
+            8 => mem.read_u64(table + idx * 8),
+            _ => mem.read_u32(table + idx * 4) as u64,
+        }
+    }
+
+    fn write_entry(&self, mem: &mut PhysMem, table: PAddr, idx: u64, val: u64) {
+        match self.fmt.entry_size() {
+            8 => mem.write_u64(table + idx * 8, val),
+            _ => mem.write_u32(table + idx * 4, val as u32),
+        }
+    }
+
+    fn table_entry(&self, next: PAddr) -> u64 {
+        match self.fmt {
+            NestedFormat::Ept4Level => next | npte::RWX,
+            NestedFormat::Npt2Level => next | (pte::P | pte::W) as u64,
+        }
+    }
+
+    fn leaf_entry(&self, hpa: PAddr, write: bool, large: bool) -> u64 {
+        match self.fmt {
+            NestedFormat::Ept4Level => {
+                let mut e = hpa | npte::R | npte::X;
+                if write {
+                    e |= npte::W;
+                }
+                if large {
+                    e |= npte::PS;
+                }
+                e
+            }
+            NestedFormat::Npt2Level => {
+                let mut e = hpa | pte::P as u64;
+                if write {
+                    e |= pte::W as u64;
+                }
+                if large {
+                    e |= pte::PS as u64;
+                }
+                e
+            }
+        }
+    }
+
+    /// Maps one small (4 KB) page: GPA → HPA.
+    pub fn map_page(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut FrameAllocator,
+        gpa: u64,
+        hpa: PAddr,
+        write: bool,
+    ) {
+        let mut table = self.root;
+        let mut level = self.fmt.levels() - 1;
+        while level > 0 {
+            let idx = self.fmt.index_of(level, gpa);
+            let e = self.read_entry(mem, table, idx);
+            let present = match self.fmt {
+                NestedFormat::Ept4Level => e & npte::R != 0,
+                NestedFormat::Npt2Level => e & pte::P as u64 != 0,
+            };
+            let next = if present {
+                match self.fmt {
+                    NestedFormat::Ept4Level => e & npte::ADDR,
+                    NestedFormat::Npt2Level => (e as u32 & pte::ADDR) as u64,
+                }
+            } else {
+                let f = alloc.alloc(mem);
+                self.frames.push(f);
+                self.write_entry(mem, table, idx, self.table_entry(f));
+                f
+            };
+            table = next;
+            level -= 1;
+        }
+        let idx = self.fmt.index_of(0, gpa);
+        self.write_entry(mem, table, idx, self.leaf_entry(hpa & !0xfff, write, false));
+    }
+
+    /// Maps one large page (2 MB for EPT, 4 MB for NPT): GPA → HPA,
+    /// both aligned to the large size.
+    pub fn map_large(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut FrameAllocator,
+        gpa: u64,
+        hpa: PAddr,
+        write: bool,
+    ) {
+        let size = self.fmt.large_page_size();
+        debug_assert_eq!(gpa % size, 0);
+        debug_assert_eq!(hpa % size, 0);
+        let leaf_level = match self.fmt {
+            NestedFormat::Ept4Level => 1,
+            NestedFormat::Npt2Level => 1,
+        };
+        let mut table = self.root;
+        let mut level = self.fmt.levels() - 1;
+        while level > leaf_level {
+            let idx = self.fmt.index_of(level, gpa);
+            let e = self.read_entry(mem, table, idx);
+            let present = e & npte::R != 0; // EPT only reaches here
+            let next = if present {
+                e & npte::ADDR
+            } else {
+                let f = alloc.alloc(mem);
+                self.frames.push(f);
+                self.write_entry(mem, table, idx, self.table_entry(f));
+                f
+            };
+            table = next;
+            level -= 1;
+        }
+        let idx = self.fmt.index_of(leaf_level, gpa);
+        self.write_entry(mem, table, idx, self.leaf_entry(hpa, write, true));
+    }
+
+    /// Unmaps the small page covering `gpa` (clears the leaf entry;
+    /// intermediate tables are kept).
+    pub fn unmap_page(&mut self, mem: &mut PhysMem, gpa: u64) {
+        let mut table = self.root;
+        let mut level = self.fmt.levels() - 1;
+        while level > 0 {
+            let idx = self.fmt.index_of(level, gpa);
+            let e = self.read_entry(mem, table, idx);
+            let present = match self.fmt {
+                NestedFormat::Ept4Level => e & npte::R != 0,
+                NestedFormat::Npt2Level => e & pte::P as u64 != 0,
+            };
+            if !present {
+                return;
+            }
+            let ps = match self.fmt {
+                NestedFormat::Ept4Level => e & npte::PS != 0,
+                NestedFormat::Npt2Level => e & pte::PS as u64 != 0,
+            };
+            if ps {
+                // Clearing a large page drops the whole range.
+                self.write_entry(mem, table, idx, 0);
+                return;
+            }
+            table = match self.fmt {
+                NestedFormat::Ept4Level => e & npte::ADDR,
+                NestedFormat::Npt2Level => (e as u32 & pte::ADDR) as u64,
+            };
+            level -= 1;
+        }
+        let idx = self.fmt.index_of(0, gpa);
+        self.write_entry(mem, table, idx, 0);
+    }
+
+    /// Frames owned by this table (for teardown).
+    pub fn frames(&self) -> &[PAddr] {
+        &self.frames
+    }
+}
+
+/// A shadow page table (32-bit two-level) maintained by the vTLB
+/// algorithm, with frame recycling across flushes.
+pub struct ShadowPt {
+    /// Root physical address (the table the hardware walks).
+    pub root: PAddr,
+    subs: Vec<PAddr>,
+    pool: Vec<PAddr>,
+}
+
+impl ShadowPt {
+    /// Allocates an empty shadow table.
+    pub fn new(alloc: &mut FrameAllocator, mem: &mut PhysMem) -> ShadowPt {
+        ShadowPt {
+            root: alloc.alloc(mem),
+            subs: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Installs a 4 KB translation `gva` → `hpa`.
+    pub fn fill(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut FrameAllocator,
+        gva: u32,
+        hpa: PAddr,
+        write: bool,
+    ) {
+        let (di, ti, _) = nova_x86::paging::split_2level(gva);
+        let pde_addr = self.root + di as u64 * 4;
+        let pde = mem.read_u32(pde_addr);
+        let pt = if pde & pte::P != 0 {
+            (pde & pte::ADDR) as u64
+        } else {
+            let f = match self.pool.pop() {
+                Some(f) => {
+                    mem.fill(f, PAGE_SIZE as usize, 0);
+                    f
+                }
+                None => alloc.alloc(mem),
+            };
+            self.subs.push(f);
+            // The PDE is always writable; per-page rights live in PTEs.
+            mem.write_u32(pde_addr, f as u32 | pte::P | pte::W);
+            f
+        };
+        let mut e = hpa as u32 & pte::ADDR | pte::P;
+        if write {
+            e |= pte::W;
+        }
+        mem.write_u32(pt + ti as u64 * 4, e);
+    }
+
+    /// Removes the translation for `gva` (INVLPG handling).
+    pub fn invalidate(&mut self, mem: &mut PhysMem, gva: u32) {
+        let (di, ti, _) = nova_x86::paging::split_2level(gva);
+        let pde = mem.read_u32(self.root + di as u64 * 4);
+        if pde & pte::P != 0 {
+            mem.write_u32((pde & pte::ADDR) as u64 + ti as u64 * 4, 0);
+        }
+    }
+
+    /// Drops every translation (guest address-space switch), recycling
+    /// the sub-table frames.
+    pub fn flush(&mut self, mem: &mut PhysMem) {
+        mem.fill(self.root, PAGE_SIZE as usize, 0);
+        self.pool.append(&mut self.subs);
+    }
+
+    /// Number of live sub-tables (diagnostics).
+    pub fn sub_tables(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+/// Convenience: rounds a byte count up to whole pages.
+pub fn pages(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+/// Convenience: the number of large pages covering `bytes` for `fmt`.
+pub fn large_pages(bytes: u64, fmt: NestedFormat) -> u64 {
+    bytes.div_ceil(fmt.large_page_size())
+}
+
+/// The 32-bit large-page size (guest PSE).
+pub const GUEST_LARGE_PAGE: u64 = LARGE_PAGE_SIZE as u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_hw::cost::BLM;
+    use nova_hw::mmu::walk_nested;
+    use nova_x86::paging::Access;
+
+    fn setup() -> (PhysMem, FrameAllocator) {
+        let mem = PhysMem::new(32 << 20);
+        let alloc = FrameAllocator::new(24 << 20, 8 << 20);
+        (mem, alloc)
+    }
+
+    #[test]
+    fn frame_allocator_recycles() {
+        let (mut mem, mut alloc) = setup();
+        let a = alloc.alloc(&mut mem);
+        let b = alloc.alloc(&mut mem);
+        assert_ne!(a, b);
+        mem.write_u32(a, 0xdead);
+        alloc.release(a);
+        let c = alloc.alloc(&mut mem);
+        assert_eq!(c, a, "free list reused");
+        assert_eq!(mem.read_u32(c), 0, "recycled frame zeroed");
+    }
+
+    #[test]
+    fn ept_map_then_walk() {
+        let (mut mem, mut alloc) = setup();
+        let mut t = NestedTable::new(NestedFormat::Ept4Level, &mut alloc, &mut mem);
+        t.map_page(&mut mem, &mut alloc, 0x5000, 0x9000, true);
+        let mut cyc = 0;
+        let leaf = walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x5123,
+            Access::WRITE,
+            &BLM,
+            &mut cyc,
+        )
+        .unwrap();
+        assert_eq!(leaf.hpa, 0x9123);
+        // Unmapped neighbour faults.
+        assert!(walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x6000,
+            Access::READ,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ept_read_only_blocks_writes() {
+        let (mut mem, mut alloc) = setup();
+        let mut t = NestedTable::new(NestedFormat::Ept4Level, &mut alloc, &mut mem);
+        t.map_page(&mut mem, &mut alloc, 0x5000, 0x9000, false);
+        let mut cyc = 0;
+        assert!(walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x5000,
+            Access::READ,
+            &BLM,
+            &mut cyc
+        )
+        .is_ok());
+        assert!(walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x5000,
+            Access::WRITE,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ept_large_page_walk_is_shorter() {
+        let (mut mem, mut alloc) = setup();
+        let mut t = NestedTable::new(NestedFormat::Ept4Level, &mut alloc, &mut mem);
+        t.map_large(&mut mem, &mut alloc, 0, 2 << 20, true);
+        let mut cyc_large = 0;
+        let leaf = walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x12345,
+            Access::READ,
+            &BLM,
+            &mut cyc_large,
+        )
+        .unwrap();
+        assert_eq!(leaf.hpa, (2 << 20) + 0x12345);
+        assert_eq!(leaf.page_size, 2 << 20);
+
+        let mut t2 = NestedTable::new(NestedFormat::Ept4Level, &mut alloc, &mut mem);
+        t2.map_page(&mut mem, &mut alloc, 0x12000, (2 << 20) + 0x12000, true);
+        let mut cyc_small = 0;
+        walk_nested(
+            &mem,
+            t2.root,
+            NestedFormat::Ept4Level,
+            0x12345,
+            Access::READ,
+            &BLM,
+            &mut cyc_small,
+        )
+        .unwrap();
+        assert!(cyc_large < cyc_small, "large page saves a level");
+    }
+
+    #[test]
+    fn npt_2level_map_and_walk() {
+        let (mut mem, mut alloc) = setup();
+        let mut t = NestedTable::new(NestedFormat::Npt2Level, &mut alloc, &mut mem);
+        t.map_large(&mut mem, &mut alloc, 0, 4 << 20, true);
+        t.map_page(&mut mem, &mut alloc, 0x40_0000, 0x80_0000, true);
+        let mut cyc = 0;
+        let l1 = walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Npt2Level,
+            0x1234,
+            Access::READ,
+            &BLM,
+            &mut cyc,
+        )
+        .unwrap();
+        assert_eq!(l1.hpa, (4 << 20) + 0x1234);
+        assert_eq!(l1.page_size, 4 << 20);
+        let l2 = walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Npt2Level,
+            0x40_0abc,
+            Access::READ,
+            &BLM,
+            &mut cyc,
+        )
+        .unwrap();
+        assert_eq!(l2.hpa, 0x80_0abc);
+    }
+
+    #[test]
+    fn unmap_page_clears_leaf() {
+        let (mut mem, mut alloc) = setup();
+        let mut t = NestedTable::new(NestedFormat::Ept4Level, &mut alloc, &mut mem);
+        t.map_page(&mut mem, &mut alloc, 0x5000, 0x9000, true);
+        t.unmap_page(&mut mem, 0x5000);
+        let mut cyc = 0;
+        assert!(walk_nested(
+            &mem,
+            t.root,
+            NestedFormat::Ept4Level,
+            0x5000,
+            Access::READ,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shadow_fill_flush_recycle() {
+        let (mut mem, mut alloc) = setup();
+        let mut s = ShadowPt::new(&mut alloc, &mut mem);
+        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true);
+        s.fill(&mut mem, &mut alloc, 0x40_1000, 0xa000, false);
+        let mut cyc = 0;
+        let leaf = nova_hw::mmu::walk_2level(
+            &mem,
+            s.root as u32,
+            0x40_0123,
+            Access::WRITE,
+            false,
+            &BLM,
+            &mut cyc,
+        )
+        .unwrap();
+        assert_eq!(leaf.hpa, 0x9123);
+        // Read-only fill rejects writes.
+        assert!(nova_hw::mmu::walk_2level(
+            &mem,
+            s.root as u32,
+            0x40_1000,
+            Access::WRITE,
+            false,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+
+        let before = alloc.allocated;
+        s.flush(&mut mem);
+        assert!(nova_hw::mmu::walk_2level(
+            &mem,
+            s.root as u32,
+            0x40_0123,
+            Access::READ,
+            false,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+        // Refill after flush reuses pooled frames: no new allocation.
+        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true);
+        assert_eq!(alloc.allocated, before, "sub-table frame recycled");
+    }
+
+    #[test]
+    fn shadow_invalidate_single() {
+        let (mut mem, mut alloc) = setup();
+        let mut s = ShadowPt::new(&mut alloc, &mut mem);
+        s.fill(&mut mem, &mut alloc, 0x1000, 0x9000, true);
+        s.fill(&mut mem, &mut alloc, 0x2000, 0xa000, true);
+        s.invalidate(&mut mem, 0x1000);
+        let mut cyc = 0;
+        assert!(nova_hw::mmu::walk_2level(
+            &mem,
+            s.root as u32,
+            0x1000,
+            Access::READ,
+            false,
+            &BLM,
+            &mut cyc
+        )
+        .is_err());
+        assert!(nova_hw::mmu::walk_2level(
+            &mem,
+            s.root as u32,
+            0x2000,
+            Access::READ,
+            false,
+            &BLM,
+            &mut cyc
+        )
+        .is_ok());
+    }
+}

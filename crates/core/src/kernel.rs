@@ -1,0 +1,2333 @@
+//! The kernel proper: object lifecycle, the IPC path with
+//! scheduling-context donation, the per-CPU scheduler loop, VM-exit
+//! routing, delegation and recursive revocation with hardware-table
+//! mirroring, interrupt-to-semaphore delivery, and the IOMMU policy.
+//!
+//! User-level code is a set of [`Component`]s. The kernel dispatches
+//! into them through portals (a NOVA `call`) and semaphore signals;
+//! they call back through the typed hypercall interface. Every
+//! boundary crossing is charged with the measured costs of Figure 8.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use nova_hw::cpu::run_guest;
+use nova_hw::machine::Machine;
+use nova_hw::vmx::{mtd, ExitReason, PagingVirt, Vmcs};
+use nova_hw::Cycles;
+use nova_x86::insn::OpSize;
+use nova_x86::paging::{Access, PAGE_SIZE};
+use nova_x86::reg::Regs;
+
+use crate::cap::{CapSel, Capability, Perms};
+use crate::counters::Counters;
+use crate::hostpt::{FrameAllocator, NestedTable, ShadowPt};
+use crate::hypercall::{HcErr, HcReply, Hypercall};
+use crate::mdb::MapDb;
+use crate::obj::{
+    Ec, EcId, EcKind, MemMapping, MemRights, ObjRef, Objects, Pd, PdId, Portal, PtId, Sc, ScId,
+    Semaphore, SmId, VmPaging,
+};
+use crate::sched::Scheduler;
+use crate::utcb::{Utcb, VmExitMsg, XferItem};
+use crate::vtlb::{self, VtlbOutcome};
+
+/// Component handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompId(pub usize);
+
+/// The identity of the execution context a component callback runs as.
+#[derive(Clone, Copy, Debug)]
+pub struct CompCtx {
+    /// The component's protection domain.
+    pub pd: PdId,
+    /// The executing EC.
+    pub ec: EcId,
+    /// The component itself.
+    pub comp: CompId,
+}
+
+/// A deprivileged user-level component (root partition manager, VMM,
+/// driver, service). The run-to-completion analogue of a NOVA
+/// user process: portal calls arrive as [`Component::on_call`],
+/// semaphore signals as [`Component::on_signal`].
+pub trait Component {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Invoked once when the system starts (boot protocol).
+    fn on_start(&mut self, _k: &mut Kernel, _ctx: CompCtx) {}
+
+    /// A portal owned by one of this component's ECs was called.
+    /// The reply is written into `utcb` in place.
+    fn on_call(&mut self, k: &mut Kernel, ctx: CompCtx, portal_id: u64, utcb: &mut Utcb);
+
+    /// A semaphore this component's EC is bound to was signalled.
+    fn on_signal(&mut self, _k: &mut Kernel, _ctx: CompCtx, _sm: SmId) {}
+
+    /// Typed access for harnesses and tests.
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Kernel-wide configuration (the Figure 5 ablation knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Use VPID/ASID TLB tags when the CPU supports them.
+    pub use_tags: bool,
+    /// Use large host pages when mirroring VM memory into nested
+    /// tables.
+    pub host_large_pages: bool,
+    /// Default scheduling quantum in cycles.
+    pub quantum: Cycles,
+    /// Hypervisor private memory (page-table frames), in bytes,
+    /// reserved at the top of RAM.
+    pub hv_mem: u64,
+    /// Frequency of the hypervisor's scheduling timer (the physical
+    /// PIT it claims at boot); `None` disables the tick. Each tick
+    /// that lands while a guest runs is a hardware-interrupt VM exit
+    /// (the dominant interrupt class of Table 2).
+    pub scheduler_timer_hz: Option<u32>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            use_tags: true,
+            host_large_pages: true,
+            quantum: 1_000_000,
+            hv_mem: 16 << 20,
+            scheduler_timer_hz: None,
+        }
+    }
+}
+
+/// Why [`Kernel::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Software requested shutdown with this code.
+    Shutdown(u8),
+    /// Nothing runnable and no pending events.
+    Idle,
+    /// The cycle budget elapsed.
+    Budget,
+}
+
+enum Activation {
+    Signal(SmId),
+}
+
+/// First capability selector of the VM-exit portal tables in a VM
+/// domain's capability space. Every virtual CPU has its own set of
+/// VM-exit portals (Section 5.2):
+/// selector = base + vcpu_index * stride + exit-reason index.
+pub const EXIT_PORTAL_BASE: CapSel = 0;
+
+/// Selector stride between the per-vCPU exit-portal tables.
+pub const EXIT_PORTAL_STRIDE: CapSel = 32;
+
+/// Well-known selector where every loaded component finds a capability
+/// for its own main execution context (so it can create its SC and
+/// portals). VM domains have no components, so this never collides
+/// with the exit-portal table.
+pub const SEL_SELF_EC: CapSel = 0x3f;
+
+/// Well-known selector of a component's own protection-domain
+/// capability (for creating further execution contexts inside it).
+pub const SEL_SELF_PD: CapSel = 0x3e;
+
+/// Cycles charged for the hypervisor's internal handling of an
+/// interrupt exit (acknowledge, semaphore up, wakeup).
+const IRQ_KERNEL_CYCLES: Cycles = 300;
+
+/// The microhypervisor kernel plus the machine it owns.
+pub struct Kernel {
+    /// The hardware.
+    pub machine: Machine,
+    /// Kernel objects.
+    pub obj: Objects,
+    /// Event counters (Table 2).
+    pub counters: Counters,
+    /// Kernel configuration.
+    pub config: KernelConfig,
+    /// The root partition manager's domain.
+    pub root_pd: PdId,
+    /// Frame allocator over hypervisor memory.
+    pub alloc: FrameAllocator,
+
+    sched: Scheduler,
+    mem_db: MapDb<u64>,
+    io_db: MapDb<u16>,
+    cap_db: MapDb<CapSel>,
+    components: Vec<Option<Box<dyn Component>>>,
+    ec_component: HashMap<EcId, CompId>,
+    nested: HashMap<PdId, NestedTable>,
+    shadows: HashMap<EcId, ShadowPt>,
+    large_chunks: HashMap<PdId, HashSet<u64>>,
+    gsi_owner: HashMap<u8, PdId>,
+    gsi_sm: HashMap<u8, SmId>,
+    activations: HashMap<EcId, VecDeque<Activation>>,
+    timers: Vec<KernelTimer>,
+    next_vpid: u16,
+}
+
+/// A hypervisor timer signalling a semaphore: the mechanism behind
+/// user-level virtual timers (the hypervisor owns the physical
+/// scheduling timer; components multiplex it through semaphores).
+struct KernelTimer {
+    sm: SmId,
+    due: Cycles,
+    period: Cycles,
+}
+
+impl Kernel {
+    /// Boots the microhypervisor on `machine`: claims hypervisor
+    /// memory and security-critical devices, then creates the root
+    /// protection domain holding capabilities for every remaining
+    /// resource (Section 6).
+    pub fn new(mut machine: Machine, config: KernelConfig) -> Kernel {
+        let ram = machine.mem.size() as u64;
+        assert!(config.hv_mem < ram, "hypervisor memory exceeds RAM");
+        let hv_base = ram - config.hv_mem;
+        let alloc = FrameAllocator::new(hv_base, config.hv_mem);
+
+        // The hypervisor restricts each device to its wired interrupt
+        // vector through the IOMMU (Section 4.2: "restricts the
+        // interrupt vectors available to drivers").
+        for (dev, line) in machine.wired_irqs() {
+            machine.bus.iommu.restrict_irq(dev, line);
+        }
+
+        // The hypervisor drives the platform interrupt controller and
+        // the scheduling timer itself: unmask everything; interrupts
+        // are routed to semaphores.
+        machine.bus.pic.io_write(nova_hw::pic::MASTER_DATA, 0);
+        machine.bus.pic.io_write(nova_hw::pic::SLAVE_DATA, 0);
+        if let Some(hz) = config.scheduler_timer_hz {
+            let divisor = (nova_hw::pit::PIT_HZ / hz.max(1) as u64).clamp(1, 0xffff) as u16;
+            let now = machine.clock;
+            machine
+                .bus
+                .io_write(&mut machine.mem, now, 0x43, OpSize::Byte, 0x34);
+            machine.bus.io_write(
+                &mut machine.mem,
+                now,
+                0x40,
+                OpSize::Byte,
+                divisor as u32 & 0xff,
+            );
+            machine.bus.io_write(
+                &mut machine.mem,
+                now,
+                0x40,
+                OpSize::Byte,
+                (divisor >> 8) as u32,
+            );
+        }
+
+        let mut obj = Objects::default();
+        let mut root = Pd::new("root");
+
+        // Root owns all I/O ports except the interrupt controllers
+        // (PIC) and the scheduling timer (PIT).
+        for port in 0..=u16::MAX {
+            let claimed = nova_hw::pic::DualPic::owns_port(port) || (0x40..=0x43).contains(&port);
+            if !claimed {
+                root.io.grant(port);
+            }
+        }
+
+        let cpus = machine.cpus.len();
+        let sched = Scheduler::new(cpus);
+
+        // Root owns all RAM below the hypervisor region, identity
+        // mapped, and the device MMIO windows.
+        let mut mem_db = MapDb::new();
+        let root_id = PdId(0);
+        for page in 0..hv_base / PAGE_SIZE as u64 {
+            root.mem.map(
+                page,
+                MemMapping {
+                    hpa: page * PAGE_SIZE as u64,
+                    rights: MemRights::RW_DMA,
+                },
+            );
+            mem_db.insert_root(root_id.0, page);
+        }
+        for base in [nova_hw::machine::AHCI_BASE, nova_hw::machine::NIC_BASE] {
+            for p in 0..4 {
+                let page = base / PAGE_SIZE as u64 + p;
+                root.mem.map(
+                    page,
+                    MemMapping {
+                        hpa: page * PAGE_SIZE as u64,
+                        rights: MemRights::RW,
+                    },
+                );
+                mem_db.insert_root(root_id.0, page);
+            }
+        }
+        // VGA text window.
+        for p in 0..1 {
+            let page = nova_hw::vga::VGA_BASE / PAGE_SIZE as u64 + p;
+            root.mem.map(
+                page,
+                MemMapping {
+                    hpa: page * PAGE_SIZE as u64,
+                    rights: MemRights::RW,
+                },
+            );
+            mem_db.insert_root(root_id.0, page);
+        }
+
+        let mut io_db = MapDb::new();
+        for port in 0..=u16::MAX {
+            if root.io.allowed(port) {
+                io_db.insert_root(root_id.0, port);
+            }
+        }
+
+        let created = obj.add_pd(root);
+        debug_assert_eq!(created, root_id);
+
+        let mut gsi_owner = HashMap::new();
+        for gsi in 0..16u8 {
+            gsi_owner.insert(gsi, root_id);
+        }
+
+        Kernel {
+            machine,
+            obj,
+            counters: Counters::new(),
+            config,
+            root_pd: root_id,
+            alloc,
+            sched,
+            mem_db,
+            io_db,
+            cap_db: MapDb::new(),
+            components: Vec::new(),
+            ec_component: HashMap::new(),
+            nested: HashMap::new(),
+            shadows: HashMap::new(),
+            large_chunks: HashMap::new(),
+            gsi_owner,
+            gsi_sm: HashMap::new(),
+            activations: HashMap::new(),
+            timers: Vec::new(),
+            next_vpid: 1,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Component management (boot-time program loading)
+    // ------------------------------------------------------------------
+
+    /// Loads a component into a protection domain, creating its main
+    /// thread EC on `cpu`. This models program loading, which sits
+    /// outside the hypercall ABI.
+    pub fn load_component(
+        &mut self,
+        pd: PdId,
+        cpu: usize,
+        comp: Box<dyn Component>,
+    ) -> (CompId, EcId) {
+        self.components.push(Some(comp));
+        let comp_id = CompId(self.components.len() - 1);
+        let ec = self.obj.add_ec(Ec {
+            pd,
+            kind: EcKind::Thread,
+            cpu,
+            utcb: Utcb::new(),
+            sc: None,
+            blocked: false,
+            busy: false,
+        });
+        self.ec_component.insert(ec, comp_id);
+        self.install_cap(
+            pd,
+            SEL_SELF_EC,
+            Capability {
+                obj: ObjRef::Ec(ec),
+                perms: Perms::EC_CTRL.union(Perms::DELEGATE),
+            },
+        );
+        self.install_cap(
+            pd,
+            SEL_SELF_PD,
+            Capability {
+                obj: ObjRef::Pd(pd),
+                perms: Perms::CTRL,
+            },
+        );
+        (comp_id, ec)
+    }
+
+    /// Runs a component's `on_start` (boot protocol).
+    pub fn start_component(&mut self, comp: CompId, ec: EcId) {
+        let ctx = CompCtx {
+            pd: self.obj.ec(ec).pd,
+            ec,
+            comp,
+        };
+        self.with_component(comp, |c, k| c.on_start(k, ctx));
+    }
+
+    /// Invokes a closure on a typed component with kernel access
+    /// (the component is temporarily taken out of the registry, as in
+    /// portal dispatch). Used by harnesses to drive component-side
+    /// surfaces such as the VMM's virtual keyboard.
+    pub fn invoke_component<T: 'static, R>(
+        &mut self,
+        comp: CompId,
+        f: impl FnOnce(&mut T, &mut Kernel) -> R,
+    ) -> Option<R> {
+        let mut c = self.components.get_mut(comp.0)?.take()?;
+        let r = c.as_any().downcast_mut::<T>().map(|t| f(t, self));
+        self.components[comp.0] = Some(c);
+        r
+    }
+
+    /// Typed access to a component (harness/test use).
+    pub fn component_mut<T: 'static>(&mut self, comp: CompId) -> Option<&mut T> {
+        self.components
+            .get_mut(comp.0)?
+            .as_mut()?
+            .as_any()
+            .downcast_mut::<T>()
+    }
+
+    fn with_component<R>(
+        &mut self,
+        comp: CompId,
+        f: impl FnOnce(&mut dyn Component, &mut Kernel) -> R,
+    ) -> Option<R> {
+        let mut c = self.components.get_mut(comp.0)?.take()?;
+        let r = f(c.as_mut(), self);
+        self.components[comp.0] = Some(c);
+        Some(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle accounting helpers
+    // ------------------------------------------------------------------
+
+    /// The current cycle.
+    pub fn now(&self) -> Cycles {
+        self.machine.clock
+    }
+
+    /// Charges modeled component work (instruction emulation, device
+    /// state-machine updates) to the clock.
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.machine.clock += cycles;
+        self.counters.cycles_emulation += cycles;
+    }
+
+    fn charge_kernel(&mut self, cycles: Cycles) {
+        self.machine.clock += cycles;
+        self.counters.cycles_kernel += cycles;
+    }
+
+    fn charge_ipc(&mut self, cycles: Cycles) {
+        self.machine.clock += cycles;
+        self.counters.cycles_ipc += cycles;
+    }
+
+    // ------------------------------------------------------------------
+    // Capability helpers
+    // ------------------------------------------------------------------
+
+    fn lookup(&self, pd: PdId, sel: CapSel, need: Perms) -> Result<Capability, HcErr> {
+        let cap = self.obj.pd(pd).caps.get(sel).ok_or(HcErr::BadCap)?;
+        if !cap.perms.allows(need) {
+            return Err(HcErr::BadPerm);
+        }
+        Ok(cap)
+    }
+
+    fn lookup_pd(&self, pd: PdId, sel: CapSel, need: Perms) -> Result<PdId, HcErr> {
+        match self.lookup(pd, sel, need)?.obj {
+            ObjRef::Pd(id) => Ok(id),
+            _ => Err(HcErr::BadCap),
+        }
+    }
+
+    fn lookup_ec(&self, pd: PdId, sel: CapSel, need: Perms) -> Result<EcId, HcErr> {
+        match self.lookup(pd, sel, need)?.obj {
+            ObjRef::Ec(id) => Ok(id),
+            _ => Err(HcErr::BadCap),
+        }
+    }
+
+    fn lookup_sm(&self, pd: PdId, sel: CapSel, need: Perms) -> Result<SmId, HcErr> {
+        match self.lookup(pd, sel, need)?.obj {
+            ObjRef::Sm(id) => Ok(id),
+            _ => Err(HcErr::BadCap),
+        }
+    }
+
+    fn install_cap(&mut self, pd: PdId, sel: CapSel, cap: Capability) {
+        self.obj.pd_mut(pd).caps.set(sel, cap);
+        if !self.cap_db.contains(pd.0, sel) {
+            self.cap_db.insert_root(pd.0, sel);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hypercalls
+    // ------------------------------------------------------------------
+
+    /// Executes a hypercall on behalf of `ctx`. Charges the
+    /// user/kernel boundary crossing.
+    pub fn hypercall(&mut self, ctx: CompCtx, hc: Hypercall) -> Result<HcReply, HcErr> {
+        self.counters.hypercalls += 1;
+        let ee = self.machine.cost.syscall_entry_exit;
+        self.charge_kernel(ee);
+        let caller = ctx.pd;
+        match hc {
+            Hypercall::CreatePd { name, vm, dst } => {
+                let mut pd = Pd::new(name);
+                pd.vm_paging = vm;
+                pd.large_pages = self.config.host_large_pages;
+                let id = self.obj.add_pd(pd);
+                if let Some(VmPaging::Nested(fmt)) = vm {
+                    let t = NestedTable::new(fmt, &mut self.alloc, &mut self.machine.mem);
+                    self.obj.pd_mut(id).nested_root = Some(t.root);
+                    self.nested.insert(id, t);
+                }
+                self.install_cap(
+                    caller,
+                    dst,
+                    Capability {
+                        obj: ObjRef::Pd(id),
+                        perms: Perms::ALL,
+                    },
+                );
+                Ok(HcReply::Ok)
+            }
+            Hypercall::DestroyPd { pd } => {
+                let target = self.lookup_pd(caller, pd, Perms::CTRL)?;
+                if target == self.root_pd {
+                    return Err(HcErr::BadParam);
+                }
+                self.destroy_pd(target);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::CreateEc { pd, vcpu, cpu, dst } => {
+                let target = self.lookup_pd(caller, pd, Perms::CTRL)?;
+                if cpu >= self.machine.cpus.len() {
+                    return Err(HcErr::BadParam);
+                }
+                let kind = if vcpu {
+                    let paging = self.obj.pd(target).vm_paging.ok_or(HcErr::BadParam)?;
+                    let vpid = if self.config.use_tags && self.machine.cost.has_tagged_tlb {
+                        let v = self.next_vpid;
+                        self.next_vpid += 1;
+                        v
+                    } else {
+                        0
+                    };
+                    let vmcs = match paging {
+                        VmPaging::Nested(fmt) => {
+                            let root = self.obj.pd(target).nested_root.ok_or(HcErr::BadParam)?;
+                            Box::new(Vmcs::new(PagingVirt::Nested { root, fmt }, vpid))
+                        }
+                        VmPaging::Shadow => {
+                            let shadow = ShadowPt::new(&mut self.alloc, &mut self.machine.mem);
+                            let vmcs = Box::new(Vmcs::new_shadow(shadow.root, vpid));
+                            // Stash the shadow keyed by the EC id we are
+                            // about to create.
+                            let ec_id = EcId(self.obj.ecs.len());
+                            self.shadows.insert(ec_id, shadow);
+                            vmcs
+                        }
+                    };
+                    EcKind::Vcpu { vmcs }
+                } else {
+                    EcKind::Thread
+                };
+                let is_vcpu = vcpu;
+                let id = self.obj.add_ec(Ec {
+                    pd: target,
+                    kind,
+                    cpu,
+                    utcb: Utcb::new(),
+                    sc: None,
+                    blocked: false,
+                    busy: false,
+                });
+                if is_vcpu {
+                    self.obj.pd_mut(target).vcpus.push(id);
+                } else {
+                    // Thread ECs created by a component belong to it.
+                    self.ec_component.insert(id, ctx.comp);
+                }
+                self.install_cap(
+                    caller,
+                    dst,
+                    Capability {
+                        obj: ObjRef::Ec(id),
+                        perms: Perms::EC_CTRL.union(Perms::DELEGATE),
+                    },
+                );
+                Ok(HcReply::Ok)
+            }
+            Hypercall::CreateSc {
+                ec,
+                prio,
+                quantum,
+                dst,
+            } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                if quantum == 0 {
+                    return Err(HcErr::BadParam);
+                }
+                let sc = self.obj.add_sc(Sc {
+                    ec: ec_id,
+                    prio,
+                    quantum,
+                    left: quantum,
+                });
+                self.obj.ec_mut(ec_id).sc = Some(sc);
+                let cpu = self.obj.ec(ec_id).cpu;
+                // vCPUs become runnable immediately; thread ECs run on
+                // activations.
+                if matches!(self.obj.ec(ec_id).kind, EcKind::Vcpu { .. }) {
+                    self.sched.cpu(cpu).enqueue(sc, prio);
+                }
+                self.install_cap(
+                    caller,
+                    dst,
+                    Capability {
+                        obj: ObjRef::Sc(sc),
+                        perms: Perms::SC_CTRL.union(Perms::DELEGATE),
+                    },
+                );
+                Ok(HcReply::Ok)
+            }
+            Hypercall::CreatePt { ec, mtd, id, dst } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                if self.obj.ec(ec_id).vmcs().is_some() {
+                    return Err(HcErr::BadParam); // handler must be a thread
+                }
+                let pt = self.obj.add_pt(Portal { ec: ec_id, mtd, id });
+                self.install_cap(
+                    caller,
+                    dst,
+                    Capability {
+                        obj: ObjRef::Pt(pt),
+                        perms: Perms::CALL.union(Perms::DELEGATE),
+                    },
+                );
+                Ok(HcReply::Ok)
+            }
+            Hypercall::CreateSm { count, dst } => {
+                let sm = self.obj.add_sm(Semaphore {
+                    count,
+                    bound: None,
+                    gsi: None,
+                });
+                self.install_cap(
+                    caller,
+                    dst,
+                    Capability {
+                        obj: ObjRef::Sm(sm),
+                        perms: Perms::UP.union(Perms::DOWN).union(Perms::DELEGATE),
+                    },
+                );
+                Ok(HcReply::Ok)
+            }
+            Hypercall::DelegateMem {
+                dst_pd,
+                base,
+                count,
+                rights,
+                hot,
+            } => {
+                let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                self.delegate_mem(caller, target, base, count, rights, hot)?;
+                Ok(HcReply::Ok)
+            }
+            Hypercall::DelegateIo {
+                dst_pd,
+                base,
+                count,
+            } => {
+                let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                self.delegate_io(caller, target, base, count)?;
+                Ok(HcReply::Ok)
+            }
+            Hypercall::DelegateCap {
+                dst_pd,
+                sel,
+                perms,
+                hot,
+            } => {
+                let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                self.delegate_cap(caller, target, sel, perms, hot)?;
+                Ok(HcReply::Ok)
+            }
+            Hypercall::RevokeMem {
+                base,
+                count,
+                include_self,
+            } => {
+                for page in base..base + count {
+                    self.revoke_mem_page(caller, page, include_self);
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::RevokeIo {
+                base,
+                count,
+                include_self,
+            } => {
+                for port in base..base.saturating_add(count) {
+                    self.revoke_io_port(caller, port, include_self);
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::RevokeCap { sel, include_self } => {
+                self.revoke_cap(caller, sel, include_self);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::SmUp { sm } => {
+                let sm_id = self.lookup_sm(caller, sm, Perms::UP)?;
+                self.sm_up(sm_id);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::SmDown { sm } => {
+                let sm_id = self.lookup_sm(caller, sm, Perms::DOWN)?;
+                let s = self.obj.sm_mut(sm_id);
+                if s.count > 0 {
+                    s.count -= 1;
+                    Ok(HcReply::Down { acquired: true })
+                } else {
+                    Ok(HcReply::Down { acquired: false })
+                }
+            }
+            Hypercall::SmBind { sm } => {
+                let sm_id = self.lookup_sm(caller, sm, Perms::DOWN)?;
+                self.obj.sm_mut(sm_id).bound = Some(ctx.ec);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::EcSetState { ec, regs, resume } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                let ec_obj = self.obj.ec_mut(ec_id);
+                let Some(vmcs) = ec_obj.vmcs_mut() else {
+                    return Err(HcErr::BadParam);
+                };
+                vmcs.guest = regs;
+                vmcs.halted = false;
+                if resume {
+                    self.unblock(ec_id);
+                } else {
+                    self.obj.ec_mut(ec_id).blocked = true;
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::EcCtrlVm {
+                ec,
+                hlt_exit,
+                extint_exit,
+                passthrough,
+            } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                let pd = self.obj.ec(ec_id).pd;
+                for &(first, count) in &passthrough {
+                    for p in first..first.saturating_add(count) {
+                        if !self.obj.pd(pd).io.allowed(p) {
+                            return Err(HcErr::BadPerm);
+                        }
+                    }
+                }
+                let Some(vmcs) = self.obj.ec_mut(ec_id).vmcs_mut() else {
+                    return Err(HcErr::BadParam);
+                };
+                vmcs.intercept_hlt = hlt_exit;
+                vmcs.intercept_extint = extint_exit;
+                for (first, count) in passthrough {
+                    vmcs.passthrough_ports(first, count);
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::EcRecall { ec } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                let vmcs = self.obj.ec_mut(ec_id).vmcs_mut().ok_or(HcErr::BadParam)?;
+                vmcs.recall_pending = true;
+                Ok(HcReply::Ok)
+            }
+            Hypercall::EcResume { ec, inject, intwin } => {
+                let ec_id = self.lookup_ec(caller, ec, Perms::EC_CTRL)?;
+                let ec_obj = self.obj.ec_mut(ec_id);
+                let Some(vmcs) = ec_obj.vmcs_mut() else {
+                    return Err(HcErr::BadParam);
+                };
+                if let Some(inj) = inject {
+                    vmcs.injection = Some(inj);
+                    vmcs.halted = false;
+                    self.counters.injected_virq += 1;
+                }
+                let vmcs = self.obj.ec_mut(ec_id).vmcs_mut().unwrap();
+                if intwin {
+                    vmcs.intwin_exit = true;
+                }
+                self.unblock(ec_id);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::AssignGsi { sm, gsi } => {
+                if self.gsi_owner.get(&gsi) != Some(&caller) {
+                    return Err(HcErr::NotOwner);
+                }
+                let sm_id = self.lookup_sm(caller, sm, Perms::UP)?;
+                self.obj.sm_mut(sm_id).gsi = Some(gsi);
+                self.gsi_sm.insert(gsi, sm_id);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::DelegateGsi { dst_pd, gsi } => {
+                if self.gsi_owner.get(&gsi) != Some(&caller) {
+                    return Err(HcErr::NotOwner);
+                }
+                let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                self.gsi_owner.insert(gsi, target);
+                Ok(HcReply::Ok)
+            }
+            Hypercall::SetTimer { sm, period } => {
+                let sm_id = self.lookup_sm(caller, sm, Perms::UP)?;
+                self.timers.retain(|t| t.sm != sm_id);
+                if period > 0 {
+                    self.timers.push(KernelTimer {
+                        sm: sm_id,
+                        due: self.machine.clock + period,
+                        period,
+                    });
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::AssignDev { pd, device } => {
+                if caller != self.root_pd {
+                    return Err(HcErr::NotOwner);
+                }
+                let target = self.lookup_pd(caller, pd, Perms::CTRL)?;
+                self.obj.pd_mut(target).devices.push(device);
+                // Mirror the domain's DMA-able memory into the IOMMU.
+                let mappings: Vec<(u64, MemMapping)> = self
+                    .obj
+                    .pd(target)
+                    .mem
+                    .iter()
+                    .filter(|(_, m)| m.rights.dma)
+                    .collect();
+                for (page, m) in mappings {
+                    self.machine.bus.iommu.map_page(
+                        device,
+                        page * PAGE_SIZE as u64,
+                        m.hpa,
+                        m.rights.write,
+                    );
+                }
+                Ok(HcReply::Ok)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delegation / revocation internals
+    // ------------------------------------------------------------------
+
+    fn delegate_mem(
+        &mut self,
+        from: PdId,
+        to: PdId,
+        base: u64,
+        count: u64,
+        rights: MemRights,
+        hot: u64,
+    ) -> Result<(), HcErr> {
+        // Validate ownership of the entire range first.
+        for i in 0..count {
+            if self.obj.pd(from).mem.lookup(base + i).is_none() {
+                return Err(HcErr::NotOwner);
+            }
+            if self.obj.pd(to).mem.lookup(hot + i).is_some() {
+                return Err(HcErr::BadParam);
+            }
+        }
+        for i in 0..count {
+            let src = self.obj.pd(from).mem.lookup(base + i).unwrap();
+            let eff = src.rights.mask(rights);
+            self.obj.pd_mut(to).mem.map(
+                hot + i,
+                MemMapping {
+                    hpa: src.hpa,
+                    rights: eff,
+                },
+            );
+            self.mem_db.delegate((from.0, base + i), (to.0, hot + i));
+            // IOMMU: devices assigned to the receiver see the page.
+            if eff.dma {
+                let devices = self.obj.pd(to).devices.clone();
+                for dev in devices {
+                    self.machine.bus.iommu.map_page(
+                        dev,
+                        (hot + i) * PAGE_SIZE as u64,
+                        src.hpa,
+                        eff.write,
+                    );
+                }
+            }
+        }
+        // Mirror into the VM's nested table, using large host pages
+        // for aligned physically-contiguous runs when enabled.
+        if self.obj.pd(to).is_vm() {
+            self.mirror_nested(to, hot, count);
+        }
+        Ok(())
+    }
+
+    fn mirror_nested(&mut self, pd: PdId, hot: u64, count: u64) {
+        let Some(table) = self.nested.get_mut(&pd) else {
+            return;
+        };
+        let cp = table.fmt.large_page_size() / PAGE_SIZE as u64;
+        let use_large = self.obj.pd(pd).large_pages;
+        let mut i = 0;
+        while i < count {
+            let gpage = hot + i;
+            let mapping = self.obj.pd(pd).mem.lookup(gpage).unwrap();
+            let aligned =
+                gpage.is_multiple_of(cp) && mapping.hpa.is_multiple_of(cp * PAGE_SIZE as u64);
+            if use_large && aligned && count - i >= cp {
+                // Check host-physical contiguity and uniform rights.
+                let contiguous = (1..cp).all(|j| {
+                    self.obj.pd(pd).mem.lookup(gpage + j).is_some_and(|m| {
+                        m.hpa == mapping.hpa + j * PAGE_SIZE as u64
+                            && m.rights.write == mapping.rights.write
+                    })
+                });
+                if contiguous {
+                    table.map_large(
+                        &mut self.machine.mem,
+                        &mut self.alloc,
+                        gpage * PAGE_SIZE as u64,
+                        mapping.hpa,
+                        mapping.rights.write,
+                    );
+                    self.large_chunks.entry(pd).or_default().insert(gpage);
+                    i += cp;
+                    continue;
+                }
+            }
+            table.map_page(
+                &mut self.machine.mem,
+                &mut self.alloc,
+                gpage * PAGE_SIZE as u64,
+                mapping.hpa,
+                mapping.rights.write,
+            );
+            i += 1;
+        }
+    }
+
+    fn delegate_io(&mut self, from: PdId, to: PdId, base: u16, count: u16) -> Result<(), HcErr> {
+        for i in 0..count {
+            let port = base + i;
+            if !self.obj.pd(from).io.allowed(port) {
+                return Err(HcErr::NotOwner);
+            }
+        }
+        for i in 0..count {
+            let port = base + i;
+            self.obj.pd_mut(to).io.grant(port);
+            self.io_db.delegate((from.0, port), (to.0, port));
+        }
+        Ok(())
+    }
+
+    fn delegate_cap(
+        &mut self,
+        from: PdId,
+        to: PdId,
+        sel: CapSel,
+        perms: Perms,
+        hot: CapSel,
+    ) -> Result<(), HcErr> {
+        let cap = self.obj.pd(from).caps.get(sel).ok_or(HcErr::BadCap)?;
+        if !cap.perms.allows(Perms::DELEGATE) {
+            return Err(HcErr::BadPerm);
+        }
+        let reduced = Capability {
+            obj: cap.obj,
+            perms: cap.perms.mask(perms),
+        };
+        self.obj.pd_mut(to).caps.set(hot, reduced);
+        if !self.cap_db.contains(from.0, sel) {
+            self.cap_db.insert_root(from.0, sel);
+        }
+        // A selector may be reused; drop any stale tree first.
+        if self.cap_db.contains(to.0, hot) {
+            self.cap_db.revoke((to.0, hot), true, &mut |_| {});
+        }
+        self.cap_db.delegate((from.0, sel), (to.0, hot));
+        Ok(())
+    }
+
+    fn revoke_mem_page(&mut self, owner: PdId, page: u64, include_self: bool) {
+        let mut removed: Vec<(usize, u64)> = Vec::new();
+        self.mem_db
+            .revoke((owner.0, page), include_self, &mut |k| removed.push(k));
+        let mut affected_vms: HashSet<PdId> = HashSet::new();
+        for (pd_idx, pg) in removed {
+            let pd = PdId(pd_idx);
+            let mapping = self.obj.pd_mut(pd).mem.unmap(pg);
+            if mapping.is_none() {
+                continue;
+            }
+            // IOMMU teardown.
+            let devices = self.obj.pd(pd).devices.clone();
+            for dev in devices {
+                self.machine
+                    .bus
+                    .iommu
+                    .unmap_page(dev, pg * PAGE_SIZE as u64);
+            }
+            // Nested-table teardown (splintering large mappings).
+            if self.obj.pd(pd).is_vm() {
+                affected_vms.insert(pd);
+                self.unmap_nested_page(pd, pg);
+            }
+        }
+        // TLB shootdown for affected VMs.
+        for pd in affected_vms {
+            self.flush_vm_tlbs(pd);
+        }
+    }
+
+    fn unmap_nested_page(&mut self, pd: PdId, gpage: u64) {
+        let Some(table) = self.nested.get_mut(&pd) else {
+            return;
+        };
+        let cp = table.fmt.large_page_size() / PAGE_SIZE as u64;
+        let chunk = gpage - gpage % cp;
+        let in_large = self
+            .large_chunks
+            .get(&pd)
+            .is_some_and(|s| s.contains(&chunk));
+        if in_large {
+            // Drop the large mapping, then re-map the still-present
+            // pages of the chunk at 4 KB granularity.
+            table.unmap_page(&mut self.machine.mem, chunk * PAGE_SIZE as u64);
+            self.large_chunks.get_mut(&pd).unwrap().remove(&chunk);
+            let survivors: Vec<(u64, MemMapping)> = (chunk..chunk + cp)
+                .filter_map(|p| self.obj.pd(pd).mem.lookup(p).map(|m| (p, m)))
+                .collect();
+            let table = self.nested.get_mut(&pd).unwrap();
+            for (p, m) in survivors {
+                table.map_page(
+                    &mut self.machine.mem,
+                    &mut self.alloc,
+                    p * PAGE_SIZE as u64,
+                    m.hpa,
+                    m.rights.write,
+                );
+            }
+        } else {
+            table.unmap_page(&mut self.machine.mem, gpage * PAGE_SIZE as u64);
+        }
+    }
+
+    fn flush_vm_tlbs(&mut self, pd: PdId) {
+        let vcpus = self.obj.pd(pd).vcpus.clone();
+        for ec in vcpus {
+            let cpu = self.obj.ec(ec).cpu;
+            let vpid = self.obj.ec(ec).vmcs().map(|v| v.vpid).unwrap_or(0);
+            if vpid == 0 {
+                self.machine.cpus[cpu].tlb.flush_all();
+            } else {
+                self.machine.cpus[cpu].tlb.flush_vpid(vpid);
+            }
+        }
+    }
+
+    fn revoke_io_port(&mut self, owner: PdId, port: u16, include_self: bool) {
+        let mut removed: Vec<(usize, u16)> = Vec::new();
+        self.io_db
+            .revoke((owner.0, port), include_self, &mut |k| removed.push(k));
+        for (pd_idx, p) in removed {
+            self.obj.pd_mut(PdId(pd_idx)).io.revoke(p);
+        }
+    }
+
+    fn revoke_cap(&mut self, owner: PdId, sel: CapSel, include_self: bool) {
+        let mut removed: Vec<(usize, CapSel)> = Vec::new();
+        self.cap_db
+            .revoke((owner.0, sel), include_self, &mut |k| removed.push(k));
+        for (pd_idx, s) in removed {
+            self.obj.pd_mut(PdId(pd_idx)).caps.remove(s);
+        }
+    }
+
+    /// Destroys a protection domain: the teardown path behind the
+    /// creator's destroy capability (Section 6). Every resource the
+    /// domain held — and everything it delegated onward — is revoked;
+    /// its execution contexts stop being schedulable; its hardware
+    /// tables and IOMMU domains are dismantled.
+    fn destroy_pd(&mut self, pd: PdId) {
+        if self.obj.pd(pd).dying {
+            return;
+        }
+        self.obj.pd_mut(pd).dying = true;
+
+        // Memory: revoke each owned page (children included).
+        let pages: Vec<u64> = self.obj.pd(pd).mem.iter().map(|(p, _)| p).collect();
+        for page in pages {
+            self.revoke_mem_page(pd, page, true);
+        }
+        // I/O ports.
+        let ports: Vec<u16> = (0..=u16::MAX)
+            .filter(|p| self.obj.pd(pd).io.allowed(*p))
+            .collect();
+        for port in ports {
+            self.revoke_io_port(pd, port, true);
+        }
+        // Capabilities (and everything delegated from them).
+        let sels: Vec<CapSel> = self.obj.pd(pd).caps.iter().map(|(s, _)| s).collect();
+        for sel in sels {
+            self.revoke_cap(pd, sel, true);
+        }
+
+        // Execution contexts: block and dequeue.
+        let ecs: Vec<EcId> = (0..self.obj.ecs.len())
+            .map(EcId)
+            .filter(|e| self.obj.ec(*e).pd == pd)
+            .collect();
+        for ec in &ecs {
+            self.obj.ec_mut(*ec).blocked = true;
+            self.obj.ec_mut(*ec).busy = true; // refuses future calls
+            if let Some(sc) = self.obj.ec(*ec).sc {
+                let cpu = self.obj.ec(*ec).cpu;
+                self.sched.cpu(cpu).remove(sc);
+            }
+            self.activations.remove(ec);
+            self.ec_component.remove(ec);
+        }
+        // Unbind semaphores pointed at dead ECs.
+        for sm in &mut self.obj.sms {
+            if sm.bound.is_some_and(|e| ecs.contains(&e)) {
+                sm.bound = None;
+            }
+        }
+        // Interrupt routes into the dead domain.
+        self.gsi_owner.retain(|_, owner| *owner != pd);
+
+        // Hardware teardown: nested tables back to the frame pool,
+        // IOMMU domains dropped.
+        if let Some(table) = self.nested.remove(&pd) {
+            for f in table.frames() {
+                self.alloc.release(*f);
+            }
+        }
+        self.large_chunks.remove(&pd);
+        for ec in &ecs {
+            self.shadows.remove(ec);
+        }
+        let devices = std::mem::take(&mut self.obj.pd_mut(pd).devices);
+        for dev in devices {
+            self.machine.bus.iommu.clear_device(dev);
+        }
+        self.flush_vm_tlbs(pd);
+    }
+
+    // ------------------------------------------------------------------
+    // IPC (Section 5.2)
+    // ------------------------------------------------------------------
+
+    /// Performs a portal call on behalf of a component: the
+    /// run-to-completion form of NOVA's `call` with scheduling-context
+    /// donation. The reply lands in `utcb`.
+    pub fn ipc_call(&mut self, ctx: CompCtx, pt_sel: CapSel, utcb: &mut Utcb) -> Result<(), HcErr> {
+        let cap = self.lookup(ctx.pd, pt_sel, Perms::CALL)?;
+        let pt = match cap.obj {
+            ObjRef::Pt(id) => id,
+            _ => Err(HcErr::BadCap)?,
+        };
+        self.ipc_to_portal(ctx.pd, pt, utcb)
+    }
+
+    fn ipc_to_portal(&mut self, caller_pd: PdId, pt: PtId, utcb: &mut Utcb) -> Result<(), HcErr> {
+        let portal = &self.obj.pts[pt.0];
+        let handler_ec = portal.ec;
+        let portal_id = portal.id;
+        let handler = self.obj.ec(handler_ec);
+        let handler_pd = handler.pd;
+        if handler.busy || self.obj.pd(handler_pd).dying {
+            return Err(HcErr::Busy);
+        }
+        let comp = *self.ec_component.get(&handler_ec).ok_or(HcErr::BadParam)?;
+
+        // Call-direction accounting: entry/exit, IPC path, TLB effects
+        // on a cross-AS traversal, per-word payload (Figure 8).
+        let cost = self.machine.cost;
+        let cross = caller_pd != handler_pd;
+        let words = utcb.len_words() as u64;
+        let one_way = cost.syscall_entry_exit
+            + cost.ipc_path
+            + if cross { cost.ipc_tlb_effects } else { 0 }
+            + words * cost.ipc_per_word;
+        self.charge_ipc(one_way);
+        self.counters.ipc_calls += 1;
+
+        // Typed items: delegation from caller to handler.
+        let items: Vec<XferItem> = utcb.xfer.drain(..).collect();
+        self.apply_xfer(caller_pd, handler_pd, &items)?;
+
+        // Dispatch with the SC donated: the handler runs to completion
+        // on the caller's time (charged to the shared clock).
+        self.obj.ec_mut(handler_ec).busy = true;
+        let hctx = CompCtx {
+            pd: handler_pd,
+            ec: handler_ec,
+            comp,
+        };
+        self.with_component(comp, |c, k| c.on_call(k, hctx, portal_id, utcb));
+        self.obj.ec_mut(handler_ec).busy = false;
+
+        // Reply-direction accounting and delegations.
+        let words = utcb.len_words() as u64;
+        let reply_cost = cost.syscall_entry_exit
+            + cost.ipc_path
+            + if cross { cost.ipc_tlb_effects } else { 0 }
+            + words * cost.ipc_per_word;
+        self.charge_ipc(reply_cost);
+        let items: Vec<XferItem> = utcb.xfer.drain(..).collect();
+        self.apply_xfer(handler_pd, caller_pd, &items)?;
+        Ok(())
+    }
+
+    fn apply_xfer(&mut self, from: PdId, to: PdId, items: &[XferItem]) -> Result<(), HcErr> {
+        for item in items {
+            match *item {
+                XferItem::Mem {
+                    base,
+                    count,
+                    rights,
+                    hot,
+                } => self.delegate_mem(from, to, base, count, rights, hot)?,
+                XferItem::Io { base, count } => self.delegate_io(from, to, base, count)?,
+                XferItem::Cap { sel, perms, hot } => {
+                    self.delegate_cap(from, to, sel, perms, hot)?
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Semaphores and interrupts
+    // ------------------------------------------------------------------
+
+    fn sm_up(&mut self, sm: SmId) {
+        let bound = self.obj.sm(sm).bound;
+        match bound {
+            Some(ec) => {
+                self.activations
+                    .entry(ec)
+                    .or_default()
+                    .push_back(Activation::Signal(sm));
+                self.make_thread_runnable(ec);
+            }
+            None => self.obj.sm_mut(sm).count += 1,
+        }
+    }
+
+    fn make_thread_runnable(&mut self, ec: EcId) {
+        let Some(sc) = self.obj.ec(ec).sc else {
+            return;
+        };
+        let cpu = self.obj.ec(ec).cpu;
+        let prio = self.obj.sc(sc).prio;
+        if !self.sched.cpu(cpu).contains(sc) {
+            self.sched.cpu(cpu).enqueue(sc, prio);
+        }
+    }
+
+    fn unblock(&mut self, ec: EcId) {
+        self.obj.ec_mut(ec).blocked = false;
+        if let Some(sc) = self.obj.ec(ec).sc {
+            let cpu = self.obj.ec(ec).cpu;
+            let prio = self.obj.sc(sc).prio;
+            if !self.sched.cpu(cpu).contains(sc) {
+                self.sched.cpu(cpu).enqueue(sc, prio);
+            }
+        }
+    }
+
+    /// Delivers a physical interrupt vector: acknowledge at the PIC,
+    /// signal the bound semaphore, EOI.
+    fn deliver_vector(&mut self, vector: u8) {
+        self.charge_kernel(IRQ_KERNEL_CYCLES);
+        let gsi = vector.wrapping_sub(0x20);
+        // EOI the physical controller (slave interrupts need both).
+        if gsi >= 8 {
+            self.machine.bus.pic.io_write(nova_hw::pic::SLAVE_CMD, 0x20);
+        }
+        self.machine
+            .bus
+            .pic
+            .io_write(nova_hw::pic::MASTER_CMD, 0x20);
+        if let Some(&sm) = self.gsi_sm.get(&gsi) {
+            self.sm_up(sm);
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let now = self.machine.clock;
+        let mut fired = Vec::new();
+        for t in &mut self.timers {
+            if t.due <= now {
+                fired.push(t.sm);
+                t.due += t.period.max(1);
+                if t.due <= now {
+                    // Catch up without a signal storm.
+                    t.due = now + t.period.max(1);
+                }
+            }
+        }
+        for sm in fired {
+            self.sm_up(sm);
+        }
+    }
+
+    fn poll_interrupts(&mut self) {
+        while self.machine.bus.pic.intr() {
+            match self.machine.bus.pic.ack() {
+                Some(v) => self.deliver_vector(v),
+                None => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Component-side machine access (permission-checked)
+    // ------------------------------------------------------------------
+
+    /// Reads bytes from the component's address space.
+    pub fn mem_read(&self, ctx: CompCtx, addr: u64, len: usize) -> Option<Vec<u8>> {
+        let ms = &self.obj.pd(ctx.pd).mem;
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0;
+        while off < len {
+            let a = addr + off as u64;
+            let chunk = ((PAGE_SIZE as u64 - (a & 0xfff)) as usize).min(len - off);
+            let hpa = ms.translate(a)?;
+            out.extend_from_slice(&self.machine.mem.read_bytes(hpa, chunk));
+            off += chunk;
+        }
+        Some(out)
+    }
+
+    /// Writes bytes into the component's address space (write rights
+    /// required on every page).
+    pub fn mem_write(&mut self, ctx: CompCtx, addr: u64, data: &[u8]) -> bool {
+        let mut off = 0;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let chunk = ((PAGE_SIZE as u64 - (a & 0xfff)) as usize).min(data.len() - off);
+            let m = match self.obj.pd(ctx.pd).mem.lookup(a >> 12) {
+                Some(m) if m.rights.write => m,
+                _ => return false,
+            };
+            self.machine
+                .mem
+                .write_bytes(m.hpa + (a & 0xfff), &data[off..off + chunk]);
+            off += chunk;
+        }
+        true
+    }
+
+    /// Reads a u32 from the component's address space.
+    pub fn mem_read_u32(&self, ctx: CompCtx, addr: u64) -> Option<u32> {
+        self.mem_read(ctx, addr, 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Writes a u32 into the component's address space.
+    pub fn mem_write_u32(&mut self, ctx: CompCtx, addr: u64, val: u32) -> bool {
+        self.mem_write(ctx, addr, &val.to_le_bytes())
+    }
+
+    /// Device MMIO read: the page must be mapped in the component's
+    /// space and resolve into a device window.
+    pub fn dev_mmio_read(&mut self, ctx: CompCtx, addr: u64, size: OpSize) -> Option<u32> {
+        let hpa = self.obj.pd(ctx.pd).mem.translate(addr)?;
+        self.machine.bus.mmio_owner(hpa)?;
+        self.machine.clock += nova_hw::cpu::DEVICE_ACCESS_CYCLES;
+        Some(
+            self.machine
+                .bus
+                .mmio_read(&mut self.machine.mem, self.machine.clock, hpa, size),
+        )
+    }
+
+    /// Device MMIO write.
+    pub fn dev_mmio_write(&mut self, ctx: CompCtx, addr: u64, size: OpSize, val: u32) -> bool {
+        let Some(hpa) = self.obj.pd(ctx.pd).mem.translate(addr) else {
+            return false;
+        };
+        if self.machine.bus.mmio_owner(hpa).is_none() {
+            return false;
+        }
+        self.machine.clock += nova_hw::cpu::DEVICE_ACCESS_CYCLES;
+        self.machine
+            .bus
+            .mmio_write(&mut self.machine.mem, self.machine.clock, hpa, size, val);
+        true
+    }
+
+    /// Port read (I/O space checked).
+    pub fn dev_io_read(&mut self, ctx: CompCtx, port: u16, size: OpSize) -> Option<u32> {
+        if !self.obj.pd(ctx.pd).io.allowed(port) {
+            return None;
+        }
+        self.machine.clock += nova_hw::cpu::DEVICE_ACCESS_CYCLES;
+        Some(
+            self.machine
+                .bus
+                .io_read(&mut self.machine.mem, self.machine.clock, port, size),
+        )
+    }
+
+    /// Port write (I/O space checked).
+    pub fn dev_io_write(&mut self, ctx: CompCtx, port: u16, size: OpSize, val: u32) -> bool {
+        if !self.obj.pd(ctx.pd).io.allowed(port) {
+            return false;
+        }
+        self.machine.clock += nova_hw::cpu::DEVICE_ACCESS_CYCLES;
+        self.machine
+            .bus
+            .io_write(&mut self.machine.mem, self.machine.clock, port, size, val);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // VM execution and exit handling
+    // ------------------------------------------------------------------
+
+    fn dispatch_vcpu(&mut self, sc_id: ScId) {
+        let ec_id = self.obj.sc(sc_id).ec;
+        if self.obj.ec(ec_id).blocked {
+            return; // stays off the runqueue until resumed
+        }
+        // Run on the remaining quantum; it is consumed across exits so
+        // an interrupt does not steal the rest of the timeslice
+        // (Section 5.1's round-robin among equal priorities).
+        let quantum = self.obj.sc(sc_id).left.max(1);
+        let cpu = self.obj.ec(ec_id).cpu;
+        let entered = self.machine.clock;
+
+        let cost = self.machine.cost;
+        let reason = {
+            let ec = &mut self.obj.ecs[ec_id.0];
+            let EcKind::Vcpu { vmcs } = &mut ec.kind else {
+                return;
+            };
+            let m = &mut self.machine;
+            run_guest(
+                &mut m.cpus[cpu],
+                &mut m.mem,
+                &mut m.bus,
+                &cost,
+                &mut m.clock,
+                vmcs,
+                Some(quantum),
+            )
+        };
+
+        self.counters.count_exit(&reason);
+        let tagged = self
+            .obj
+            .ec(ec_id)
+            .vmcs()
+            .map(|v| v.vpid != 0)
+            .unwrap_or(false);
+        let tc = self.machine.cost.vm_transition_cost(tagged);
+        self.machine.clock += tc;
+        self.counters.cycles_transition += tc;
+
+        let guest_elapsed = self.machine.clock - entered;
+        self.handle_exit(ec_id, reason);
+
+        // Quantum accounting and requeue (unless blocked).
+        let sc = self.obj.sc_mut(sc_id);
+        sc.left = sc.left.saturating_sub(guest_elapsed);
+        let exhausted = sc.left == 0 || reason == ExitReason::Preempt;
+        if exhausted {
+            sc.left = sc.quantum;
+        }
+        if !self.obj.ec(ec_id).blocked {
+            let prio = self.obj.sc(sc_id).prio;
+            let cpu = self.obj.ec(ec_id).cpu;
+            if exhausted {
+                self.sched.cpu(cpu).enqueue(sc_id, prio);
+            } else {
+                // The turn continues: stay at the head of the class.
+                self.sched.cpu(cpu).enqueue_front(sc_id, prio);
+            }
+        }
+    }
+
+    fn handle_exit(&mut self, ec_id: EcId, reason: ExitReason) {
+        match reason {
+            ExitReason::Preempt => {}
+            ExitReason::ExtInt { vector } => self.deliver_vector(vector),
+            ExitReason::PageFault { addr, err } => self.handle_vtlb_fault(ec_id, addr, err),
+            ExitReason::MovCr {
+                cr,
+                write,
+                gpr,
+                len,
+            } if self.is_shadow(ec_id) => {
+                // vTLB-related exits are handled inside the
+                // microhypervisor (Section 5.3), not the VMM.
+                let cost = self.machine.cost;
+                self.charge_kernel(2 * cost.vmread + cost.emul_simple / 2);
+                let shadow = self.shadows.get_mut(&ec_id).expect("shadow exists");
+                let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
+                    EcKind::Vcpu { vmcs } => vmcs,
+                    EcKind::Thread => return,
+                };
+                let flushed = vtlb::handle_cr_access(
+                    &mut self.machine.mem,
+                    shadow,
+                    vmcs,
+                    cr,
+                    write,
+                    gpr,
+                    len,
+                );
+                if flushed {
+                    self.counters.vtlb_flushes += 1;
+                    let cpu = self.obj.ec(ec_id).cpu;
+                    let vpid = self.obj.ec(ec_id).vmcs().unwrap().vpid;
+                    if vpid == 0 {
+                        self.machine.cpus[cpu].tlb.flush_all();
+                    } else {
+                        self.machine.cpus[cpu].tlb.flush_vpid(vpid);
+                    }
+                }
+            }
+            ExitReason::Invlpg { addr, len } if self.is_shadow(ec_id) => {
+                let cost = self.machine.cost;
+                self.charge_kernel(2 * cost.vmread + cost.emul_simple / 2);
+                let shadow = self.shadows.get_mut(&ec_id).expect("shadow exists");
+                let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
+                    EcKind::Vcpu { vmcs } => vmcs,
+                    EcKind::Thread => return,
+                };
+                vtlb::handle_invlpg(&mut self.machine.mem, shadow, vmcs, addr, len);
+                let cpu = self.obj.ec(ec_id).cpu;
+                let vpid = self.obj.ec(ec_id).vmcs().unwrap().vpid;
+                self.machine.cpus[cpu].tlb.invalidate(vpid, addr as u64);
+            }
+            ExitReason::TripleFault
+            | ExitReason::IntWindow
+            | ExitReason::Cpuid { .. }
+            | ExitReason::Hlt { .. }
+            | ExitReason::Invlpg { .. }
+            | ExitReason::MovCr { .. }
+            | ExitReason::IoPort { .. }
+            | ExitReason::EptViolation { .. }
+            | ExitReason::Vmcall { .. }
+            | ExitReason::Rdtsc { .. }
+            | ExitReason::Recall => self.deliver_exit(ec_id, reason),
+        }
+    }
+
+    fn is_shadow(&self, ec_id: EcId) -> bool {
+        matches!(
+            self.obj.ec(ec_id).vmcs().map(|v| v.paging),
+            Some(PagingVirt::Shadow { .. })
+        )
+    }
+
+    fn handle_vtlb_fault(&mut self, ec_id: EcId, addr: u32, err: u32) {
+        // Figure 9: six VMREADs to determine the cause, then the fill.
+        let cost = self.machine.cost;
+        self.charge_kernel(6 * cost.vmread + cost.vtlb_fill_sw);
+
+        let pd = self.obj.ec(ec_id).pd;
+        let Some(shadow) = self.shadows.get_mut(&ec_id) else {
+            return;
+        };
+        let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
+            EcKind::Vcpu { vmcs } => vmcs,
+            EcKind::Thread => return,
+        };
+        let ms = &self.obj.pds[pd.0].mem;
+        let outcome = vtlb::handle_page_fault(
+            &mut self.machine.mem,
+            &mut self.alloc,
+            ms,
+            shadow,
+            vmcs,
+            addr,
+            err,
+        );
+        match outcome {
+            VtlbOutcome::Filled => self.counters.vtlb_fills += 1,
+            VtlbOutcome::InjectPf { err } => {
+                self.counters.guest_page_faults += 1;
+                let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().unwrap();
+                vmcs.guest.cr2 = addr;
+                vmcs.injection = Some(nova_hw::vmx::Injection {
+                    vector: nova_x86::reg::vector::PAGE_FAULT,
+                    error_code: Some(err),
+                });
+            }
+            VtlbOutcome::Mmio { gpa, write } => {
+                // Route to the VMM as an MMIO event.
+                let access = if write { Access::WRITE } else { Access::READ };
+                self.deliver_exit(ec_id, ExitReason::EptViolation { gpa, access });
+            }
+        }
+    }
+
+    /// Sends the VM-exit message through the event-specific portal in
+    /// the VM's capability space and applies the VMM's reply
+    /// (Section 5.2, Figure 3).
+    fn deliver_exit(&mut self, ec_id: EcId, reason: ExitReason) {
+        let pd = self.obj.ec(ec_id).pd;
+        let vcpu_index = self
+            .obj
+            .pd(pd)
+            .vcpus
+            .iter()
+            .position(|e| *e == ec_id)
+            .unwrap_or(0);
+        let sel = EXIT_PORTAL_BASE + vcpu_index * EXIT_PORTAL_STRIDE + reason.index();
+        let Some(cap) = self.obj.pd(pd).caps.get(sel) else {
+            // No handler installed: the VM cannot make progress.
+            self.obj.ec_mut(ec_id).blocked = true;
+            return;
+        };
+        let pt = match cap.obj {
+            ObjRef::Pt(id) if cap.perms.allows(Perms::CALL) => id,
+            _ => {
+                self.obj.ec_mut(ec_id).blocked = true;
+                return;
+            }
+        };
+
+        // Read the guest state selected by the portal's MTD out of the
+        // VMCS (the Section 5.2 optimization: fewer groups = fewer
+        // VMREADs).
+        let mtd_bits = self.obj.pt(pt).mtd;
+        let cost = self.machine.cost;
+        let vmread_cost = mtd::group_count(mtd_bits) as Cycles * cost.vmread;
+        self.charge_ipc(vmread_cost);
+
+        let vmcs = self.obj.ec(ec_id).vmcs().expect("vCPU");
+        let mut msg = VmExitMsg::new(reason, mtd_bits, vmcs.guest.clone());
+        msg.window_open = vmcs.guest.if_set() && !vmcs.sti_shadow;
+        msg.halted = vmcs.halted;
+
+        let mut utcb = Utcb::new();
+        utcb.vm = Some(msg);
+
+        if self.ipc_to_portal(pd, pt, &mut utcb).is_err() {
+            self.obj.ec_mut(ec_id).blocked = true;
+            return;
+        }
+
+        // Apply the reply.
+        let Some(reply) = utcb.vm else { return };
+        let wb_cost = mtd::group_count(reply.reply_mtd) as Cycles * cost.vmread;
+        self.charge_ipc(wb_cost);
+
+        let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().expect("vCPU");
+        apply_mtd(&mut vmcs.guest, &reply.regs, reply.reply_mtd);
+        if let Some(inj) = reply.reply_inject {
+            vmcs.injection = Some(inj);
+            vmcs.halted = false;
+            self.counters.injected_virq += 1;
+        }
+        let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().unwrap();
+        if reply.reply_intwin {
+            vmcs.intwin_exit = true;
+        }
+        if reply.reply_block {
+            vmcs.halted = false; // blocking is kernel-side, not hw
+            self.obj.ec_mut(ec_id).blocked = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduler loop
+    // ------------------------------------------------------------------
+
+    fn dispatch_thread(&mut self, sc_id: ScId) {
+        let ec_id = self.obj.sc(sc_id).ec;
+        let Some(act) = self.activations.get_mut(&ec_id).and_then(|q| q.pop_front()) else {
+            return;
+        };
+        let comp = match self.ec_component.get(&ec_id) {
+            Some(c) => *c,
+            None => return,
+        };
+        let ctx = CompCtx {
+            pd: self.obj.ec(ec_id).pd,
+            ec: ec_id,
+            comp,
+        };
+        // The activation enters the component through the kernel: one
+        // boundary round trip.
+        let cost = self.machine.cost;
+        self.charge_ipc(cost.ipc_cross_as());
+        match act {
+            Activation::Signal(sm) => {
+                self.with_component(comp, |c, k| c.on_signal(k, ctx, sm));
+            }
+        }
+        // More pending activations keep the SC runnable.
+        if self.activations.get(&ec_id).is_some_and(|q| !q.is_empty()) {
+            let prio = self.obj.sc(sc_id).prio;
+            let cpu = self.obj.ec(ec_id).cpu;
+            self.sched.cpu(cpu).enqueue(sc_id, prio);
+        }
+    }
+
+    /// Runs the system: schedules SCs across all CPUs until shutdown,
+    /// idle deadlock, or the optional cycle budget elapses.
+    pub fn run(&mut self, budget: Option<Cycles>) -> RunOutcome {
+        let deadline = budget.map(|b| self.machine.clock + b);
+        loop {
+            if let Some(code) = self.machine.bus.ctl.shutdown.take() {
+                return RunOutcome::Shutdown(code);
+            }
+            if deadline.is_some_and(|d| self.machine.clock >= d) {
+                return RunOutcome::Budget;
+            }
+            // Process due device events and interrupts noticed while
+            // in host mode.
+            let now = self.machine.clock;
+            self.machine.bus.process_events(&mut self.machine.mem, now);
+            self.poll_interrupts();
+            self.fire_timers();
+
+            let mut ran = false;
+            for cpu in 0..self.sched.cpus() {
+                if let Some(sc) = self.sched.cpu(cpu).pick() {
+                    ran = true;
+                    let ec = self.obj.sc(sc).ec;
+                    match self.obj.ec(ec).kind {
+                        EcKind::Vcpu { .. } => self.dispatch_vcpu(sc),
+                        EcKind::Thread => self.dispatch_thread(sc),
+                    }
+                }
+            }
+            if !ran {
+                // Idle: fast-forward to the next device event or timer.
+                let next_timer = self.timers.iter().map(|t| t.due).min();
+                let next = match (self.machine.bus.next_event_due(), next_timer) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match next {
+                    Some(due) => {
+                        let skip = due.saturating_sub(self.machine.clock);
+                        self.machine.cpus[0].idle_cycles += skip;
+                        self.machine.clock = self.machine.clock.max(due);
+                        let now = self.machine.clock;
+                        self.machine.bus.process_events(&mut self.machine.mem, now);
+                        self.poll_interrupts();
+                        self.fire_timers();
+                    }
+                    None => return RunOutcome::Idle,
+                }
+            }
+        }
+    }
+}
+
+/// Copies the register groups selected by `mtd` from `src` to `dst`.
+pub fn apply_mtd(dst: &mut Regs, src: &Regs, mtd_bits: u32) {
+    use nova_x86::reg::Reg;
+    if mtd_bits & mtd::GPR_ACDB != 0 {
+        for r in [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx] {
+            dst.set(r, src.get(r));
+        }
+    }
+    if mtd_bits & mtd::GPR_BSD != 0 {
+        for r in [Reg::Ebp, Reg::Esi, Reg::Edi] {
+            dst.set(r, src.get(r));
+        }
+    }
+    if mtd_bits & mtd::ESP != 0 {
+        dst.set(Reg::Esp, src.get(Reg::Esp));
+    }
+    if mtd_bits & mtd::EIP != 0 {
+        dst.eip = src.eip;
+    }
+    if mtd_bits & mtd::EFL != 0 {
+        dst.eflags = src.eflags;
+    }
+    if mtd_bits & mtd::CR != 0 {
+        dst.cr0 = src.cr0;
+        dst.cr2 = src.cr2;
+        dst.cr3 = src.cr3;
+        dst.cr4 = src.cr4;
+    }
+    if mtd_bits & mtd::IDT != 0 {
+        dst.idt_base = src.idt_base;
+        dst.idt_limit = src.idt_limit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_hw::machine::MachineConfig;
+
+    fn kernel() -> Kernel {
+        let m = Machine::new(MachineConfig::core_i7(32 << 20));
+        Kernel::new(m, KernelConfig::default())
+    }
+
+    /// A trivial component whose handler doubles the first message
+    /// word and counts invocations.
+    #[derive(Default)]
+    struct Doubler {
+        calls: u64,
+        signals: Vec<SmId>,
+    }
+
+    impl Component for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn on_call(&mut self, k: &mut Kernel, _ctx: CompCtx, portal_id: u64, utcb: &mut Utcb) {
+            self.calls += 1;
+            let v = utcb.word(0);
+            utcb.set_msg(&[v * 2, portal_id]);
+            k.charge(100);
+        }
+        fn on_signal(&mut self, _k: &mut Kernel, _ctx: CompCtx, sm: SmId) {
+            self.signals.push(sm);
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn root_ctx(k: &Kernel, ec: EcId, comp: CompId) -> CompCtx {
+        CompCtx {
+            pd: k.root_pd,
+            ec,
+            comp,
+        }
+    }
+
+    #[test]
+    fn boot_gives_root_resources() {
+        let k = kernel();
+        let root = k.obj.pd(k.root_pd);
+        assert!(root.io.allowed(0x3f8), "root owns the UART");
+        assert!(!root.io.allowed(0x20), "hypervisor keeps the PIC");
+        assert!(!root.io.allowed(0x40), "hypervisor keeps the PIT");
+        assert!(root.mem.lookup(0).is_some());
+        // Hypervisor memory excluded.
+        let hv_first_page = (32 << 20) as u64 / 4096 - k.config.hv_mem / 4096;
+        assert!(root.mem.lookup(hv_first_page).is_none());
+    }
+
+    #[test]
+    fn portal_call_roundtrip_with_accounting() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePt {
+                ec: 100,
+                mtd: 0,
+                id: 7,
+                dst: 101,
+            },
+        )
+        .expect_err("no EC capability yet");
+
+        // Give ourselves the EC capability (boot-style, via install).
+        k.install_cap(
+            k.root_pd,
+            100,
+            Capability {
+                obj: ObjRef::Ec(ec),
+                perms: Perms::ALL,
+            },
+        );
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePt {
+                ec: 100,
+                mtd: 0,
+                id: 7,
+                dst: 101,
+            },
+        )
+        .unwrap();
+
+        let before = k.now();
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[21]);
+        k.ipc_call(ctx, 101, &mut utcb).unwrap();
+        assert_eq!(utcb.word(0), 42);
+        assert_eq!(utcb.word(1), 7, "portal id reaches the handler");
+        assert!(k.now() > before, "IPC charged cycles");
+        assert_eq!(k.counters.ipc_calls, 1);
+        assert_eq!(k.component_mut::<Doubler>(comp).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn call_without_perm_fails() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.install_cap(
+            k.root_pd,
+            100,
+            Capability {
+                obj: ObjRef::Ec(ec),
+                perms: Perms::ALL,
+            },
+        );
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePt {
+                ec: 100,
+                mtd: 0,
+                id: 0,
+                dst: 101,
+            },
+        )
+        .unwrap();
+        // Strip CALL from the capability.
+        let cap = k.obj.pd(k.root_pd).caps.get(101).unwrap();
+        k.obj.pd_mut(k.root_pd).caps.set(
+            101,
+            Capability {
+                obj: cap.obj,
+                perms: Perms::NONE,
+            },
+        );
+        let mut utcb = Utcb::new();
+        assert_eq!(k.ipc_call(ctx, 101, &mut utcb), Err(HcErr::BadPerm));
+    }
+
+    #[test]
+    fn delegation_and_recursive_revocation() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+
+        // Create two child PDs.
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "a".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "b".into(),
+                vm: None,
+                dst: 11,
+            },
+        )
+        .unwrap();
+        let pd_a = PdId(1);
+        let pd_b = PdId(2);
+
+        // Delegate pages 100..104 to A at 0.., then A's pages to B.
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateMem {
+                dst_pd: 10,
+                base: 100,
+                count: 4,
+                rights: MemRights::RW,
+                hot: 0,
+            },
+        )
+        .unwrap();
+        assert!(k.obj.pd(pd_a).mem.lookup(0).is_some());
+        assert_eq!(
+            k.obj.pd(pd_a).mem.lookup(0).unwrap().hpa,
+            100 * 4096,
+            "mapped to root's frame"
+        );
+
+        // A delegates page 1 to B (kernel-internal path).
+        k.delegate_mem(pd_a, pd_b, 1, 1, MemRights::RO, 50).unwrap();
+        assert!(k.obj.pd(pd_b).mem.lookup(50).is_some());
+        assert!(
+            !k.obj.pd(pd_b).mem.lookup(50).unwrap().rights.write,
+            "rights reduced on delegation"
+        );
+
+        // Root revokes its pages: both children lose them.
+        k.hypercall(
+            ctx,
+            Hypercall::RevokeMem {
+                base: 100,
+                count: 4,
+                include_self: false,
+            },
+        )
+        .unwrap();
+        assert!(k.obj.pd(pd_a).mem.lookup(0).is_none());
+        assert!(k.obj.pd(pd_b).mem.lookup(50).is_none());
+        assert!(
+            k.obj.pd(k.root_pd).mem.lookup(100).is_some(),
+            "root keeps its own mapping"
+        );
+    }
+
+    #[test]
+    fn delegate_requires_ownership() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "a".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        // Root does not own hypervisor pages.
+        let hv_page = (32 << 20) as u64 / 4096 - 1;
+        let r = k.hypercall(
+            ctx,
+            Hypercall::DelegateMem {
+                dst_pd: 10,
+                base: hv_page,
+                count: 1,
+                rights: MemRights::RW,
+                hot: 0,
+            },
+        );
+        assert_eq!(r, Err(HcErr::NotOwner), "hypervisor memory is unreachable");
+    }
+
+    #[test]
+    fn io_delegation_and_revocation() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "drv".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        let drv = PdId(1);
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateIo {
+                dst_pd: 10,
+                base: 0x3f8,
+                count: 8,
+            },
+        )
+        .unwrap();
+        assert!(k.obj.pd(drv).io.allowed(0x3f8));
+        // PIC ports can never be delegated: root does not own them.
+        let r = k.hypercall(
+            ctx,
+            Hypercall::DelegateIo {
+                dst_pd: 10,
+                base: 0x20,
+                count: 1,
+            },
+        );
+        assert_eq!(r, Err(HcErr::NotOwner));
+        k.hypercall(
+            ctx,
+            Hypercall::RevokeIo {
+                base: 0x3f8,
+                count: 8,
+                include_self: false,
+            },
+        )
+        .unwrap();
+        assert!(!k.obj.pd(drv).io.allowed(0x3f8));
+    }
+
+    #[test]
+    fn semaphore_binding_and_signal_dispatch() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.install_cap(
+            k.root_pd,
+            100,
+            Capability {
+                obj: ObjRef::Ec(ec),
+                perms: Perms::ALL,
+            },
+        );
+        k.hypercall(ctx, Hypercall::CreateSm { count: 0, dst: 20 })
+            .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSc {
+                ec: 100,
+                prio: 5,
+                quantum: 10_000,
+                dst: 21,
+            },
+        )
+        .unwrap();
+        k.hypercall(ctx, Hypercall::SmBind { sm: 20 }).unwrap();
+        k.hypercall(ctx, Hypercall::SmUp { sm: 20 }).unwrap();
+        // The signal is an activation; run the scheduler to deliver.
+        let out = k.run(Some(1_000_000));
+        assert_eq!(out, RunOutcome::Idle);
+        let d = k.component_mut::<Doubler>(comp).unwrap();
+        assert_eq!(d.signals.len(), 1);
+    }
+
+    #[test]
+    fn unbound_semaphore_counts() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(ctx, Hypercall::CreateSm { count: 0, dst: 20 })
+            .unwrap();
+        k.hypercall(ctx, Hypercall::SmUp { sm: 20 }).unwrap();
+        k.hypercall(ctx, Hypercall::SmUp { sm: 20 }).unwrap();
+        assert_eq!(
+            k.hypercall(ctx, Hypercall::SmDown { sm: 20 }),
+            Ok(HcReply::Down { acquired: true })
+        );
+        assert_eq!(
+            k.hypercall(ctx, Hypercall::SmDown { sm: 20 }),
+            Ok(HcReply::Down { acquired: true })
+        );
+        assert_eq!(
+            k.hypercall(ctx, Hypercall::SmDown { sm: 20 }),
+            Ok(HcReply::Down { acquired: false })
+        );
+    }
+
+    #[test]
+    fn gsi_routing_via_pit() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.install_cap(
+            k.root_pd,
+            100,
+            Capability {
+                obj: ObjRef::Ec(ec),
+                perms: Perms::ALL,
+            },
+        );
+        k.hypercall(ctx, Hypercall::CreateSm { count: 0, dst: 20 })
+            .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSc {
+                ec: 100,
+                prio: 5,
+                quantum: 10_000,
+                dst: 21,
+            },
+        )
+        .unwrap();
+        k.hypercall(ctx, Hypercall::SmBind { sm: 20 }).unwrap();
+        k.hypercall(ctx, Hypercall::AssignGsi { sm: 20, gsi: 0 })
+            .unwrap();
+
+        // Pulse IRQ 0 as the PIT would.
+        k.machine.bus.pic.pulse(0);
+        let out = k.run(Some(1_000_000));
+        assert_eq!(out, RunOutcome::Idle);
+        let d = k.component_mut::<Doubler>(comp).unwrap();
+        assert_eq!(d.signals.len(), 1, "interrupt delivered as signal");
+    }
+
+    #[test]
+    fn assign_gsi_requires_ownership() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        // Create a child PD and a component inside it.
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "drv".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        let drv_pd = PdId(1);
+        let (dcomp, dec) = k.load_component(drv_pd, 0, Box::<Doubler>::default());
+        let dctx = CompCtx {
+            pd: drv_pd,
+            ec: dec,
+            comp: dcomp,
+        };
+        k.hypercall(dctx, Hypercall::CreateSm { count: 0, dst: 0 })
+            .unwrap();
+        assert_eq!(
+            k.hypercall(dctx, Hypercall::AssignGsi { sm: 0, gsi: 3 }),
+            Err(HcErr::NotOwner)
+        );
+        // Root passes ownership, then it works.
+        k.hypercall(ctx, Hypercall::DelegateGsi { dst_pd: 10, gsi: 3 })
+            .unwrap();
+        assert_eq!(
+            k.hypercall(dctx, Hypercall::AssignGsi { sm: 0, gsi: 3 }),
+            Ok(HcReply::Ok)
+        );
+    }
+
+    #[test]
+    fn device_access_requires_io_space() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        // Root can touch the UART.
+        assert!(k.dev_io_write(ctx, 0x3f8, OpSize::Byte, b'x' as u32));
+        // But not the PIC.
+        assert!(!k.dev_io_write(ctx, 0x20, OpSize::Byte, 0x20));
+        assert!(k.dev_io_read(ctx, 0x21, OpSize::Byte).is_none());
+    }
+
+    #[test]
+    fn mem_access_respects_rights() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        assert!(k.mem_write_u32(ctx, 0x5000, 0xabcd));
+        assert_eq!(k.mem_read_u32(ctx, 0x5000), Some(0xabcd));
+        // Hypervisor memory is not mapped.
+        let hv = (32 << 20) as u64 - 4096;
+        assert!(!k.mem_write_u32(ctx, hv, 1));
+        assert_eq!(k.mem_read_u32(ctx, hv), None);
+    }
+
+    #[test]
+    fn cap_delegation_reduces_and_revokes() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "a".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        let pd_a = PdId(1);
+        k.hypercall(ctx, Hypercall::CreateSm { count: 0, dst: 30 })
+            .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateCap {
+                dst_pd: 10,
+                sel: 30,
+                perms: Perms::UP.union(Perms::DELEGATE),
+                hot: 5,
+            },
+        )
+        .unwrap();
+        let cap = k.obj.pd(pd_a).caps.get(5).unwrap();
+        assert!(cap.perms.allows(Perms::UP));
+        assert!(!cap.perms.allows(Perms::DOWN), "permissions reduced");
+
+        k.hypercall(
+            ctx,
+            Hypercall::RevokeCap {
+                sel: 30,
+                include_self: false,
+            },
+        )
+        .unwrap();
+        assert!(k.obj.pd(pd_a).caps.get(5).is_none(), "revoked recursively");
+        assert!(k.obj.pd(k.root_pd).caps.get(30).is_some());
+    }
+
+    #[test]
+    fn assign_dev_mirrors_dma_memory_into_iommu() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "disk-server".into(),
+                vm: None,
+                dst: 10,
+            },
+        )
+        .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateMem {
+                dst_pd: 10,
+                base: 0x100,
+                count: 2,
+                rights: MemRights::RW_DMA,
+                hot: 0x100,
+            },
+        )
+        .unwrap();
+        let ahci_dev = k.machine.dev.ahci;
+        k.hypercall(
+            ctx,
+            Hypercall::AssignDev {
+                pd: 10,
+                device: ahci_dev,
+            },
+        )
+        .unwrap();
+        // DMA to the delegated page translates; elsewhere faults.
+        assert_eq!(
+            k.machine.bus.iommu.translate(ahci_dev, 0x100 * 4096, true),
+            Some(0x100 * 4096)
+        );
+        assert_eq!(
+            k.machine.bus.iommu.translate(ahci_dev, 0x900 * 4096, true),
+            None
+        );
+    }
+
+    #[test]
+    fn apply_mtd_copies_selected_groups() {
+        let mut dst = Regs::default();
+        let mut src = Regs::default();
+        src.set(nova_x86::Reg::Eax, 1);
+        src.set(nova_x86::Reg::Esi, 2);
+        src.eip = 0x100;
+        src.cr3 = 0x5000;
+        apply_mtd(&mut dst, &src, mtd::GPR_ACDB | mtd::EIP);
+        assert_eq!(dst.get(nova_x86::Reg::Eax), 1);
+        assert_eq!(dst.eip, 0x100);
+        assert_eq!(dst.get(nova_x86::Reg::Esi), 0, "group not selected");
+        assert_eq!(dst.cr3, 0, "group not selected");
+    }
+}

@@ -1,0 +1,42 @@
+//! The NOVA microhypervisor — the paper's primary contribution
+//! (Sections 4–6).
+//!
+//! A capability-based kernel providing exactly five object types
+//! (Section 5): **protection domains** (spatial isolation: memory,
+//! I/O and capability spaces), **execution contexts** (threads and
+//! virtual CPUs), **scheduling contexts** (priority + quantum),
+//! **portals** (cross-domain entry points) and **semaphores**
+//! (synchronization and interrupt delivery). Everything else — the
+//! virtual-machine monitor, device drivers, the root partition manager
+//! — runs deprivileged on top of the hypercall interface.
+//!
+//! # Simulation adaptations
+//!
+//! User-level components are Rust objects implementing [`Component`];
+//! a NOVA `call` is a synchronous dispatch through the portal with full
+//! capability lookup and cycle accounting (entry/exit + IPC path + TLB
+//! effects, the Figure 8 decomposition). Blocking is expressed by
+//! returning with a *blocked* status instead of parking a thread, and
+//! semaphore waits become [`Component::on_signal`] activations; both
+//! are behaviour-preserving run-to-completion restatements of the
+//! paper's synchronous IPC.
+
+#![forbid(unsafe_code)]
+
+pub mod cap;
+pub mod counters;
+pub mod hostpt;
+pub mod hypercall;
+pub mod kernel;
+pub mod mdb;
+pub mod obj;
+pub mod sched;
+pub mod utcb;
+pub mod vtlb;
+
+pub use cap::{CapSel, Capability, Perms};
+pub use counters::Counters;
+pub use hypercall::{HcErr, HcReply, Hypercall};
+pub use kernel::{CompCtx, CompId, Component, Kernel, KernelConfig, RunOutcome};
+pub use obj::{EcId, PdId, PtId, ScId, SmId};
+pub use utcb::{Utcb, VmExitMsg};

@@ -1,0 +1,206 @@
+//! Mapping database: the delegation tree behind recursive revocation
+//! (Section 6).
+//!
+//! Every delegated resource — a memory page, an I/O port, a capability
+//! — is a node in a tree rooted at the initial owner. Delegation adds
+//! a child; revocation removes an entire subtree, invoking a callback
+//! per removed node so the kernel can tear down the corresponding
+//! hardware state (page-table entries, IOMMU mappings, I/O bitmap
+//! bits). This realizes the recursive address-space model the paper
+//! inherits from L4, "with the ability to make policy decisions at
+//! each level".
+
+use std::collections::BTreeMap;
+
+/// A node key: (domain index, resource key).
+pub type NodeKey<K> = (usize, K);
+
+struct Node<K> {
+    parent: Option<NodeKey<K>>,
+    children: Vec<NodeKey<K>>,
+}
+
+/// The mapping database for one resource kind, generic over the
+/// resource key (page number, port, capability selector).
+pub struct MapDb<K: Ord + Copy> {
+    nodes: BTreeMap<NodeKey<K>, Node<K>>,
+}
+
+impl<K: Ord + Copy> Default for MapDb<K> {
+    fn default() -> Self {
+        MapDb {
+            nodes: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord + Copy> MapDb<K> {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an initial (root) ownership, not derived from anyone.
+    pub fn insert_root(&mut self, owner: usize, key: K) {
+        self.nodes.insert(
+            (owner, key),
+            Node {
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+    }
+
+    /// `true` if `(owner, key)` is tracked.
+    pub fn contains(&self, owner: usize, key: K) -> bool {
+        self.nodes.contains_key(&(owner, key))
+    }
+
+    /// Records a delegation of `(from_owner, from_key)` to
+    /// `(to_owner, to_key)`. Returns `false` if the source node does
+    /// not exist or the destination already does.
+    pub fn delegate(&mut self, from: NodeKey<K>, to: NodeKey<K>) -> bool {
+        if !self.nodes.contains_key(&from) || self.nodes.contains_key(&to) || from == to {
+            return false;
+        }
+        self.nodes.insert(
+            to,
+            Node {
+                parent: Some(from),
+                children: Vec::new(),
+            },
+        );
+        self.nodes.get_mut(&from).unwrap().children.push(to);
+        true
+    }
+
+    /// Revokes the subtree *below* `at` — and `at` itself when
+    /// `include_self` — invoking `on_removed` for every removed node
+    /// (children before parents).
+    pub fn revoke(
+        &mut self,
+        at: NodeKey<K>,
+        include_self: bool,
+        on_removed: &mut dyn FnMut(NodeKey<K>),
+    ) {
+        let Some(node) = self.nodes.get(&at) else {
+            return;
+        };
+        let children = node.children.clone();
+        for c in children {
+            self.revoke(c, true, on_removed);
+        }
+        if include_self {
+            if let Some(node) = self.nodes.remove(&at) {
+                if let Some(p) = node.parent {
+                    if let Some(pn) = self.nodes.get_mut(&p) {
+                        pn.children.retain(|c| *c != at);
+                    }
+                }
+                on_removed(at);
+            }
+        } else if let Some(n) = self.nodes.get_mut(&at) {
+            n.children.clear();
+        }
+    }
+
+    /// Depth of a node (root = 0), for diagnostics.
+    pub fn depth(&self, mut at: NodeKey<K>) -> Option<usize> {
+        let mut d = 0;
+        loop {
+            match self.nodes.get(&at)?.parent {
+                Some(p) => {
+                    at = p;
+                    d += 1;
+                }
+                None => return Some(d),
+            }
+        }
+    }
+
+    /// Total tracked nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegate_chain_and_depth() {
+        let mut db: MapDb<u64> = MapDb::new();
+        db.insert_root(0, 100);
+        assert!(db.delegate((0, 100), (1, 200)));
+        assert!(db.delegate((1, 200), (2, 300)));
+        assert_eq!(db.depth((0, 100)), Some(0));
+        assert_eq!(db.depth((2, 300)), Some(2));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn delegate_requires_source() {
+        let mut db: MapDb<u64> = MapDb::new();
+        assert!(!db.delegate((0, 1), (1, 1)), "no source node");
+        db.insert_root(0, 1);
+        assert!(!db.delegate((0, 1), (0, 1)), "self-delegation");
+        assert!(db.delegate((0, 1), (1, 1)));
+        assert!(!db.delegate((0, 1), (1, 1)), "destination exists");
+    }
+
+    #[test]
+    fn revoke_subtree_children_first() {
+        let mut db: MapDb<u64> = MapDb::new();
+        db.insert_root(0, 10);
+        db.delegate((0, 10), (1, 10));
+        db.delegate((1, 10), (2, 10));
+        db.delegate((1, 10), (3, 10));
+        let mut removed = Vec::new();
+        db.revoke((1, 10), true, &mut |k| removed.push(k));
+        assert_eq!(removed.len(), 3);
+        // Children precede the parent.
+        let parent_pos = removed.iter().position(|k| *k == (1, 10)).unwrap();
+        assert_eq!(parent_pos, 2);
+        assert!(db.contains(0, 10), "root survives");
+        assert!(!db.contains(2, 10));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn revoke_without_self_keeps_node() {
+        let mut db: MapDb<u64> = MapDb::new();
+        db.insert_root(0, 5);
+        db.delegate((0, 5), (1, 5));
+        db.delegate((0, 5), (2, 5));
+        let mut removed = Vec::new();
+        db.revoke((0, 5), false, &mut |k| removed.push(k));
+        assert_eq!(removed.len(), 2);
+        assert!(db.contains(0, 5));
+        // The node can delegate again afterwards.
+        assert!(db.delegate((0, 5), (1, 5)));
+    }
+
+    #[test]
+    fn revoke_detaches_from_parent() {
+        let mut db: MapDb<u64> = MapDb::new();
+        db.insert_root(0, 1);
+        db.delegate((0, 1), (1, 1));
+        db.revoke((1, 1), true, &mut |_| {});
+        // Parent can re-delegate to the same destination.
+        assert!(db.delegate((0, 1), (1, 1)));
+    }
+
+    #[test]
+    fn revoke_missing_is_noop() {
+        let mut db: MapDb<u64> = MapDb::new();
+        let mut n = 0;
+        db.revoke((9, 9), true, &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

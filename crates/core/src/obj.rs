@@ -1,0 +1,485 @@
+//! The five kernel object types of Section 5: protection domains,
+//! execution contexts, scheduling contexts, portals and semaphores,
+//! plus the typed object tables holding them.
+
+use std::collections::BTreeMap;
+
+use nova_hw::vmx::Vmcs;
+use nova_hw::{Cycles, PAddr};
+
+use crate::cap::CapSpace;
+use crate::utcb::Utcb;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+    };
+}
+
+id_type!(
+    /// Protection-domain id.
+    PdId
+);
+id_type!(
+    /// Execution-context id.
+    EcId
+);
+id_type!(
+    /// Scheduling-context id.
+    ScId
+);
+id_type!(
+    /// Portal id.
+    PtId
+);
+id_type!(
+    /// Semaphore id.
+    SmId
+);
+
+/// A reference to any kernel object (what a capability designates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjRef {
+    /// Protection domain.
+    Pd(PdId),
+    /// Execution context.
+    Ec(EcId),
+    /// Scheduling context.
+    Sc(ScId),
+    /// Portal.
+    Pt(PtId),
+    /// Semaphore.
+    Sm(SmId),
+}
+
+/// Rights attached to a delegated memory page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRights {
+    /// Write permission.
+    pub write: bool,
+    /// The page may be mapped for device DMA (enters the IOMMU domain
+    /// of devices assigned to the PD).
+    pub dma: bool,
+}
+
+impl MemRights {
+    /// Read/write, DMA-able.
+    pub const RW_DMA: MemRights = MemRights {
+        write: true,
+        dma: true,
+    };
+    /// Read/write, no DMA.
+    pub const RW: MemRights = MemRights {
+        write: true,
+        dma: false,
+    };
+    /// Read-only.
+    pub const RO: MemRights = MemRights {
+        write: false,
+        dma: false,
+    };
+
+    /// Intersection of rights (delegation can only reduce).
+    pub fn mask(self, other: MemRights) -> MemRights {
+        MemRights {
+            write: self.write && other.write,
+            dma: self.dma && other.dma,
+        }
+    }
+}
+
+/// One mapped page in a protection domain's memory space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemMapping {
+    /// Host-physical frame backing the page.
+    pub hpa: PAddr,
+    /// Access rights.
+    pub rights: MemRights,
+}
+
+/// The memory space of a protection domain: its "host page table",
+/// mapping domain-virtual (or guest-physical, for VMs) page numbers to
+/// host-physical frames. For VM domains the kernel mirrors this table
+/// into real EPT/NPT/shadow structures in hypervisor memory.
+#[derive(Default)]
+pub struct MemSpace {
+    pages: BTreeMap<u64, MemMapping>,
+}
+
+impl MemSpace {
+    /// Looks up the mapping covering page number `page`.
+    pub fn lookup(&self, page: u64) -> Option<MemMapping> {
+        self.pages.get(&page).copied()
+    }
+
+    /// Translates a byte address through the space.
+    pub fn translate(&self, addr: u64) -> Option<PAddr> {
+        self.lookup(addr >> 12).map(|m| m.hpa + (addr & 0xfff))
+    }
+
+    /// Installs a mapping.
+    pub fn map(&mut self, page: u64, m: MemMapping) {
+        self.pages.insert(page, m);
+    }
+
+    /// Removes a mapping.
+    pub fn unmap(&mut self, page: u64) -> Option<MemMapping> {
+        self.pages.remove(&page)
+    }
+
+    /// Number of mapped pages.
+    pub fn count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Iterates over `(page, mapping)` in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, MemMapping)> + '_ {
+        self.pages.iter().map(|(p, m)| (*p, *m))
+    }
+}
+
+/// The I/O port space: a permission bitmap over the 16-bit port range.
+pub struct IoSpace {
+    bitmap: Vec<u64>,
+}
+
+impl Default for IoSpace {
+    fn default() -> Self {
+        IoSpace {
+            bitmap: vec![0; 1024],
+        }
+    }
+}
+
+impl IoSpace {
+    /// An empty space (no ports).
+    pub fn new() -> IoSpace {
+        IoSpace::default()
+    }
+
+    /// `true` if the domain may access `port`.
+    pub fn allowed(&self, port: u16) -> bool {
+        self.bitmap[port as usize / 64] & (1 << (port % 64)) != 0
+    }
+
+    /// Grants a port.
+    pub fn grant(&mut self, port: u16) {
+        self.bitmap[port as usize / 64] |= 1 << (port % 64);
+    }
+
+    /// Revokes a port.
+    pub fn revoke(&mut self, port: u16) {
+        self.bitmap[port as usize / 64] &= !(1 << (port % 64));
+    }
+
+    /// Number of granted ports.
+    pub fn count(&self) -> usize {
+        self.bitmap.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Paging configuration of a VM protection domain's hardware tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmPaging {
+    /// Hardware nested paging in the given format.
+    Nested(nova_x86::paging::NestedFormat),
+    /// Software shadow paging (vTLB).
+    Shadow,
+}
+
+/// A protection domain (Section 5): resource container with memory,
+/// I/O and capability spaces. Abstracts over user applications and
+/// virtual machines.
+pub struct Pd {
+    /// Diagnostic name.
+    pub name: String,
+    /// Capability space.
+    pub caps: CapSpace,
+    /// Memory space.
+    pub mem: MemSpace,
+    /// I/O port space.
+    pub io: IoSpace,
+    /// VM paging configuration; `None` for ordinary (host) domains.
+    pub vm_paging: Option<VmPaging>,
+    /// Hardware nested-table root (VM domains with nested paging).
+    pub nested_root: Option<PAddr>,
+    /// Host large pages allowed when mirroring mappings into the
+    /// nested table (the Figure 5 "small pages" ablation clears this).
+    pub large_pages: bool,
+    /// Bus ids of devices directly assigned to this domain (their DMA
+    /// is remapped through the domain's memory space).
+    pub devices: Vec<usize>,
+    /// Virtual-CPU execution contexts of this domain (for TLB
+    /// shootdowns and recalls).
+    pub vcpus: Vec<EcId>,
+    /// Whether the domain is being destroyed.
+    pub dying: bool,
+}
+
+impl Pd {
+    /// Creates an empty host protection domain.
+    pub fn new(name: impl Into<String>) -> Pd {
+        Pd {
+            name: name.into(),
+            caps: CapSpace::new(),
+            mem: MemSpace::default(),
+            io: IoSpace::new(),
+            vm_paging: None,
+            nested_root: None,
+            large_pages: true,
+            devices: Vec::new(),
+            vcpus: Vec::new(),
+            dying: false,
+        }
+    }
+
+    /// `true` for VM domains.
+    pub fn is_vm(&self) -> bool {
+        self.vm_paging.is_some()
+    }
+}
+
+/// What an execution context is (Section 5): a thread bound to a
+/// user component, or a virtual CPU with its VMCS.
+pub enum EcKind {
+    /// Host thread: activations dispatch into the component registered
+    /// for it.
+    Thread,
+    /// Virtual CPU.
+    Vcpu {
+        /// The hardware virtualization state.
+        vmcs: Box<Vmcs>,
+    },
+}
+
+/// An execution context.
+pub struct Ec {
+    /// Owning protection domain.
+    pub pd: PdId,
+    /// Thread or virtual CPU.
+    pub kind: EcKind,
+    /// Physical CPU this EC is bound to.
+    pub cpu: usize,
+    /// User thread control block (message area).
+    pub utcb: Utcb,
+    /// Attached scheduling context, if any.
+    pub sc: Option<ScId>,
+    /// Blocked (vCPU halted waiting for an event, or thread waiting).
+    pub blocked: bool,
+    /// Currently servicing a call (prevents re-entrant portal calls).
+    pub busy: bool,
+}
+
+impl Ec {
+    /// The VMCS of a vCPU EC.
+    pub fn vmcs(&self) -> Option<&Vmcs> {
+        match &self.kind {
+            EcKind::Vcpu { vmcs } => Some(vmcs),
+            EcKind::Thread => None,
+        }
+    }
+
+    /// Mutable VMCS access.
+    pub fn vmcs_mut(&mut self) -> Option<&mut Vmcs> {
+        match &mut self.kind {
+            EcKind::Vcpu { vmcs } => Some(vmcs),
+            EcKind::Thread => None,
+        }
+    }
+}
+
+/// A scheduling context: priority + quantum, attached to an EC
+/// (Section 5.1).
+pub struct Sc {
+    /// The execution context this SC dispatches.
+    pub ec: EcId,
+    /// Priority (higher runs first).
+    pub prio: u8,
+    /// Full time quantum in cycles.
+    pub quantum: Cycles,
+    /// Remaining quantum in the current round.
+    pub left: Cycles,
+}
+
+/// A portal: a dedicated entry point into the domain that created it
+/// (Section 5.2).
+pub struct Portal {
+    /// Handler execution context (must be a thread EC).
+    pub ec: EcId,
+    /// Message transfer descriptor: which guest-state groups the
+    /// hypervisor transmits on VM-exit messages through this portal.
+    pub mtd: u32,
+    /// Opaque id passed to the handler (encodes the event type).
+    pub id: u64,
+}
+
+/// A semaphore (Section 5): counting semaphore whose `up` is also how
+/// the hypervisor signals hardware interrupts to user components.
+pub struct Semaphore {
+    /// Counter.
+    pub count: u64,
+    /// EC bound to consume signals (run-to-completion adaptation of a
+    /// blocked-waiter queue).
+    pub bound: Option<EcId>,
+    /// GSI this semaphore is attached to, if it delivers interrupts.
+    pub gsi: Option<u8>,
+}
+
+/// Typed object tables (slabs) for all kernel objects.
+#[derive(Default)]
+pub struct Objects {
+    /// Protection domains.
+    pub pds: Vec<Pd>,
+    /// Execution contexts.
+    pub ecs: Vec<Ec>,
+    /// Scheduling contexts.
+    pub scs: Vec<Sc>,
+    /// Portals.
+    pub pts: Vec<Portal>,
+    /// Semaphores.
+    pub sms: Vec<Semaphore>,
+}
+
+impl Objects {
+    /// Adds a PD, returning its id.
+    pub fn add_pd(&mut self, pd: Pd) -> PdId {
+        self.pds.push(pd);
+        PdId(self.pds.len() - 1)
+    }
+
+    /// Adds an EC.
+    pub fn add_ec(&mut self, ec: Ec) -> EcId {
+        self.ecs.push(ec);
+        EcId(self.ecs.len() - 1)
+    }
+
+    /// Adds an SC.
+    pub fn add_sc(&mut self, sc: Sc) -> ScId {
+        self.scs.push(sc);
+        ScId(self.scs.len() - 1)
+    }
+
+    /// Adds a portal.
+    pub fn add_pt(&mut self, pt: Portal) -> PtId {
+        self.pts.push(pt);
+        PtId(self.pts.len() - 1)
+    }
+
+    /// Adds a semaphore.
+    pub fn add_sm(&mut self, sm: Semaphore) -> SmId {
+        self.sms.push(sm);
+        SmId(self.sms.len() - 1)
+    }
+
+    /// PD accessor.
+    pub fn pd(&self, id: PdId) -> &Pd {
+        &self.pds[id.0]
+    }
+
+    /// Mutable PD accessor.
+    pub fn pd_mut(&mut self, id: PdId) -> &mut Pd {
+        &mut self.pds[id.0]
+    }
+
+    /// EC accessor.
+    pub fn ec(&self, id: EcId) -> &Ec {
+        &self.ecs[id.0]
+    }
+
+    /// Mutable EC accessor.
+    pub fn ec_mut(&mut self, id: EcId) -> &mut Ec {
+        &mut self.ecs[id.0]
+    }
+
+    /// SC accessor.
+    pub fn sc(&self, id: ScId) -> &Sc {
+        &self.scs[id.0]
+    }
+
+    /// Mutable SC accessor.
+    pub fn sc_mut(&mut self, id: ScId) -> &mut Sc {
+        &mut self.scs[id.0]
+    }
+
+    /// Portal accessor.
+    pub fn pt(&self, id: PtId) -> &Portal {
+        &self.pts[id.0]
+    }
+
+    /// Mutable portal accessor.
+    pub fn pt_mut(&mut self, id: PtId) -> &mut Portal {
+        &mut self.pts[id.0]
+    }
+
+    /// Semaphore accessor.
+    pub fn sm(&self, id: SmId) -> &Semaphore {
+        &self.sms[id.0]
+    }
+
+    /// Mutable semaphore accessor.
+    pub fn sm_mut(&mut self, id: SmId) -> &mut Semaphore {
+        &mut self.sms[id.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memspace_translate() {
+        let mut ms = MemSpace::default();
+        ms.map(
+            0x40,
+            MemMapping {
+                hpa: 0x123000,
+                rights: MemRights::RW,
+            },
+        );
+        assert_eq!(ms.translate(0x40_abc), Some(0x123abc));
+        assert_eq!(ms.translate(0x41_000), None);
+        assert_eq!(ms.count(), 1);
+        ms.unmap(0x40);
+        assert_eq!(ms.translate(0x40_abc), None);
+    }
+
+    #[test]
+    fn iospace_grant_revoke() {
+        let mut io = IoSpace::new();
+        assert!(!io.allowed(0x3f8));
+        io.grant(0x3f8);
+        io.grant(0x3f9);
+        assert!(io.allowed(0x3f8));
+        assert_eq!(io.count(), 2);
+        io.revoke(0x3f8);
+        assert!(!io.allowed(0x3f8));
+        assert!(io.allowed(0x3f9));
+    }
+
+    #[test]
+    fn mem_rights_mask_reduces() {
+        let r = MemRights::RW_DMA.mask(MemRights::RO);
+        assert!(!r.write);
+        assert!(!r.dma);
+        let r = MemRights::RW_DMA.mask(MemRights::RW);
+        assert!(r.write);
+        assert!(!r.dma);
+    }
+
+    #[test]
+    fn object_tables() {
+        let mut o = Objects::default();
+        let pd = o.add_pd(Pd::new("root"));
+        assert_eq!(o.pd(pd).name, "root");
+        assert!(!o.pd(pd).is_vm());
+        let sm = o.add_sm(Semaphore {
+            count: 0,
+            bound: None,
+            gsi: Some(1),
+        });
+        o.sm_mut(sm).count += 1;
+        assert_eq!(o.sm(sm).count, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! The microhypervisor scheduler (Section 5.1): preemptive,
+//! priority-driven round-robin with one runqueue per CPU.
+//!
+//! Scheduling contexts couple a priority with a time quantum. The
+//! scheduler always dispatches the highest-priority ready SC and is
+//! oblivious to whether the attached execution context is a thread or
+//! a virtual CPU.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::obj::ScId;
+
+/// One CPU's runqueue.
+#[derive(Default)]
+pub struct RunQueue {
+    queues: BTreeMap<u8, VecDeque<ScId>>,
+}
+
+impl RunQueue {
+    /// An empty runqueue.
+    pub fn new() -> RunQueue {
+        RunQueue::default()
+    }
+
+    /// Enqueues an SC at the tail of its priority class.
+    pub fn enqueue(&mut self, sc: ScId, prio: u8) {
+        self.queues.entry(prio).or_default().push_back(sc);
+    }
+
+    /// Enqueues an SC at the head of its priority class (used when a
+    /// preempted SC still has quantum left).
+    pub fn enqueue_front(&mut self, sc: ScId, prio: u8) {
+        self.queues.entry(prio).or_default().push_front(sc);
+    }
+
+    /// Dequeues the highest-priority SC.
+    pub fn pick(&mut self) -> Option<ScId> {
+        let (&prio, q) = self.queues.iter_mut().next_back()?;
+        let sc = q.pop_front();
+        if q.is_empty() {
+            self.queues.remove(&prio);
+        }
+        sc
+    }
+
+    /// The priority of the best ready SC, if any.
+    pub fn best_prio(&self) -> Option<u8> {
+        self.queues.keys().next_back().copied()
+    }
+
+    /// Removes a specific SC wherever it is queued (blocking).
+    pub fn remove(&mut self, sc: ScId) {
+        for q in self.queues.values_mut() {
+            q.retain(|s| *s != sc);
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+    }
+
+    /// `true` if the SC is queued.
+    pub fn contains(&self, sc: ScId) -> bool {
+        self.queues.values().any(|q| q.contains(&sc))
+    }
+
+    /// Number of queued SCs.
+    pub fn len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// `true` when nothing is ready.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+}
+
+/// Per-CPU runqueues.
+pub struct Scheduler {
+    queues: Vec<RunQueue>,
+}
+
+impl Scheduler {
+    /// A scheduler for `cpus` processors.
+    pub fn new(cpus: usize) -> Scheduler {
+        Scheduler {
+            queues: (0..cpus.max(1)).map(|_| RunQueue::new()).collect(),
+        }
+    }
+
+    /// The runqueue of one CPU.
+    pub fn cpu(&mut self, cpu: usize) -> &mut RunQueue {
+        &mut self.queues[cpu]
+    }
+
+    /// Read-only access.
+    pub fn cpu_ref(&self, cpu: usize) -> &RunQueue {
+        &self.queues[cpu]
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order() {
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(1), 10);
+        q.enqueue(ScId(2), 200);
+        q.enqueue(ScId(3), 10);
+        assert_eq!(q.best_prio(), Some(200));
+        assert_eq!(q.pick(), Some(ScId(2)));
+        assert_eq!(q.pick(), Some(ScId(1)));
+        assert_eq!(q.pick(), Some(ScId(3)));
+        assert_eq!(q.pick(), None);
+    }
+
+    #[test]
+    fn round_robin_within_priority() {
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(1), 5);
+        q.enqueue(ScId(2), 5);
+        let first = q.pick().unwrap();
+        q.enqueue(first, 5); // quantum expired: back to the tail
+        assert_eq!(q.pick(), Some(ScId(2)), "the other SC runs next");
+        assert_eq!(q.pick(), Some(ScId(1)));
+    }
+
+    #[test]
+    fn enqueue_front_preserves_turn() {
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(1), 5);
+        q.enqueue(ScId(2), 5);
+        let first = q.pick().unwrap();
+        q.enqueue_front(first, 5); // preempted mid-quantum
+        assert_eq!(q.pick(), Some(first), "keeps its turn");
+    }
+
+    #[test]
+    fn remove_blocks_sc() {
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(1), 5);
+        q.enqueue(ScId(2), 5);
+        q.remove(ScId(1));
+        assert!(!q.contains(ScId(1)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pick(), Some(ScId(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_cpu_isolation() {
+        let mut s = Scheduler::new(2);
+        s.cpu(0).enqueue(ScId(1), 5);
+        s.cpu(1).enqueue(ScId(2), 5);
+        assert_eq!(s.cpu(0).pick(), Some(ScId(1)));
+        assert_eq!(s.cpu(0).pick(), None);
+        assert_eq!(s.cpu(1).pick(), Some(ScId(2)));
+        assert_eq!(s.cpus(), 2);
+    }
+}

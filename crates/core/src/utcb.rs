@@ -1,0 +1,174 @@
+//! User thread control blocks and IPC message formats.
+//!
+//! Messages are a bounded array of untyped words plus optional typed
+//! *transfer items* that delegate resources during the IPC
+//! (Section 6). For VM-exit messages the UTCB carries the guest state
+//! selected by the portal's message transfer descriptor — the
+//! optimization of Section 5.2 that minimizes VMREADs.
+
+use nova_hw::vmx::{ExitReason, Injection};
+use nova_x86::reg::Regs;
+
+use crate::cap::{CapSel, Perms};
+use crate::obj::MemRights;
+
+/// Maximum untyped words per message.
+pub const MAX_WORDS: usize = 64;
+
+/// A typed item delegating a resource during IPC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XferItem {
+    /// Delegate memory pages: `count` pages starting at sender page
+    /// number `base`, appearing at receiver page `hot` onward.
+    Mem {
+        /// Sender page number.
+        base: u64,
+        /// Number of pages.
+        count: u64,
+        /// Rights ceiling for the delegation.
+        rights: MemRights,
+        /// Receiver page number where the pages appear.
+        hot: u64,
+    },
+    /// Delegate I/O ports `base..base+count`.
+    Io {
+        /// First port.
+        base: u16,
+        /// Number of ports.
+        count: u16,
+    },
+    /// Delegate a capability from sender selector `sel` to receiver
+    /// selector `hot` with permissions masked by `perms`.
+    Cap {
+        /// Sender selector.
+        sel: CapSel,
+        /// Permission ceiling.
+        perms: Perms,
+        /// Receiver selector.
+        hot: CapSel,
+    },
+}
+
+/// Guest-state message for VM-exit portals. `mtd` marks which field
+/// groups were actually transferred (and paid for with VMREADs).
+#[derive(Clone, Debug)]
+pub struct VmExitMsg {
+    /// Field groups present (see [`nova_hw::vmx::mtd`]).
+    pub mtd: u32,
+    /// The exit that produced this message.
+    pub reason: ExitReason,
+    /// Guest register state (fields outside `mtd` are stale).
+    pub regs: Regs,
+    /// Guest interruptibility: IF set and not in an STI shadow.
+    pub window_open: bool,
+    /// Guest halted (activity state).
+    pub halted: bool,
+
+    // ---- Reply fields written by the VMM ----
+    /// Field groups the VMM modified and wants written back.
+    pub reply_mtd: u32,
+    /// Event to inject on the next entry.
+    pub reply_inject: Option<Injection>,
+    /// Request an interrupt-window exit.
+    pub reply_intwin: bool,
+    /// Block the vCPU (it halted; a later resume unblocks it).
+    pub reply_block: bool,
+}
+
+impl VmExitMsg {
+    /// An empty message for `reason` carrying the groups in `mtd`.
+    pub fn new(reason: ExitReason, mtd: u32, regs: Regs) -> VmExitMsg {
+        VmExitMsg {
+            mtd,
+            reason,
+            regs,
+            window_open: false,
+            halted: false,
+            reply_mtd: 0,
+            reply_inject: None,
+            reply_intwin: false,
+            reply_block: false,
+        }
+    }
+}
+
+/// The message area of an execution context.
+#[derive(Clone, Debug, Default)]
+pub struct Utcb {
+    /// Untyped message words.
+    pub msg: Vec<u64>,
+    /// Typed transfer items (delegations performed by the kernel
+    /// during the IPC).
+    pub xfer: Vec<XferItem>,
+    /// VM-exit payload, when the message is a VM-exit.
+    pub vm: Option<VmExitMsg>,
+}
+
+impl Utcb {
+    /// An empty UTCB.
+    pub fn new() -> Utcb {
+        Utcb::default()
+    }
+
+    /// Clears all message content.
+    pub fn clear(&mut self) {
+        self.msg.clear();
+        self.xfer.clear();
+        self.vm = None;
+    }
+
+    /// Sets the untyped words (truncated to [`MAX_WORDS`]).
+    pub fn set_msg(&mut self, words: &[u64]) {
+        self.msg.clear();
+        self.msg
+            .extend_from_slice(&words[..words.len().min(MAX_WORDS)]);
+    }
+
+    /// Word accessor with default 0.
+    pub fn word(&self, i: usize) -> u64 {
+        self.msg.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total words (payload size used for per-word IPC cost).
+    pub fn len_words(&self) -> usize {
+        self.msg.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_roundtrip_and_bounds() {
+        let mut u = Utcb::new();
+        u.set_msg(&[1, 2, 3]);
+        assert_eq!(u.word(0), 1);
+        assert_eq!(u.word(2), 3);
+        assert_eq!(u.word(3), 0);
+        assert_eq!(u.len_words(), 3);
+
+        let big: Vec<u64> = (0..100).collect();
+        u.set_msg(&big);
+        assert_eq!(u.len_words(), MAX_WORDS);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut u = Utcb::new();
+        u.set_msg(&[7]);
+        u.xfer.push(XferItem::Io {
+            base: 0x60,
+            count: 1,
+        });
+        u.vm = Some(VmExitMsg::new(
+            ExitReason::Hlt { len: 1 },
+            0,
+            Regs::default(),
+        ));
+        u.clear();
+        assert_eq!(u.len_words(), 0);
+        assert!(u.xfer.is_empty());
+        assert!(u.vm.is_none());
+    }
+}

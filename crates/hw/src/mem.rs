@@ -1,0 +1,181 @@
+//! Physical memory (RAM) of the simulated machine.
+//!
+//! MMIO regions are *not* backed here; the machine routes physical
+//! accesses that fall into device windows to the device bus. Reads of
+//! unpopulated addresses return zeros the way open bus lines read on
+//! commodity chipsets; writes outside RAM are dropped. Accessors exist
+//! in byte, u32 and u64 granularity because page-table walkers, DMA
+//! engines and the CPU all touch memory here.
+
+use nova_x86::insn::OpSize;
+
+use crate::PAddr;
+
+/// Byte-addressable RAM.
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+impl PhysMem {
+    /// Allocates `size` bytes of zeroed RAM.
+    pub fn new(size: usize) -> PhysMem {
+        PhysMem {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// RAM size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if `addr..addr+len` lies inside RAM.
+    pub fn contains(&self, addr: PAddr, len: u32) -> bool {
+        (addr as usize)
+            .checked_add(len as usize)
+            .is_some_and(|end| end <= self.bytes.len())
+    }
+
+    /// Reads one byte; unpopulated addresses read as zero.
+    pub fn read_u8(&self, addr: PAddr) -> u8 {
+        self.bytes.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes one byte; writes outside RAM are dropped.
+    pub fn write_u8(&mut self, addr: PAddr, val: u8) {
+        if let Some(b) = self.bytes.get_mut(addr as usize) {
+            *b = val;
+        }
+    }
+
+    /// Reads a little-endian u32.
+    pub fn read_u32(&self, addr: PAddr) -> u32 {
+        let a = addr as usize;
+        match self.bytes.get(a..a + 4) {
+            Some(s) => u32::from_le_bytes(s.try_into().unwrap()),
+            None => {
+                let mut v = 0;
+                for i in 0..4 {
+                    v |= (self.read_u8(addr + i) as u32) << (8 * i);
+                }
+                v
+            }
+        }
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: PAddr, val: u32) {
+        let a = addr as usize;
+        if let Some(s) = self.bytes.get_mut(a..a + 4) {
+            s.copy_from_slice(&val.to_le_bytes());
+        } else {
+            for i in 0..4 {
+                self.write_u8(addr + i, (val >> (8 * i)) as u8);
+            }
+        }
+    }
+
+    /// Reads a little-endian u64 (used by 64-bit EPT entries).
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        self.read_u32(addr) as u64 | (self.read_u32(addr + 4) as u64) << 32
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: PAddr, val: u64) {
+        self.write_u32(addr, val as u32);
+        self.write_u32(addr + 4, (val >> 32) as u32);
+    }
+
+    /// Reads an operand-sized value.
+    pub fn read_sized(&self, addr: PAddr, size: OpSize) -> u32 {
+        match size {
+            OpSize::Byte => self.read_u8(addr) as u32,
+            OpSize::Dword => self.read_u32(addr),
+        }
+    }
+
+    /// Writes an operand-sized value.
+    pub fn write_sized(&mut self, addr: PAddr, size: OpSize, val: u32) {
+        match size {
+            OpSize::Byte => self.write_u8(addr, val as u8),
+            OpSize::Dword => self.write_u32(addr, val),
+        }
+    }
+
+    /// Copies a byte slice into RAM (image loading, DMA).
+    pub fn write_bytes(&mut self, addr: PAddr, data: &[u8]) {
+        let a = addr as usize;
+        if let Some(s) = self.bytes.get_mut(a..a + data.len()) {
+            s.copy_from_slice(data);
+        } else {
+            for (i, b) in data.iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
+        }
+    }
+
+    /// Copies bytes out of RAM.
+    pub fn read_bytes(&self, addr: PAddr, len: usize) -> Vec<u8> {
+        let a = addr as usize;
+        match self.bytes.get(a..a + len) {
+            Some(s) => s.to_vec(),
+            None => (0..len).map(|i| self.read_u8(addr + i as u64)).collect(),
+        }
+    }
+
+    /// Fills a region with a byte value.
+    pub fn fill(&mut self, addr: PAddr, len: usize, val: u8) {
+        let a = addr as usize;
+        if let Some(s) = self.bytes.get_mut(a..a + len) {
+            s.fill(val);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysMem::new(4096);
+        m.write_u32(0x100, 0xdead_beef);
+        assert_eq!(m.read_u32(0x100), 0xdead_beef);
+        assert_eq!(m.read_u8(0x100), 0xef);
+        assert_eq!(m.read_u8(0x103), 0xde);
+        m.write_u64(0x200, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x200), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u32(0x204), 0x0123_4567);
+    }
+
+    #[test]
+    fn out_of_range_reads_zero_writes_dropped() {
+        let mut m = PhysMem::new(16);
+        assert_eq!(m.read_u32(0x1_0000), 0);
+        m.write_u32(0x1_0000, 0xffff_ffff); // dropped, no panic
+        assert_eq!(m.read_u32(0x1_0000), 0);
+        // Straddling the end.
+        m.write_u32(14, 0xaabbccdd);
+        assert_eq!(m.read_u8(14), 0xdd);
+        assert_eq!(m.read_u8(15), 0xcc);
+        assert_eq!(m.read_u32(14), 0x0000_ccdd);
+    }
+
+    #[test]
+    fn bulk_ops() {
+        let mut m = PhysMem::new(1024);
+        m.write_bytes(0x10, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x10, 5), vec![1, 2, 3, 4, 5]);
+        m.fill(0x20, 8, 0xaa);
+        assert_eq!(m.read_u32(0x20), 0xaaaa_aaaa);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let m = PhysMem::new(4096);
+        assert!(m.contains(0, 4096));
+        assert!(m.contains(4092, 4));
+        assert!(!m.contains(4093, 4));
+        assert!(!m.contains(u64::MAX, 1));
+    }
+}

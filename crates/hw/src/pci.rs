@@ -1,0 +1,189 @@
+//! PCI configuration space, accessed through the 0xCF8/0xCFC port
+//! mechanism. Drivers (the NOVA user-level disk and network servers,
+//! and the guest OS when devices are assigned directly) enumerate the
+//! bus here to find vendor/device ids, class codes, BARs and interrupt
+//! lines.
+
+use nova_x86::insn::OpSize;
+
+use crate::device::{DevCtx, Device};
+
+/// Config-address port.
+pub const CONFIG_ADDRESS: u16 = 0xcf8;
+/// Config-data port.
+pub const CONFIG_DATA: u16 = 0xcfc;
+
+/// One PCI function's configuration header (type 0, the fields we
+/// model).
+#[derive(Clone, Copy, Debug)]
+pub struct PciFunction {
+    /// Device number on bus 0.
+    pub device: u8,
+    /// Vendor id.
+    pub vendor_id: u16,
+    /// Device id.
+    pub device_id: u16,
+    /// Class code (base << 8 | subclass).
+    pub class: u16,
+    /// BAR0: MMIO base (reported pre-assigned; writes ignored).
+    pub bar0: u32,
+    /// BAR0 window size in bytes.
+    pub bar0_size: u32,
+    /// Interrupt line (platform PIC input).
+    pub irq_line: u8,
+}
+
+impl PciFunction {
+    fn config_read(&self, reg: u8) -> u32 {
+        match reg {
+            0x00 => self.vendor_id as u32 | (self.device_id as u32) << 16,
+            0x08 => (self.class as u32) << 16,
+            0x10 => self.bar0,
+            0x3c => self.irq_line as u32 | 0x0100, // pin INTA#
+            _ => 0,
+        }
+    }
+}
+
+/// The host bridge + configuration mechanism.
+pub struct PciHost {
+    functions: Vec<PciFunction>,
+    address: u32,
+}
+
+impl PciHost {
+    /// Creates the host bridge with the platform's function list.
+    pub fn new(functions: Vec<PciFunction>) -> PciHost {
+        PciHost {
+            functions,
+            address: 0,
+        }
+    }
+
+    fn decode_address(&self) -> Option<(&PciFunction, u8)> {
+        if self.address & 0x8000_0000 == 0 {
+            return None;
+        }
+        let bus = (self.address >> 16) & 0xff;
+        let dev = ((self.address >> 11) & 0x1f) as u8;
+        let func = (self.address >> 8) & 0x7;
+        let reg = (self.address & 0xfc) as u8;
+        if bus != 0 || func != 0 {
+            return None;
+        }
+        self.functions
+            .iter()
+            .find(|f| f.device == dev)
+            .map(|f| (f, reg))
+    }
+
+    /// Scans bus 0 and returns all present functions (host-side helper
+    /// mirroring what a driver does through the ports).
+    pub fn enumerate(&self) -> &[PciFunction] {
+        &self.functions
+    }
+}
+
+impl Device for PciHost {
+    fn name(&self) -> &'static str {
+        "pci-host"
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn io_read(&mut self, _ctx: &mut DevCtx, port: u16, size: OpSize) -> u32 {
+        match port {
+            CONFIG_ADDRESS => self.address,
+            CONFIG_DATA..=0xcff => match self.decode_address() {
+                Some((f, reg)) => {
+                    let v = f.config_read(reg);
+                    match size {
+                        OpSize::Dword => v,
+                        OpSize::Byte => (v >> (8 * (port - CONFIG_DATA) as u32)) & 0xff,
+                    }
+                }
+                None => size.mask(),
+            },
+            _ => size.mask(),
+        }
+    }
+
+    fn io_write(&mut self, _ctx: &mut DevCtx, port: u16, _size: OpSize, val: u32) {
+        if port == CONFIG_ADDRESS {
+            self.address = val;
+        }
+        // BAR writes and command-register writes are accepted and
+        // ignored: the platform pre-assigns resources.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceBus;
+    use crate::iommu::Iommu;
+    use crate::mem::PhysMem;
+
+    fn setup() -> (DeviceBus, PhysMem) {
+        let mut bus = DeviceBus::new(Iommu::disabled());
+        let host = PciHost::new(vec![
+            PciFunction {
+                device: 2,
+                vendor_id: 0x8086,
+                device_id: 0x2922,
+                class: 0x0106, // SATA AHCI
+                bar0: 0xfeb0_0000,
+                bar0_size: 0x1000,
+                irq_line: 11,
+            },
+            PciFunction {
+                device: 3,
+                vendor_id: 0x8086,
+                device_id: 0x10de,
+                class: 0x0200, // Ethernet
+                bar0: 0xfeb1_0000,
+                bar0_size: 0x1000,
+                irq_line: 10,
+            },
+        ]);
+        let dev = bus.add_device(Box::new(host));
+        bus.map_ports(CONFIG_ADDRESS, 0xcff, dev);
+        (bus, PhysMem::new(16))
+    }
+
+    fn cfg_read(bus: &mut DeviceBus, mem: &mut PhysMem, dev: u8, reg: u8) -> u32 {
+        let addr = 0x8000_0000 | (dev as u32) << 11 | reg as u32;
+        bus.io_write(mem, 0, CONFIG_ADDRESS, OpSize::Dword, addr);
+        bus.io_read(mem, 0, CONFIG_DATA, OpSize::Dword)
+    }
+
+    #[test]
+    fn enumerate_devices() {
+        let (mut bus, mut mem) = setup();
+        assert_eq!(cfg_read(&mut bus, &mut mem, 2, 0), 0x2922_8086);
+        assert_eq!(cfg_read(&mut bus, &mut mem, 3, 0), 0x10de_8086);
+        // Absent slot reads all-ones.
+        assert_eq!(cfg_read(&mut bus, &mut mem, 9, 0), 0xffff_ffff);
+    }
+
+    #[test]
+    fn class_bar_irq() {
+        let (mut bus, mut mem) = setup();
+        assert_eq!(cfg_read(&mut bus, &mut mem, 2, 0x08) >> 16, 0x0106);
+        assert_eq!(cfg_read(&mut bus, &mut mem, 2, 0x10), 0xfeb0_0000);
+        assert_eq!(cfg_read(&mut bus, &mut mem, 2, 0x3c) & 0xff, 11);
+        assert_eq!(cfg_read(&mut bus, &mut mem, 3, 0x3c) & 0xff, 10);
+    }
+
+    #[test]
+    fn disabled_address_bit() {
+        let (mut bus, mut mem) = setup();
+        bus.io_write(&mut mem, 0, CONFIG_ADDRESS, OpSize::Dword, 2 << 11);
+        assert_eq!(
+            bus.io_read(&mut mem, 0, CONFIG_DATA, OpSize::Dword),
+            0xffff_ffff
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Dual 8259A programmable interrupt controller.
+//!
+//! The platform PIC pair routes 16 interrupt lines to the CPU. The same
+//! model type is reused by the VMM as its *virtual* interrupt
+//! controller (Section 7): masking, acknowledging and unmasking at the
+//! virtual PIC is what produces the port-I/O exits that dominate
+//! Table 2's EPT column.
+//!
+//! The model implements the usual operating subset: edge-triggered
+//! requests, the IMR, non-specific EOI, ICW1/ICW2 initialization for
+//! the vector offsets, and master/slave cascading on line 2.
+
+/// One 8259 chip.
+#[derive(Clone, Debug)]
+struct Chip {
+    /// Interrupt request register (pending lines).
+    irr: u8,
+    /// In-service register.
+    isr: u8,
+    /// Interrupt mask register (1 = masked).
+    imr: u8,
+    /// Vector offset programmed by ICW2.
+    offset: u8,
+    /// Initialization state machine: number of ICWs still expected.
+    init_state: u8,
+}
+
+impl Chip {
+    fn new(offset: u8) -> Chip {
+        Chip {
+            irr: 0,
+            isr: 0,
+            imr: 0xff,
+            offset,
+            init_state: 0,
+        }
+    }
+
+    /// Highest-priority pending, unmasked line, honouring in-service
+    /// priority (a line in service blocks itself and everything below).
+    fn best(&self) -> Option<u8> {
+        let ready = self.irr & !self.imr;
+        for l in 0..8 {
+            if self.isr & (1 << l) != 0 {
+                return None;
+            }
+            if ready & (1 << l) != 0 {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    fn ack(&mut self, line: u8) {
+        self.irr &= !(1 << line);
+        self.isr |= 1 << line;
+    }
+
+    fn eoi(&mut self) {
+        // Non-specific EOI: clear the highest-priority in-service bit.
+        for l in 0..8 {
+            if self.isr & (1 << l) != 0 {
+                self.isr &= !(1 << l);
+                return;
+            }
+        }
+    }
+
+    fn command(&mut self, val: u8) {
+        if val & 0x10 != 0 {
+            // ICW1: begin initialization; expect ICW2..ICW4.
+            self.init_state = 3;
+            self.imr = 0;
+            self.isr = 0;
+            self.irr = 0;
+        } else if val & 0x20 != 0 {
+            self.eoi();
+        }
+    }
+
+    fn data_write(&mut self, val: u8) {
+        match self.init_state {
+            3 => {
+                self.offset = val & 0xf8;
+                self.init_state = 2;
+            }
+            2 => self.init_state = 1, // ICW3 (cascade wiring) ignored
+            1 => self.init_state = 0, // ICW4 ignored
+            _ => self.imr = val,      // OCW1
+        }
+    }
+
+    fn data_read(&self) -> u8 {
+        self.imr
+    }
+}
+
+/// The master/slave 8259 pair (lines 0–7 master, 8–15 slave cascaded
+/// on master line 2).
+#[derive(Clone, Debug)]
+pub struct DualPic {
+    master: Chip,
+    slave: Chip,
+    /// Level state of the 16 input lines (for edge detection).
+    lines: u16,
+}
+
+/// Master PIC command port.
+pub const MASTER_CMD: u16 = 0x20;
+/// Master PIC data port.
+pub const MASTER_DATA: u16 = 0x21;
+/// Slave PIC command port.
+pub const SLAVE_CMD: u16 = 0xa0;
+/// Slave PIC data port.
+pub const SLAVE_DATA: u16 = 0xa1;
+
+impl Default for DualPic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DualPic {
+    /// Creates the pair with the conventional remapped offsets 0x20 /
+    /// 0x28 and all lines masked.
+    pub fn new() -> DualPic {
+        DualPic {
+            master: Chip::new(0x20),
+            slave: Chip::new(0x28),
+            lines: 0,
+        }
+    }
+
+    /// `true` if `port` belongs to the PIC pair.
+    pub fn owns_port(port: u16) -> bool {
+        matches!(port, MASTER_CMD | MASTER_DATA | SLAVE_CMD | SLAVE_DATA)
+    }
+
+    /// Drives interrupt line `line` (0–15) to `level`; a rising edge
+    /// latches a request.
+    pub fn set_line(&mut self, line: u8, level: bool) {
+        let bit = 1u16 << line;
+        let was = self.lines & bit != 0;
+        if level && !was {
+            if line < 8 {
+                self.master.irr |= 1 << line;
+            } else {
+                self.slave.irr |= 1 << (line - 8);
+            }
+        }
+        if level {
+            self.lines |= bit;
+        } else {
+            self.lines &= !bit;
+        }
+    }
+
+    /// Pulses a line (edge-triggered request).
+    pub fn pulse(&mut self, line: u8) {
+        self.set_line(line, true);
+        self.set_line(line, false);
+    }
+
+    /// `true` if any unmasked interrupt is pending (the INTR pin).
+    pub fn intr(&self) -> bool {
+        if self.slave.best().is_some() && self.master.imr & (1 << 2) == 0 {
+            return true;
+        }
+        self.master
+            .best()
+            .is_some_and(|l| l != 2 || self.slave.best().is_some())
+    }
+
+    /// CPU interrupt acknowledge: returns the vector of the
+    /// highest-priority pending interrupt and moves it in-service.
+    pub fn ack(&mut self) -> Option<u8> {
+        // Slave interrupts arrive through master line 2.
+        if let Some(sl) = self.slave.best() {
+            if self.master.imr & (1 << 2) == 0 {
+                self.slave.ack(sl);
+                self.master.irr |= 1 << 2;
+                self.master.ack(2);
+                return Some(self.slave.offset + sl);
+            }
+        }
+        let l = self.master.best()?;
+        if l == 2 {
+            return None; // cascade line with nothing behind it
+        }
+        self.master.ack(l);
+        Some(self.master.offset + l)
+    }
+
+    /// Port read (CPU or VMM access).
+    pub fn io_read(&mut self, port: u16) -> u8 {
+        match port {
+            MASTER_CMD => self.master.irr,
+            MASTER_DATA => self.master.data_read(),
+            SLAVE_CMD => self.slave.irr,
+            SLAVE_DATA => self.slave.data_read(),
+            _ => 0,
+        }
+    }
+
+    /// Port write (CPU or VMM access).
+    pub fn io_write(&mut self, port: u16, val: u8) {
+        match port {
+            MASTER_CMD => self.master.command(val),
+            MASTER_DATA => self.master.data_write(val),
+            SLAVE_CMD => self.slave.command(val),
+            SLAVE_DATA => self.slave.data_write(val),
+            _ => {}
+        }
+    }
+
+    /// The current interrupt mask as a 16-bit word (diagnostics).
+    pub fn mask(&self) -> u16 {
+        self.master.imr as u16 | (self.slave.imr as u16) << 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unmasked() -> DualPic {
+        let mut p = DualPic::new();
+        p.io_write(MASTER_DATA, 0x00);
+        p.io_write(SLAVE_DATA, 0x00);
+        p
+    }
+
+    #[test]
+    fn masked_by_default() {
+        let mut p = DualPic::new();
+        p.pulse(0);
+        assert!(!p.intr());
+    }
+
+    #[test]
+    fn ack_returns_offset_vector() {
+        let mut p = unmasked();
+        p.pulse(0);
+        assert!(p.intr());
+        assert_eq!(p.ack(), Some(0x20));
+        assert!(!p.intr(), "in-service until EOI");
+    }
+
+    #[test]
+    fn priority_order() {
+        let mut p = unmasked();
+        p.pulse(4);
+        p.pulse(1);
+        assert_eq!(p.ack(), Some(0x21), "line 1 beats line 4");
+        p.io_write(MASTER_CMD, 0x20); // EOI
+        assert_eq!(p.ack(), Some(0x24));
+    }
+
+    #[test]
+    fn eoi_reenables_lower_priority() {
+        let mut p = unmasked();
+        p.pulse(3);
+        assert_eq!(p.ack(), Some(0x23));
+        p.pulse(5);
+        assert!(!p.intr(), "lower priority blocked while 3 in service");
+        p.io_write(MASTER_CMD, 0x20);
+        assert!(p.intr());
+        assert_eq!(p.ack(), Some(0x25));
+    }
+
+    #[test]
+    fn imr_masks_line() {
+        let mut p = unmasked();
+        p.io_write(MASTER_DATA, 1 << 4);
+        p.pulse(4);
+        assert!(!p.intr());
+        p.io_write(MASTER_DATA, 0);
+        assert!(p.intr(), "request latched while masked");
+    }
+
+    #[test]
+    fn slave_cascade() {
+        let mut p = unmasked();
+        p.pulse(11);
+        assert!(p.intr());
+        assert_eq!(p.ack(), Some(0x28 + 3));
+        p.io_write(SLAVE_CMD, 0x20);
+        p.io_write(MASTER_CMD, 0x20);
+        assert!(!p.intr());
+    }
+
+    #[test]
+    fn icw_reprogram_offset() {
+        let mut p = DualPic::new();
+        p.io_write(MASTER_CMD, 0x11); // ICW1
+        p.io_write(MASTER_DATA, 0x40); // ICW2: offset 0x40
+        p.io_write(MASTER_DATA, 0x04); // ICW3
+        p.io_write(MASTER_DATA, 0x01); // ICW4
+        p.io_write(MASTER_DATA, 0x00); // OCW1: unmask all
+        p.pulse(2 + 1);
+        assert_eq!(p.ack(), Some(0x43));
+    }
+
+    #[test]
+    fn edge_triggered_no_retrigger_on_level() {
+        let mut p = unmasked();
+        p.set_line(6, true);
+        assert_eq!(p.ack(), Some(0x26));
+        p.io_write(MASTER_CMD, 0x20);
+        // Line still high: no new edge, no new request.
+        assert!(!p.intr());
+        p.set_line(6, false);
+        p.set_line(6, true);
+        assert!(p.intr());
+    }
+}

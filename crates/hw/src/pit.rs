@@ -1,0 +1,182 @@
+//! Intel 8254 programmable interval timer (channel 0, rate generator).
+//!
+//! The guest OS and the microhypervisor's scheduling timer both use
+//! this device: channel 0 is programmed with a divisor of the
+//! 1.193182 MHz input clock and pulses IRQ 0 periodically. Those pulses
+//! are the "Hardware Interrupts" rows of Table 2.
+
+use nova_x86::insn::OpSize;
+
+use crate::device::{DevCtx, Device};
+use crate::Cycles;
+
+/// PIT input clock in Hz.
+pub const PIT_HZ: u64 = 1_193_182;
+
+/// Channel 0 data port.
+pub const CH0: u16 = 0x40;
+/// Mode/command port.
+pub const MODE: u16 = 0x43;
+
+/// IRQ line pulsed by channel 0.
+pub const IRQ: u8 = 0;
+
+enum WriteState {
+    Lo,
+    Hi(u8),
+}
+
+/// The 8254 model (channel 0 only; channels 1–2 are legacy DRAM
+/// refresh / speaker and unused here).
+pub struct Pit {
+    cpu_hz: u64,
+    divisor: u32,
+    state: WriteState,
+    running: bool,
+    /// Generation counter: stale scheduled events are ignored.
+    generation: u64,
+    /// Total IRQ pulses generated.
+    pub ticks: u64,
+}
+
+impl Pit {
+    /// Creates the timer for a CPU clocked at `cpu_hz`.
+    pub fn new(cpu_hz: u64) -> Pit {
+        Pit {
+            cpu_hz,
+            divisor: 0x1_0000, // hardware reset value (65536)
+            state: WriteState::Lo,
+            running: false,
+            generation: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Cycles between IRQ pulses at the current divisor.
+    pub fn period_cycles(&self) -> Cycles {
+        (self.divisor as u64 * self.cpu_hz / PIT_HZ).max(1)
+    }
+
+    fn restart(&mut self, ctx: &mut DevCtx) {
+        self.generation += 1;
+        self.running = true;
+        let gen = self.generation;
+        let period = self.period_cycles();
+        ctx.schedule(period, gen);
+    }
+}
+
+impl Device for Pit {
+    fn name(&self) -> &'static str {
+        "i8254"
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn io_write(&mut self, ctx: &mut DevCtx, port: u16, _size: OpSize, val: u32) {
+        let val = val as u8;
+        match port {
+            MODE => {
+                // Only channel 0, lobyte/hibyte access is modeled.
+                self.state = WriteState::Lo;
+            }
+            CH0 => match self.state {
+                WriteState::Lo => self.state = WriteState::Hi(val),
+                WriteState::Hi(lo) => {
+                    let d = (val as u32) << 8 | lo as u32;
+                    self.divisor = if d == 0 { 0x1_0000 } else { d };
+                    self.state = WriteState::Lo;
+                    self.restart(ctx);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn io_read(&mut self, _ctx: &mut DevCtx, port: u16, _size: OpSize) -> u32 {
+        // Counter latch reads are not needed by our guests.
+        if port == CH0 {
+            0
+        } else {
+            0xff
+        }
+    }
+
+    fn event(&mut self, ctx: &mut DevCtx, token: u64) {
+        if token != self.generation || !self.running {
+            return; // stale timer from before a reprogram
+        }
+        self.ticks += 1;
+        ctx.pulse_irq(IRQ);
+        let period = self.period_cycles();
+        let gen = self.generation;
+        ctx.schedule(period, gen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceBus;
+    use crate::iommu::Iommu;
+    use crate::mem::PhysMem;
+    use crate::pic;
+
+    fn setup(cpu_hz: u64) -> (DeviceBus, PhysMem, usize) {
+        let mut bus = DeviceBus::new(Iommu::disabled());
+        let dev = bus.add_device(Box::new(Pit::new(cpu_hz)));
+        bus.map_ports(0x40, 0x43, dev);
+        bus.pic.io_write(pic::MASTER_DATA, 0); // unmask
+        (bus, PhysMem::new(4096), dev)
+    }
+
+    fn program(bus: &mut DeviceBus, mem: &mut PhysMem, divisor: u16) {
+        bus.io_write(mem, 0, MODE, OpSize::Byte, 0x34);
+        bus.io_write(mem, 0, CH0, OpSize::Byte, divisor as u32 & 0xff);
+        bus.io_write(mem, 0, CH0, OpSize::Byte, (divisor >> 8) as u32);
+    }
+
+    #[test]
+    fn periodic_ticks() {
+        let (mut bus, mut mem, _) = setup(1_193_182); // 1 cycle per PIT tick
+        program(&mut bus, &mut mem, 1000);
+        // First tick due at 1000 cycles.
+        bus.process_events(&mut mem, 999);
+        assert!(!bus.pic.intr());
+        bus.process_events(&mut mem, 1000);
+        assert!(bus.pic.intr());
+        assert_eq!(bus.pic.ack(), Some(0x20));
+        bus.pic.io_write(pic::MASTER_CMD, 0x20);
+        // Second tick at 2000.
+        bus.process_events(&mut mem, 2000);
+        assert!(bus.pic.intr());
+    }
+
+    #[test]
+    fn reprogram_cancels_old_cadence() {
+        let (mut bus, mut mem, _) = setup(1_193_182);
+        program(&mut bus, &mut mem, 1000);
+        // Immediately reprogram to 4000 before the first tick.
+        program(&mut bus, &mut mem, 4000);
+        bus.process_events(&mut mem, 1500);
+        assert!(!bus.pic.intr(), "old 1000-cycle tick must not fire");
+        bus.process_events(&mut mem, 4000);
+        assert!(bus.pic.intr());
+    }
+
+    #[test]
+    fn period_scales_with_cpu_clock() {
+        let p1 = Pit::new(1_193_182);
+        let p2 = Pit::new(2 * 1_193_182);
+        assert_eq!(p2.period_cycles(), 2 * p1.period_cycles());
+    }
+
+    #[test]
+    fn zero_divisor_means_65536() {
+        let mut p = Pit::new(PIT_HZ);
+        p.divisor = 0x1_0000;
+        assert_eq!(p.period_cycles(), 0x1_0000);
+    }
+}

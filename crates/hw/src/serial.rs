@@ -1,0 +1,75 @@
+//! 16550-style UART at the COM1 ports. Output is captured into a
+//! buffer so guests can log; the transmitter is always ready.
+
+use nova_x86::insn::OpSize;
+
+use crate::device::{DevCtx, Device};
+
+/// COM1 base port.
+pub const COM1: u16 = 0x3f8;
+
+/// The UART model.
+#[derive(Default)]
+pub struct Serial {
+    /// Captured transmitted bytes.
+    pub output: Vec<u8>,
+}
+
+impl Serial {
+    /// Creates the UART.
+    pub fn new() -> Serial {
+        Serial::default()
+    }
+
+    /// Captured output as a lossy string.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+impl Device for Serial {
+    fn name(&self) -> &'static str {
+        "16550"
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn io_read(&mut self, _ctx: &mut DevCtx, port: u16, _size: OpSize) -> u32 {
+        match port - COM1 {
+            5 => 0x60, // LSR: transmitter empty + holding register empty
+            _ => 0,
+        }
+    }
+
+    fn io_write(&mut self, _ctx: &mut DevCtx, port: u16, _size: OpSize, val: u32) {
+        if port == COM1 {
+            self.output.push(val as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceBus;
+    use crate::iommu::Iommu;
+    use crate::mem::PhysMem;
+
+    #[test]
+    fn captures_output() {
+        let mut bus = DeviceBus::new(Iommu::disabled());
+        let dev = bus.add_device(Box::new(Serial::new()));
+        bus.map_ports(COM1, COM1 + 7, dev);
+        let mut mem = PhysMem::new(16);
+        for b in b"hi" {
+            bus.io_write(&mut mem, 0, COM1, OpSize::Byte, *b as u32);
+        }
+        // LSR reports ready.
+        assert_eq!(
+            bus.io_read(&mut mem, 0, COM1 + 5, OpSize::Byte) & 0x20,
+            0x20
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Log service: a minimal user-level driver for the serial port,
+//! demonstrating the driver pattern — a deprivileged domain holding
+//! only the UART's I/O ports, reached through a portal.
+
+use nova_core::{CompCtx, Component, Kernel, Utcb};
+use nova_x86::insn::OpSize;
+
+use crate::proto::log as proto;
+
+/// The log-service component.
+#[derive(Default)]
+pub struct LogService {
+    /// Bytes written since start.
+    pub written: u64,
+    base: u16,
+}
+
+impl LogService {
+    /// Creates the service driving the UART at `base` (COM1 in the
+    /// standard layout).
+    pub fn new(base: u16) -> LogService {
+        LogService { written: 0, base }
+    }
+}
+
+impl Component for LogService {
+    fn name(&self) -> &str {
+        "log-service"
+    }
+
+    fn on_call(&mut self, k: &mut Kernel, ctx: CompCtx, portal_id: u64, utcb: &mut Utcb) {
+        if portal_id != proto::PORTAL_WRITE {
+            utcb.set_msg(&[0]);
+            return;
+        }
+        let mut n = 0u64;
+        // Wait for the transmitter (LSR bit 5), then write each byte.
+        for i in 0..utcb.len_words() {
+            let byte = utcb.word(i) as u8;
+            let lsr = k.dev_io_read(ctx, self.base + 5, OpSize::Byte);
+            if lsr.is_none_or(|v| v & 0x20 == 0) {
+                break;
+            }
+            if !k.dev_io_write(ctx, self.base, OpSize::Byte, byte as u32) {
+                break;
+            }
+            n += 1;
+        }
+        self.written += n;
+        utcb.set_msg(&[n]);
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::root::{RootOps, RootPm};
+    use nova_core::{Hypercall, KernelConfig};
+    use nova_hw::machine::{Machine, MachineConfig};
+    use nova_hw::serial::COM1;
+
+    #[test]
+    fn logs_reach_the_uart_only_with_ports() {
+        let m = Machine::new(MachineConfig::core_i7(32 << 20));
+        let mut k = Kernel::new(m, KernelConfig::default());
+        let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(rc, re);
+        let root_ctx = k.component_mut::<RootPm>(rc).unwrap().ctx.unwrap();
+
+        let mut ops = RootOps::new(&mut k, root_ctx);
+        let (sel, pd) = ops.create_pd("log", None).unwrap();
+        let (comp, ec) = k.load_component(pd, 0, Box::new(LogService::new(COM1)));
+        k.start_component(comp, ec);
+        let svc_ctx = CompCtx { pd, ec, comp };
+        k.hypercall(
+            svc_ctx,
+            Hypercall::CreatePt {
+                ec: nova_core::kernel::SEL_SELF_EC,
+                mtd: 0,
+                id: proto::PORTAL_WRITE,
+                dst: 0x20,
+            },
+        )
+        .unwrap();
+
+        // Without the ports, writes fail silently (0 written).
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[b'h' as u64, b'i' as u64]);
+        k.ipc_call(svc_ctx, 0x20, &mut utcb).unwrap();
+        assert_eq!(utcb.word(0), 0, "no I/O space, no output");
+
+        // Root grants the UART; now it works.
+        let mut ops = RootOps::new(&mut k, root_ctx);
+        ops.grant_io(sel, COM1, 8).unwrap();
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[b'h' as u64, b'i' as u64]);
+        k.ipc_call(svc_ctx, 0x20, &mut utcb).unwrap();
+        assert_eq!(utcb.word(0), 2);
+        assert_eq!(k.machine.serial_text(), "hi");
+    }
+}

@@ -1,0 +1,46 @@
+//! IPC protocol definitions shared by the user-level services and
+//! their clients (each service exposes portals; clients hold portal
+//! capabilities delegated by the root partition manager).
+
+/// Disk-server protocol.
+pub mod disk {
+    /// Portal id: channel registration. Message: no words; transfer
+    /// items delegate (a) one completion-ring page RW and (b) an UP
+    /// capability for the client's completion semaphore at the
+    /// server-designated selectors. Reply word 0: client id.
+    pub const PORTAL_REGISTER: u64 = 1;
+
+    /// Portal id: request submission. Message words:
+    /// `[client, op, lba, sectors, window_page, tag]`; transfer items
+    /// delegate the DMA buffer pages at `window_page`. Reply word 0:
+    /// status ([`OK`] or [`EBUSY`]).
+    pub const PORTAL_REQUEST: u64 = 2;
+
+    /// Read operation.
+    pub const OP_READ: u64 = 1;
+    /// Write operation.
+    pub const OP_WRITE: u64 = 2;
+
+    /// Request accepted / completed fine.
+    pub const OK: u64 = 0;
+    /// Too many outstanding requests (client throttled — the
+    /// denial-of-service countermeasure of Section 4.2).
+    pub const EBUSY: u64 = 1;
+    /// Malformed request.
+    pub const EINVAL: u64 = 2;
+
+    /// Completion-ring layout: a page of 16-byte records
+    /// `[tag, status, bytes, _]` (u32 each), with a producer counter in
+    /// the last dword of the page.
+    pub const RING_RECORDS: usize = 254;
+
+    /// Maximum requests a client may have outstanding before EBUSY.
+    pub const MAX_OUTSTANDING: usize = 8;
+}
+
+/// Log-service protocol.
+pub mod log {
+    /// Portal id: write bytes. Message words: one byte per word.
+    /// Reply word 0: bytes written.
+    pub const PORTAL_WRITE: u64 = 1;
+}

@@ -1,0 +1,221 @@
+//! The root partition manager (Section 6).
+//!
+//! At boot the microhypervisor hands the root domain capabilities for
+//! all memory, I/O ports and interrupts it did not claim itself. The
+//! root partition manager makes the initial allocation decisions:
+//! creating protection domains for services and virtual machines and
+//! delegating the resources each needs — and nothing more.
+
+use nova_core::cap::{CapSel, Perms};
+use nova_core::obj::{MemRights, PdId, VmPaging};
+use nova_core::utcb::Utcb;
+use nova_core::{CompCtx, Component, HcErr, HcReply, Hypercall, Kernel};
+
+/// The root partition manager component.
+#[derive(Default)]
+pub struct RootPm {
+    /// The component's kernel identity, captured at start.
+    pub ctx: Option<CompCtx>,
+    next_sel: CapSel,
+}
+
+impl RootPm {
+    /// Creates the root partition manager.
+    pub fn new() -> RootPm {
+        RootPm {
+            ctx: None,
+            // Low selectors stay free for well-known assignments.
+            next_sel: 0x100,
+        }
+    }
+
+    /// Allocates a fresh capability selector in root's space.
+    pub fn alloc_sel(&mut self) -> CapSel {
+        let s = self.next_sel;
+        self.next_sel += 1;
+        s
+    }
+}
+
+impl Component for RootPm {
+    fn name(&self) -> &str {
+        "root-pm"
+    }
+
+    fn on_start(&mut self, _k: &mut Kernel, ctx: CompCtx) {
+        self.ctx = Some(ctx);
+    }
+
+    fn on_call(&mut self, _k: &mut Kernel, _ctx: CompCtx, _portal_id: u64, utcb: &mut Utcb) {
+        // The root partition manager exposes no services; callers get
+        // an empty reply.
+        utcb.clear();
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Root-side system construction helpers. Each operates with root's
+/// identity (its `CompCtx`) through the ordinary hypercall interface —
+/// root has no special kernel access, only a rich initial capability
+/// set.
+pub struct RootOps<'a> {
+    /// The kernel.
+    pub k: &'a mut Kernel,
+    /// Root's identity.
+    pub ctx: CompCtx,
+}
+
+impl<'a> RootOps<'a> {
+    /// Binds helpers to the kernel and root identity.
+    pub fn new(k: &'a mut Kernel, ctx: CompCtx) -> RootOps<'a> {
+        RootOps { k, ctx }
+    }
+
+    fn root_pm_sel(&mut self) -> CapSel {
+        let comp = self.ctx.comp;
+        self.k
+            .component_mut::<RootPm>(comp)
+            .expect("root component")
+            .alloc_sel()
+    }
+
+    /// Creates a protection domain; returns `(root's capability
+    /// selector, PdId)`.
+    pub fn create_pd(&mut self, name: &str, vm: Option<VmPaging>) -> Result<(CapSel, PdId), HcErr> {
+        let sel = self.root_pm_sel();
+        self.k.hypercall(
+            self.ctx,
+            Hypercall::CreatePd {
+                name: name.into(),
+                vm,
+                dst: sel,
+            },
+        )?;
+        let pd = PdId(self.k.obj.pds.len() - 1);
+        Ok((sel, pd))
+    }
+
+    /// Delegates a contiguous range of root's memory pages to a PD.
+    pub fn grant_mem(
+        &mut self,
+        pd_sel: CapSel,
+        base_page: u64,
+        count: u64,
+        rights: MemRights,
+        hot_page: u64,
+    ) -> Result<(), HcErr> {
+        self.k.hypercall(
+            self.ctx,
+            Hypercall::DelegateMem {
+                dst_pd: pd_sel,
+                base: base_page,
+                count,
+                rights,
+                hot: hot_page,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Delegates an I/O port range.
+    pub fn grant_io(&mut self, pd_sel: CapSel, base: u16, count: u16) -> Result<(), HcErr> {
+        self.k.hypercall(
+            self.ctx,
+            Hypercall::DelegateIo {
+                dst_pd: pd_sel,
+                base,
+                count,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Delegates one of root's capabilities to a PD.
+    pub fn grant_cap(
+        &mut self,
+        pd_sel: CapSel,
+        sel: CapSel,
+        perms: Perms,
+        hot: CapSel,
+    ) -> Result<(), HcErr> {
+        self.k.hypercall(
+            self.ctx,
+            Hypercall::DelegateCap {
+                dst_pd: pd_sel,
+                sel,
+                perms,
+                hot,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Passes GSI ownership to a PD.
+    pub fn grant_gsi(&mut self, pd_sel: CapSel, gsi: u8) -> Result<(), HcErr> {
+        self.k.hypercall(
+            self.ctx,
+            Hypercall::DelegateGsi {
+                dst_pd: pd_sel,
+                gsi,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Assigns a device to a PD (IOMMU domain).
+    pub fn assign_device(&mut self, pd_sel: CapSel, device: usize) -> Result<(), HcErr> {
+        self.k
+            .hypercall(self.ctx, Hypercall::AssignDev { pd: pd_sel, device })?;
+        Ok(())
+    }
+
+    /// Raw hypercall passthrough with root identity.
+    pub fn hc(&mut self, hc: Hypercall) -> Result<HcReply, HcErr> {
+        self.k.hypercall(self.ctx, hc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_core::KernelConfig;
+    use nova_hw::machine::{Machine, MachineConfig};
+
+    fn boot() -> (Kernel, CompCtx) {
+        let m = Machine::new(MachineConfig::core_i7(32 << 20));
+        let mut k = Kernel::new(m, KernelConfig::default());
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(comp, ec);
+        let ctx = k.component_mut::<RootPm>(comp).unwrap().ctx.unwrap();
+        (k, ctx)
+    }
+
+    #[test]
+    fn root_captures_identity() {
+        let (k, ctx) = boot();
+        assert_eq!(ctx.pd, k.root_pd);
+    }
+
+    #[test]
+    fn create_pd_and_grant() {
+        let (mut k, ctx) = boot();
+        let mut ops = RootOps::new(&mut k, ctx);
+        let (sel, pd) = ops.create_pd("svc", None).unwrap();
+        ops.grant_mem(sel, 0x100, 4, MemRights::RW, 0x10).unwrap();
+        ops.grant_io(sel, 0x3f8, 8).unwrap();
+        assert!(k.obj.pd(pd).mem.lookup(0x10).is_some());
+        assert!(k.obj.pd(pd).io.allowed(0x3f8));
+    }
+
+    #[test]
+    fn selector_allocation_is_unique() {
+        let (mut k, ctx) = boot();
+        let mut ops = RootOps::new(&mut k, ctx);
+        let (a, _) = ops.create_pd("a", None).unwrap();
+        let (b, _) = ops.create_pd("b", None).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! The virtual BIOS, integrated with the VMM (Section 7.4).
+//!
+//! "A more efficient solution is to move the BIOS into the
+//! virtual-machine monitor, which facilitates direct access to the
+//! device models without expensive transitions between the virtual
+//! machine and the VMM. Furthermore, the code of the virtual BIOS can
+//! be hidden from the guest OS."
+//!
+//! This BIOS boots multiboot-style: it loads the guest image into
+//! guest-physical memory directly (no faulting I/O loop inside the
+//! VM), writes a boot-information block, and hands over in flat
+//! protected mode with the multiboot magic in EAX — so no BIOS code
+//! ever executes inside the VM.
+
+use nova_core::{CompCtx, Kernel};
+use nova_x86::reg::{flags, Reg, Regs};
+
+use crate::vmm::VmmConfig;
+
+/// Multiboot bootloader magic presented to the guest in EAX.
+pub const MULTIBOOT_MAGIC: u32 = 0x2bad_b002;
+
+/// Guest-physical address of the boot-information block.
+pub const BOOT_INFO_GPA: u64 = 0x500;
+
+/// Boot-information layout (u32 little-endian fields):
+/// `[0]` guest RAM size in pages, `[4]` number of vCPUs,
+/// `[8]` virtual AHCI MMIO base, `[12]` this vCPU's index hint.
+pub fn boot_info(cfg: &VmmConfig) -> [u32; 4] {
+    [
+        cfg.guest_pages as u32,
+        cfg.vcpus as u32,
+        nova_hw::machine::AHCI_BASE as u32,
+        0,
+    ]
+}
+
+/// Loads the guest image and boot info into guest memory and returns
+/// the initial architectural state for the boot processor.
+pub fn install(k: &mut Kernel, ctx: CompCtx, cfg: &VmmConfig) -> Regs {
+    let base = cfg.guest_base_page * 4096;
+
+    // The image, placed by the BIOS without any guest-visible I/O.
+    assert!(
+        cfg.image.load_gpa + cfg.image.bytes.len() as u64 <= cfg.guest_pages * 4096,
+        "guest image exceeds guest RAM"
+    );
+    let ok = k.mem_write(ctx, base + cfg.image.load_gpa, &cfg.image.bytes);
+    assert!(ok, "BIOS failed to place the guest image");
+
+    // Boot information block.
+    let info = boot_info(cfg);
+    for (i, v) in info.iter().enumerate() {
+        k.mem_write_u32(ctx, base + BOOT_INFO_GPA + i as u64 * 4, *v);
+    }
+
+    let mut regs = Regs::at(cfg.image.entry);
+    regs.set(Reg::Esp, cfg.image.stack);
+    regs.set(Reg::Eax, MULTIBOOT_MAGIC);
+    regs.set(Reg::Ebx, BOOT_INFO_GPA as u32);
+    regs.eflags = flags::R1;
+    regs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmm::GuestImage;
+    use nova_core::{Kernel, KernelConfig};
+    use nova_hw::machine::{Machine, MachineConfig};
+    use nova_user::RootPm;
+
+    #[test]
+    fn bios_places_image_and_boot_info() {
+        let m = Machine::new(MachineConfig::core_i7(64 << 20));
+        let mut k = Kernel::new(m, KernelConfig::default());
+        let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(rc, re);
+        let ctx = k.component_mut::<RootPm>(rc).unwrap().ctx.unwrap();
+
+        let cfg = VmmConfig {
+            guest_base_page: 0x400,
+            guest_pages: 1024,
+            ..VmmConfig::full_virt(
+                GuestImage {
+                    bytes: vec![0x90, 0x90, 0xf4],
+                    load_gpa: 0x1000,
+                    entry: 0x1000,
+                    stack: 0x8000,
+                },
+                1024,
+            )
+        };
+        let regs = install(&mut k, ctx, &cfg);
+        assert_eq!(regs.eip, 0x1000);
+        assert_eq!(regs.get(Reg::Eax), MULTIBOOT_MAGIC);
+        assert_eq!(regs.get(Reg::Ebx), BOOT_INFO_GPA as u32);
+        let base = cfg.guest_base_page * 4096;
+        assert_eq!(
+            k.mem_read(ctx, base + 0x1000, 3).unwrap(),
+            vec![0x90, 0x90, 0xf4]
+        );
+        assert_eq!(k.mem_read_u32(ctx, base + BOOT_INFO_GPA), Some(1024));
+        assert_eq!(k.mem_read_u32(ctx, base + BOOT_INFO_GPA + 4), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "guest image exceeds guest RAM")]
+    fn oversized_image_rejected() {
+        let m = Machine::new(MachineConfig::core_i7(64 << 20));
+        let mut k = Kernel::new(m, KernelConfig::default());
+        let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(rc, re);
+        let ctx = k.component_mut::<RootPm>(rc).unwrap().ctx.unwrap();
+        let cfg = VmmConfig {
+            guest_base_page: 0x400,
+            guest_pages: 1,
+            ..VmmConfig::full_virt(
+                GuestImage {
+                    bytes: vec![0; 8192],
+                    load_gpa: 0,
+                    entry: 0,
+                    stack: 0,
+                },
+                1,
+            )
+        };
+        install(&mut k, ctx, &cfg);
+    }
+}

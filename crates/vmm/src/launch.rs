@@ -1,0 +1,415 @@
+//! System builder: boots the microhypervisor, the root partition
+//! manager, the disk server and one VMM+VM, wiring the delegations the
+//! way Figure 2 lays the system out. This code is "what the root
+//! partition manager's policy does" — every resource grant goes
+//! through the ordinary hypercall interface with root's identity.
+
+use nova_core::cap::{CapSel, Perms};
+use nova_core::obj::MemRights;
+use nova_core::{CompCtx, CompId, Hypercall, Kernel, KernelConfig, RunOutcome};
+use nova_hw::machine::{Machine, MachineConfig};
+use nova_hw::Cycles;
+use nova_user::disk::{DiskServer, DiskServerConfig};
+use nova_user::proto::disk as disk_proto;
+use nova_user::root::{RootOps, RootPm};
+
+use crate::vmm::{Vmm, VmmConfig};
+
+/// Disk portal selectors inside the VMM's capability space.
+const VMM_SEL_DISK_REG: CapSel = 0x44;
+const VMM_SEL_DISK_REQ: CapSel = 0x45;
+
+/// What to build.
+pub struct LaunchOptions {
+    /// The hardware platform.
+    pub machine: MachineConfig,
+    /// Kernel configuration (tags, host page size, hypervisor memory).
+    pub kernel: KernelConfig,
+    /// Launch the disk server and attach the VM to it.
+    pub with_disk: bool,
+    /// Assign the physical AHCI controller directly to the *VM*
+    /// instead of using the disk server + virtual controller.
+    pub direct_disk: bool,
+    /// Assign the NIC directly to the VM.
+    pub direct_nic: bool,
+    /// The VMM/VM configuration.
+    pub vmm: VmmConfig,
+}
+
+impl LaunchOptions {
+    /// A full-virtualization single-VM system on the Core i7 with the
+    /// disk server attached.
+    pub fn standard(vmm: VmmConfig) -> LaunchOptions {
+        let ram = (0x1000 + vmm.guest_pages + 0x100) * 4096 + (24 << 20);
+        LaunchOptions {
+            machine: MachineConfig::core_i7(ram as usize),
+            kernel: KernelConfig {
+                scheduler_timer_hz: Some(1000),
+                ..KernelConfig::default()
+            },
+            with_disk: true,
+            direct_disk: false,
+            direct_nic: false,
+            vmm,
+        }
+    }
+}
+
+/// The booted system.
+pub struct System {
+    /// The kernel (owning the machine).
+    pub k: Kernel,
+    /// Root's identity.
+    pub root_ctx: CompCtx,
+    /// The root partition manager.
+    pub root: CompId,
+    /// The disk server, if launched.
+    pub disk: Option<CompId>,
+    /// The first VMM.
+    pub vmm: CompId,
+    /// All VMMs (the first included), one per VM (Section 4.2).
+    pub vmms: Vec<CompId>,
+    /// Disk-server wiring for adding further VMs.
+    disk_srv: Option<(nova_core::cap::CapSel, CompCtx)>,
+    /// Next free physical frame page for additional guests.
+    next_frames: u64,
+}
+
+impl System {
+    /// Builds and boots the system described by `opts`.
+    pub fn build(mut opts: LaunchOptions) -> System {
+        let machine = Machine::new(opts.machine);
+        let ahci_dev = machine.dev.ahci;
+        let nic_dev = machine.dev.nic;
+        let mut k = Kernel::new(machine, opts.kernel);
+
+        // Root partition manager.
+        let (root, root_ec) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(root, root_ec);
+        let root_ctx = k.component_mut::<RootPm>(root).unwrap().ctx.unwrap();
+
+        // ---- Disk server ----
+        let mut disk = None;
+        let mut disk_srv_sel = None;
+        if opts.with_disk && !opts.direct_disk {
+            let cfg = DiskServerConfig::standard();
+            let mut ops = RootOps::new(&mut k, root_ctx);
+            let (srv_sel, srv_pd) = ops.create_pd("disk-server", None).unwrap();
+            ops.grant_mem(
+                srv_sel,
+                nova_hw::machine::AHCI_BASE / 4096,
+                1,
+                MemRights::RW,
+                cfg.mmio_va / 4096,
+            )
+            .unwrap();
+            // Private command memory (2 DMA-able pages from root frames).
+            ops.grant_mem(srv_sel, 0x300, 2, MemRights::RW_DMA, cfg.cmd_va / 4096)
+                .unwrap();
+            ops.grant_gsi(srv_sel, cfg.gsi).unwrap();
+            ops.assign_device(srv_sel, ahci_dev).unwrap();
+
+            let (comp, ec) = k.load_component(srv_pd, 0, Box::new(DiskServer::new(cfg)));
+            k.start_component(comp, ec);
+            // Server-side portal creation (the server program's code).
+            let srv_ctx = CompCtx {
+                pd: srv_pd,
+                ec,
+                comp,
+            };
+            k.hypercall(
+                srv_ctx,
+                Hypercall::CreatePt {
+                    ec: nova_core::kernel::SEL_SELF_EC,
+                    mtd: 0,
+                    id: disk_proto::PORTAL_REGISTER,
+                    dst: 0x20,
+                },
+            )
+            .unwrap();
+            k.hypercall(
+                srv_ctx,
+                Hypercall::CreatePt {
+                    ec: nova_core::kernel::SEL_SELF_EC,
+                    mtd: 0,
+                    id: disk_proto::PORTAL_REQUEST,
+                    dst: 0x21,
+                },
+            )
+            .unwrap();
+            disk = Some(comp);
+            disk_srv_sel = Some((srv_sel, srv_ctx));
+        }
+
+        // ---- VMM ----
+        let guest_pages = opts.vmm.guest_pages;
+        // Physical frames backing guest RAM: 16 MiB onward (large-page
+        // aligned and physically contiguous for the EPT mirroring).
+        let guest_frames_base = 0x1000u64;
+        let mut ops = RootOps::new(&mut k, root_ctx);
+        let (vmm_sel, vmm_pd) = ops.create_pd("vmm", None).unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            guest_frames_base,
+            guest_pages,
+            MemRights::RW_DMA,
+            opts.vmm.guest_base_page,
+        )
+        .unwrap();
+        // Completion-ring page.
+        ops.grant_mem(
+            vmm_sel,
+            guest_frames_base + guest_pages,
+            1,
+            MemRights::RW,
+            opts.vmm.ring_page,
+        )
+        .unwrap();
+        // Debug/mark ports so the guest's shutdown stops the world.
+        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2).unwrap();
+        // VGA window, direct-mapped into the guest by the VMM.
+        ops.grant_mem(
+            vmm_sel,
+            nova_hw::vga::VGA_BASE / 4096,
+            1,
+            MemRights::RW,
+            nova_hw::vga::VGA_BASE / 4096,
+        )
+        .unwrap();
+        opts.vmm.direct_mmio.push((
+            nova_hw::vga::VGA_BASE / 4096,
+            nova_hw::vga::VGA_BASE / 4096,
+            1,
+        ));
+
+        // Direct disk assignment: the VM touches the real controller.
+        if opts.direct_disk {
+            ops.grant_mem(
+                vmm_sel,
+                nova_hw::machine::AHCI_BASE / 4096,
+                1,
+                MemRights::RW,
+                0x7_0000,
+            )
+            .unwrap();
+            ops.grant_gsi(vmm_sel, nova_hw::machine::AHCI_IRQ).unwrap();
+            // Appears in the guest at the same BAR address the
+            // virtual controller would use, so one driver serves both.
+            opts.vmm
+                .direct_mmio
+                .push((nova_hw::machine::AHCI_BASE / 4096, 0x7_0000, 1));
+            opts.vmm.direct_gsis.push(nova_hw::machine::AHCI_IRQ);
+            opts.vmm.guest_dma = true;
+        }
+        if opts.direct_nic {
+            ops.grant_mem(
+                vmm_sel,
+                nova_hw::machine::NIC_BASE / 4096,
+                4,
+                MemRights::RW,
+                0x7_0010,
+            )
+            .unwrap();
+            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ).unwrap();
+            opts.vmm
+                .direct_mmio
+                .push((nova_hw::machine::NIC_BASE / 4096, 0x7_0010, 4));
+            opts.vmm.direct_gsis.push(nova_hw::machine::NIC_IRQ);
+            opts.vmm.guest_dma = true;
+        }
+        if opts.vmm.exitless_direct {
+            // The exit-free configuration also needs the timer and
+            // interrupt-controller ports (the hypervisor keeps the
+            // physical ones, so this config uses dedicated guest
+            // hardware: serial + debug ports suffice for the
+            // benchmarks' compute workloads).
+            ops.grant_io(vmm_sel, nova_hw::serial::COM1, 8).unwrap();
+            opts.vmm.direct_ports.push((nova_hw::serial::COM1, 8));
+            opts.vmm.direct_ports.push((crate::devices::PORT_EXIT, 2));
+        }
+
+        if disk.is_some() {
+            opts.vmm.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+        }
+
+        let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(opts.vmm)));
+
+        // Disk portals into the VMM's space (server code path, using a
+        // root-granted PD capability).
+        if let Some((_srv_sel, srv_ctx)) = disk_srv_sel {
+            let mut ops = RootOps::new(&mut k, root_ctx);
+            ops.grant_cap(_srv_sel, vmm_sel, Perms::ALL, 0x30).unwrap();
+            k.hypercall(
+                srv_ctx,
+                Hypercall::DelegateCap {
+                    dst_pd: 0x30,
+                    sel: 0x20,
+                    perms: Perms::CALL,
+                    hot: VMM_SEL_DISK_REG,
+                },
+            )
+            .unwrap();
+            k.hypercall(
+                srv_ctx,
+                Hypercall::DelegateCap {
+                    dst_pd: 0x30,
+                    sel: 0x21,
+                    perms: Perms::CALL,
+                    hot: VMM_SEL_DISK_REQ,
+                },
+            )
+            .unwrap();
+        }
+
+        k.start_component(vmm, vmm_ec);
+
+        // Direct device assignment: the IOMMU translates the device's
+        // DMA through the *VM's* memory space (guest-physical
+        // addresses). The VMM created the VM PD during start; root
+        // receives a capability for it (boot-time wiring equivalent to
+        // the VMM delegating its VM-PD capability up).
+        if opts.direct_disk || opts.direct_nic {
+            let vm_pd = nova_core::PdId(
+                k.obj
+                    .pds
+                    .iter()
+                    .position(|p| p.is_vm())
+                    .expect("the VMM created a VM domain"),
+            );
+            let dev_list: Vec<usize> = [
+                opts.direct_disk.then_some(ahci_dev),
+                opts.direct_nic.then_some(nic_dev),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            for d in dev_list {
+                let sel = {
+                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    rp.alloc_sel()
+                };
+                k.obj.pd_mut(k.root_pd).caps.set(
+                    sel,
+                    nova_core::Capability {
+                        obj: nova_core::obj::ObjRef::Pd(vm_pd),
+                        perms: Perms::CTRL,
+                    },
+                );
+                k.hypercall(root_ctx, Hypercall::AssignDev { pd: sel, device: d })
+                    .unwrap();
+            }
+        }
+
+        System {
+            k,
+            root_ctx,
+            root,
+            disk,
+            vmm,
+            vmms: vec![vmm],
+            disk_srv: disk_srv_sel,
+            next_frames: guest_frames_base + guest_pages + 1,
+        }
+    }
+
+    /// Launches an additional VM with its own dedicated VMM — the
+    /// per-VM-VMM isolation of Section 4.2. The machine must have
+    /// enough RAM for the extra guest frames.
+    pub fn add_vm(&mut self, mut cfg: VmmConfig) -> CompId {
+        let k = &mut self.k;
+        // Align to the EPT large-page granule so the mirror can use
+        // 2 MB mappings for the second guest as well.
+        let frames = self.next_frames.next_multiple_of(512);
+        let guest_pages = cfg.guest_pages;
+        self.next_frames = frames + guest_pages + 1;
+
+        let mut ops = RootOps::new(k, self.root_ctx);
+        let (vmm_sel, vmm_pd) = ops.create_pd("vmm2", None).unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            frames,
+            guest_pages,
+            MemRights::RW_DMA,
+            cfg.guest_base_page,
+        )
+        .unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            frames + guest_pages,
+            1,
+            MemRights::RW,
+            cfg.ring_page,
+        )
+        .unwrap();
+        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2).unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            nova_hw::vga::VGA_BASE / 4096,
+            1,
+            MemRights::RW,
+            nova_hw::vga::VGA_BASE / 4096,
+        )
+        .unwrap();
+        cfg.direct_mmio.push((
+            nova_hw::vga::VGA_BASE / 4096,
+            nova_hw::vga::VGA_BASE / 4096,
+            1,
+        ));
+        if self.disk_srv.is_some() {
+            cfg.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+        }
+
+        let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(cfg)));
+        if let Some((srv_sel, srv_ctx)) = self.disk_srv {
+            let mut ops = RootOps::new(k, self.root_ctx);
+            ops.grant_cap(srv_sel, vmm_sel, Perms::ALL, 0x31).unwrap();
+            for (from, to) in [(0x20, VMM_SEL_DISK_REG), (0x21, VMM_SEL_DISK_REQ)] {
+                k.hypercall(
+                    srv_ctx,
+                    Hypercall::DelegateCap {
+                        dst_pd: 0x31,
+                        sel: from,
+                        perms: Perms::CALL,
+                        hot: to,
+                    },
+                )
+                .unwrap();
+            }
+        }
+        k.start_component(vmm, vmm_ec);
+        self.vmms.push(vmm);
+        vmm
+    }
+
+    /// A specific VMM by component id.
+    pub fn vmm_by_id(&mut self, id: CompId) -> &mut Vmm {
+        self.k.component_mut::<Vmm>(id).expect("vmm component")
+    }
+
+    /// Runs the system until shutdown/idle/budget.
+    pub fn run(&mut self, budget: Option<Cycles>) -> RunOutcome {
+        self.k.run(budget)
+    }
+
+    /// The VMM component.
+    pub fn vmm(&mut self) -> &mut Vmm {
+        let id = self.vmm;
+        self.k.component_mut::<Vmm>(id).expect("vmm component")
+    }
+
+    /// The disk server, if launched.
+    pub fn disk_server(&mut self) -> Option<&mut DiskServer> {
+        let id = self.disk?;
+        self.k.component_mut::<DiskServer>(id)
+    }
+
+    /// Types scancodes at the first VM's virtual keyboard and wakes
+    /// its vCPU for the interrupt.
+    pub fn type_to_vm(&mut self, codes: &[u8]) {
+        let id = self.vmm;
+        self.k.invoke_component::<Vmm, _>(id, |v, k| {
+            v.type_scancodes(codes);
+            v.kick_keyboard(k);
+        });
+    }
+}

@@ -1,0 +1,270 @@
+//! The virtual AHCI controller (Sections 7.2–7.3, Figure 4).
+//!
+//! The register interface is identical to the physical controller
+//! model, so the same guest driver runs against both. When the guest
+//! rings the command doorbell, the VMM parses the command structures
+//! out of guest memory, delegates the guest's DMA buffer pages to the
+//! disk server, and submits the request over IPC; the physical
+//! controller then DMAs *directly into guest memory* — no payload
+//! copy. On the completion notification the VMM updates the virtual
+//! controller's state machine and raises the virtual interrupt line.
+//!
+//! Delegations of DMA buffer pages are left standing across requests
+//! (guests reuse their DMA buffers); they are torn down wholesale when
+//! the VM is destroyed. The security implications are exactly the ones
+//! Section 4.2 discusses for delegated buffers.
+
+use std::collections::HashSet;
+
+use nova_core::cap::CapSel;
+use nova_core::obj::MemRights;
+use nova_core::utcb::XferItem;
+use nova_core::{CompCtx, Kernel, Utcb};
+use nova_hw::ahci::{regs, ATA_READ_DMA_EXT, ATA_WRITE_DMA_EXT, SECTOR};
+use nova_user::proto::disk as proto;
+use nova_x86::insn::OpSize;
+
+/// First page of the disk server's window for this client's buffers:
+/// the server sees guest page `g` at window page `WINDOW_BASE + g`.
+pub const WINDOW_BASE: u64 = 0x40_000;
+
+/// How the VMM reaches storage.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskChannel {
+    /// Request portal selector (in the VMM's capability space).
+    pub req_sel: CapSel,
+    /// Registered client id.
+    pub client: u64,
+    /// VA of the shared completion ring in the VMM's space.
+    pub ring_va: u64,
+}
+
+/// The virtual AHCI controller.
+pub struct VAhci {
+    /// Guest-physical base of the VMM window holding guest RAM
+    /// (guest page `g` is VMM page `guest_base_page + g`).
+    guest_base_page: u64,
+    channel: Option<DiskChannel>,
+    clb: u64,
+    is: u32,
+    p0is: u32,
+    p0ie: u32,
+    ci: u32,
+    ring_tail: u32,
+    delegated: HashSet<u64>,
+    inflight_slots: u32,
+    /// Requests the guest issued.
+    pub requests: u64,
+    /// Completions delivered to the guest.
+    pub completions: u64,
+    /// Commands rejected (bad structures).
+    pub errors: u64,
+}
+
+impl VAhci {
+    /// Creates the model for a VMM whose guest-RAM window starts at
+    /// page `guest_base_page`.
+    pub fn new(guest_base_page: u64) -> VAhci {
+        VAhci {
+            guest_base_page,
+            channel: None,
+            clb: 0,
+            is: 0,
+            p0is: 0,
+            p0ie: 0,
+            ci: 0,
+            ring_tail: 0,
+            delegated: HashSet::new(),
+            inflight_slots: 0,
+            requests: 0,
+            completions: 0,
+            errors: 0,
+        }
+    }
+
+    /// Attaches the disk-server channel (done by the VMM at start).
+    pub fn attach(&mut self, ch: DiskChannel) {
+        self.channel = Some(ch);
+    }
+
+    fn read_guest_u32(&self, k: &Kernel, ctx: CompCtx, gpa: u64) -> Option<u32> {
+        k.mem_read_u32(ctx, self.guest_base_page * 4096 + gpa)
+    }
+
+    fn read_guest(&self, k: &Kernel, ctx: CompCtx, gpa: u64, len: usize) -> Option<Vec<u8>> {
+        k.mem_read(ctx, self.guest_base_page * 4096 + gpa, len)
+    }
+
+    /// Handles a doorbell write: parse the guest's command structures
+    /// and forward the request to the disk server.
+    fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) {
+        let fail = |s: &mut Self| {
+            s.errors += 1;
+            s.ci &= !(1 << slot);
+            s.p0is |= 1 << 30; // TFES
+            s.is |= 1;
+        };
+
+        // Command header and table, from guest memory.
+        let Some(hdr_lo) = self.read_guest_u32(k, ctx, self.clb + slot as u64 * 32) else {
+            return fail(self);
+        };
+        let prdtl = (hdr_lo >> 16) as usize;
+        let Some(ctba) = self
+            .read_guest_u32(k, ctx, self.clb + slot as u64 * 32 + 8)
+            .map(|v| v as u64)
+        else {
+            return fail(self);
+        };
+        let Some(cfis) = self.read_guest(k, ctx, ctba, 64) else {
+            return fail(self);
+        };
+        if cfis[0] != 0x27 {
+            return fail(self);
+        }
+        let write = match cfis[2] {
+            ATA_READ_DMA_EXT => false,
+            ATA_WRITE_DMA_EXT => true,
+            _ => return fail(self),
+        };
+        let lba = cfis[4] as u64
+            | (cfis[5] as u64) << 8
+            | (cfis[6] as u64) << 16
+            | (cfis[8] as u64) << 24;
+        let sectors = cfis[12] as u32 | (cfis[13] as u32) << 8;
+        if sectors == 0 || prdtl == 0 {
+            return fail(self);
+        }
+
+        // Single-entry PRDT covering a physically contiguous guest
+        // buffer (what our guests build; multi-entry support would
+        // iterate here).
+        let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, 16) else {
+            return fail(self);
+        };
+        let dba = u64::from_le_bytes(prdt[0..8].try_into().unwrap());
+        let bytes = sectors as u64 * SECTOR as u64;
+
+        let Some(ch) = self.channel else {
+            return fail(self);
+        };
+
+        // Delegate the guest buffer pages to the disk server (standing
+        // delegations; only new pages are transferred).
+        let first = dba >> 12;
+        let pages = (dba + bytes).div_ceil(4096) - first;
+        let mut utcb = Utcb::new();
+        for p in first..first + pages {
+            if self.delegated.insert(p) {
+                utcb.xfer.push(XferItem::Mem {
+                    base: self.guest_base_page + p,
+                    count: 1,
+                    rights: MemRights::RW_DMA,
+                    hot: WINDOW_BASE + p,
+                });
+            }
+        }
+
+        let op = if write {
+            proto::OP_WRITE
+        } else {
+            proto::OP_READ
+        };
+        // The window address the server programs into the PRDT: it
+        // must carry the in-page offset of the guest buffer.
+        debug_assert_eq!(dba & 0xfff, 0, "guests use page-aligned buffers");
+        utcb.set_msg(&[
+            ch.client,
+            op,
+            lba,
+            sectors as u64,
+            WINDOW_BASE + first,
+            slot as u64,
+        ]);
+        if k.ipc_call(ctx, ch.req_sel, &mut utcb).is_err() || utcb.word(0) != proto::OK {
+            return fail(self);
+        }
+        self.inflight_slots |= 1 << slot;
+        self.requests += 1;
+    }
+
+    /// Consumes completion records from the server's shared ring;
+    /// returns `true` if the virtual interrupt line should be raised.
+    pub fn drain_completions(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let Some(ch) = self.channel else {
+            return false;
+        };
+        let mut raised = false;
+        loop {
+            let head = k.mem_read_u32(ctx, ch.ring_va + 4092).unwrap_or(0);
+            if self.ring_tail == head {
+                break;
+            }
+            let slot_idx = self.ring_tail as usize % proto::RING_RECORDS;
+            let rec = ch.ring_va + slot_idx as u64 * 16;
+            let tag = k.mem_read_u32(ctx, rec).unwrap_or(0);
+            let status = k.mem_read_u32(ctx, rec + 4).unwrap_or(1);
+            self.ring_tail = self.ring_tail.wrapping_add(1);
+
+            let slot = (tag & 31) as u8;
+            self.ci &= !(1 << slot);
+            self.inflight_slots &= !(1 << slot);
+            self.completions += 1;
+            if status == 0 {
+                self.p0is |= 1; // DHRS
+            } else {
+                self.p0is |= 1 << 30; // TFES
+            }
+            self.is |= 1;
+            if self.p0ie != 0 {
+                raised = true;
+            }
+        }
+        raised
+    }
+
+    /// Guest MMIO read of the virtual controller.
+    pub fn mmio_read(&mut self, k: &mut Kernel, ctx: CompCtx, off: u32, _size: OpSize) -> u32 {
+        let _ = (k, ctx);
+        match off {
+            regs::CAP => 0x4000_0000,
+            regs::GHC => 0x8000_0002,
+            regs::IS => self.is,
+            regs::PI => 1,
+            regs::P0CLB => self.clb as u32,
+            regs::P0CLB2 => (self.clb >> 32) as u32,
+            regs::P0IS => self.p0is,
+            regs::P0IE => self.p0ie,
+            regs::P0CMD => 0x0000_c011,
+            regs::P0TFD => 0x50,
+            regs::P0CI => self.ci,
+            _ => 0,
+        }
+    }
+
+    /// Guest MMIO write.
+    pub fn mmio_write(&mut self, k: &mut Kernel, ctx: CompCtx, off: u32, _size: OpSize, val: u32) {
+        match off {
+            regs::IS => self.is &= !val,
+            regs::P0CLB => self.clb = (self.clb & !0xffff_ffff) | val as u64,
+            regs::P0CLB2 => self.clb = (self.clb & 0xffff_ffff) | (val as u64) << 32,
+            regs::P0IS => self.p0is &= !val,
+            regs::P0IE => self.p0ie = val,
+            regs::P0CI => {
+                let new = val & !self.ci;
+                self.ci |= val;
+                for slot in 0..32 {
+                    if new & (1 << slot) != 0 {
+                        self.issue(k, ctx, slot);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `true` when the interrupt condition is pending and enabled.
+    pub fn irq_pending(&self) -> bool {
+        self.p0is != 0 && self.p0ie != 0
+    }
+}

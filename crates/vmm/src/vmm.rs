@@ -1,0 +1,928 @@
+//! The virtual-machine monitor component (Section 7).
+//!
+//! One instance per virtual machine. At start it constructs the VM:
+//! creates the VM protection domain and virtual CPUs, delegates
+//! guest-physical memory out of its own address space (Section 7:
+//! "The VMM manages the guest-physical memory of its associated
+//! virtual machine by mapping a subset of its own address space into
+//! the host address space of the VM"), installs per-vCPU, per-event
+//! exit portals with minimized transfer descriptors, boots the guest
+//! through the integrated virtual BIOS (Section 7.4), and registers a
+//! channel with the disk server.
+//!
+//! At run time it handles VM-exit messages: emulating CPUID/RDTSC,
+//! dispatching port I/O to the virtual device models, decoding and
+//! executing MMIO instructions with the instruction emulator, and
+//! injecting virtual interrupts — recalling running virtual CPUs when
+//! an interrupt becomes pending (Section 7.5).
+
+use nova_core::cap::{CapSel, Perms};
+use nova_core::kernel::{EXIT_PORTAL_BASE, EXIT_PORTAL_STRIDE, SEL_SELF_PD};
+use nova_core::obj::{MemRights, VmPaging};
+use nova_core::utcb::XferItem;
+use nova_core::{CompCtx, Component, Hypercall, Kernel, SmId, Utcb};
+use nova_hw::mmu::MmuRegs;
+use nova_hw::vmx::{mtd, ExitReason, Injection};
+use nova_hw::Cycles;
+use nova_x86::exec::Fault;
+use nova_x86::insn::OpSize;
+use nova_x86::reg::{flags, Reg, Reg8, Regs};
+
+use crate::bios;
+use crate::devices::{SpecialPorts, VDevices};
+use crate::emu::{emulate_one, virtual_cpuid, EmuEnv, EmuErr, GuestView};
+use crate::vahci::{DiskChannel, VAhci};
+
+/// A guest program image the virtual BIOS loads.
+#[derive(Clone, Debug)]
+pub struct GuestImage {
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+    /// Guest-physical load address.
+    pub load_gpa: u64,
+    /// Initial instruction pointer.
+    pub entry: u32,
+    /// Initial stack pointer.
+    pub stack: u32,
+}
+
+/// VMM configuration, provided by the launcher (acting as the root
+/// partition manager's policy).
+#[derive(Clone, Debug)]
+pub struct VmmConfig {
+    /// VM name.
+    pub name: String,
+    /// Memory-virtualization mode of the VM.
+    pub paging: VmPaging,
+    /// Guest RAM size in pages.
+    pub guest_pages: u64,
+    /// First VMM page of the guest-RAM window.
+    pub guest_base_page: u64,
+    /// VMM page used for the disk completion ring.
+    pub ring_page: u64,
+    /// Number of virtual CPUs.
+    pub vcpus: usize,
+    /// Physical CPU for each vCPU (index i for vCPU i; missing
+    /// entries default to CPU 0). True multiprocessor placement puts
+    /// each vCPU — and its handler EC — on its own core
+    /// (Section 7.5).
+    pub vcpu_cpus: Vec<usize>,
+    /// Priority for vCPU scheduling contexts.
+    pub vcpu_prio: u8,
+    /// vCPU time quantum.
+    pub quantum: Cycles,
+    /// Guest image.
+    pub image: GuestImage,
+    /// Disk-server portals in the VMM's space (register, request), if
+    /// storage is attached.
+    pub disk_portals: Option<(CapSel, CapSel)>,
+    /// Exit-free direct configuration (the paper's "Direct" bar): no
+    /// HLT or interrupt intercepts, all listed ports passed through.
+    pub exitless_direct: bool,
+    /// Port ranges `(first, count)` delegated to and passed through to
+    /// the guest.
+    pub direct_ports: Vec<(u16, u16)>,
+    /// Direct-mapped MMIO: `(gpa_page, vmm_page, count)` delegated
+    /// into the VM (device windows granted to the VMM by root).
+    pub direct_mmio: Vec<(u64, u64, u64)>,
+    /// GSIs whose interrupts the VMM forwards into the guest (direct
+    /// device assignment; root must have passed ownership).
+    pub direct_gsis: Vec<u8>,
+    /// Ablation: use full-state transfer descriptors on every portal
+    /// instead of per-event minimal ones (Section 5.2).
+    pub mtd_full: bool,
+    /// Delegate guest memory with DMA rights (direct device
+    /// assignment needs the IOMMU to see guest frames).
+    pub guest_dma: bool,
+    /// Kernel-hardening extension suggested by Section 4.2 ("a VMM
+    /// can ... make regions of guest-physical memory corresponding to
+    /// kernel code read-only"): the page range `(first, count)` is
+    /// mapped read-only; a guest write there is treated as a
+    /// code-injection attempt and kills the VM with exit code 0xfc.
+    pub protect_kernel: Option<(u64, u64)>,
+}
+
+impl VmmConfig {
+    /// A full-virtualization VM with the given image and memory size.
+    pub fn full_virt(image: GuestImage, guest_pages: u64) -> VmmConfig {
+        VmmConfig {
+            name: "vm".into(),
+            paging: VmPaging::Nested(nova_x86::paging::NestedFormat::Ept4Level),
+            guest_pages,
+            guest_base_page: 0x1000,
+            ring_page: 0x800,
+            vcpus: 1,
+            vcpu_cpus: Vec::new(),
+            vcpu_prio: 16,
+            quantum: 1_000_000,
+            image,
+            disk_portals: None,
+            exitless_direct: false,
+            direct_ports: Vec::new(),
+            direct_mmio: Vec::new(),
+            direct_gsis: Vec::new(),
+            mtd_full: false,
+            guest_dma: false,
+            protect_kernel: None,
+        }
+    }
+}
+
+/// Well-known selectors inside the VMM's capability space.
+mod sel {
+    use nova_core::cap::CapSel;
+    /// Timer semaphore.
+    pub const TIMER_SM: CapSel = 0x40;
+    /// Disk completion semaphore.
+    pub const DISK_SM: CapSel = 0x41;
+    /// The VM protection domain.
+    pub const VM_PD: CapSel = 0x50;
+    /// SC of the VMM's own EC (activations).
+    pub const OWN_SC: CapSel = 0x51;
+    /// vCPU `i`.
+    pub const fn vcpu(i: usize) -> CapSel {
+        0x60 + i
+    }
+    /// SC of vCPU `i`.
+    pub const fn vcpu_sc(i: usize) -> CapSel {
+        0x70 + i
+    }
+    /// Handler EC for vCPU `i`.
+    pub const fn handler(i: usize) -> CapSel {
+        0x80 + i
+    }
+    /// GSI semaphore `g`.
+    pub const fn gsi_sm(g: u8) -> CapSel {
+        0x90 + g as CapSel
+    }
+    /// Portal for vCPU `i`, exit reason `r`.
+    pub const fn portal(i: usize, r: usize) -> CapSel {
+        0x100 + i * 32 + r
+    }
+}
+
+/// Per-vCPU runtime state tracked by the VMM.
+#[derive(Clone, Copy, Default)]
+struct VcpuState {
+    /// The vCPU is blocked in the kernel after a HLT.
+    halted: bool,
+    /// Pending direct-injection vector (IPI), bypassing the vPIC.
+    pending_ipi: Option<u8>,
+    /// The vCPU has been recalled and will inject on its Recall exit.
+    recall_armed: bool,
+}
+
+/// Aggregated VMM statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmmStats {
+    /// Exits handled through portals, by coarse class.
+    pub io_exits: u64,
+    /// MMIO (EPT-violation) exits emulated.
+    pub mmio_exits: u64,
+    /// CPUID exits.
+    pub cpuid_exits: u64,
+    /// HLT exits.
+    pub hlt_exits: u64,
+    /// Events injected.
+    pub injections: u64,
+    /// Instructions emulated.
+    pub emulated: u64,
+}
+
+/// The VMM.
+pub struct Vmm {
+    cfg: VmmConfig,
+    ctx: Option<CompCtx>,
+    dev: Option<VDevices>,
+    vcpu_state: Vec<VcpuState>,
+    timer_sm: Option<SmId>,
+    disk_sm: Option<SmId>,
+    gsi_sms: Vec<(SmId, u8)>,
+    /// Benchmark marks the guest wrote (in order).
+    pub marks: Vec<u32>,
+    /// Guest's exit code once it shut down.
+    pub guest_exit: Option<u8>,
+    /// Statistics.
+    pub stats: VmmStats,
+}
+
+impl Vmm {
+    /// Creates the VMM for `cfg`.
+    pub fn new(cfg: VmmConfig) -> Vmm {
+        let vcpus = cfg.vcpus;
+        Vmm {
+            cfg,
+            ctx: None,
+            dev: None,
+            vcpu_state: vec![VcpuState::default(); vcpus],
+            timer_sm: None,
+            disk_sm: None,
+            gsi_sms: Vec::new(),
+            marks: Vec::new(),
+            guest_exit: None,
+            stats: VmmStats::default(),
+        }
+    }
+
+    /// The guest's captured console output.
+    pub fn guest_console(&self) -> String {
+        self.dev
+            .as_ref()
+            .map(|d| d.vserial.text())
+            .unwrap_or_default()
+    }
+
+    /// Benchmark marks the guest wrote.
+    pub fn guest_marks(&self) -> Vec<u32> {
+        self.marks.clone()
+    }
+
+    /// Types scancodes at the guest's virtual keyboard and raises its
+    /// interrupt. Call [`Vmm::kick_keyboard`] with kernel access to
+    /// deliver.
+    pub fn type_scancodes(&mut self, codes: &[u8]) {
+        if let Some(dev) = self.dev.as_mut() {
+            for c in codes {
+                dev.vkbd.inject(*c);
+            }
+            dev.vpic.pulse(1);
+        }
+    }
+
+    /// Wakes or recalls vCPU 0 after queued keyboard input.
+    pub fn kick_keyboard(&mut self, k: &mut Kernel) {
+        if let Some(ctx) = self.ctx {
+            self.kick_vcpu(k, ctx, 0);
+        }
+    }
+
+    fn view(&self) -> GuestView {
+        GuestView {
+            base_page: self.cfg.guest_base_page,
+            pages: self.cfg.guest_pages,
+        }
+    }
+
+    /// The per-event message transfer descriptor (Section 5.2): only
+    /// the state each handler actually needs.
+    fn mtd_for(&self, reason: usize) -> u32 {
+        if self.cfg.mtd_full {
+            return mtd::ALL;
+        }
+        // Indices follow ExitReason::index().
+        match reason {
+            2 => mtd::GPR_ACDB | mtd::EIP, // CPUID: "only the general-purpose registers, instruction pointer and instruction length"
+            3 => mtd::EIP | mtd::STA | mtd::INJ, // HLT
+            6 => mtd::GPR_ACDB | mtd::EIP | mtd::QUAL | mtd::STA | mtd::INJ, // port I/O
+            7 => mtd::ALL,                 // MMIO: the emulator needs everything
+            1 | 11 => mtd::STA | mtd::INJ, // interrupt window / recall
+            9 | 10 => mtd::GPR_ACDB | mtd::EIP, // VMCALL / RDTSC
+            _ => mtd::EIP | mtd::STA,
+        }
+    }
+
+    /// Picks an injectable vector: a pending IPI first, then the vPIC.
+    fn next_vector(&mut self, vcpu: usize) -> Option<u8> {
+        if let Some(v) = self.vcpu_state[vcpu].pending_ipi.take() {
+            return Some(v);
+        }
+        // Only vCPU 0 is wired to the virtual PIC (as on real boards).
+        if vcpu == 0 {
+            let dev = self.dev.as_mut()?;
+            if dev.vpic.intr() {
+                return dev.vpic.ack();
+            }
+        }
+        None
+    }
+
+    fn has_pending(&self, vcpu: usize) -> bool {
+        self.vcpu_state[vcpu].pending_ipi.is_some()
+            || (vcpu == 0 && self.dev.as_ref().is_some_and(|d| d.vpic.intr()))
+    }
+
+    /// Wakes or recalls a vCPU after a virtual interrupt became
+    /// pending (Section 7.5).
+    fn kick_vcpu(&mut self, k: &mut Kernel, ctx: CompCtx, vcpu: usize) {
+        if !self.has_pending(vcpu) {
+            return;
+        }
+        if self.vcpu_state[vcpu].halted {
+            if let Some(vector) = self.next_vector(vcpu) {
+                self.vcpu_state[vcpu].halted = false;
+                self.stats.injections += 1;
+                let _ = k.hypercall(
+                    ctx,
+                    Hypercall::EcResume {
+                        ec: sel::vcpu(vcpu),
+                        inject: Some(Injection {
+                            vector,
+                            error_code: None,
+                        }),
+                        intwin: false,
+                    },
+                );
+            }
+        } else if !self.vcpu_state[vcpu].recall_armed {
+            self.vcpu_state[vcpu].recall_armed = true;
+            let _ = k.hypercall(
+                ctx,
+                Hypercall::EcRecall {
+                    ec: sel::vcpu(vcpu),
+                },
+            );
+        }
+    }
+
+    /// Completes exit handling: inject a pending vector if the window
+    /// is open, otherwise request an interrupt-window exit.
+    fn finish_reply(&mut self, vcpu: usize, msg: &mut nova_core::VmExitMsg) {
+        if msg.reply_block || msg.reply_inject.is_some() {
+            return;
+        }
+        if !self.has_pending(vcpu) {
+            return;
+        }
+        if msg.window_open {
+            if let Some(vector) = self.next_vector(vcpu) {
+                self.stats.injections += 1;
+                msg.reply_inject = Some(Injection {
+                    vector,
+                    error_code: None,
+                });
+            }
+        } else {
+            msg.reply_intwin = true;
+        }
+    }
+
+    /// Applies out-of-band port effects (shutdown, marks, AP starts,
+    /// IPIs).
+    fn apply_special(&mut self, k: &mut Kernel, ctx: CompCtx, current_vcpu: usize) {
+        let special: SpecialPorts = {
+            let dev = self.dev.as_mut().expect("devices");
+            std::mem::take(&mut dev.special)
+        };
+        // Record marks for harnesses (forwarded below exactly once).
+        self.marks.extend_from_slice(&special.marks);
+        if let Some(code) = special.exit_code {
+            self.guest_exit = Some(code);
+            // Forward to the physical debug port (granted by root) so
+            // the whole simulation stops.
+            let _ = k.dev_io_write(ctx, crate::devices::PORT_EXIT, OpSize::Byte, code as u32);
+        }
+        for m in special.marks {
+            let _ = k.dev_io_write(ctx, crate::devices::PORT_MARK, OpSize::Dword, m);
+        }
+        for (vcpu, page) in special.ap_starts {
+            if vcpu == 0 || vcpu >= self.cfg.vcpus {
+                continue;
+            }
+            let mut regs = Regs::at(page << 12);
+            regs.set(Reg::Esp, self.cfg.image.stack);
+            regs.eflags = flags::R1;
+            let _ = k.hypercall(
+                ctx,
+                Hypercall::EcSetState {
+                    ec: sel::vcpu(vcpu),
+                    regs,
+                    resume: true,
+                },
+            );
+            self.vcpu_state[vcpu].halted = false;
+        }
+        for vector in special.ipis {
+            for v in 0..self.cfg.vcpus {
+                if v != current_vcpu {
+                    self.vcpu_state[v].pending_ipi = Some(vector);
+                    self.kick_vcpu(k, ctx, v);
+                }
+            }
+        }
+    }
+
+    fn handle_exit(&mut self, k: &mut Kernel, ctx: CompCtx, vcpu: usize, utcb: &mut Utcb) {
+        let Some(mut msg) = utcb.vm.take() else {
+            return;
+        };
+        let cost = k.machine.cost;
+        match msg.reason {
+            ExitReason::Cpuid { len } => {
+                self.stats.cpuid_exits += 1;
+                k.charge(cost.emul_simple);
+                let leaf = msg.regs.get(Reg::Eax);
+                let r = virtual_cpuid(&cost.ident, leaf);
+                msg.regs.set(Reg::Eax, r[0]);
+                msg.regs.set(Reg::Ebx, r[1]);
+                msg.regs.set(Reg::Ecx, r[2]);
+                msg.regs.set(Reg::Edx, r[3]);
+                msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
+                msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
+            }
+            ExitReason::Rdtsc { len } => {
+                k.charge(cost.emul_simple);
+                let t = k.now();
+                msg.regs.set(Reg::Eax, t as u32);
+                msg.regs.set(Reg::Edx, (t >> 32) as u32);
+                msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
+                msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
+            }
+            ExitReason::Hlt { len } => {
+                self.stats.hlt_exits += 1;
+                k.charge(cost.emul_simple);
+                msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
+                msg.reply_mtd = mtd::EIP;
+                // HLT with interrupts pending: deliver instead of block.
+                if self.has_pending(vcpu) {
+                    if let Some(vector) = self.next_vector(vcpu) {
+                        self.stats.injections += 1;
+                        msg.reply_inject = Some(Injection {
+                            vector,
+                            error_code: None,
+                        });
+                    }
+                } else {
+                    msg.reply_block = true;
+                    self.vcpu_state[vcpu].halted = true;
+                }
+            }
+            ExitReason::IoPort {
+                port,
+                size,
+                write,
+                len,
+            } => {
+                self.stats.io_exits += 1;
+                k.charge(cost.emul_device);
+                let dev = self.dev.as_mut().expect("devices");
+                if write {
+                    let val = match size {
+                        OpSize::Byte => msg.regs.get8(Reg8::Al) as u32,
+                        OpSize::Dword => msg.regs.get(Reg::Eax),
+                    };
+                    dev.io_write(k, ctx, port, size, val);
+                } else {
+                    let val = dev.io_read(k, ctx, port, size);
+                    match size {
+                        OpSize::Byte => msg.regs.set8(Reg8::Al, val as u8),
+                        OpSize::Dword => msg.regs.set(Reg::Eax, val),
+                    }
+                }
+                msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
+                msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
+                self.apply_special(k, ctx, vcpu);
+                if self.guest_exit.is_some() {
+                    // The guest powered off: park the vCPU for good.
+                    msg.reply_block = true;
+                }
+            }
+            ExitReason::EptViolation { gpa, access } => {
+                // Writes into a protected kernel region are a
+                // code-injection attempt: kill the VM (Section 4.2).
+                if access.write {
+                    if let Some((pf, pc)) = self.cfg.protect_kernel {
+                        let page = gpa >> 12;
+                        if page >= pf && page < pf + pc {
+                            self.guest_exit = Some(0xfc);
+                            let _ = k.dev_io_write(
+                                ctx,
+                                crate::devices::PORT_EXIT,
+                                OpSize::Byte,
+                                0xfc,
+                            );
+                            msg.reply_block = true;
+                            self.finish_reply(vcpu, &mut msg);
+                            utcb.vm = Some(msg);
+                            return;
+                        }
+                    }
+                }
+                self.stats.mmio_exits += 1;
+                k.charge(cost.emul_decode);
+                let mut dev = self.dev.take().expect("devices");
+                let mut regs = msg.regs.clone();
+                let mut env = EmuEnv {
+                    k,
+                    ctx,
+                    view: self.view(),
+                    dev: &mut dev,
+                    mmu: MmuRegs::from_regs(&regs),
+                    device_ops: 0,
+                };
+                let res = emulate_one(&mut env, &mut regs);
+                let device_ops = env.device_ops;
+                self.dev = Some(dev);
+                k.charge(device_ops as Cycles * cost.emul_device);
+                match res {
+                    Ok(_) => {
+                        self.stats.emulated += 1;
+                        msg.regs = regs;
+                        msg.reply_mtd =
+                            mtd::GPR_ACDB | mtd::GPR_BSD | mtd::ESP | mtd::EIP | mtd::EFL;
+                        self.apply_special(k, ctx, vcpu);
+                        if self.guest_exit.is_some() {
+                            msg.reply_block = true;
+                        }
+                    }
+                    Err(EmuErr::Fault(f)) => {
+                        if let Fault::Page { addr, .. } = f {
+                            msg.regs.cr2 = addr;
+                            msg.reply_mtd = mtd::CR;
+                        }
+                        self.stats.injections += 1;
+                        msg.reply_inject = Some(Injection {
+                            vector: f.vector(),
+                            error_code: f.error_code(),
+                        });
+                    }
+                    Err(EmuErr::Unsupported) => {
+                        // The paper's VMM would have a wider emulator;
+                        // ours treats this as a fatal guest error.
+                        self.guest_exit = Some(0xfe);
+                        msg.reply_block = true;
+                    }
+                }
+            }
+            ExitReason::IntWindow | ExitReason::Recall => {
+                self.vcpu_state[vcpu].recall_armed = false;
+                // finish_reply below injects if something is pending.
+            }
+            ExitReason::Vmcall { len } => {
+                // Paravirtual services for enlightened guests.
+                k.charge(cost.emul_simple);
+                match msg.regs.get(Reg::Eax) {
+                    0 => {
+                        let b = msg.regs.get8(Reg8::Bl);
+                        if let Some(dev) = self.dev.as_mut() {
+                            dev.vserial.output.push(b);
+                        }
+                    }
+                    1 => {
+                        let code = msg.regs.get(Reg::Ebx) as u8;
+                        self.guest_exit = Some(code);
+                        let _ = k.dev_io_write(
+                            ctx,
+                            crate::devices::PORT_EXIT,
+                            OpSize::Byte,
+                            code as u32,
+                        );
+                        msg.reply_block = true;
+                    }
+                    _ => {}
+                }
+                msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
+                msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
+            }
+            ExitReason::TripleFault => {
+                self.guest_exit = Some(0xfd);
+                msg.reply_block = true;
+            }
+            // Never routed to the VMM (kernel-handled or synchronous).
+            ExitReason::ExtInt { .. }
+            | ExitReason::Preempt
+            | ExitReason::PageFault { .. }
+            | ExitReason::Invlpg { .. }
+            | ExitReason::MovCr { .. } => {}
+        }
+
+        self.finish_reply(vcpu, &mut msg);
+        if msg.reply_block {
+            self.vcpu_state[vcpu].halted = true;
+        }
+        utcb.vm = Some(msg);
+    }
+}
+
+impl Component for Vmm {
+    fn name(&self) -> &str {
+        "vmm"
+    }
+
+    fn on_start(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        self.ctx = Some(ctx);
+        let cpu_hz = k.machine.cost.ident.hz();
+
+        // Own SC so semaphore signals (timer, disk) get scheduled.
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSc {
+                ec: nova_core::kernel::SEL_SELF_EC,
+                prio: 40,
+                quantum: 100_000,
+                dst: sel::OWN_SC,
+            },
+        )
+        .expect("vmm SC");
+
+        // Timer semaphore for the virtual PIT.
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSm {
+                count: 0,
+                dst: sel::TIMER_SM,
+            },
+        )
+        .expect("timer sm");
+        k.hypercall(ctx, Hypercall::SmBind { sm: sel::TIMER_SM })
+            .expect("bind timer");
+        self.timer_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
+
+        // Disk channel.
+        let mut vahci = VAhci::new(self.cfg.guest_base_page);
+        if let Some((reg, req)) = self.cfg.disk_portals {
+            k.hypercall(
+                ctx,
+                Hypercall::CreateSm {
+                    count: 0,
+                    dst: sel::DISK_SM,
+                },
+            )
+            .expect("disk sm");
+            k.hypercall(ctx, Hypercall::SmBind { sm: sel::DISK_SM })
+                .expect("bind disk");
+            self.disk_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
+
+            let mut utcb = Utcb::new();
+            k.ipc_call(ctx, reg, &mut utcb).expect("disk register");
+            let client = utcb.word(0);
+
+            let ring_hot = nova_user::disk::DiskServerConfig::standard().ring_base_page + client;
+            let mut utcb = Utcb::new();
+            utcb.set_msg(&[client]);
+            utcb.xfer.push(XferItem::Mem {
+                base: self.cfg.ring_page,
+                count: 1,
+                rights: MemRights::RW,
+                hot: ring_hot,
+            });
+            utcb.xfer.push(XferItem::Cap {
+                sel: sel::DISK_SM,
+                perms: Perms::UP,
+                hot: nova_user::disk::DiskServerConfig::client_sm_sel(client as usize),
+            });
+            k.ipc_call(ctx, reg, &mut utcb).expect("disk setup");
+
+            vahci.attach(DiskChannel {
+                req_sel: req,
+                client,
+                ring_va: self.cfg.ring_page * 4096,
+            });
+        }
+        self.dev = Some(VDevices::new(cpu_hz, sel::TIMER_SM, vahci));
+
+        // Direct-assignment interrupt forwarding.
+        for (i, &gsi) in self.cfg.direct_gsis.clone().iter().enumerate() {
+            let s = sel::gsi_sm(i as u8);
+            k.hypercall(ctx, Hypercall::CreateSm { count: 0, dst: s })
+                .expect("gsi sm");
+            k.hypercall(ctx, Hypercall::SmBind { sm: s })
+                .expect("bind gsi");
+            k.hypercall(ctx, Hypercall::AssignGsi { sm: s, gsi })
+                .expect("assign gsi (root must delegate ownership first)");
+            self.gsi_sms
+                .push((nova_core::SmId(k.obj.sms.len() - 1), gsi));
+        }
+
+        // The VM protection domain.
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: self.cfg.name.clone(),
+                vm: Some(self.cfg.paging),
+                dst: sel::VM_PD,
+            },
+        )
+        .expect("vm pd");
+
+        // Guest-physical memory: a subset of the VMM's own space.
+        let rights = if self.cfg.guest_dma {
+            MemRights::RW_DMA
+        } else {
+            MemRights::RW
+        };
+        // Leave the legacy PC hole (0xA0000–0xFFFFF) unbacked (the
+        // VGA window direct-maps into it, exactly as on real boards),
+        // and map any protected kernel range read-only (Section 4.2's
+        // hardening suggestion).
+        const HOLE_START: u64 = 0xa0;
+        const HOLE_END: u64 = 0x100;
+        let ro = MemRights {
+            write: false,
+            ..rights
+        };
+        let protected = self.cfg.protect_kernel;
+        let mut segments: Vec<(u64, u64)> = Vec::new();
+        segments.push((0, self.cfg.guest_pages.min(HOLE_START)));
+        if self.cfg.guest_pages > HOLE_END {
+            segments.push((HOLE_END, self.cfg.guest_pages - HOLE_END));
+        }
+        for (start, count) in segments {
+            // Split each RAM segment around the protected range.
+            let mut cursor = start;
+            let end = start + count;
+            while cursor < end {
+                let (next, r) = match protected {
+                    Some((pf, pc)) if cursor >= pf && cursor < pf + pc => {
+                        ((pf + pc).min(end), ro)
+                    }
+                    Some((pf, _)) if cursor < pf => (pf.min(end), rights),
+                    _ => (end, rights),
+                };
+                k.hypercall(
+                    ctx,
+                    Hypercall::DelegateMem {
+                        dst_pd: sel::VM_PD,
+                        base: self.cfg.guest_base_page + cursor,
+                        count: next - cursor,
+                        rights: r,
+                        hot: cursor,
+                    },
+                )
+                .expect("guest memory");
+                cursor = next;
+            }
+        }
+
+        // Direct-mapped device windows (VGA framebuffer and any
+        // directly assigned devices).
+        for &(gpa_page, vmm_page, count) in &self.cfg.direct_mmio.clone() {
+            k.hypercall(
+                ctx,
+                Hypercall::DelegateMem {
+                    dst_pd: sel::VM_PD,
+                    base: vmm_page,
+                    count,
+                    rights: MemRights::RW,
+                    hot: gpa_page,
+                },
+            )
+            .expect("direct mmio window");
+        }
+
+        // Direct port ranges must live in the VM's I/O space before
+        // the VMCS can pass them through.
+        for &(first, count) in &self.cfg.direct_ports.clone() {
+            k.hypercall(
+                ctx,
+                Hypercall::DelegateIo {
+                    dst_pd: sel::VM_PD,
+                    base: first,
+                    count,
+                },
+            )
+            .expect("direct ports (root must have granted them)");
+        }
+
+        // Virtual BIOS: load the image and prepare boot state
+        // (Section 7.4 — the BIOS lives in the VMM, not the guest).
+        let boot_regs = bios::install(k, ctx, &self.cfg);
+
+        // Virtual CPUs, their handler ECs and exit portals. Each
+        // handler EC resides on the same physical processor as its
+        // virtual CPU (Section 7.5).
+        for i in 0..self.cfg.vcpus {
+            let pcpu = self.cfg.vcpu_cpus.get(i).copied().unwrap_or(0);
+            k.hypercall(
+                ctx,
+                Hypercall::CreateEc {
+                    pd: sel::VM_PD,
+                    vcpu: true,
+                    cpu: pcpu,
+                    dst: sel::vcpu(i),
+                },
+            )
+            .expect("vcpu");
+            // Dedicated handler EC (Section 7.5: one handler per vCPU).
+            k.hypercall(
+                ctx,
+                Hypercall::CreateEc {
+                    pd: SEL_SELF_PD,
+                    vcpu: false,
+                    cpu: pcpu,
+                    dst: sel::handler(i),
+                },
+            )
+            .expect("handler ec");
+
+            for r in 0..ExitReason::COUNT {
+                let pt_sel = sel::portal(i, r);
+                k.hypercall(
+                    ctx,
+                    Hypercall::CreatePt {
+                        ec: sel::handler(i),
+                        mtd: self.mtd_for(r),
+                        id: ((i as u64) << 8) | r as u64,
+                        dst: pt_sel,
+                    },
+                )
+                .expect("exit portal");
+                k.hypercall(
+                    ctx,
+                    Hypercall::DelegateCap {
+                        dst_pd: sel::VM_PD,
+                        sel: pt_sel,
+                        perms: Perms::CALL,
+                        hot: EXIT_PORTAL_BASE + i * EXIT_PORTAL_STRIDE + r,
+                    },
+                )
+                .expect("install exit portal in VM");
+            }
+
+            // Initial state: BSP runs the BIOS-prepared entry; APs
+            // wait for the bring-up port.
+            let mut regs = boot_regs.clone();
+            if i > 0 {
+                regs.eip = 0;
+            }
+            k.hypercall(
+                ctx,
+                Hypercall::EcSetState {
+                    ec: sel::vcpu(i),
+                    regs,
+                    resume: i == 0,
+                },
+            )
+            .expect("vcpu state");
+            if i > 0 {
+                self.vcpu_state[i].halted = true;
+            }
+
+            k.hypercall(
+                ctx,
+                Hypercall::CreateSc {
+                    ec: sel::vcpu(i),
+                    prio: self.cfg.vcpu_prio,
+                    quantum: self.cfg.quantum,
+                    dst: sel::vcpu_sc(i),
+                },
+            )
+            .expect("vcpu sc");
+        }
+
+        // The exit-free direct configuration (the paper's "Direct"
+        // bar): disable every optional intercept.
+        if self.cfg.exitless_direct {
+            for i in 0..self.cfg.vcpus {
+                k.hypercall(
+                    ctx,
+                    Hypercall::EcCtrlVm {
+                        ec: sel::vcpu(i),
+                        hlt_exit: false,
+                        extint_exit: false,
+                        passthrough: self.cfg.direct_ports.clone(),
+                    },
+                )
+                .expect("direct vmcs config");
+            }
+        } else if !self.cfg.direct_ports.is_empty() {
+            for i in 0..self.cfg.vcpus {
+                k.hypercall(
+                    ctx,
+                    Hypercall::EcCtrlVm {
+                        ec: sel::vcpu(i),
+                        hlt_exit: true,
+                        extint_exit: true,
+                        passthrough: self.cfg.direct_ports.clone(),
+                    },
+                )
+                .expect("port passthrough");
+            }
+        }
+    }
+
+    fn on_call(&mut self, k: &mut Kernel, ctx: CompCtx, portal_id: u64, utcb: &mut Utcb) {
+        let vcpu = (portal_id >> 8) as usize;
+        if vcpu < self.cfg.vcpus {
+            self.handle_exit(k, ctx, vcpu, utcb);
+        }
+    }
+
+    fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, sm: SmId) {
+        if Some(sm) == self.timer_sm {
+            if let Some(dev) = self.dev.as_mut() {
+                dev.vpit.ticks += 1;
+                dev.vpic.pulse(0);
+            }
+            self.kick_vcpu(k, ctx, 0);
+        } else if Some(sm) == self.disk_sm {
+            let mut dev = self.dev.take().expect("devices");
+            let raised = dev.vahci.drain_completions(k, ctx);
+            if raised {
+                dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
+            }
+            self.dev = Some(dev);
+            if raised {
+                self.kick_vcpu(k, ctx, 0);
+            }
+        } else if let Some(&(_, gsi)) = self.gsi_sms.iter().find(|(s, _)| *s == sm) {
+            if let Some(dev) = self.dev.as_mut() {
+                dev.vpic.pulse(gsi);
+            }
+            self.kick_vcpu(k, ctx, 0);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

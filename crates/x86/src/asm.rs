@@ -1,0 +1,809 @@
+//! A small x86-32 assembler used to build guest operating systems and
+//! workloads as real machine code for the simulated CPU.
+//!
+//! The assembler emits exactly the encodings the decoder in
+//! [`crate::decode()`] understands, with label-based control flow and
+//! forward-reference fixups.
+
+use crate::insn::{AluOp, Cond, MemRef};
+use crate::reg::{Reg, Reg8};
+
+/// A code label. Created with [`Asm::label`], placed with [`Asm::bind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Clone, Copy)]
+enum FixKind {
+    /// 32-bit relative displacement; the stored position is the
+    /// displacement field, relative to the end of the field.
+    Rel32,
+    /// 32-bit absolute address.
+    Abs32,
+}
+
+struct Fixup {
+    pos: usize,
+    label: Label,
+    kind: FixKind,
+}
+
+/// The assembler: accumulates encoded bytes at a fixed load address.
+pub struct Asm {
+    base: u32,
+    code: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an assembler whose first emitted byte lives at linear
+    /// address `base`.
+    pub fn new(base: u32) -> Asm {
+        Asm {
+            base,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The address of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.base + self.code.len() as u32
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.here());
+    }
+
+    /// Allocates a label already bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Resolves fixups and returns the final code bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn finish(mut self) -> Vec<u8> {
+        for f in &self.fixups {
+            let target = self.labels[f.label.0].expect("unbound label");
+            let value = match f.kind {
+                FixKind::Rel32 => {
+                    let end = self.base + f.pos as u32 + 4;
+                    target.wrapping_sub(end)
+                }
+                FixKind::Abs32 => target,
+            };
+            self.code[f.pos..f.pos + 4].copy_from_slice(&value.to_le_bytes());
+        }
+        self.code
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Emits a ModRM (+ SIB + displacement) for a register `reg` field and
+    /// a memory operand.
+    fn modrm_mem(&mut self, reg: u8, m: MemRef) {
+        // Choose displacement size. EBP as base cannot use mod=00 (that
+        // encoding means absolute disp32, both with and without SIB), so
+        // it is forced to the disp8 form.
+        // mod=00 serves both the absolute-disp32 form and the
+        // no-displacement register forms.
+        let (md, disp8) = if (m.base.is_none() && m.index.is_none())
+            || (m.disp == 0 && m.base != Some(Reg::Ebp))
+        {
+            (0u8, false)
+        } else if (-128..=127).contains(&m.disp) {
+            (1, true)
+        } else {
+            (2, false)
+        };
+
+        let need_sib = m.index.is_some() || m.base == Some(Reg::Esp);
+
+        if m.base.is_none() && m.index.is_none() {
+            self.u8(reg << 3 | 5);
+            self.u32(m.disp as u32);
+            return;
+        }
+
+        if m.base.is_none() {
+            // Index without base: SIB with base=101, mod=00, disp32.
+            let (idx, scale) = m.index.unwrap();
+            assert_ne!(idx, Reg::Esp, "ESP cannot be an index register");
+            self.u8(reg << 3 | 4);
+            self.u8(scale_bits(scale) << 6 | idx.num() << 3 | 5);
+            self.u32(m.disp as u32);
+            return;
+        }
+
+        let base = m.base.unwrap();
+        if need_sib {
+            self.u8(md << 6 | reg << 3 | 4);
+            let (idx_num, scale) = match m.index {
+                Some((idx, scale)) => {
+                    assert_ne!(idx, Reg::Esp, "ESP cannot be an index register");
+                    (idx.num(), scale)
+                }
+                None => (4, 1), // no index
+            };
+            self.u8(scale_bits(scale) << 6 | idx_num << 3 | base.num());
+        } else {
+            self.u8(md << 6 | reg << 3 | base.num());
+        }
+        match md {
+            1 => {
+                debug_assert!(disp8);
+                self.u8(m.disp as i8 as u8);
+            }
+            2 => self.u32(m.disp as u32),
+            _ => {}
+        }
+    }
+
+    fn modrm_reg(&mut self, reg: u8, rm: u8) {
+        self.u8(0xc0 | reg << 3 | rm);
+    }
+
+    // ------------------------------------------------------------------
+    // Moves
+    // ------------------------------------------------------------------
+
+    /// `mov r32, imm32`
+    pub fn mov_ri(&mut self, r: Reg, imm: u32) {
+        self.u8(0xb8 + r.num());
+        self.u32(imm);
+    }
+
+    /// `mov r32, label-address` (fixed up at finish time)
+    pub fn mov_r_label(&mut self, r: Reg, l: Label) {
+        self.u8(0xb8 + r.num());
+        self.fixups.push(Fixup {
+            pos: self.code.len(),
+            label: l,
+            kind: FixKind::Abs32,
+        });
+        self.u32(0);
+    }
+
+    /// `mov r32, r32`
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.u8(0x89);
+        self.modrm_reg(src.num(), dst.num());
+    }
+
+    /// `mov r32, [mem]`
+    pub fn mov_rm(&mut self, dst: Reg, m: MemRef) {
+        self.u8(0x8b);
+        self.modrm_mem(dst.num(), m);
+    }
+
+    /// `mov [mem], r32`
+    pub fn mov_mr(&mut self, m: MemRef, src: Reg) {
+        self.u8(0x89);
+        self.modrm_mem(src.num(), m);
+    }
+
+    /// `mov dword [mem], imm32`
+    pub fn mov_mi(&mut self, m: MemRef, imm: u32) {
+        self.u8(0xc7);
+        self.modrm_mem(0, m);
+        self.u32(imm);
+    }
+
+    /// `mov r8, imm8`
+    pub fn mov_r8i(&mut self, r: Reg8, imm: u8) {
+        self.u8(0xb0 + r as u8);
+        self.u8(imm);
+    }
+
+    /// `mov r8, [mem]`
+    pub fn mov_r8m(&mut self, dst: Reg8, m: MemRef) {
+        self.u8(0x8a);
+        self.modrm_mem(dst as u8, m);
+    }
+
+    /// `mov [mem], r8`
+    pub fn mov_m8r(&mut self, m: MemRef, src: Reg8) {
+        self.u8(0x88);
+        self.modrm_mem(src as u8, m);
+    }
+
+    /// `mov byte [mem], imm8`
+    pub fn mov_m8i(&mut self, m: MemRef, imm: u8) {
+        self.u8(0xc6);
+        self.modrm_mem(0, m);
+        self.u8(imm);
+    }
+
+    /// `movzx r32, byte [mem]`
+    pub fn movzx_rm8(&mut self, dst: Reg, m: MemRef) {
+        self.u8(0x0f);
+        self.u8(0xb6);
+        self.modrm_mem(dst.num(), m);
+    }
+
+    /// `lea r32, [mem]`
+    pub fn lea(&mut self, dst: Reg, m: MemRef) {
+        self.u8(0x8d);
+        self.modrm_mem(dst.num(), m);
+    }
+
+    // ------------------------------------------------------------------
+    // ALU
+    // ------------------------------------------------------------------
+
+    /// `<op> r32, r32`
+    pub fn alu_rr(&mut self, op: AluOp, dst: Reg, src: Reg) {
+        self.u8((op as u8) << 3 | 0x01);
+        self.modrm_reg(src.num(), dst.num());
+    }
+
+    /// `<op> r32, imm32` (uses the sign-extended imm8 form when possible)
+    pub fn alu_ri(&mut self, op: AluOp, dst: Reg, imm: u32) {
+        if (imm as i32) >= -128 && (imm as i32) <= 127 {
+            self.u8(0x83);
+            self.modrm_reg(op as u8, dst.num());
+            self.u8(imm as u8);
+        } else {
+            self.u8(0x81);
+            self.modrm_reg(op as u8, dst.num());
+            self.u32(imm);
+        }
+    }
+
+    /// `<op> r32, [mem]`
+    pub fn alu_rm(&mut self, op: AluOp, dst: Reg, m: MemRef) {
+        self.u8((op as u8) << 3 | 0x03);
+        self.modrm_mem(dst.num(), m);
+    }
+
+    /// `<op> [mem], r32`
+    pub fn alu_mr(&mut self, op: AluOp, m: MemRef, src: Reg) {
+        self.u8((op as u8) << 3 | 0x01);
+        self.modrm_mem(src.num(), m);
+    }
+
+    /// `<op> dword [mem], imm`
+    pub fn alu_mi(&mut self, op: AluOp, m: MemRef, imm: u32) {
+        if (imm as i32) >= -128 && (imm as i32) <= 127 {
+            self.u8(0x83);
+            self.modrm_mem(op as u8, m);
+            self.u8(imm as u8);
+        } else {
+            self.u8(0x81);
+            self.modrm_mem(op as u8, m);
+            self.u32(imm);
+        }
+    }
+
+    /// `add r32, imm`
+    pub fn add_ri(&mut self, r: Reg, imm: u32) {
+        self.alu_ri(AluOp::Add, r, imm);
+    }
+
+    /// `sub r32, imm`
+    pub fn sub_ri(&mut self, r: Reg, imm: u32) {
+        self.alu_ri(AluOp::Sub, r, imm);
+    }
+
+    /// `cmp r32, imm`
+    pub fn cmp_ri(&mut self, r: Reg, imm: u32) {
+        self.alu_ri(AluOp::Cmp, r, imm);
+    }
+
+    /// `cmp r32, r32`
+    pub fn cmp_rr(&mut self, a: Reg, b: Reg) {
+        self.alu_rr(AluOp::Cmp, a, b);
+    }
+
+    /// `xor r32, r32` (the idiomatic zeroing form)
+    pub fn xor_rr(&mut self, dst: Reg, src: Reg) {
+        self.alu_rr(AluOp::Xor, dst, src);
+    }
+
+    /// `<op> al, imm8` (the accumulator short form)
+    pub fn alu_al_imm(&mut self, op: AluOp, imm: u8) {
+        self.u8((op as u8) << 3 | 0x04);
+        self.u8(imm);
+    }
+
+    /// `test r32, r32`
+    pub fn test_rr(&mut self, a: Reg, b: Reg) {
+        self.u8(0x85);
+        self.modrm_reg(b.num(), a.num());
+    }
+
+    /// `inc r32`
+    pub fn inc_r(&mut self, r: Reg) {
+        self.u8(0x40 + r.num());
+    }
+
+    /// `dec r32`
+    pub fn dec_r(&mut self, r: Reg) {
+        self.u8(0x48 + r.num());
+    }
+
+    /// `inc dword [mem]`
+    pub fn inc_m(&mut self, m: MemRef) {
+        self.u8(0xff);
+        self.modrm_mem(0, m);
+    }
+
+    /// `shl r32, imm8`
+    pub fn shl_ri(&mut self, r: Reg, n: u8) {
+        self.u8(0xc1);
+        self.modrm_reg(4, r.num());
+        self.u8(n);
+    }
+
+    /// `shr r32, imm8`
+    pub fn shr_ri(&mut self, r: Reg, n: u8) {
+        self.u8(0xc1);
+        self.modrm_reg(5, r.num());
+        self.u8(n);
+    }
+
+    /// `imul r32, r32`
+    pub fn imul_rr(&mut self, dst: Reg, src: Reg) {
+        self.u8(0x0f);
+        self.u8(0xaf);
+        self.modrm_reg(dst.num(), src.num());
+    }
+
+    /// `mul r32` (EDX:EAX = EAX * r)
+    pub fn mul_r(&mut self, r: Reg) {
+        self.u8(0xf7);
+        self.modrm_reg(4, r.num());
+    }
+
+    /// `div r32`
+    pub fn div_r(&mut self, r: Reg) {
+        self.u8(0xf7);
+        self.modrm_reg(6, r.num());
+    }
+
+    // ------------------------------------------------------------------
+    // Stack
+    // ------------------------------------------------------------------
+
+    /// `push r32`
+    pub fn push_r(&mut self, r: Reg) {
+        self.u8(0x50 + r.num());
+    }
+
+    /// `pop r32`
+    pub fn pop_r(&mut self, r: Reg) {
+        self.u8(0x58 + r.num());
+    }
+
+    /// `push imm32`
+    pub fn push_i(&mut self, imm: u32) {
+        self.u8(0x68);
+        self.u32(imm);
+    }
+
+    /// `pushfd`
+    pub fn pushf(&mut self) {
+        self.u8(0x9c);
+    }
+
+    /// `popfd`
+    pub fn popf(&mut self) {
+        self.u8(0x9d);
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// `jmp label` (rel32)
+    pub fn jmp(&mut self, l: Label) {
+        self.u8(0xe9);
+        self.fixups.push(Fixup {
+            pos: self.code.len(),
+            label: l,
+            kind: FixKind::Rel32,
+        });
+        self.u32(0);
+    }
+
+    /// `jmp r32`
+    pub fn jmp_r(&mut self, r: Reg) {
+        self.u8(0xff);
+        self.modrm_reg(4, r.num());
+    }
+
+    /// `j<cond> label` (rel32 form)
+    pub fn jcc(&mut self, c: Cond, l: Label) {
+        self.u8(0x0f);
+        self.u8(0x80 + c as u8);
+        self.fixups.push(Fixup {
+            pos: self.code.len(),
+            label: l,
+            kind: FixKind::Rel32,
+        });
+        self.u32(0);
+    }
+
+    /// `call label`
+    pub fn call(&mut self, l: Label) {
+        self.u8(0xe8);
+        self.fixups.push(Fixup {
+            pos: self.code.len(),
+            label: l,
+            kind: FixKind::Rel32,
+        });
+        self.u32(0);
+    }
+
+    /// `call r32`
+    pub fn call_r(&mut self, r: Reg) {
+        self.u8(0xff);
+        self.modrm_reg(2, r.num());
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.u8(0xc3);
+    }
+
+    /// `int imm8`
+    pub fn int_n(&mut self, vec: u8) {
+        self.u8(0xcd);
+        self.u8(vec);
+    }
+
+    /// `iretd`
+    pub fn iret(&mut self) {
+        self.u8(0xcf);
+    }
+
+    // ------------------------------------------------------------------
+    // System
+    // ------------------------------------------------------------------
+
+    /// `hlt`
+    pub fn hlt(&mut self) {
+        self.u8(0xf4);
+    }
+
+    /// `cli`
+    pub fn cli(&mut self) {
+        self.u8(0xfa);
+    }
+
+    /// `sti`
+    pub fn sti(&mut self) {
+        self.u8(0xfb);
+    }
+
+    /// `cld`
+    pub fn cld(&mut self) {
+        self.u8(0xfc);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.u8(0x90);
+    }
+
+    /// `in al, imm8`
+    pub fn in_al_imm(&mut self, port: u8) {
+        self.u8(0xe4);
+        self.u8(port);
+    }
+
+    /// `in eax, dx`
+    pub fn in_eax_dx(&mut self) {
+        self.u8(0xed);
+    }
+
+    /// `in al, dx`
+    pub fn in_al_dx(&mut self) {
+        self.u8(0xec);
+    }
+
+    /// `out imm8, al`
+    pub fn out_imm_al(&mut self, port: u8) {
+        self.u8(0xe6);
+        self.u8(port);
+    }
+
+    /// `out dx, al`
+    pub fn out_dx_al(&mut self) {
+        self.u8(0xee);
+    }
+
+    /// `out dx, eax`
+    pub fn out_dx_eax(&mut self) {
+        self.u8(0xef);
+    }
+
+    /// `cpuid`
+    pub fn cpuid(&mut self) {
+        self.u8(0x0f);
+        self.u8(0xa2);
+    }
+
+    /// `rdtsc`
+    pub fn rdtsc(&mut self) {
+        self.u8(0x0f);
+        self.u8(0x31);
+    }
+
+    /// `mov cr<n>, r32`
+    pub fn mov_cr_r(&mut self, cr: u8, r: Reg) {
+        self.u8(0x0f);
+        self.u8(0x22);
+        self.modrm_reg(cr, r.num());
+    }
+
+    /// `mov r32, cr<n>`
+    pub fn mov_r_cr(&mut self, r: Reg, cr: u8) {
+        self.u8(0x0f);
+        self.u8(0x20);
+        self.modrm_reg(cr, r.num());
+    }
+
+    /// `invlpg [mem]`
+    pub fn invlpg(&mut self, m: MemRef) {
+        self.u8(0x0f);
+        self.u8(0x01);
+        self.modrm_mem(7, m);
+    }
+
+    /// `lidt [mem]`
+    pub fn lidt(&mut self, m: MemRef) {
+        self.u8(0x0f);
+        self.u8(0x01);
+        self.modrm_mem(3, m);
+    }
+
+    /// `vmcall`
+    pub fn vmcall(&mut self) {
+        self.u8(0x0f);
+        self.u8(0x01);
+        self.u8(0xc1);
+    }
+
+    // ------------------------------------------------------------------
+    // String operations
+    // ------------------------------------------------------------------
+
+    /// `rep movsd`
+    pub fn rep_movsd(&mut self) {
+        self.u8(0xf3);
+        self.u8(0xa5);
+    }
+
+    /// `rep stosd`
+    pub fn rep_stosd(&mut self) {
+        self.u8(0xf3);
+        self.u8(0xab);
+    }
+
+    /// `lodsd`
+    pub fn lodsd(&mut self) {
+        self.u8(0xad);
+    }
+
+    /// `stosd`
+    pub fn stosd(&mut self) {
+        self.u8(0xab);
+    }
+
+    // ------------------------------------------------------------------
+    // Data
+    // ------------------------------------------------------------------
+
+    /// Emits raw bytes (data).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.code.extend_from_slice(b);
+    }
+
+    /// Emits a 32-bit little-endian constant (data).
+    pub fn dd(&mut self, v: u32) {
+        self.u32(v);
+    }
+
+    /// Pads with NOPs to align the next instruction to `align` bytes.
+    pub fn align(&mut self, align: u32) {
+        while !self.here().is_multiple_of(align) {
+            self.nop();
+        }
+    }
+}
+
+fn scale_bits(scale: u8) -> u8 {
+    match scale {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => panic!("invalid SIB scale {scale}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::insn::{Insn, Op, Operand};
+
+    fn decode_all(bytes: &[u8]) -> Vec<Insn> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let i = decode(&bytes[pos..]).expect("decode assembled bytes");
+            pos += i.len as usize;
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn assembles_decodable_stream() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Eax, 42);
+        a.mov_rr(Reg::Ebx, Reg::Eax);
+        a.alu_rr(AluOp::Add, Reg::Eax, Reg::Ebx);
+        a.push_r(Reg::Eax);
+        a.pop_r(Reg::Ecx);
+        a.hlt();
+        let code = a.finish();
+        let insns = decode_all(&code);
+        assert_eq!(insns.len(), 6);
+        assert_eq!(insns[0].op, Op::Mov);
+        assert_eq!(insns[5].op, Op::Hlt);
+    }
+
+    #[test]
+    fn label_backward_branch() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(Reg::Ecx, 10); // 5 bytes
+        let top = a.here_label();
+        a.dec_r(Reg::Ecx); // 1 byte
+        a.jcc(Cond::Ne, top); // 6 bytes
+        a.hlt();
+        let code = a.finish();
+        // jcc at offset 6, ends at offset 12; target is offset 5.
+        let rel = i32::from_le_bytes(code[8..12].try_into().unwrap());
+        assert_eq!(rel, 5 - 12);
+    }
+
+    #[test]
+    fn label_forward_branch() {
+        let mut a = Asm::new(0);
+        let skip = a.label();
+        a.jmp(skip); // 5 bytes
+        a.hlt();
+        a.bind(skip);
+        a.nop();
+        let code = a.finish();
+        let rel = i32::from_le_bytes(code[1..5].try_into().unwrap());
+        assert_eq!(rel, 1); // skips the HLT
+        let insns = decode_all(&code);
+        assert_eq!(insns[0].op, Op::Jmp);
+        assert_eq!(insns[0].src, Operand::Imm(1));
+    }
+
+    #[test]
+    fn abs32_label_fixup() {
+        let mut a = Asm::new(0x2000);
+        let data = a.label();
+        a.mov_r_label(Reg::Esi, data); // 5 bytes
+        a.hlt();
+        a.bind(data);
+        a.dd(0xdeadbeef);
+        let code = a.finish();
+        let addr = u32::from_le_bytes(code[1..5].try_into().unwrap());
+        assert_eq!(addr, 0x2006);
+    }
+
+    #[test]
+    fn mem_operand_encodings_roundtrip() {
+        let cases: Vec<MemRef> = vec![
+            MemRef::abs(0x1234),
+            MemRef::base_disp(Reg::Eax, 0),
+            MemRef::base_disp(Reg::Ebx, 8),
+            MemRef::base_disp(Reg::Ebp, 0), // EBP base forces disp8
+            MemRef::base_disp(Reg::Esp, 4), // ESP base forces SIB
+            MemRef::base_disp(Reg::Edi, 0x1000),
+            MemRef {
+                base: Some(Reg::Ebx),
+                index: Some((Reg::Esi, 4)),
+                disp: 0x10,
+            },
+            MemRef {
+                base: None,
+                index: Some((Reg::Ecx, 8)),
+                disp: 0x40,
+            },
+            MemRef {
+                base: Some(Reg::Ebp),
+                index: Some((Reg::Edx, 2)),
+                disp: 0,
+            },
+            MemRef::base_disp(Reg::Esp, 0),
+        ];
+        for m in cases {
+            let mut a = Asm::new(0);
+            a.mov_rm(Reg::Eax, m);
+            let code = a.finish();
+            let i = decode(&code).expect("decode");
+            assert_eq!(i.src, Operand::Mem(m), "encoding of {m:?}");
+            assert_eq!(i.len as usize, code.len());
+        }
+    }
+
+    #[test]
+    fn system_insns_roundtrip() {
+        let mut a = Asm::new(0);
+        a.mov_cr_r(3, Reg::Eax);
+        a.mov_r_cr(Reg::Ebx, 0);
+        a.invlpg(MemRef::base_disp(Reg::Eax, 0));
+        a.lidt(MemRef::abs(0x7000));
+        a.cpuid();
+        a.rdtsc();
+        a.vmcall();
+        a.cli();
+        a.sti();
+        let code = a.finish();
+        let ops: Vec<Op> = decode_all(&code).iter().map(|i| i.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::MovToCr,
+                Op::MovFromCr,
+                Op::Invlpg,
+                Op::Lidt,
+                Op::Cpuid,
+                Op::Rdtsc,
+                Op::Vmcall,
+                Op::Cli,
+                Op::Sti,
+            ]
+        );
+    }
+
+    #[test]
+    fn align_pads_with_nops() {
+        let mut a = Asm::new(0x100);
+        a.hlt();
+        a.align(16);
+        assert_eq!(a.here() % 16, 0);
+        let code = a.finish();
+        assert!(code[1..].iter().all(|&b| b == 0x90));
+    }
+
+    #[test]
+    fn alu_imm_width_selection() {
+        let mut a = Asm::new(0);
+        a.add_ri(Reg::Eax, 5); // imm8 form: 3 bytes
+        a.add_ri(Reg::Eax, 0x1000); // imm32 form: 6 bytes
+        let code = a.finish();
+        assert_eq!(code.len(), 9);
+        let insns = decode_all(&code);
+        assert_eq!(insns[0].src, Operand::Imm(5));
+        assert_eq!(insns[1].src, Operand::Imm(0x1000));
+    }
+}

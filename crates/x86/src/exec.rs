@@ -1,0 +1,1161 @@
+//! Architecture-neutral instruction executor.
+//!
+//! [`execute`] applies the semantics of a decoded [`Insn`] to a register
+//! file, performing all memory, port-I/O, and system-register accesses
+//! through an [`Env`] trait. Two environments implement it:
+//!
+//! - the simulated CPU core in `nova-hw`, whose environment translates
+//!   addresses through the MMU/TLB and raises VM exits on intercepted
+//!   accesses, and
+//! - the instruction emulator of the user-level VMM in `nova-vmm`, whose
+//!   environment accesses guest-physical memory and dispatches MMIO and
+//!   port I/O to virtual device models (paper Section 7.1).
+//!
+//! # Interrupt and exception frames
+//!
+//! Event delivery ([`deliver_event`]) uses real 8-byte IDT gate
+//! descriptors but flat segmentation: the pushed frame is
+//! `[EFLAGS, CS (constant 0x08), EIP]`, plus an error code on top for
+//! faulting exceptions; IRET pops the same frame. The code-segment
+//! selector is saved and discarded, never reloaded.
+
+use crate::insn::{AluOp, Cond, Insn, MemRef, Op, OpSize, Operand, ShiftOp};
+use crate::reg::{flags, Reg, Reg8, Regs};
+
+/// Architectural faults raised during execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// #PF — page fault. `present` distinguishes protection violations
+    /// from not-present faults; `write` and `fetch` describe the access.
+    Page {
+        /// Faulting linear address (goes to CR2).
+        addr: u32,
+        /// The access was a write.
+        write: bool,
+        /// The access was an instruction fetch.
+        fetch: bool,
+        /// The translation existed but denied the access.
+        present: bool,
+    },
+    /// #DE — divide error (divide by zero or quotient overflow).
+    Divide,
+    /// #UD — invalid opcode.
+    InvalidOpcode,
+    /// #GP — general protection fault.
+    Gp,
+}
+
+impl Fault {
+    /// The exception vector this fault raises.
+    pub fn vector(self) -> u8 {
+        match self {
+            Fault::Page { .. } => crate::reg::vector::PAGE_FAULT,
+            Fault::Divide => crate::reg::vector::DIVIDE_ERROR,
+            Fault::InvalidOpcode => crate::reg::vector::INVALID_OPCODE,
+            Fault::Gp => crate::reg::vector::GP_FAULT,
+        }
+    }
+
+    /// The error code pushed with the exception, if the vector has one.
+    pub fn error_code(self) -> Option<u32> {
+        match self {
+            Fault::Page {
+                write,
+                fetch,
+                present,
+                ..
+            } => {
+                let mut e = 0;
+                if present {
+                    e |= crate::reg::pf_err::PRESENT;
+                }
+                if write {
+                    e |= crate::reg::pf_err::WRITE;
+                }
+                if fetch {
+                    e |= crate::reg::pf_err::FETCH;
+                }
+                Some(e)
+            }
+            Fault::Gp => Some(0),
+            Fault::Divide | Fault::InvalidOpcode => None,
+        }
+    }
+}
+
+/// Execution environment: memory, port I/O, and system-level operations.
+///
+/// All addresses given to `read_mem`/`write_mem` are *linear* addresses;
+/// the environment performs translation (or not, for a flat emulator).
+pub trait Env {
+    /// Environment error type; architectural faults must convert into it.
+    type Err: From<Fault>;
+
+    /// Reads `size` bytes at linear address `addr`, zero-extended.
+    fn read_mem(&mut self, addr: u32, size: OpSize) -> Result<u32, Self::Err>;
+
+    /// Writes the low `size` bytes of `val` at linear address `addr`.
+    fn write_mem(&mut self, addr: u32, size: OpSize, val: u32) -> Result<(), Self::Err>;
+
+    /// Port input.
+    fn io_in(&mut self, port: u16, size: OpSize) -> Result<u32, Self::Err>;
+
+    /// Port output.
+    fn io_out(&mut self, port: u16, size: OpSize, val: u32) -> Result<(), Self::Err>;
+
+    /// CPUID: returns `[eax, ebx, ecx, edx]` for the given leaf.
+    fn cpuid(&mut self, leaf: u32) -> [u32; 4];
+
+    /// Reads the time-stamp counter.
+    fn rdtsc(&mut self) -> u64;
+
+    /// Reads control register `n`.
+    fn read_cr(&mut self, regs: &Regs, n: u8) -> Result<u32, Self::Err> {
+        Ok(regs.get_cr(n))
+    }
+
+    /// Writes control register `n`. Implementations flush TLBs / shadow
+    /// state as architecture requires.
+    fn write_cr(&mut self, regs: &mut Regs, n: u8, val: u32) -> Result<(), Self::Err> {
+        regs.set_cr(n, val);
+        Ok(())
+    }
+
+    /// Invalidates the TLB entry for `addr`.
+    fn invlpg(&mut self, _addr: u32) -> Result<(), Self::Err> {
+        Ok(())
+    }
+
+    /// VMCALL — hypercall from an enlightened guest. The default raises
+    /// #UD (no hypervisor present).
+    fn vmcall(&mut self, _regs: &mut Regs) -> Result<(), Self::Err> {
+        Err(Fault::InvalidOpcode.into())
+    }
+}
+
+/// Outcome of executing one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exec {
+    /// Normal completion; EIP has been updated.
+    Normal,
+    /// HLT executed; the CPU should idle until the next interrupt.
+    Halt,
+    /// STI executed with IF previously clear: interrupts are inhibited
+    /// for one more instruction (the STI shadow).
+    StiShadow,
+    /// A REP-prefixed string instruction performed one iteration and has
+    /// more to do; EIP still points at the instruction.
+    RepContinue,
+}
+
+/// Evaluates a condition code against EFLAGS.
+pub fn cond_holds(cond: Cond, eflags: u32) -> bool {
+    let cf = eflags & flags::CF != 0;
+    let zf = eflags & flags::ZF != 0;
+    let sf = eflags & flags::SF != 0;
+    let of = eflags & flags::OF != 0;
+    match cond {
+        Cond::O => of,
+        Cond::No => !of,
+        Cond::B => cf,
+        Cond::Ae => !cf,
+        Cond::E => zf,
+        Cond::Ne => !zf,
+        Cond::Be => cf || zf,
+        Cond::A => !cf && !zf,
+        Cond::S => sf,
+        Cond::Ns => !sf,
+        Cond::P => false,
+        Cond::Np => true,
+        Cond::L => sf != of,
+        Cond::Ge => sf == of,
+        Cond::Le => zf || sf != of,
+        Cond::G => !zf && sf == of,
+    }
+}
+
+/// Computes the linear address of a memory operand.
+pub fn effective_address(m: &MemRef, regs: &Regs) -> u32 {
+    let mut a = m.disp as u32;
+    if let Some(b) = m.base {
+        a = a.wrapping_add(regs.get(b));
+    }
+    if let Some((i, s)) = m.index {
+        a = a.wrapping_add(regs.get(i).wrapping_mul(s as u32));
+    }
+    a
+}
+
+fn read_operand<E: Env>(
+    op: &Operand,
+    size: OpSize,
+    regs: &Regs,
+    env: &mut E,
+) -> Result<u32, E::Err> {
+    match op {
+        Operand::Reg(r) => Ok(regs.get(*r)),
+        Operand::Reg8(r) => Ok(regs.get8(*r) as u32),
+        Operand::Imm(v) => Ok(*v),
+        Operand::Mem(m) => env.read_mem(effective_address(m, regs), size),
+        Operand::Cr(_) | Operand::None => Err(Fault::InvalidOpcode.into()),
+    }
+}
+
+fn write_operand<E: Env>(
+    op: &Operand,
+    size: OpSize,
+    val: u32,
+    regs: &mut Regs,
+    env: &mut E,
+) -> Result<(), E::Err> {
+    match op {
+        Operand::Reg(r) => {
+            regs.set(*r, val);
+            Ok(())
+        }
+        Operand::Reg8(r) => {
+            regs.set8(*r, val as u8);
+            Ok(())
+        }
+        Operand::Mem(m) => env.write_mem(effective_address(m, regs), size, val),
+        _ => Err(Fault::InvalidOpcode.into()),
+    }
+}
+
+fn set_zsf(eflags: &mut u32, res: u32, size: OpSize) {
+    *eflags &= !(flags::ZF | flags::SF);
+    if res & size.mask() == 0 {
+        *eflags |= flags::ZF;
+    }
+    if res & size.sign_bit() != 0 {
+        *eflags |= flags::SF;
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32, size: OpSize, eflags: &mut u32) -> u32 {
+    let mask = size.mask();
+    let sign = size.sign_bit();
+    let a = a & mask;
+    let b = b & mask;
+    let cin = (*eflags & flags::CF != 0) as u32;
+    let (res, cf, of) = match op {
+        AluOp::Add => {
+            let r = a.wrapping_add(b) & mask;
+            (r, r < a, (a ^ b ^ sign) & (a ^ r) & sign != 0)
+        }
+        AluOp::Adc => {
+            let wide = a as u64 + b as u64 + cin as u64;
+            let r = (wide as u32) & mask;
+            (r, wide > mask as u64, (a ^ b ^ sign) & (a ^ r) & sign != 0)
+        }
+        AluOp::Sub | AluOp::Cmp => {
+            let r = a.wrapping_sub(b) & mask;
+            (r, a < b, (a ^ b) & (a ^ r) & sign != 0)
+        }
+        AluOp::Sbb => {
+            let sub = b as u64 + cin as u64;
+            let r = (a as u64).wrapping_sub(sub) as u32 & mask;
+            (r, (a as u64) < sub, (a ^ b) & (a ^ r) & sign != 0)
+        }
+        AluOp::And => (a & b, false, false),
+        AluOp::Or => (a | b, false, false),
+        AluOp::Xor => (a ^ b, false, false),
+    };
+    *eflags &= !(flags::CF | flags::OF);
+    if cf {
+        *eflags |= flags::CF;
+    }
+    if of {
+        *eflags |= flags::OF;
+    }
+    set_zsf(eflags, res, size);
+    res
+}
+
+/// Delivers an interrupt or exception through the IDT: pushes
+/// `[EFLAGS, CS, EIP]` (+ error code), clears IF, and jumps to the gate's
+/// handler offset.
+///
+/// # Errors
+///
+/// Propagates environment errors from the IDT read or the stack pushes
+/// (e.g. a page fault on the kernel stack); the CPU layer treats a fault
+/// here as a triple fault.
+pub fn deliver_event<E: Env>(
+    regs: &mut Regs,
+    env: &mut E,
+    vector: u8,
+    error_code: Option<u32>,
+) -> Result<(), E::Err> {
+    let off = vector as u32 * 8;
+    if off + 7 > regs.idt_limit as u32 {
+        return Err(Fault::Gp.into());
+    }
+    // Real 8-byte interrupt-gate layout: offset[15:0], selector,
+    // reserved/type, offset[31:16].
+    let lo = env.read_mem(regs.idt_base + off, OpSize::Dword)?;
+    let hi = env.read_mem(regs.idt_base + off + 4, OpSize::Dword)?;
+    let handler = (lo & 0xffff) | (hi & 0xffff_0000);
+
+    push(regs, env, regs.eflags)?;
+    push(regs, env, 0x08)?; // flat code-segment selector, informational
+    push(regs, env, regs.eip)?;
+    if let Some(e) = error_code {
+        push(regs, env, e)?;
+    }
+    regs.eflags &= !flags::IF;
+    regs.eip = handler;
+    Ok(())
+}
+
+fn push<E: Env>(regs: &mut Regs, env: &mut E, val: u32) -> Result<(), E::Err> {
+    let esp = regs.get(Reg::Esp).wrapping_sub(4);
+    env.write_mem(esp, OpSize::Dword, val)?;
+    regs.set(Reg::Esp, esp);
+    Ok(())
+}
+
+fn pop<E: Env>(regs: &mut Regs, env: &mut E) -> Result<u32, E::Err> {
+    let esp = regs.get(Reg::Esp);
+    let v = env.read_mem(esp, OpSize::Dword)?;
+    regs.set(Reg::Esp, esp.wrapping_add(4));
+    Ok(v)
+}
+
+/// Executes one decoded instruction against `regs` and `env`.
+///
+/// On success EIP points at the next instruction (or at the same
+/// instruction for [`Exec::RepContinue`]). On error the register state
+/// reflects the partially executed instruction the way real hardware
+/// leaves it for restartable faults: EIP is unchanged.
+///
+/// # Errors
+///
+/// Environment errors (which include architectural faults via the
+/// `From<Fault>` bound) abort the instruction.
+pub fn execute<E: Env>(insn: &Insn, regs: &mut Regs, env: &mut E) -> Result<Exec, E::Err> {
+    let next_eip = regs.eip.wrapping_add(insn.len as u32);
+    let size = insn.size;
+
+    match insn.op {
+        Op::Nop => {}
+        Op::Mov => {
+            let v = read_operand(&insn.src, size, regs, env)?;
+            write_operand(&insn.dst, size, v, regs, env)?;
+        }
+        Op::Movzx => {
+            let v = read_operand(&insn.src, OpSize::Byte, regs, env)?;
+            write_operand(&insn.dst, OpSize::Dword, v & 0xff, regs, env)?;
+        }
+        Op::Movsx => {
+            let v = read_operand(&insn.src, OpSize::Byte, regs, env)?;
+            write_operand(
+                &insn.dst,
+                OpSize::Dword,
+                v as u8 as i8 as i32 as u32,
+                regs,
+                env,
+            )?;
+        }
+        Op::Xchg => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let b = read_operand(&insn.src, size, regs, env)?;
+            write_operand(&insn.dst, size, b, regs, env)?;
+            write_operand(&insn.src, size, a, regs, env)?;
+        }
+        Op::Alu(op) => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let b = read_operand(&insn.src, size, regs, env)?;
+            let mut fl = regs.eflags;
+            let res = alu(op, a, b, size, &mut fl);
+            regs.eflags = fl;
+            if op != AluOp::Cmp {
+                write_operand(&insn.dst, size, res, regs, env)?;
+            }
+        }
+        Op::Test => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let b = read_operand(&insn.src, size, regs, env)?;
+            let mut fl = regs.eflags;
+            alu(AluOp::And, a, b, size, &mut fl);
+            regs.eflags = fl;
+        }
+        Op::Inc | Op::Dec => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let cf = regs.eflags & flags::CF; // INC/DEC preserve CF
+            let mut fl = regs.eflags;
+            let res = alu(
+                if insn.op == Op::Inc {
+                    AluOp::Add
+                } else {
+                    AluOp::Sub
+                },
+                a,
+                1,
+                size,
+                &mut fl,
+            );
+            regs.eflags = (fl & !flags::CF) | cf;
+            write_operand(&insn.dst, size, res, regs, env)?;
+        }
+        Op::Neg => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let mut fl = regs.eflags;
+            let res = alu(AluOp::Sub, 0, a, size, &mut fl);
+            regs.eflags = fl;
+            write_operand(&insn.dst, size, res, regs, env)?;
+        }
+        Op::Not => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            write_operand(&insn.dst, size, !a, regs, env)?;
+        }
+        Op::Mul => {
+            let a = regs.get(Reg::Eax) as u64;
+            let b = read_operand(&insn.src, size, regs, env)? as u64;
+            match size {
+                OpSize::Dword => {
+                    let wide = a * b;
+                    regs.set(Reg::Eax, wide as u32);
+                    regs.set(Reg::Edx, (wide >> 32) as u32);
+                    let hi = (wide >> 32) as u32;
+                    regs.eflags &= !(flags::CF | flags::OF);
+                    if hi != 0 {
+                        regs.eflags |= flags::CF | flags::OF;
+                    }
+                }
+                OpSize::Byte => {
+                    let wide = (a as u8 as u64) * (b as u8 as u64);
+                    regs.set(
+                        Reg::Eax,
+                        (regs.get(Reg::Eax) & !0xffff) | (wide as u32 & 0xffff),
+                    );
+                    regs.eflags &= !(flags::CF | flags::OF);
+                    if wide > 0xff {
+                        regs.eflags |= flags::CF | flags::OF;
+                    }
+                }
+            }
+        }
+        Op::Imul2 => {
+            let a = read_operand(&insn.dst, size, regs, env)? as i32 as i64;
+            let b = read_operand(&insn.src, size, regs, env)? as i32 as i64;
+            let wide = a * b;
+            let res = wide as u32;
+            regs.eflags &= !(flags::CF | flags::OF);
+            if wide != res as i32 as i64 {
+                regs.eflags |= flags::CF | flags::OF;
+            }
+            write_operand(&insn.dst, size, res, regs, env)?;
+        }
+        Op::Div => {
+            let b = read_operand(&insn.src, size, regs, env)?;
+            match size {
+                OpSize::Dword => {
+                    let dividend = ((regs.get(Reg::Edx) as u64) << 32) | regs.get(Reg::Eax) as u64;
+                    if b == 0 {
+                        return Err(Fault::Divide.into());
+                    }
+                    let q = dividend / b as u64;
+                    if q > u32::MAX as u64 {
+                        return Err(Fault::Divide.into());
+                    }
+                    regs.set(Reg::Eax, q as u32);
+                    regs.set(Reg::Edx, (dividend % b as u64) as u32);
+                }
+                OpSize::Byte => {
+                    let dividend = regs.get(Reg::Eax) & 0xffff;
+                    let b = b & 0xff;
+                    if b == 0 {
+                        return Err(Fault::Divide.into());
+                    }
+                    let q = dividend / b;
+                    if q > 0xff {
+                        return Err(Fault::Divide.into());
+                    }
+                    let r = dividend % b;
+                    regs.set(Reg::Eax, (regs.get(Reg::Eax) & !0xffff) | (r << 8) | q);
+                }
+            }
+        }
+        Op::Shift(op) => {
+            let a = read_operand(&insn.dst, size, regs, env)?;
+            let n = read_operand(&insn.src, OpSize::Byte, regs, env)? & 31;
+            if n != 0 {
+                let bits = size.bytes() * 8;
+                let (res, cf) = match op {
+                    ShiftOp::Shl => {
+                        let res = if n >= bits { 0 } else { (a << n) & size.mask() };
+                        let cf = if n <= bits {
+                            (a >> (bits - n)) & 1 != 0
+                        } else {
+                            false
+                        };
+                        (res, cf)
+                    }
+                    ShiftOp::Shr => {
+                        let a = a & size.mask();
+                        let res = if n >= bits { 0 } else { a >> n };
+                        let cf = if n <= bits {
+                            (a >> (n - 1)) & 1 != 0
+                        } else {
+                            false
+                        };
+                        (res, cf)
+                    }
+                    ShiftOp::Sar => {
+                        let sa = ((a & size.mask()) as i32) << (32 - bits) >> (32 - bits);
+                        let res = (sa >> n.min(bits - 1)) as u32 & size.mask();
+                        let cf = (sa >> (n - 1).min(bits - 1)) & 1 != 0;
+                        (res, cf)
+                    }
+                };
+                regs.eflags &= !(flags::CF | flags::OF);
+                if cf {
+                    regs.eflags |= flags::CF;
+                }
+                set_zsf(&mut regs.eflags, res, size);
+                write_operand(&insn.dst, size, res, regs, env)?;
+            }
+        }
+        Op::Lea => {
+            if let Operand::Mem(m) = insn.src {
+                let a = effective_address(&m, regs);
+                write_operand(&insn.dst, OpSize::Dword, a, regs, env)?;
+            } else {
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::Push => {
+            let v = read_operand(&insn.src, OpSize::Dword, regs, env)?;
+            push(regs, env, v)?;
+        }
+        Op::Pop => {
+            let v = pop(regs, env)?;
+            write_operand(&insn.dst, OpSize::Dword, v, regs, env)?;
+        }
+        Op::Pushf => {
+            push(regs, env, regs.eflags | flags::R1)?;
+        }
+        Op::Popf => {
+            let v = pop(regs, env)?;
+            regs.eflags = v | flags::R1;
+        }
+        Op::Jmp => {
+            regs.eip = jump_target(insn, next_eip, regs, env)?;
+            return Ok(Exec::Normal);
+        }
+        Op::Jcc(c) => {
+            if cond_holds(c, regs.eflags) {
+                if let Operand::Imm(rel) = insn.src {
+                    regs.eip = next_eip.wrapping_add(rel);
+                    return Ok(Exec::Normal);
+                }
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::Call => {
+            let target = jump_target(insn, next_eip, regs, env)?;
+            push(regs, env, next_eip)?;
+            regs.eip = target;
+            return Ok(Exec::Normal);
+        }
+        Op::Ret => {
+            regs.eip = pop(regs, env)?;
+            return Ok(Exec::Normal);
+        }
+        Op::Int(vec) => {
+            // Advance past the INT before delivery so IRET resumes after it.
+            let saved = regs.eip;
+            regs.eip = next_eip;
+            if let Err(e) = deliver_event(regs, env, vec, None) {
+                regs.eip = saved;
+                return Err(e);
+            }
+            return Ok(Exec::Normal);
+        }
+        Op::Iret => {
+            let eip = pop(regs, env)?;
+            let _cs = pop(regs, env)?;
+            let fl = pop(regs, env)?;
+            regs.eip = eip;
+            regs.eflags = fl | flags::R1;
+            return Ok(Exec::Normal);
+        }
+        Op::Hlt => {
+            regs.eip = next_eip;
+            return Ok(Exec::Halt);
+        }
+        Op::Cli => {
+            regs.eflags &= !flags::IF;
+        }
+        Op::Sti => {
+            let was_clear = !regs.if_set();
+            regs.eflags |= flags::IF;
+            regs.eip = next_eip;
+            return Ok(if was_clear {
+                Exec::StiShadow
+            } else {
+                Exec::Normal
+            });
+        }
+        Op::Cld => {
+            regs.eflags &= !flags::DF;
+        }
+        Op::Std => {
+            regs.eflags |= flags::DF;
+        }
+        Op::In => {
+            let port = port_of(&insn.src, regs)?;
+            let v = env.io_in(port, size)?;
+            match size {
+                OpSize::Byte => regs.set8(Reg8::Al, v as u8),
+                OpSize::Dword => regs.set(Reg::Eax, v),
+            }
+        }
+        Op::Out => {
+            let port = port_of(&insn.dst, regs)?;
+            let v = match size {
+                OpSize::Byte => regs.get8(Reg8::Al) as u32,
+                OpSize::Dword => regs.get(Reg::Eax),
+            };
+            env.io_out(port, size, v)?;
+        }
+        Op::Cpuid => {
+            let r = env.cpuid(regs.get(Reg::Eax));
+            regs.set(Reg::Eax, r[0]);
+            regs.set(Reg::Ebx, r[1]);
+            regs.set(Reg::Ecx, r[2]);
+            regs.set(Reg::Edx, r[3]);
+        }
+        Op::Rdtsc => {
+            let t = env.rdtsc();
+            regs.set(Reg::Eax, t as u32);
+            regs.set(Reg::Edx, (t >> 32) as u32);
+        }
+        Op::MovFromCr => {
+            if let (Operand::Reg(r), Operand::Cr(n)) = (insn.dst, insn.src) {
+                let v = env.read_cr(regs, n)?;
+                regs.set(r, v);
+            } else {
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::MovToCr => {
+            if let (Operand::Cr(n), Operand::Reg(r)) = (insn.dst, insn.src) {
+                let v = regs.get(r);
+                env.write_cr(regs, n, v)?;
+            } else {
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::Invlpg => {
+            if let Operand::Mem(m) = insn.dst {
+                let a = effective_address(&m, regs);
+                env.invlpg(a)?;
+            } else {
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::Lidt => {
+            if let Operand::Mem(m) = insn.dst {
+                let a = effective_address(&m, regs);
+                let limit = env.read_mem(a, OpSize::Dword)? & 0xffff;
+                let base = env.read_mem(a.wrapping_add(2), OpSize::Dword)?;
+                regs.idt_limit = limit as u16;
+                regs.idt_base = base;
+            } else {
+                return Err(Fault::InvalidOpcode.into());
+            }
+        }
+        Op::Movs | Op::Stos | Op::Lods => {
+            return exec_string(insn, regs, env, next_eip);
+        }
+        Op::Vmcall => {
+            env.vmcall(regs)?;
+        }
+    }
+
+    regs.eip = next_eip;
+    Ok(Exec::Normal)
+}
+
+fn jump_target<E: Env>(
+    insn: &Insn,
+    next_eip: u32,
+    regs: &mut Regs,
+    env: &mut E,
+) -> Result<u32, E::Err> {
+    match insn.src {
+        Operand::Imm(rel) => Ok(next_eip.wrapping_add(rel)),
+        Operand::Reg(r) => Ok(regs.get(r)),
+        Operand::Mem(m) => env.read_mem(effective_address(&m, regs), OpSize::Dword),
+        _ => Err(Fault::InvalidOpcode.into()),
+    }
+}
+
+fn port_of(op: &Operand, regs: &Regs) -> Result<u16, Fault> {
+    match op {
+        Operand::Imm(p) => Ok(*p as u16),
+        Operand::Reg(Reg::Edx) => Ok(regs.get(Reg::Edx) as u16),
+        _ => Err(Fault::InvalidOpcode),
+    }
+}
+
+fn exec_string<E: Env>(
+    insn: &Insn,
+    regs: &mut Regs,
+    env: &mut E,
+    next_eip: u32,
+) -> Result<Exec, E::Err> {
+    if insn.rep && regs.get(Reg::Ecx) == 0 {
+        regs.eip = next_eip;
+        return Ok(Exec::Normal);
+    }
+    let sz = insn.size.bytes();
+    let step = if regs.eflags & flags::DF != 0 {
+        (sz as i32).wrapping_neg() as u32
+    } else {
+        sz
+    };
+    let esi = regs.get(Reg::Esi);
+    let edi = regs.get(Reg::Edi);
+    match insn.op {
+        Op::Movs => {
+            let v = env.read_mem(esi, insn.size)?;
+            env.write_mem(edi, insn.size, v)?;
+            regs.set(Reg::Esi, esi.wrapping_add(step));
+            regs.set(Reg::Edi, edi.wrapping_add(step));
+        }
+        Op::Stos => {
+            let v = match insn.size {
+                OpSize::Byte => regs.get8(Reg8::Al) as u32,
+                OpSize::Dword => regs.get(Reg::Eax),
+            };
+            env.write_mem(edi, insn.size, v)?;
+            regs.set(Reg::Edi, edi.wrapping_add(step));
+        }
+        Op::Lods => {
+            let v = env.read_mem(esi, insn.size)?;
+            match insn.size {
+                OpSize::Byte => regs.set8(Reg8::Al, v as u8),
+                OpSize::Dword => regs.set(Reg::Eax, v),
+            }
+            regs.set(Reg::Esi, esi.wrapping_add(step));
+        }
+        _ => unreachable!(),
+    }
+    if insn.rep {
+        let ecx = regs.get(Reg::Ecx).wrapping_sub(1);
+        regs.set(Reg::Ecx, ecx);
+        if ecx != 0 {
+            // Architecturally restartable: EIP still points at the
+            // instruction so interrupts can be taken between iterations.
+            return Ok(Exec::RepContinue);
+        }
+    }
+    regs.eip = next_eip;
+    Ok(Exec::Normal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use std::collections::HashMap;
+
+    /// A flat test environment: sparse byte-addressable memory, recorded
+    /// port I/O, fixed CPUID.
+    #[derive(Default)]
+    struct Flat {
+        mem: HashMap<u32, u8>,
+        io_log: Vec<(u16, u32)>,
+        io_in_val: u32,
+    }
+
+    impl Env for Flat {
+        type Err = Fault;
+
+        fn read_mem(&mut self, addr: u32, size: OpSize) -> Result<u32, Fault> {
+            let mut v = 0u32;
+            for i in 0..size.bytes() {
+                v |= (*self.mem.get(&addr.wrapping_add(i)).unwrap_or(&0) as u32) << (8 * i);
+            }
+            Ok(v)
+        }
+
+        fn write_mem(&mut self, addr: u32, size: OpSize, val: u32) -> Result<(), Fault> {
+            for i in 0..size.bytes() {
+                self.mem
+                    .insert(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+            }
+            Ok(())
+        }
+
+        fn io_in(&mut self, _port: u16, _size: OpSize) -> Result<u32, Fault> {
+            Ok(self.io_in_val)
+        }
+
+        fn io_out(&mut self, port: u16, _size: OpSize, val: u32) -> Result<(), Fault> {
+            self.io_log.push((port, val));
+            Ok(())
+        }
+
+        fn cpuid(&mut self, leaf: u32) -> [u32; 4] {
+            [leaf, 0x756e_6547, 0x6c65_746e, 0x4965_6e69]
+        }
+
+        fn rdtsc(&mut self) -> u64 {
+            0x1234_5678_9abc_def0
+        }
+    }
+
+    fn run(bytes: &[u8], regs: &mut Regs, env: &mut Flat) -> Exec {
+        let insn = decode(bytes).expect("decode");
+        execute(&insn, regs, env).expect("execute")
+    }
+
+    #[test]
+    fn mov_imm_and_alu() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        run(&[0xb8, 0x05, 0, 0, 0], &mut regs, &mut env); // mov eax, 5
+        run(&[0x83, 0xc0, 0x03], &mut regs, &mut env); // add eax, 3
+        assert_eq!(regs.get(Reg::Eax), 8);
+        assert_eq!(regs.eflags & flags::ZF, 0);
+        run(&[0x83, 0xe8, 0x08], &mut regs, &mut env); // sub eax, 8
+        assert_eq!(regs.get(Reg::Eax), 0);
+        assert_ne!(regs.eflags & flags::ZF, 0);
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 0xffff_ffff);
+        run(&[0x83, 0xc0, 0x01], &mut regs, &mut env); // add eax, 1
+        assert_eq!(regs.get(Reg::Eax), 0);
+        assert_ne!(regs.eflags & flags::CF, 0);
+        assert_eq!(regs.eflags & flags::OF, 0);
+
+        regs.set(Reg::Eax, 0x7fff_ffff);
+        run(&[0x83, 0xc0, 0x01], &mut regs, &mut env);
+        assert_ne!(regs.eflags & flags::OF, 0);
+        assert_eq!(regs.eflags & flags::CF, 0);
+    }
+
+    #[test]
+    fn sub_borrow() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Ecx, 1);
+        run(&[0x83, 0xe9, 0x02], &mut regs, &mut env); // sub ecx, 2
+        assert_eq!(regs.get(Reg::Ecx), 0xffff_ffff);
+        assert_ne!(regs.eflags & flags::CF, 0);
+        assert_ne!(regs.eflags & flags::SF, 0);
+    }
+
+    #[test]
+    fn memory_via_modrm() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Ebx, 0x1000);
+        regs.set(Reg::Eax, 0xcafe_babe);
+        run(&[0x89, 0x43, 0x10], &mut regs, &mut env); // mov [ebx+0x10], eax
+        assert_eq!(env.read_mem(0x1010, OpSize::Dword).unwrap(), 0xcafe_babe);
+        run(&[0x8b, 0x4b, 0x10], &mut regs, &mut env); // mov ecx, [ebx+0x10]
+        assert_eq!(regs.get(Reg::Ecx), 0xcafe_babe);
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Esp, 0x8000);
+        regs.set(Reg::Eax, 42);
+        run(&[0x50], &mut regs, &mut env); // push eax
+        assert_eq!(regs.get(Reg::Esp), 0x7ffc);
+        run(&[0x5b], &mut regs, &mut env); // pop ebx
+        assert_eq!(regs.get(Reg::Ebx), 42);
+        assert_eq!(regs.get(Reg::Esp), 0x8000);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Esp, 0x8000);
+        regs.eip = 0x100;
+        run(&[0xe8, 0x10, 0, 0, 0], &mut regs, &mut env); // call +0x10
+        assert_eq!(regs.eip, 0x115);
+        run(&[0xc3], &mut regs, &mut env); // ret
+        assert_eq!(regs.eip, 0x105);
+        assert_eq!(regs.get(Reg::Esp), 0x8000);
+    }
+
+    #[test]
+    fn conditional_jump() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.eip = 0x200;
+        regs.set(Reg::Eax, 5);
+        run(&[0x83, 0xf8, 0x05], &mut regs, &mut env); // cmp eax, 5
+        let eip = regs.eip;
+        run(&[0x74, 0x10], &mut regs, &mut env); // je +0x10
+        assert_eq!(regs.eip, eip + 2 + 0x10);
+        run(&[0x75, 0x10], &mut regs, &mut env); // jne +0x10 (not taken)
+        assert_eq!(regs.eip, eip + 2 + 0x10 + 2);
+    }
+
+    #[test]
+    fn signed_conditions() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, (-5i32) as u32);
+        run(&[0x83, 0xf8, 0x03], &mut regs, &mut env); // cmp eax, 3
+        assert!(cond_holds(Cond::L, regs.eflags));
+        assert!(!cond_holds(Cond::G, regs.eflags));
+        assert!(cond_holds(Cond::Ne, regs.eflags));
+        // Unsigned: 0xfffffffb > 3.
+        assert!(cond_holds(Cond::A, regs.eflags));
+    }
+
+    #[test]
+    fn rep_stosd_fills_and_is_restartable() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Edi, 0x3000);
+        regs.set(Reg::Ecx, 3);
+        regs.set(Reg::Eax, 0x11111111);
+        let insn = decode(&[0xf3, 0xab]).unwrap();
+        assert_eq!(
+            execute(&insn, &mut regs, &mut env).unwrap(),
+            Exec::RepContinue
+        );
+        assert_eq!(
+            execute(&insn, &mut regs, &mut env).unwrap(),
+            Exec::RepContinue
+        );
+        assert_eq!(execute(&insn, &mut regs, &mut env).unwrap(), Exec::Normal);
+        for i in 0..3 {
+            assert_eq!(
+                env.read_mem(0x3000 + i * 4, OpSize::Dword).unwrap(),
+                0x11111111
+            );
+        }
+        assert_eq!(regs.get(Reg::Ecx), 0);
+        assert_eq!(regs.get(Reg::Edi), 0x300c);
+    }
+
+    #[test]
+    fn rep_with_zero_count_is_nop() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Ecx, 0);
+        regs.set(Reg::Edi, 0x3000);
+        let insn = decode(&[0xf3, 0xab]).unwrap();
+        assert_eq!(execute(&insn, &mut regs, &mut env).unwrap(), Exec::Normal);
+        assert_eq!(env.read_mem(0x3000, OpSize::Dword).unwrap(), 0);
+    }
+
+    #[test]
+    fn movs_copies() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        env.write_mem(0x100, OpSize::Dword, 0xaabbccdd).unwrap();
+        regs.set(Reg::Esi, 0x100);
+        regs.set(Reg::Edi, 0x200);
+        run(&[0xa5], &mut regs, &mut env); // movsd
+        assert_eq!(env.read_mem(0x200, OpSize::Dword).unwrap(), 0xaabbccdd);
+        assert_eq!(regs.get(Reg::Esi), 0x104);
+    }
+
+    #[test]
+    fn interrupt_frame_roundtrip() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        // IDT at 0x5000, vector 0x21 handler at 0x1234_5678.
+        regs.idt_base = 0x5000;
+        regs.idt_limit = 0x7ff;
+        let off = 0x5000 + 0x21 * 8;
+        env.write_mem(off, OpSize::Dword, 0x0008_5678).unwrap();
+        env.write_mem(off + 4, OpSize::Dword, 0x1234_0000).unwrap();
+        regs.set(Reg::Esp, 0x8000);
+        regs.eip = 0x400;
+        regs.eflags |= flags::IF;
+
+        run(&[0xcd, 0x21], &mut regs, &mut env); // int 0x21
+        assert_eq!(regs.eip, 0x1234_5678);
+        assert!(!regs.if_set(), "IF cleared during delivery");
+        assert_eq!(regs.get(Reg::Esp), 0x8000 - 12);
+
+        run(&[0xcf], &mut regs, &mut env); // iret
+        assert_eq!(regs.eip, 0x402, "resumes after INT");
+        assert!(regs.if_set(), "IF restored by IRET");
+        assert_eq!(regs.get(Reg::Esp), 0x8000);
+    }
+
+    #[test]
+    fn page_fault_error_codes() {
+        let f = Fault::Page {
+            addr: 0x1000,
+            write: true,
+            fetch: false,
+            present: false,
+        };
+        assert_eq!(f.vector(), 14);
+        assert_eq!(f.error_code(), Some(crate::reg::pf_err::WRITE));
+        let f = Fault::Page {
+            addr: 0,
+            write: false,
+            fetch: true,
+            present: true,
+        };
+        assert_eq!(
+            f.error_code(),
+            Some(crate::reg::pf_err::PRESENT | crate::reg::pf_err::FETCH)
+        );
+    }
+
+    #[test]
+    fn divide_error() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 100);
+        regs.set(Reg::Edx, 0);
+        regs.set(Reg::Ebx, 0);
+        let insn = decode(&[0xf7, 0xf3]).unwrap(); // div ebx
+        assert_eq!(execute(&insn, &mut regs, &mut env), Err(Fault::Divide));
+        // Quotient overflow also faults.
+        regs.set(Reg::Edx, 5);
+        regs.set(Reg::Ebx, 1);
+        assert_eq!(execute(&insn, &mut regs, &mut env), Err(Fault::Divide));
+    }
+
+    #[test]
+    fn div_quotient_remainder() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 17);
+        regs.set(Reg::Edx, 0);
+        regs.set(Reg::Ecx, 5);
+        run(&[0xf7, 0xf1], &mut regs, &mut env); // div ecx
+        assert_eq!(regs.get(Reg::Eax), 3);
+        assert_eq!(regs.get(Reg::Edx), 2);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 0x8000_0000);
+        regs.set(Reg::Ebx, 4);
+        run(&[0xf7, 0xe3], &mut regs, &mut env); // mul ebx
+        assert_eq!(regs.get(Reg::Eax), 0);
+        assert_eq!(regs.get(Reg::Edx), 2);
+        assert_ne!(regs.eflags & flags::CF, 0);
+    }
+
+    #[test]
+    fn hlt_sti_cli() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        assert_eq!(run(&[0xfb], &mut regs, &mut env), Exec::StiShadow); // sti
+        assert!(regs.if_set());
+        assert_eq!(run(&[0xfb], &mut regs, &mut env), Exec::Normal); // sti again
+        run(&[0xfa], &mut regs, &mut env); // cli
+        assert!(!regs.if_set());
+        assert_eq!(run(&[0xf4], &mut regs, &mut env), Exec::Halt); // hlt
+    }
+
+    #[test]
+    fn port_io() {
+        let mut regs = Regs::default();
+        let mut env = Flat {
+            io_in_val: 0xab,
+            ..Flat::default()
+        };
+        run(&[0xe4, 0x60], &mut regs, &mut env); // in al, 0x60
+        assert_eq!(regs.get8(Reg8::Al), 0xab);
+        regs.set(Reg::Edx, 0x3f8);
+        regs.set8(Reg8::Al, 0x41);
+        run(&[0xee], &mut regs, &mut env); // out dx, al
+        assert_eq!(env.io_log, vec![(0x3f8, 0x41)]);
+    }
+
+    #[test]
+    fn cpuid_rdtsc() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 1);
+        run(&[0x0f, 0xa2], &mut regs, &mut env);
+        assert_eq!(regs.get(Reg::Eax), 1);
+        assert_eq!(regs.get(Reg::Ebx), 0x756e_6547);
+        run(&[0x0f, 0x31], &mut regs, &mut env);
+        assert_eq!(regs.get(Reg::Eax), 0x9abc_def0);
+        assert_eq!(regs.get(Reg::Edx), 0x1234_5678);
+    }
+
+    #[test]
+    fn cr_moves_and_lidt() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 0x9000);
+        run(&[0x0f, 0x22, 0xd8], &mut regs, &mut env); // mov cr3, eax
+        assert_eq!(regs.cr3, 0x9000);
+        run(&[0x0f, 0x20, 0xd9], &mut regs, &mut env); // mov ecx, cr3
+        assert_eq!(regs.get(Reg::Ecx), 0x9000);
+
+        // lidt [0x7000] with limit 0x7ff, base 0x5000.
+        env.write_mem(0x7000, OpSize::Dword, 0x5000_07ff & 0xffff)
+            .unwrap();
+        env.write_mem(0x7002, OpSize::Dword, 0x5000).unwrap();
+        run(
+            &[0x0f, 0x01, 0x1d, 0x00, 0x70, 0x00, 0x00],
+            &mut regs,
+            &mut env,
+        );
+        assert_eq!(regs.idt_limit, 0x7ff);
+        assert_eq!(regs.idt_base, 0x5000);
+    }
+
+    #[test]
+    fn shifts_semantics() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 0x8000_0001);
+        run(&[0xc1, 0xe0, 0x01], &mut regs, &mut env); // shl eax, 1
+        assert_eq!(regs.get(Reg::Eax), 2);
+        assert_ne!(regs.eflags & flags::CF, 0);
+        regs.set(Reg::Eax, 0x8000_0000);
+        run(&[0xd1, 0xf8], &mut regs, &mut env); // sar eax, 1
+        assert_eq!(regs.get(Reg::Eax), 0xc000_0000);
+        regs.set(Reg::Eax, 0x10);
+        regs.set8(Reg8::Cl, 4);
+        run(&[0xd3, 0xe8], &mut regs, &mut env); // shr eax, cl
+        assert_eq!(regs.get(Reg::Eax), 1);
+    }
+
+    #[test]
+    fn inc_preserves_carry() {
+        let mut regs = Regs {
+            eflags: flags::R1 | flags::CF,
+            ..Regs::default()
+        };
+        let mut env = Flat::default();
+        regs.set(Reg::Eax, 7);
+        run(&[0x40], &mut regs, &mut env); // inc eax
+        assert_eq!(regs.get(Reg::Eax), 8);
+        assert_ne!(regs.eflags & flags::CF, 0, "INC preserves CF");
+    }
+
+    #[test]
+    fn vmcall_faults_without_hypervisor() {
+        let mut regs = Regs::default();
+        let mut env = Flat::default();
+        let insn = decode(&[0x0f, 0x01, 0xc1]).unwrap();
+        assert_eq!(
+            execute(&insn, &mut regs, &mut env),
+            Err(Fault::InvalidOpcode)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! x86 ISA substrate for the NOVA reproduction.
+//!
+//! This crate implements a genuine subset of the 32-bit x86 instruction
+//! set: real prefix/opcode/ModRM/SIB/displacement/immediate encodings, a
+//! decoder, an architecture-neutral executor, an assembler for building
+//! guest programs, two-level page-table and EPT/NPT entry formats, and
+//! CPUID identification tables.
+//!
+//! The same decoder and executor are used in two places, mirroring the
+//! paper's architecture:
+//!
+//! - by the simulated CPU in `nova-hw`, which *executes* guest code and
+//!   raises VM exits on sensitive instructions, and
+//! - by the instruction emulator in the user-level VMM (`nova-vmm`),
+//!   which decodes and executes faulting instructions on behalf of the
+//!   guest (Section 7.1 of the paper).
+//!
+//! # Subset boundaries
+//!
+//! The subset covers 32-bit protected-mode execution with 8-bit and
+//! 32-bit operand sizes (the 16-bit operand-size prefix is not
+//! implemented), flat segmentation (segment registers are ignored), and
+//! privilege-level-free operation (the guest kernel and its tasks run at
+//! the same privilege; the trap classes the paper measures — CR writes,
+//! INVLPG, page faults, port I/O, MMIO, HLT — are unaffected).
+
+#![forbid(unsafe_code)]
+
+pub mod asm;
+pub mod cpuid;
+pub mod decode;
+pub mod exec;
+pub mod insn;
+pub mod paging;
+pub mod reg;
+
+pub use asm::Asm;
+pub use decode::{decode, DecodeError};
+pub use exec::{execute, Env, Exec, Fault};
+pub use insn::{AluOp, Cond, Insn, MemRef, Op, OpSize, Operand};
+pub use reg::{flags, vector, Reg, Reg8, Regs};

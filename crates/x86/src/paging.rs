@@ -1,0 +1,179 @@
+//! Page-table entry formats: 32-bit two-level guest paging (with 4 MB
+//! page-size extension) and the nested-paging formats used by the host —
+//! 4-level EPT (the Intel model in the paper) and 2-level NPT with 4 MB
+//! pages (the AMD model, whose shallower host walk explains the lower
+//! overhead measured on the Phenom in Figure 5).
+
+/// Size of a small page.
+pub const PAGE_SIZE: u32 = 4096;
+/// Number of low bits covered by a small page.
+pub const PAGE_BITS: u32 = 12;
+/// Size of a 32-bit large page (PDE.PS).
+pub const LARGE_PAGE_SIZE: u32 = 4 << 20;
+/// Size of an EPT large page (2 MB, four-level Intel format).
+pub const EPT_LARGE_PAGE_SIZE: u64 = 2 << 20;
+
+/// Bits of a 32-bit page-directory or page-table entry.
+pub mod pte {
+    /// Present.
+    pub const P: u32 = 1 << 0;
+    /// Writable.
+    pub const W: u32 = 1 << 1;
+    /// User-accessible (carried, not enforced by the flat-privilege CPU).
+    pub const U: u32 = 1 << 2;
+    /// Accessed.
+    pub const A: u32 = 1 << 5;
+    /// Dirty.
+    pub const D: u32 = 1 << 6;
+    /// Page size (PDE only): maps a 4 MB page.
+    pub const PS: u32 = 1 << 7;
+    /// Mask of the physical frame address.
+    pub const ADDR: u32 = 0xffff_f000;
+    /// Mask of the 4 MB frame address in a PS PDE.
+    pub const ADDR_LARGE: u32 = 0xffc0_0000;
+}
+
+/// Bits of a nested (EPT/NPT) page-table entry. Stored as u64 in host
+/// tables; guest-physical space is 32-bit (max 3 GB, Section 5.3).
+pub mod npte {
+    /// Readable.
+    pub const R: u64 = 1 << 0;
+    /// Writable.
+    pub const W: u64 = 1 << 1;
+    /// Executable.
+    pub const X: u64 = 1 << 2;
+    /// Large page (terminates the walk above level 0).
+    pub const PS: u64 = 1 << 7;
+    /// Mask of the physical frame address.
+    pub const ADDR: u64 = 0x000f_ffff_ffff_f000;
+    /// All permissions.
+    pub const RWX: u64 = R | W | X;
+}
+
+/// Splits a 32-bit linear address into (directory index, table index,
+/// offset).
+pub fn split_2level(addr: u32) -> (u32, u32, u32) {
+    (addr >> 22, (addr >> 12) & 0x3ff, addr & 0xfff)
+}
+
+/// Access rights requested of or granted by a translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Write access.
+    pub write: bool,
+    /// Instruction fetch.
+    pub fetch: bool,
+}
+
+impl Access {
+    /// A data read.
+    pub const READ: Access = Access {
+        write: false,
+        fetch: false,
+    };
+    /// A data write.
+    pub const WRITE: Access = Access {
+        write: true,
+        fetch: false,
+    };
+    /// An instruction fetch.
+    pub const FETCH: Access = Access {
+        write: false,
+        fetch: true,
+    };
+}
+
+/// Host paging format used for the nested dimension, selecting both the
+/// entry layout and the walk depth (which the paper shows dominates the
+/// nested-paging overhead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NestedFormat {
+    /// Intel EPT: 4-level, 2 MB large pages.
+    Ept4Level,
+    /// AMD NPT: 2-level 32-bit format, 4 MB large pages.
+    Npt2Level,
+}
+
+impl NestedFormat {
+    /// Number of page-table levels walked for a small-page translation.
+    pub fn levels(self) -> u32 {
+        match self {
+            NestedFormat::Ept4Level => 4,
+            NestedFormat::Npt2Level => 2,
+        }
+    }
+
+    /// Large-page size in bytes.
+    pub fn large_page_size(self) -> u64 {
+        match self {
+            NestedFormat::Ept4Level => EPT_LARGE_PAGE_SIZE,
+            NestedFormat::Npt2Level => LARGE_PAGE_SIZE as u64,
+        }
+    }
+
+    /// Index bits consumed per level (9 for 64-bit entries, 10 for
+    /// 32-bit entries).
+    pub fn index_bits(self) -> u32 {
+        match self {
+            NestedFormat::Ept4Level => 9,
+            NestedFormat::Npt2Level => 10,
+        }
+    }
+
+    /// Bytes per entry.
+    pub fn entry_size(self) -> u32 {
+        match self {
+            NestedFormat::Ept4Level => 8,
+            NestedFormat::Npt2Level => 4,
+        }
+    }
+
+    /// The level (counted from the leaf, starting at 1 for the
+    /// second-lowest) at which large pages terminate the walk.
+    pub fn index_of(self, level: u32, addr: u64) -> u64 {
+        let shift = PAGE_BITS + level * self.index_bits();
+        (addr >> shift) & ((1 << self.index_bits()) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_2level_indices() {
+        let (pd, pt, off) = split_2level(0xc030_2123);
+        assert_eq!(pd, 0xc030_2123 >> 22);
+        assert_eq!(pt, (0xc030_2123 >> 12) & 0x3ff);
+        assert_eq!(off, 0x123);
+    }
+
+    #[test]
+    fn nested_format_geometry() {
+        assert_eq!(NestedFormat::Ept4Level.levels(), 4);
+        assert_eq!(NestedFormat::Npt2Level.levels(), 2);
+        assert_eq!(NestedFormat::Ept4Level.large_page_size(), 2 << 20);
+        assert_eq!(NestedFormat::Npt2Level.large_page_size(), 4 << 20);
+    }
+
+    #[test]
+    fn nested_indices() {
+        // EPT: level 3..0 indices of a 36-bit address.
+        let a = 0x1_2345_6789u64;
+        let f = NestedFormat::Ept4Level;
+        assert_eq!(f.index_of(0, a), (a >> 12) & 0x1ff);
+        assert_eq!(f.index_of(1, a), (a >> 21) & 0x1ff);
+        assert_eq!(f.index_of(2, a), (a >> 30) & 0x1ff);
+        assert_eq!(f.index_of(3, a), (a >> 39) & 0x1ff);
+        let f = NestedFormat::Npt2Level;
+        assert_eq!(f.index_of(0, a), (a >> 12) & 0x3ff);
+        assert_eq!(f.index_of(1, a), (a >> 22) & 0x3ff);
+    }
+
+    #[test]
+    fn pte_masks_disjoint() {
+        assert_eq!(pte::ADDR & 0xfff, 0);
+        assert_eq!(pte::ADDR_LARGE & (LARGE_PAGE_SIZE - 1), 0);
+        assert_eq!(npte::ADDR & 0xfff, 0);
+    }
+}

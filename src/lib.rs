@@ -1,0 +1,18 @@
+//! NOVA-rs — umbrella crate re-exporting the full NOVA reproduction.
+//!
+//! See the individual crates for detail:
+//! - [`x86`] (`nova-x86`): x86 ISA substrate (decoder, assembler, paging).
+//! - [`hw`] (`nova-hw`): simulated hardware platform (CPU, VMX, MMU, devices).
+//! - [`hypervisor`] (`nova-core`): the microhypervisor — the paper's contribution.
+//! - [`user`] (`nova-user`): root partition manager and user-level services.
+//! - [`vmm`] (`nova-vmm`): the user-level virtual-machine monitor.
+//! - [`guest`] (`nova-guest`): guest operating system and workloads.
+//! - [`baseline`] (`nova-baseline`): monolithic/paravirt comparators.
+
+pub use nova_baseline as baseline;
+pub use nova_core as hypervisor;
+pub use nova_guest as guest;
+pub use nova_hw as hw;
+pub use nova_user as user;
+pub use nova_vmm as vmm;
+pub use nova_x86 as x86;

@@ -1,0 +1,86 @@
+//! Virtual-AHCI error paths: malformed guest commands must produce a
+//! task-file error for the guest, never crash the VMM or reach the
+//! disk server.
+
+use nova_core::RunOutcome;
+use nova_guest::os::{build_os, OsParams};
+use nova_guest::rt::{self, layout};
+use nova_vmm::{GuestImage, LaunchOptions, System, VmmConfig};
+use nova_x86::insn::MemRef;
+use nova_x86::reg::Reg;
+
+fn image(prog: nova_guest::os::Program) -> GuestImage {
+    GuestImage {
+        bytes: prog.bytes,
+        load_gpa: prog.load_gpa,
+        entry: prog.entry,
+        stack: prog.stack,
+    }
+}
+
+/// The guest rings the doorbell with a garbage FIS: the virtual
+/// controller reports TFES in P0IS and frees the slot; the machine
+/// keeps running.
+#[test]
+fn malformed_guest_command_reports_task_file_error() {
+    use nova_hw::ahci::regs;
+    let base = nova_hw::machine::AHCI_BASE as u32;
+    let prog = build_os(
+        OsParams {
+            paging: false,
+            pf_handler: false,
+            timer_divisor: None,
+            disk: true,
+            nic: false,
+        },
+        |a, _| {
+            // Corrupt the command table: FIS type 0x99.
+            a.mov_mi(MemRef::abs(layout::DISK_CTBA), 0x0099_0099);
+            a.mov_mi(MemRef::abs(layout::DISK_CMD), 1 << 16);
+            a.mov_mi(MemRef::abs(layout::DISK_CMD + 8), layout::DISK_CTBA);
+            a.mov_mi(MemRef::abs(base + regs::P0CI), 1);
+            // Read back the port status and report it as a mark.
+            a.mov_rm(Reg::Eax, MemRef::abs(base + regs::P0IS));
+            a.mov_ri(Reg::Edx, 0xf5);
+            a.out_dx_eax();
+            // The slot must be free again.
+            a.mov_rm(Reg::Eax, MemRef::abs(base + regs::P0CI));
+            a.out_dx_eax();
+            rt::emit_exit(a, 0);
+        },
+    );
+    let mut sys = System::build(LaunchOptions::standard(VmmConfig::full_virt(
+        image(prog),
+        2048,
+    )));
+    assert_eq!(sys.run(Some(5_000_000_000)), RunOutcome::Shutdown(0));
+    let marks = sys.vmm().guest_marks();
+    assert_eq!(marks.len(), 2);
+    assert_ne!(marks[0] & (1 << 30), 0, "TFES visible to the guest");
+    assert_eq!(marks[1], 0, "command slot freed");
+    // Nothing reached the disk server.
+    let stats = sys.disk_server().unwrap().stats;
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.completed, 0);
+}
+
+/// A doorbell with no command list programmed: rejected cleanly.
+#[test]
+fn doorbell_without_setup_fails_cleanly() {
+    use nova_hw::ahci::regs;
+    let base = nova_hw::machine::AHCI_BASE as u32;
+    let prog = build_os(OsParams::minimal(), |a, _| {
+        a.mov_mi(MemRef::abs(base + regs::P0CI), 1);
+        a.mov_rm(Reg::Eax, MemRef::abs(base + regs::P0IS));
+        a.mov_ri(Reg::Edx, 0xf5);
+        a.out_dx_eax();
+        rt::emit_exit(a, 0);
+    });
+    let mut sys = System::build(LaunchOptions::standard(VmmConfig::full_virt(
+        image(prog),
+        2048,
+    )));
+    assert_eq!(sys.run(Some(5_000_000_000)), RunOutcome::Shutdown(0));
+    let marks = sys.vmm().guest_marks();
+    assert_ne!(marks[0] & (1 << 30), 0, "error status reported");
+}
