@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks of the hot code paths: instruction
-//! decode, TLB lookup, page walks, capability lookup, mapping-database
+//! Microbenchmarks of the hot code paths: instruction decode, TLB
+//! lookup, page walks, capability lookup, mapping-database
 //! delegation/revocation, shadow fills, and the full IPC path.
+//!
+//! Self-contained timing harness (wall-clock medians over fixed
+//! batches) so the bench builds without registry access.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use nova_core::cap::{CapSpace, Capability, Perms};
 use nova_core::hostpt::{FrameAllocator, ShadowPt};
@@ -16,7 +19,27 @@ use nova_hw::tlb::{Tlb, TlbEntry};
 use nova_user::RootPm;
 use nova_x86::decode::decode;
 
-fn bench_decode(c: &mut Criterion) {
+/// Times `f` over `iters` iterations, repeated for several samples;
+/// prints the median per-iteration cost.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    const SAMPLES: usize = 7;
+    let mut per_iter = Vec::with_capacity(SAMPLES);
+    // Warm-up.
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{name:40} {:10.1} ns/iter", per_iter[SAMPLES / 2]);
+}
+
+fn bench_decode() {
     let streams: Vec<&[u8]> = vec![
         &[0xb8, 0x78, 0x56, 0x34, 0x12],       // mov eax, imm32
         &[0x8b, 0x44, 0xb3, 0x10],             // mov eax, [ebx+esi*4+16]
@@ -24,16 +47,14 @@ fn bench_decode(c: &mut Criterion) {
         &[0xf3, 0xab],                         // rep stosd
         &[0x0f, 0x22, 0xd8],                   // mov cr3, eax
     ];
-    c.bench_function("decode_mixed_instructions", |b| {
-        b.iter(|| {
-            for s in &streams {
-                black_box(decode(black_box(s)).unwrap());
-            }
-        })
+    bench("decode_mixed_instructions", 100_000, || {
+        for s in &streams {
+            black_box(decode(black_box(s)).unwrap());
+        }
     });
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb() {
     let mut tlb = Tlb::new();
     for vpn in 0..256u64 {
         tlb.insert(TlbEntry {
@@ -44,16 +65,14 @@ fn bench_tlb(c: &mut Criterion) {
             write: true,
         });
     }
-    c.bench_function("tlb_lookup_hit", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = (a + 4096) % (256 << 12);
-            black_box(tlb.lookup(1, black_box(a)));
-        })
+    let mut a = 0u64;
+    bench("tlb_lookup_hit", 1_000_000, || {
+        a = (a + 4096) % (256 << 12);
+        black_box(tlb.lookup(1, black_box(a)));
     });
 }
 
-fn bench_walks(c: &mut Criterion) {
+fn bench_walks() {
     use nova_x86::paging::{pte, Access};
     let mut mem = PhysMem::new(16 << 20);
     let root = 0x10_0000u32;
@@ -66,26 +85,24 @@ fn bench_walks(c: &mut Criterion) {
         );
     }
     let cost = nova_hw::cost::BLM;
-    c.bench_function("walk_2level", |b| {
-        let mut cyc = 0;
-        b.iter(|| {
-            black_box(
-                nova_hw::mmu::walk_2level(
-                    &mem,
-                    root,
-                    black_box(0x40_0000),
-                    Access::READ,
-                    false,
-                    &cost,
-                    &mut cyc,
-                )
-                .unwrap(),
-            );
-        })
+    let mut cyc = 0;
+    bench("walk_2level", 500_000, || {
+        black_box(
+            nova_hw::mmu::walk_2level(
+                &mem,
+                root,
+                black_box(0x40_0000),
+                Access::READ,
+                false,
+                &cost,
+                &mut cyc,
+            )
+            .unwrap(),
+        );
     });
 }
 
-fn bench_capspace(c: &mut Criterion) {
+fn bench_capspace() {
     let mut cs = CapSpace::new();
     for i in 0..512 {
         cs.set(
@@ -96,40 +113,34 @@ fn bench_capspace(c: &mut Criterion) {
             },
         );
     }
-    c.bench_function("capability_lookup", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 7) % 512;
-            black_box(cs.get(black_box(i)));
-        })
+    let mut i = 0;
+    bench("capability_lookup", 1_000_000, || {
+        i = (i + 7) % 512;
+        black_box(cs.get(black_box(i)));
     });
 }
 
-fn bench_mdb(c: &mut Criterion) {
-    c.bench_function("mdb_delegate_revoke_chain4", |b| {
-        b.iter(|| {
-            let mut db: MapDb<u64> = MapDb::new();
-            db.insert_root(0, 1);
-            db.delegate((0, 1), (1, 1));
-            db.delegate((1, 1), (2, 1));
-            db.delegate((2, 1), (3, 1));
-            let mut n = 0;
-            db.revoke((0, 1), false, &mut |_| n += 1);
-            black_box(n);
-        })
+fn bench_mdb() {
+    bench("mdb_delegate_revoke_chain4", 100_000, || {
+        let mut db: MapDb<u64> = MapDb::new();
+        db.insert_root(0, 1);
+        db.delegate((0, 1), (1, 1));
+        db.delegate((1, 1), (2, 1));
+        db.delegate((2, 1), (3, 1));
+        let mut n = 0;
+        db.revoke((0, 1), false, &mut |_| n += 1);
+        black_box(n);
     });
 }
 
-fn bench_shadow_fill(c: &mut Criterion) {
+fn bench_shadow_fill() {
     let mut mem = PhysMem::new(32 << 20);
     let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
     let mut s = ShadowPt::new(&mut alloc, &mut mem);
-    c.bench_function("shadow_fill", |b| {
-        let mut va = 0u32;
-        b.iter(|| {
-            va = va.wrapping_add(4096);
-            s.fill(&mut mem, &mut alloc, black_box(va), 0x9000, true);
-        })
+    let mut va = 0u32;
+    bench("shadow_fill", 200_000, || {
+        va = va.wrapping_add(4096);
+        s.fill(&mut mem, &mut alloc, black_box(va), 0x9000, true);
     });
 }
 
@@ -146,7 +157,7 @@ impl Component for Echo {
     }
 }
 
-fn bench_ipc(c: &mut Criterion) {
+fn bench_ipc() {
     let m = Machine::new(MachineConfig::core_i7(32 << 20));
     let mut k = Kernel::new(m, KernelConfig::default());
     let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
@@ -169,18 +180,16 @@ fn bench_ipc(c: &mut Criterion) {
         },
     )
     .unwrap();
-    c.bench_function("ipc_call_roundtrip", |b| {
-        b.iter(|| {
-            let mut utcb = Utcb::new();
-            k.ipc_call(ctx, 0x20, &mut utcb).unwrap();
-            black_box(&utcb);
-        })
+    bench("ipc_call_roundtrip", 100_000, || {
+        let mut utcb = Utcb::new();
+        k.ipc_call(ctx, 0x20, &mut utcb).unwrap();
+        black_box(&utcb);
     });
 }
 
 /// Raw simulator throughput: how many guest instructions per second
 /// the interpreter retires in a tight native loop (host wall-clock).
-fn bench_sim_speed(c: &mut Criterion) {
+fn bench_sim_speed() {
     use nova_x86::Asm;
     let mut m = Machine::new(MachineConfig::core_i7(16 << 20));
     let mut a = Asm::new(0x1000);
@@ -193,24 +202,20 @@ fn bench_sim_speed(c: &mut Criterion) {
     a.out_dx_al();
     let img = a.finish();
     m.load_image(0x1000, &img);
-    c.bench_function("simulate_30k_native_instructions", |b| {
-        b.iter(|| {
-            m.cpus[0].regs = nova_x86::reg::Regs::at(0x1000);
-            m.cpus[0].regs.set(nova_x86::Reg::Esp, 0x8000);
-            black_box(m.run_native(None));
-        })
+    bench("simulate_30k_native_instructions", 200, || {
+        m.cpus[0].regs = nova_x86::reg::Regs::at(0x1000);
+        m.cpus[0].regs.set(nova_x86::Reg::Esp, 0x8000);
+        black_box(m.run_native(None));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_decode,
-    bench_tlb,
-    bench_walks,
-    bench_capspace,
-    bench_mdb,
-    bench_shadow_fill,
-    bench_ipc,
-    bench_sim_speed
-);
-criterion_main!(benches);
+fn main() {
+    bench_decode();
+    bench_tlb();
+    bench_walks();
+    bench_capspace();
+    bench_mdb();
+    bench_shadow_fill();
+    bench_ipc();
+    bench_sim_speed();
+}

@@ -24,6 +24,23 @@ pub struct Counters {
     /// Hypercalls executed.
     pub hypercalls: u64,
 
+    /// Watchdog deadlines that expired and signalled a supervisor.
+    pub watchdog_fires: u64,
+    /// Protection-domain faults reported to supervisors.
+    pub pd_deaths: u64,
+    /// Driver/server restarts performed by a supervisor.
+    pub driver_restarts: u64,
+    /// Cross-PD requests that timed out awaiting completion.
+    pub request_timeouts: u64,
+    /// Re-submissions of timed-out or error-completed requests.
+    pub request_retries: u64,
+    /// Requests degraded to an error reply after recovery gave up.
+    pub degraded_errors: u64,
+    /// Spurious device interrupts absorbed by drivers.
+    pub spurious_irqs: u64,
+    /// Device controller resets performed during recovery.
+    pub controller_resets: u64,
+
     /// Cycles spent in guest/host transitions (Section 8.5: 26%).
     pub cycles_transition: Cycles,
     /// Cycles spent transferring state via IPC (Section 8.5: 15%).

@@ -231,6 +231,25 @@ pub enum Hypercall {
         /// Device bus index.
         device: usize,
     },
+    /// Arms (or with `timeout == 0` cancels) a deadman watchdog on a
+    /// protection domain (requires CTRL on the PD and UP on the
+    /// semaphore). If the watched domain executes no hypercall for
+    /// `timeout` cycles — or faults — the kernel signals `sm` once;
+    /// the supervisor re-arms after recovery. This is the death/
+    /// exception notification channel of the paper's fault-containment
+    /// story: drivers fail, the system above notices and recovers.
+    WatchdogArm {
+        /// The domain to watch.
+        pd: CapSel,
+        /// Semaphore signalled on expiry or fault.
+        sm: CapSel,
+        /// Inactivity deadline in cycles (0 disarms).
+        timeout: Cycles,
+    },
+    /// Explicit sign of life for any watchdog watching the caller's
+    /// domain. Every hypercall already counts as activity; this is the
+    /// heartbeat for components with nothing else to say.
+    WatchdogPet,
 }
 
 /// Successful hypercall result.

@@ -166,7 +166,21 @@ pub struct Kernel {
     gsi_sm: HashMap<u8, SmId>,
     activations: HashMap<EcId, VecDeque<Activation>>,
     timers: Vec<KernelTimer>,
+    watchdogs: Vec<Watchdog>,
     next_vpid: u16,
+}
+
+/// A deadman watchdog on a protection domain: if the domain shows no
+/// sign of life (any hypercall) for `timeout` cycles, or faults, the
+/// kernel signals `sm` once so a supervisor can tear the domain down
+/// and restart it. The latch (`fired`) prevents signal storms; the
+/// supervisor re-arms after recovery.
+struct Watchdog {
+    pd: PdId,
+    sm: SmId,
+    timeout: Cycles,
+    stamp: Cycles,
+    fired: bool,
 }
 
 /// A hypervisor timer signalling a semaphore: the mechanism behind
@@ -313,6 +327,7 @@ impl Kernel {
             gsi_sm: HashMap::new(),
             activations: HashMap::new(),
             timers: Vec::new(),
+            watchdogs: Vec::new(),
             next_vpid: 1,
         }
     }
@@ -480,6 +495,8 @@ impl Kernel {
     /// user/kernel boundary crossing.
     pub fn hypercall(&mut self, ctx: CompCtx, hc: Hypercall) -> Result<HcReply, HcErr> {
         self.counters.hypercalls += 1;
+        // Any hypercall is a sign of life for watchdogs on the caller.
+        self.watchdog_stamp(ctx.pd);
         let ee = self.machine.cost.syscall_entry_exit;
         self.charge_kernel(ee);
         let caller = ctx.pd;
@@ -827,6 +844,27 @@ impl Kernel {
                 }
                 Ok(HcReply::Ok)
             }
+            Hypercall::WatchdogArm { pd, sm, timeout } => {
+                let target = self.lookup_pd(caller, pd, Perms::CTRL)?;
+                let sm_id = self.lookup_sm(caller, sm, Perms::UP)?;
+                self.watchdogs.retain(|w| w.pd != target);
+                if timeout > 0 {
+                    self.watchdogs.push(Watchdog {
+                        pd: target,
+                        sm: sm_id,
+                        timeout,
+                        stamp: self.machine.clock,
+                        fired: false,
+                    });
+                }
+                Ok(HcReply::Ok)
+            }
+            Hypercall::WatchdogPet => {
+                // The generic stamp at hypercall entry already did the
+                // work; the variant exists so an otherwise-idle
+                // component has a heartbeat to send.
+                Ok(HcReply::Ok)
+            }
         }
     }
 
@@ -1116,8 +1154,16 @@ impl Kernel {
                 sm.bound = None;
             }
         }
-        // Interrupt routes into the dead domain.
-        self.gsi_owner.retain(|_, owner| *owner != pd);
+        // Interrupt routes into the dead domain revert to root, so
+        // the supervisor can re-grant them to a restarted driver.
+        let root = self.root_pd;
+        for owner in self.gsi_owner.values_mut() {
+            if *owner == pd {
+                *owner = root;
+            }
+        }
+        // Watchdogs on the dead domain are gone with it.
+        self.watchdogs.retain(|w| w.pd != pd);
 
         // Hardware teardown: nested tables back to the frame pool,
         // IOMMU domains dropped.
@@ -1303,6 +1349,77 @@ impl Kernel {
                 Some(v) => self.deliver_vector(v),
                 None => break,
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Watchdogs and death notification
+    // ------------------------------------------------------------------
+
+    fn watchdog_stamp(&mut self, pd: PdId) {
+        let now = self.machine.clock;
+        for w in &mut self.watchdogs {
+            if w.pd == pd {
+                w.stamp = now;
+            }
+        }
+    }
+
+    fn check_watchdogs(&mut self) {
+        let now = self.machine.clock;
+        let mut fired = Vec::new();
+        for w in &mut self.watchdogs {
+            if !w.fired && now >= w.stamp + w.timeout {
+                w.fired = true;
+                fired.push(w.sm);
+            }
+        }
+        for sm in fired {
+            self.counters.watchdog_fires += 1;
+            self.sm_up(sm);
+        }
+    }
+
+    /// Reports a fatal fault in a protection domain (an unhandled
+    /// exception, a self-declared failure): its execution contexts are
+    /// blocked and refused further calls, and any watchdog on the
+    /// domain fires immediately — the death notification a supervisor
+    /// uses to trigger teardown and restart. The domain's resources
+    /// stay in place until the supervisor issues `DestroyPd`.
+    pub fn pd_fault(&mut self, pd: PdId, _code: u64) {
+        if self.obj.pd(pd).dying {
+            return;
+        }
+        let ecs: Vec<EcId> = (0..self.obj.ecs.len())
+            .map(EcId)
+            .filter(|e| self.obj.ec(*e).pd == pd)
+            .collect();
+        for ec in &ecs {
+            self.obj.ec_mut(*ec).blocked = true;
+            self.obj.ec_mut(*ec).busy = true; // refuses future calls
+            if let Some(sc) = self.obj.ec(*ec).sc {
+                let cpu = self.obj.ec(*ec).cpu;
+                self.sched.cpu(cpu).remove(sc);
+            }
+            self.activations.remove(ec);
+        }
+        // Semaphores bound into the dead domain stop delivering — a
+        // crashed driver must not keep handling its interrupts.
+        for sm in &mut self.obj.sms {
+            if sm.bound.is_some_and(|e| ecs.contains(&e)) {
+                sm.bound = None;
+            }
+        }
+        self.counters.pd_deaths += 1;
+        let mut fired = Vec::new();
+        for w in &mut self.watchdogs {
+            if w.pd == pd && !w.fired {
+                w.fired = true;
+                fired.push(w.sm);
+            }
+        }
+        for sm in fired {
+            self.sm_up(sm);
         }
     }
 
@@ -1666,6 +1783,12 @@ impl Kernel {
 
     fn dispatch_thread(&mut self, sc_id: ScId) {
         let ec_id = self.obj.sc(sc_id).ec;
+        if self.obj.ec(ec_id).blocked {
+            // A faulted (or dying) domain's thread never runs again;
+            // whatever activations raced in with its death are dropped.
+            self.activations.remove(&ec_id);
+            return;
+        }
         let Some(act) = self.activations.get_mut(&ec_id).and_then(|q| q.pop_front()) else {
             return;
         };
@@ -1712,6 +1835,7 @@ impl Kernel {
             self.machine.bus.process_events(&mut self.machine.mem, now);
             self.poll_interrupts();
             self.fire_timers();
+            self.check_watchdogs();
 
             let mut ran = false;
             for cpu in 0..self.sched.cpus() {
@@ -1725,12 +1849,19 @@ impl Kernel {
                 }
             }
             if !ran {
-                // Idle: fast-forward to the next device event or timer.
+                // Idle: fast-forward to the next device event, timer,
+                // or watchdog deadline.
                 let next_timer = self.timers.iter().map(|t| t.due).min();
-                let next = match (self.machine.bus.next_event_due(), next_timer) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
+                let next_wd = self
+                    .watchdogs
+                    .iter()
+                    .filter(|w| !w.fired)
+                    .map(|w| w.stamp + w.timeout)
+                    .min();
+                let next = [self.machine.bus.next_event_due(), next_timer, next_wd]
+                    .into_iter()
+                    .flatten()
+                    .min();
                 match next {
                     Some(due) => {
                         let skip = due.saturating_sub(self.machine.clock);
@@ -1740,6 +1871,7 @@ impl Kernel {
                         self.machine.bus.process_events(&mut self.machine.mem, now);
                         self.poll_interrupts();
                         self.fire_timers();
+                        self.check_watchdogs();
                     }
                     None => return RunOutcome::Idle,
                 }
@@ -1885,6 +2017,88 @@ mod tests {
         assert!(k.now() > before, "IPC charged cycles");
         assert_eq!(k.counters.ipc_calls, 1);
         assert_eq!(k.component_mut::<Doubler>(comp).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn watchdog_fires_on_silence_latches_and_reports_death() {
+        let mut k = kernel();
+        let (sup, sup_ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, sup_ec, sup);
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSc {
+                ec: SEL_SELF_EC,
+                prio: 10,
+                quantum: 100_000,
+                dst: 0x10,
+            },
+        )
+        .unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::CreateSm {
+                count: 0,
+                dst: 0x11,
+            },
+        )
+        .unwrap();
+        k.hypercall(ctx, Hypercall::SmBind { sm: 0x11 }).unwrap();
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "watched".into(),
+                vm: None,
+                dst: 0x12,
+            },
+        )
+        .unwrap();
+        let child = PdId(k.obj.pds.len() - 1);
+        k.hypercall(
+            ctx,
+            Hypercall::WatchdogArm {
+                pd: 0x12,
+                sm: 0x11,
+                timeout: 1_000_000,
+            },
+        )
+        .unwrap();
+
+        // The watched domain stays silent: the deadline expires even
+        // though the system is otherwise idle.
+        k.run(Some(5_000_000));
+        assert_eq!(k.counters.watchdog_fires, 1);
+        assert_eq!(k.component_mut::<Doubler>(sup).unwrap().signals.len(), 1);
+
+        // Latched: silence does not re-fire until re-armed.
+        k.run(Some(5_000_000));
+        assert_eq!(k.counters.watchdog_fires, 1);
+
+        // Re-arm; a domain fault notifies immediately.
+        k.hypercall(
+            ctx,
+            Hypercall::WatchdogArm {
+                pd: 0x12,
+                sm: 0x11,
+                timeout: 1_000_000,
+            },
+        )
+        .unwrap();
+        k.pd_fault(child, 0);
+        assert_eq!(k.counters.pd_deaths, 1);
+        k.run(Some(1_000_000));
+        assert_eq!(k.component_mut::<Doubler>(sup).unwrap().signals.len(), 2);
+
+        // Disarm removes the entry outright.
+        k.hypercall(
+            ctx,
+            Hypercall::WatchdogArm {
+                pd: 0x12,
+                sm: 0x11,
+                timeout: 0,
+            },
+        )
+        .unwrap();
+        assert!(k.watchdogs.is_empty());
     }
 
     #[test]

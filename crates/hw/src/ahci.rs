@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use nova_x86::insn::OpSize;
 
 use crate::device::{DevCtx, Device};
+use crate::fault::FaultKind;
 use crate::Cycles;
 
 /// Sector size in bytes.
@@ -118,6 +119,9 @@ pub struct Ahci {
     pub bytes_moved: u64,
     /// Commands that failed to parse or faulted on DMA.
     pub errors: u64,
+    /// Controller resets via GHC.HR (drivers use this to recover from
+    /// a wedged DMA engine).
+    pub resets: u64,
 }
 
 impl Ahci {
@@ -137,6 +141,7 @@ impl Ahci {
             completed: 0,
             bytes_moved: 0,
             errors: 0,
+            resets: 0,
         }
     }
 
@@ -207,10 +212,28 @@ impl Ahci {
     fn issue(&mut self, ctx: &mut DevCtx, slot: u8) {
         match self.parse_command(ctx, slot) {
             Some(req) => {
+                if ctx
+                    .fault
+                    .roll(ctx.now, FaultKind::AhciStuckDma, slot as u64)
+                {
+                    // DMA engine wedges: the command is accepted (CI
+                    // stays set) but never completes until GHC.HR.
+                    self.inflight = Some(req);
+                    return;
+                }
                 let bytes = req.sectors as u64 * SECTOR as u64;
                 let delay = self.params.fixed_latency + self.params.transfer_cycles(bytes);
                 self.inflight = Some(req);
                 ctx.schedule(delay, slot as u64);
+                if self.p0ie != 0
+                    && ctx
+                        .fault
+                        .roll(ctx.now, FaultKind::AhciSpuriousIrq, slot as u64)
+                {
+                    // Interrupt with no completion pending: the driver
+                    // will find IS clear.
+                    ctx.pulse_irq(self.irq_line);
+                }
             }
             None => {
                 self.errors += 1;
@@ -255,6 +278,19 @@ impl Device for Ahci {
 
     fn mmio_write(&mut self, ctx: &mut DevCtx, off: u32, _size: OpSize, val: u32) {
         match off {
+            regs::GHC if val & 1 != 0 => {
+                // HR: full HBA reset. Aborts any in-flight command
+                // (including a wedged one) and clears all state.
+                self.resets += 1;
+                self.clb = 0;
+                self.fb = 0;
+                self.is = 0;
+                self.p0is = 0;
+                self.p0ie = 0;
+                self.ci = 0;
+                self.inflight = None;
+                ctx.lower_irq(self.irq_line);
+            }
             regs::IS => self.is &= !val,
             regs::P0CLB => self.clb = (self.clb & !0xffff_ffff) | val as u64,
             regs::P0CLB2 => self.clb = (self.clb & 0xffff_ffff) | (val as u64) << 32,
@@ -283,6 +319,20 @@ impl Device for Ahci {
         let Some(req) = self.inflight.take() else {
             return;
         };
+        if ctx
+            .fault
+            .roll(ctx.now, FaultKind::AhciTaskFileError, req.slot as u64)
+        {
+            // Media error: the command completes with TFES and no data.
+            self.errors += 1;
+            self.p0is |= 1 << 30;
+            self.ci &= !(1 << req.slot);
+            self.is |= 1;
+            if self.p0ie != 0 {
+                ctx.raise_irq(self.irq_line);
+            }
+            return;
+        }
         // Move the data through the PRDT.
         let total = req.sectors as u64 * SECTOR as u64;
         let mut moved = 0u64;
@@ -335,7 +385,15 @@ impl Device for Ahci {
         self.ci &= !(1 << req.slot);
         self.is |= 1;
         if self.p0ie != 0 {
-            ctx.raise_irq(self.irq_line);
+            if ctx
+                .fault
+                .roll(ctx.now, FaultKind::AhciLostIrq, req.slot as u64)
+            {
+                // Completion state is all set, but the interrupt is
+                // lost — the driver must time out and poll.
+            } else {
+                ctx.raise_irq(self.irq_line);
+            }
         }
     }
 }

@@ -4,7 +4,8 @@
 use nova_x86::insn::OpSize;
 
 use crate::event::{Event, EventQueue};
-use crate::iommu::Iommu;
+use crate::fault::{FaultInjector, FaultKind};
+use crate::iommu::{DmaFault, Iommu};
 use crate::mem::PhysMem;
 use crate::pic::DualPic;
 use crate::{Cycles, PAddr};
@@ -34,6 +35,8 @@ pub struct DevCtx<'a> {
     pub iommu: &'a mut Iommu,
     /// Machine control state.
     pub ctl: &'a mut BusCtl,
+    /// Fault injector (consulted at device fault sites).
+    pub fault: &'a mut FaultInjector,
     /// Current cycle.
     pub now: Cycles,
     /// This device's bus index (its IOMMU requester id).
@@ -79,6 +82,9 @@ impl DevCtx<'_> {
     /// Returns `false` (and records a fault) if any page is blocked;
     /// the transfer stops at the first blocked page.
     pub fn dma_write(&mut self, addr: u64, data: &[u8]) -> bool {
+        if self.inject_iommu_fault(addr, true) {
+            return false;
+        }
         let mut off = 0usize;
         while off < data.len() {
             let a = addr + off as u64;
@@ -96,6 +102,9 @@ impl DevCtx<'_> {
     /// DMA read: copies `len` bytes from bus address `addr`. Returns
     /// `None` on an IOMMU fault.
     pub fn dma_read(&mut self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        if self.inject_iommu_fault(addr, false) {
+            return None;
+        }
         let mut out = Vec::with_capacity(len);
         let mut off = 0usize;
         while off < len {
@@ -107,6 +116,21 @@ impl DevCtx<'_> {
             off += chunk;
         }
         Some(out)
+    }
+
+    /// Fault site: a DMA transaction blocked as if its IOMMU mapping
+    /// were stale. Recorded as an ordinary [`DmaFault`] so the fault
+    /// is observable exactly like a real blocked transfer.
+    fn inject_iommu_fault(&mut self, addr: u64, write: bool) -> bool {
+        if self.fault.roll(self.now, FaultKind::IommuFault, addr) {
+            self.iommu.faults.push(DmaFault {
+                device: self.dev,
+                addr,
+                write,
+            });
+            return true;
+        }
+        false
     }
 }
 
@@ -165,6 +189,8 @@ pub struct DeviceBus {
     pub iommu: Iommu,
     /// Machine control state.
     pub ctl: BusCtl,
+    /// Platform fault injector (inert unless a plan is attached).
+    pub fault: FaultInjector,
 }
 
 impl DeviceBus {
@@ -178,6 +204,7 @@ impl DeviceBus {
             events: EventQueue::new(),
             iommu,
             ctl: BusCtl::default(),
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -228,6 +255,7 @@ impl DeviceBus {
             events: &mut self.events,
             iommu: &mut self.iommu,
             ctl: &mut self.ctl,
+            fault: &mut self.fault,
             now,
             dev,
         };

@@ -103,16 +103,28 @@ mod tests {
 
         bus.typed_mut::<Kbd>(dev).unwrap().inject(0x1e); // 'a'
         bus.typed_mut::<Kbd>(dev).unwrap().inject(0x30); // 'b'
-        bus.events
-            .schedule(0, crate::event::Event { device: dev, token: 0 });
+        bus.events.schedule(
+            0,
+            crate::event::Event {
+                device: dev,
+                token: 0,
+            },
+        );
         bus.process_events(&mut mem, 0);
         assert!(bus.pic.intr());
         assert_eq!(bus.pic.ack(), Some(0x21), "IRQ 1");
 
-        assert_eq!(bus.io_read(&mut mem, 0, STATUS, OpSize::Byte), STS_OBF as u32);
+        assert_eq!(
+            bus.io_read(&mut mem, 0, STATUS, OpSize::Byte),
+            STS_OBF as u32
+        );
         assert_eq!(bus.io_read(&mut mem, 0, DATA, OpSize::Byte), 0x1e);
         assert_eq!(bus.io_read(&mut mem, 0, DATA, OpSize::Byte), 0x30);
         assert_eq!(bus.io_read(&mut mem, 0, STATUS, OpSize::Byte), 0);
-        assert_eq!(bus.io_read(&mut mem, 0, DATA, OpSize::Byte), 0, "empty reads 0");
+        assert_eq!(
+            bus.io_read(&mut mem, 0, DATA, OpSize::Byte),
+            0,
+            "empty reads 0"
+        );
     }
 }

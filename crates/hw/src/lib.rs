@@ -21,6 +21,7 @@ pub mod cost;
 pub mod cpu;
 pub mod device;
 pub mod event;
+pub mod fault;
 pub mod iommu;
 pub mod kbd;
 pub mod machine;

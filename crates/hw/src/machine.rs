@@ -7,6 +7,7 @@ use crate::ahci::{Ahci, DiskParams};
 use crate::cost::CostModel;
 use crate::cpu::{run_native, Cpu, NativeStop};
 use crate::device::{DevCtx, Device, DeviceBus};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::iommu::Iommu;
 use crate::mem::PhysMem;
 use crate::nic::Nic;
@@ -240,6 +241,18 @@ impl Machine {
     pub fn nic(&mut self) -> &mut Nic {
         let id = self.dev.nic;
         self.bus.typed_mut::<Nic>(id).expect("nic present")
+    }
+
+    /// Attaches a fault-injection plan to the platform. Devices roll
+    /// against it at their fault sites from then on; the same seed over
+    /// the same workload reproduces the same fault trace.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.bus.fault = FaultInjector::new(plan);
+    }
+
+    /// The fault injector (for counters and the fault trace).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.bus.fault
     }
 
     /// Benchmark marks recorded so far.

@@ -582,13 +582,7 @@ mod tests {
         }
 
         // Guest maps GVA to a GPA beyond the EPT -> violation.
-        map_2level(
-            &mut m,
-            groot,
-            0x44_0000,
-            0x4000_0000,
-            pte::P | pte::W,
-        );
+        map_2level(&mut m, groot, 0x44_0000, 0x4000_0000, pte::P | pte::W);
         match translate_nested_guest(
             &m,
             &regs,

@@ -11,6 +11,7 @@
 use nova_x86::insn::OpSize;
 
 use crate::device::{DevCtx, Device};
+use crate::fault::FaultKind;
 use crate::Cycles;
 
 /// Register offsets (subset of the e1000e layout).
@@ -166,6 +167,12 @@ impl Nic {
     }
 
     fn deliver_packet(&mut self, ctx: &mut DevCtx, bytes: u32) {
+        if ctx.fault.roll(ctx.now, FaultKind::NicPacketDrop, self.seq) {
+            // Dropped on the wire: the sequence number is consumed, so
+            // the driver observes a gap in the stream.
+            self.seq += 1;
+            return;
+        }
         let ring = self.ring_size();
         if ring == 0 || self.rdh == self.rdt {
             self.rx_dropped += 1;
@@ -182,6 +189,16 @@ impl Nic {
         let mut payload = Vec::with_capacity(bytes as usize);
         payload.extend_from_slice(&self.seq.to_le_bytes());
         payload.resize(bytes as usize, (self.seq & 0xff) as u8);
+        if ctx
+            .fault
+            .roll(ctx.now, FaultKind::NicPacketCorrupt, self.seq)
+            && payload.len() > 8
+        {
+            // Corrupt the fill pattern, leaving the sequence number
+            // intact: the driver sees a payload-integrity error rather
+            // than a gap.
+            payload[8] ^= 0xff;
+        }
         self.seq += 1;
         if !ctx.dma_write(buf, &payload) {
             self.rx_dropped += 1;

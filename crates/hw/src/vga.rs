@@ -179,6 +179,7 @@ mod tests {
             events: &mut bus.events,
             iommu: &mut bus.iommu,
             ctl: &mut bus.ctl,
+            fault: &mut bus.fault,
             now: 0,
             dev: 0,
         };

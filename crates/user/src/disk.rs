@@ -40,6 +40,10 @@ pub struct DiskServerConfig {
     pub gsi: u8,
     /// Scheduling priority for the server EC.
     pub prio: u8,
+    /// Self-check/heartbeat period in cycles; 0 disables the tick.
+    /// With a tick the server pets its watchdog, polls for lost
+    /// completion interrupts, and resets a wedged controller.
+    pub heartbeat: Cycles,
 }
 
 impl DiskServerConfig {
@@ -51,6 +55,16 @@ impl DiskServerConfig {
             ring_base_page: 0x0020_0000 / 4096,
             gsi: nova_hw::machine::AHCI_IRQ,
             prio: 32,
+            heartbeat: 0,
+        }
+    }
+
+    /// The standard layout with the self-check tick enabled — what a
+    /// supervised launch uses.
+    pub fn supervised() -> DiskServerConfig {
+        DiskServerConfig {
+            heartbeat: 1_000_000,
+            ..DiskServerConfig::standard()
         }
     }
 
@@ -64,6 +78,17 @@ impl DiskServerConfig {
 /// Well-known selectors inside the server's capability space.
 const SEL_IRQ_SM: CapSel = 0x10;
 const SEL_SC: CapSel = 0x11;
+const SEL_TICK_SM: CapSel = 0x12;
+
+/// How many times a request is issued (initial attempt plus retries
+/// after task-file errors or controller resets) before the server
+/// gives up and reports an error completion.
+const MAX_ISSUE_ATTEMPTS: u32 = 3;
+
+/// How long an issued command may stay incomplete before the
+/// self-check declares it lost or stuck. Must exceed the worst-case
+/// legitimate latency (seek plus the largest transfer).
+const REQUEST_TIMEOUT: Cycles = 4_000_000;
 
 struct Client {
     ring_page: u64,
@@ -79,6 +104,7 @@ struct Request {
     sectors: u32,
     window_page: u64,
     tag: u64,
+    attempts: u32,
 }
 
 /// Aggregate statistics.
@@ -92,6 +118,17 @@ pub struct DiskStats {
     pub rejected: u64,
     /// Payload bytes moved.
     pub bytes: u64,
+    /// Spurious completion interrupts absorbed.
+    pub spurious: u64,
+    /// Re-issues after an error completion (task-file error).
+    pub media_retries: u64,
+    /// Requests that exhausted the retry budget and completed with
+    /// [`proto::STATUS_ERROR`].
+    pub failed: u64,
+    /// Completions recovered by polling after a lost interrupt.
+    pub lost_irq_recovered: u64,
+    /// Controller resets performed for stuck commands.
+    pub controller_resets: u64,
 }
 
 /// The disk-server component.
@@ -100,6 +137,9 @@ pub struct DiskServer {
     clients: Vec<Client>,
     queue: VecDeque<Request>,
     inflight: Option<Request>,
+    issued_at: Cycles,
+    irq_sm: Option<nova_core::SmId>,
+    tick_sm: Option<nova_core::SmId>,
     /// Statistics.
     pub stats: DiskStats,
     /// Modeled cycles of server work per request submission.
@@ -116,6 +156,9 @@ impl DiskServer {
             clients: Vec::new(),
             queue: VecDeque::new(),
             inflight: None,
+            issued_at: 0,
+            irq_sm: None,
+            tick_sm: None,
             stats: DiskStats::default(),
             submit_cost: 1400,
             complete_cost: 1100,
@@ -181,17 +224,47 @@ impl DiskServer {
         // Doorbell: the one per-request MMIO write.
         self.mmio_write(k, ctx, regs::P0CI, 1);
         self.inflight = Some(req);
+        self.issued_at = k.now();
     }
 
-    fn complete_inflight(&mut self, k: &mut Kernel, ctx: CompCtx, status: u32) {
-        let Some(req) = self.inflight.take() else {
+    /// Programs command-list base and interrupt enable — done at
+    /// start-up and again after every controller reset (which clears
+    /// both).
+    fn init_controller(&self, k: &mut Kernel, ctx: CompCtx) {
+        let clb = self.cfg.cmd_va;
+        self.mmio_write(k, ctx, regs::P0CLB, clb as u32);
+        self.mmio_write(k, ctx, regs::P0CLB2, (clb >> 32) as u32);
+        self.mmio_write(k, ctx, regs::P0IE, 1);
+    }
+
+    /// Disposes of the in-flight request after the controller finished
+    /// it: retry on a device error while budget remains, otherwise
+    /// complete towards the client.
+    fn finish_inflight(&mut self, k: &mut Kernel, ctx: CompCtx, error: bool) {
+        let Some(mut req) = self.inflight.take() else {
             return;
         };
+        if error && req.attempts + 1 < MAX_ISSUE_ATTEMPTS {
+            req.attempts += 1;
+            self.stats.media_retries += 1;
+            k.counters.request_retries += 1;
+            self.issue(k, ctx, req);
+            return;
+        }
+        let status = if error { proto::STATUS_ERROR } else { 0 };
+        self.complete(k, ctx, req, status);
+    }
+
+    fn complete(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request, status: u32) {
         k.charge(self.complete_cost);
         let bytes = req.sectors as u64 * SECTOR as u64;
         self.stats.completed += 1;
         self.stats.bytes += bytes;
         k.counters.disk_ops += 1;
+        if status != 0 {
+            self.stats.failed += 1;
+            k.counters.degraded_errors += 1;
+        }
 
         // Completion record into the client's shared ring page
         // (Figure 4, step 7's shared-memory channel).
@@ -214,6 +287,51 @@ impl DiskServer {
         // Next queued request.
         if let Some(next) = self.queue.pop_front() {
             self.issue(k, ctx, next);
+        }
+    }
+
+    /// Periodic self-check: heartbeat plus recovery of requests whose
+    /// completion never arrived. A lost interrupt is recovered by
+    /// polling; a command the controller never finished is recovered
+    /// by resetting the controller and re-issuing.
+    fn tick(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        // Heartbeat: a healthy server shows the watchdog a sign of
+        // life every tick. A crashed server's tick never runs, so the
+        // heartbeat stops and the watchdog fires.
+        let _ = k.hypercall(ctx, Hypercall::WatchdogPet);
+
+        if self.inflight.is_none() || k.now().saturating_sub(self.issued_at) < REQUEST_TIMEOUT {
+            return;
+        }
+        k.counters.request_timeouts += 1;
+        let ci = self.mmio_read(k, ctx, regs::P0CI);
+        if ci & 1 == 0 {
+            // The command finished but its interrupt was lost: drain
+            // status by polling and complete normally.
+            let is = self.mmio_read(k, ctx, regs::IS);
+            self.mmio_write(k, ctx, regs::IS, is);
+            let p0is = self.mmio_read(k, ctx, regs::P0IS);
+            self.mmio_write(k, ctx, regs::P0IS, p0is);
+            self.stats.lost_irq_recovered += 1;
+            self.finish_inflight(k, ctx, p0is & (1 << 30) != 0);
+            return;
+        }
+        // CI still set: the transfer is wedged. Reset the controller
+        // (dropping the stuck command), re-program it, and re-issue
+        // while the attempt budget lasts.
+        self.stats.controller_resets += 1;
+        k.counters.controller_resets += 1;
+        self.mmio_write(k, ctx, regs::GHC, 1);
+        self.init_controller(k, ctx);
+        let Some(mut req) = self.inflight.take() else {
+            return;
+        };
+        if req.attempts + 1 < MAX_ISSUE_ATTEMPTS {
+            req.attempts += 1;
+            k.counters.request_retries += 1;
+            self.issue(k, ctx, req);
+        } else {
+            self.complete(k, ctx, req, proto::STATUS_ERROR);
         }
     }
 }
@@ -247,6 +365,7 @@ impl Component for DiskServer {
         .expect("irq semaphore");
         k.hypercall(ctx, Hypercall::SmBind { sm: SEL_IRQ_SM })
             .expect("bind");
+        self.irq_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
         k.hypercall(
             ctx,
             Hypercall::AssignGsi {
@@ -256,20 +375,49 @@ impl Component for DiskServer {
         )
         .expect("gsi routed to disk server");
 
-        // Controller bring-up: command-list base (domain address) and
-        // interrupt enable.
-        let clb = self.cfg.cmd_va;
-        self.mmio_write(k, ctx, regs::P0CLB, clb as u32);
-        self.mmio_write(k, ctx, regs::P0CLB2, (clb >> 32) as u32);
-        self.mmio_write(k, ctx, regs::P0IE, 1);
+        // Self-check tick: heartbeat for the supervisor's watchdog and
+        // the poll that recovers lost interrupts / stuck commands.
+        if self.cfg.heartbeat > 0 {
+            k.hypercall(
+                ctx,
+                Hypercall::CreateSm {
+                    count: 0,
+                    dst: SEL_TICK_SM,
+                },
+            )
+            .expect("tick semaphore");
+            k.hypercall(ctx, Hypercall::SmBind { sm: SEL_TICK_SM })
+                .expect("bind tick");
+            self.tick_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
+            k.hypercall(
+                ctx,
+                Hypercall::SetTimer {
+                    sm: SEL_TICK_SM,
+                    period: self.cfg.heartbeat,
+                },
+            )
+            .expect("tick timer");
+        }
+
+        // Controller bring-up. The reset first: a restarted server
+        // must not inherit command state (or a pending completion)
+        // from a previous incarnation.
+        self.mmio_write(k, ctx, regs::GHC, 1);
+        self.init_controller(k, ctx);
     }
 
     fn on_call(&mut self, k: &mut Kernel, ctx: CompCtx, portal_id: u64, utcb: &mut Utcb) {
         match portal_id {
             proto::PORTAL_REGISTER => {
                 if utcb.len_words() == 0 {
-                    // Phase 1: allocate the channel.
+                    // Phase 1: allocate the channel. The reply word is
+                    // the client id, so "full" is the one id no server
+                    // can ever hand out.
                     let id = self.clients.len();
+                    if id >= proto::MAX_CLIENTS {
+                        utcb.set_msg(&[u64::MAX]);
+                        return;
+                    }
                     self.clients.push(Client {
                         ring_page: self.cfg.ring_base_page + id as u64,
                         ring_head: 0,
@@ -295,6 +443,7 @@ impl Component for DiskServer {
 
                 let valid = self.clients.get(client).is_some()
                     && sectors > 0
+                    && sectors as u64 <= proto::MAX_SECTORS
                     && (op == proto::OP_READ || op == proto::OP_WRITE);
                 if !valid {
                     utcb.set_msg(&[proto::EINVAL]);
@@ -325,6 +474,7 @@ impl Component for DiskServer {
                     sectors,
                     window_page,
                     tag,
+                    attempts: 0,
                 };
                 if self.inflight.is_none() {
                     self.issue(k, ctx, req);
@@ -337,20 +487,25 @@ impl Component for DiskServer {
         }
     }
 
-    fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, _sm: nova_core::SmId) {
+    fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, sm: nova_core::SmId) {
+        if self.tick_sm == Some(sm) {
+            self.tick(k, ctx);
+            return;
+        }
         // The five-access completion sequence (Section 8.2): read and
         // clear the global and port interrupt status, confirm CI.
         let is = self.mmio_read(k, ctx, regs::IS);
         if is == 0 {
-            return; // spurious
+            self.stats.spurious += 1;
+            k.counters.spurious_irqs += 1;
+            return;
         }
         self.mmio_write(k, ctx, regs::IS, is);
         let p0is = self.mmio_read(k, ctx, regs::P0IS);
         self.mmio_write(k, ctx, regs::P0IS, p0is);
         let ci = self.mmio_read(k, ctx, regs::P0CI);
         if ci & 1 == 0 {
-            let status = if p0is & (1 << 30) != 0 { 1 } else { 0 };
-            self.complete_inflight(k, ctx, status);
+            self.finish_inflight(k, ctx, p0is & (1 << 30) != 0);
         }
     }
 

@@ -36,6 +36,25 @@ pub mod disk {
 
     /// Maximum requests a client may have outstanding before EBUSY.
     pub const MAX_OUTSTANDING: usize = 8;
+
+    /// Maximum sectors per request (bounds the server's PRDT math
+    /// against arithmetic overflow from a hostile client).
+    pub const MAX_SECTORS: u64 = 1024;
+
+    /// Maximum registered clients per server instance (bounds channel
+    /// state a client population can make the server allocate).
+    pub const MAX_CLIENTS: usize = 16;
+
+    /// Completion-ring status: the request failed at the device (task
+    /// file error) and exhausted the server's retry budget.
+    pub const STATUS_ERROR: u32 = 1;
+
+    /// Selector where a client finds the registration portal
+    /// capability (delegated by the server at launch and again after
+    /// every supervised restart).
+    pub const CLIENT_SEL_REG: usize = 0x44;
+    /// Selector where a client finds the request portal capability.
+    pub const CLIENT_SEL_REQ: usize = 0x45;
 }
 
 /// Log-service protocol.

@@ -7,15 +7,59 @@
 //! delegating the resources each needs — and nothing more.
 
 use nova_core::cap::{CapSel, Perms};
+use nova_core::kernel::SEL_SELF_EC;
 use nova_core::obj::{MemRights, PdId, VmPaging};
 use nova_core::utcb::Utcb;
-use nova_core::{CompCtx, Component, HcErr, HcReply, Hypercall, Kernel};
+use nova_core::{CompCtx, Component, HcErr, HcReply, Hypercall, Kernel, SmId};
+
+use crate::disk::{DiskServer, DiskServerConfig};
+use crate::proto::disk as dproto;
+
+/// A disk-server client the supervisor rewires after every restart.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisedClient {
+    /// Root's capability selector for the client's (VMM's) PD.
+    pub vmm_sel: CapSel,
+    /// Root's selector for the restart semaphore it signals once the
+    /// respawned server is ready for re-registration.
+    pub restart_sm_sel: CapSel,
+}
+
+/// Everything root needs to supervise the disk server: the watchdog
+/// channel, the respawn recipe (the same grants it made at boot), and
+/// the clients to rewire afterwards.
+pub struct DiskSupervision {
+    /// Root's capability selector for the current server PD
+    /// (refreshed on every restart).
+    pub srv_sel: CapSel,
+    /// Root's selector for the watchdog semaphore.
+    pub wd_sm_sel: CapSel,
+    /// The watchdog semaphore's identity (to recognize the signal).
+    pub wd_sm: SmId,
+    /// Watchdog deadline in cycles.
+    pub timeout: u64,
+    /// Server configuration used for every incarnation.
+    pub cfg: DiskServerConfig,
+    /// AHCI device bus index.
+    pub ahci_dev: usize,
+    /// Root page number of the AHCI MMIO window.
+    pub mmio_page: u64,
+    /// Root page number of the server's 2-page command memory.
+    pub cmd_frames: u64,
+    /// Clients to rewire after a restart.
+    pub clients: Vec<SupervisedClient>,
+    /// Restarts performed so far.
+    pub restarts: u64,
+}
 
 /// The root partition manager component.
 #[derive(Default)]
 pub struct RootPm {
     /// The component's kernel identity, captured at start.
     pub ctx: Option<CompCtx>,
+    /// Disk-server supervision state, installed by a supervised
+    /// launch.
+    pub supervision: Option<DiskSupervision>,
     next_sel: CapSel,
 }
 
@@ -24,6 +68,7 @@ impl RootPm {
     pub fn new() -> RootPm {
         RootPm {
             ctx: None,
+            supervision: None,
             // Low selectors stay free for well-known assignments.
             next_sel: 0x100,
         }
@@ -34,6 +79,143 @@ impl RootPm {
         let s = self.next_sel;
         self.next_sel += 1;
         s
+    }
+
+    /// Tears down the (dead or wedged) disk server and brings up a
+    /// fresh incarnation: `DestroyPd` recursively revokes everything
+    /// the old server held — every client DMA window standing in the
+    /// IOMMU included — then root repeats its boot-time grants for a
+    /// new PD, starts a new server, re-delegates the service portals,
+    /// re-arms the watchdog, and signals each client to re-register.
+    pub fn restart_disk_server(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        let Some(mut sup) = self.supervision.take() else {
+            return;
+        };
+        let _ = k.hypercall(ctx, Hypercall::DestroyPd { pd: sup.srv_sel });
+
+        let srv_sel = self.alloc_sel();
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "disk-server".into(),
+                vm: None,
+                dst: srv_sel,
+            },
+        )
+        .expect("respawn disk-server pd");
+        let pd = PdId(k.obj.pds.len() - 1);
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateMem {
+                dst_pd: srv_sel,
+                base: sup.mmio_page,
+                count: 1,
+                rights: MemRights::RW,
+                hot: sup.cfg.mmio_va / 4096,
+            },
+        )
+        .expect("respawn mmio grant");
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateMem {
+                dst_pd: srv_sel,
+                base: sup.cmd_frames,
+                count: 2,
+                rights: MemRights::RW_DMA,
+                hot: sup.cfg.cmd_va / 4096,
+            },
+        )
+        .expect("respawn command memory grant");
+        k.hypercall(
+            ctx,
+            Hypercall::DelegateGsi {
+                dst_pd: srv_sel,
+                gsi: sup.cfg.gsi,
+            },
+        )
+        .expect("respawn gsi grant");
+        k.hypercall(
+            ctx,
+            Hypercall::AssignDev {
+                pd: srv_sel,
+                device: sup.ahci_dev,
+            },
+        )
+        .expect("respawn device assignment");
+
+        let (comp, ec) = k.load_component(pd, 0, Box::new(DiskServer::new(sup.cfg)));
+        k.start_component(comp, ec);
+        let srv_ctx = CompCtx { pd, ec, comp };
+
+        // Service portals, created with the new server's identity and
+        // re-delegated to every client at the protocol selectors (the
+        // old capabilities died with the old PD).
+        for (dst, id) in [
+            (0x20, dproto::PORTAL_REGISTER),
+            (0x21, dproto::PORTAL_REQUEST),
+        ] {
+            k.hypercall(
+                srv_ctx,
+                Hypercall::CreatePt {
+                    ec: SEL_SELF_EC,
+                    mtd: 0,
+                    id,
+                    dst,
+                },
+            )
+            .expect("respawn portal");
+        }
+        for (i, c) in sup.clients.iter().enumerate() {
+            let pd_hot = 0x30 + i;
+            k.hypercall(
+                ctx,
+                Hypercall::DelegateCap {
+                    dst_pd: srv_sel,
+                    sel: c.vmm_sel,
+                    perms: Perms::ALL,
+                    hot: pd_hot,
+                },
+            )
+            .expect("respawn client pd cap");
+            for (from, to) in [
+                (0x20, dproto::CLIENT_SEL_REG),
+                (0x21, dproto::CLIENT_SEL_REQ),
+            ] {
+                k.hypercall(
+                    srv_ctx,
+                    Hypercall::DelegateCap {
+                        dst_pd: pd_hot,
+                        sel: from,
+                        perms: Perms::CALL,
+                        hot: to,
+                    },
+                )
+                .expect("respawn portal delegation");
+            }
+        }
+
+        k.hypercall(
+            ctx,
+            Hypercall::WatchdogArm {
+                pd: srv_sel,
+                sm: sup.wd_sm_sel,
+                timeout: sup.timeout,
+            },
+        )
+        .expect("re-arm watchdog");
+        for c in &sup.clients {
+            let _ = k.hypercall(
+                ctx,
+                Hypercall::SmUp {
+                    sm: c.restart_sm_sel,
+                },
+            );
+        }
+
+        k.counters.driver_restarts += 1;
+        sup.srv_sel = srv_sel;
+        sup.restarts += 1;
+        self.supervision = Some(sup);
     }
 }
 
@@ -50,6 +232,14 @@ impl Component for RootPm {
         // The root partition manager exposes no services; callers get
         // an empty reply.
         utcb.clear();
+    }
+
+    fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, sm: SmId) {
+        // The only signal root subscribes to is the disk-server
+        // watchdog: inactivity deadline or death notification.
+        if self.supervision.as_ref().is_some_and(|s| s.wd_sm == sm) {
+            self.restart_disk_server(k, ctx);
+        }
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {

@@ -474,7 +474,10 @@ mod string_mmio_tests {
         let base = view.base_page * 4096;
         k.mem_write(ctx, base + 0x1000, &[0xf3, 0xab]);
         let mut regs = Regs::at(0x1000);
-        regs.set(nova_x86::Reg::Edi, nova_hw::machine::AHCI_BASE as u32 + 0x114);
+        regs.set(
+            nova_x86::Reg::Edi,
+            nova_hw::machine::AHCI_BASE as u32 + 0x114,
+        );
         regs.set(nova_x86::Reg::Ecx, 3);
         regs.set(nova_x86::Reg::Eax, 1);
 

@@ -11,13 +11,18 @@ use nova_hw::machine::{Machine, MachineConfig};
 use nova_hw::Cycles;
 use nova_user::disk::{DiskServer, DiskServerConfig};
 use nova_user::proto::disk as disk_proto;
-use nova_user::root::{RootOps, RootPm};
+use nova_user::root::{DiskSupervision, RootOps, RootPm, SupervisedClient};
 
-use crate::vmm::{Vmm, VmmConfig};
+use crate::vmm::{Vmm, VmmConfig, SEL_RESTART_SM};
 
-/// Disk portal selectors inside the VMM's capability space.
-const VMM_SEL_DISK_REG: CapSel = 0x44;
-const VMM_SEL_DISK_REQ: CapSel = 0x45;
+/// Disk portal selectors inside the VMM's capability space (the
+/// protocol's well-known client selectors, so a restarted server
+/// re-delegates to the same slots).
+const VMM_SEL_DISK_REG: CapSel = disk_proto::CLIENT_SEL_REG as CapSel;
+const VMM_SEL_DISK_REQ: CapSel = disk_proto::CLIENT_SEL_REQ as CapSel;
+
+/// Watchdog deadline for the supervised disk server.
+const DISK_WATCHDOG_TIMEOUT: Cycles = 8_000_000;
 
 /// What to build.
 pub struct LaunchOptions {
@@ -32,6 +37,10 @@ pub struct LaunchOptions {
     pub direct_disk: bool,
     /// Assign the NIC directly to the VM.
     pub direct_nic: bool,
+    /// Run the disk server under root supervision: heartbeat +
+    /// kernel watchdog, automatic respawn on death, and VMM channel
+    /// re-registration (the recovery architecture of Section 4.2).
+    pub supervise: bool,
     /// The VMM/VM configuration.
     pub vmm: VmmConfig,
 }
@@ -50,7 +59,16 @@ impl LaunchOptions {
             with_disk: true,
             direct_disk: false,
             direct_nic: false,
+            supervise: false,
             vmm,
+        }
+    }
+
+    /// [`LaunchOptions::standard`] with disk-server supervision on.
+    pub fn supervised(vmm: VmmConfig) -> LaunchOptions {
+        LaunchOptions {
+            supervise: true,
+            ..LaunchOptions::standard(vmm)
         }
     }
 }
@@ -73,6 +91,8 @@ pub struct System {
     disk_srv: Option<(nova_core::cap::CapSel, CompCtx)>,
     /// Next free physical frame page for additional guests.
     next_frames: u64,
+    /// The disk server runs supervised (new VMs join supervision).
+    supervised: bool,
 }
 
 impl System {
@@ -92,7 +112,11 @@ impl System {
         let mut disk = None;
         let mut disk_srv_sel = None;
         if opts.with_disk && !opts.direct_disk {
-            let cfg = DiskServerConfig::standard();
+            let cfg = if opts.supervise {
+                DiskServerConfig::supervised()
+            } else {
+                DiskServerConfig::standard()
+            };
             let mut ops = RootOps::new(&mut k, root_ctx);
             let (srv_sel, srv_pd) = ops.create_pd("disk-server", None).unwrap();
             ops.grant_mem(
@@ -139,6 +163,59 @@ impl System {
             .unwrap();
             disk = Some(comp);
             disk_srv_sel = Some((srv_sel, srv_ctx));
+
+            if opts.supervise {
+                // Root needs an SC of its own so the watchdog signal
+                // actually schedules it, and a semaphore for the
+                // kernel to fire when the server goes silent.
+                let (sc_sel, wd_sm_sel) = {
+                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    (rp.alloc_sel(), rp.alloc_sel())
+                };
+                k.hypercall(
+                    root_ctx,
+                    Hypercall::CreateSc {
+                        ec: nova_core::kernel::SEL_SELF_EC,
+                        prio: 48,
+                        quantum: 100_000,
+                        dst: sc_sel,
+                    },
+                )
+                .unwrap();
+                k.hypercall(
+                    root_ctx,
+                    Hypercall::CreateSm {
+                        count: 0,
+                        dst: wd_sm_sel,
+                    },
+                )
+                .unwrap();
+                k.hypercall(root_ctx, Hypercall::SmBind { sm: wd_sm_sel })
+                    .unwrap();
+                let wd_sm = nova_core::SmId(k.obj.sms.len() - 1);
+                k.hypercall(
+                    root_ctx,
+                    Hypercall::WatchdogArm {
+                        pd: srv_sel,
+                        sm: wd_sm_sel,
+                        timeout: DISK_WATCHDOG_TIMEOUT,
+                    },
+                )
+                .unwrap();
+                let rp = k.component_mut::<RootPm>(root).unwrap();
+                rp.supervision = Some(DiskSupervision {
+                    srv_sel,
+                    wd_sm_sel,
+                    wd_sm,
+                    timeout: DISK_WATCHDOG_TIMEOUT,
+                    cfg,
+                    ahci_dev,
+                    mmio_page: nova_hw::machine::AHCI_BASE / 4096,
+                    cmd_frames: 0x300,
+                    clients: Vec::new(),
+                    restarts: 0,
+                });
+            }
         }
 
         // ---- VMM ----
@@ -230,6 +307,7 @@ impl System {
 
         if disk.is_some() {
             opts.vmm.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+            opts.vmm.supervised_disk = opts.supervise;
         }
 
         let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(opts.vmm)));
@@ -259,6 +337,34 @@ impl System {
                 },
             )
             .unwrap();
+
+            if opts.supervise {
+                // Restart-notification semaphore: root keeps UP, the
+                // VMM gets DOWN at the well-known selector before it
+                // starts (its on_start binds it).
+                let restart_sel = {
+                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    rp.alloc_sel()
+                };
+                k.hypercall(
+                    root_ctx,
+                    Hypercall::CreateSm {
+                        count: 0,
+                        dst: restart_sel,
+                    },
+                )
+                .unwrap();
+                let mut ops = RootOps::new(&mut k, root_ctx);
+                ops.grant_cap(vmm_sel, restart_sel, Perms::DOWN, SEL_RESTART_SM)
+                    .unwrap();
+                let rp = k.component_mut::<RootPm>(root).unwrap();
+                if let Some(sup) = rp.supervision.as_mut() {
+                    sup.clients.push(SupervisedClient {
+                        vmm_sel,
+                        restart_sm_sel: restart_sel,
+                    });
+                }
+            }
         }
 
         k.start_component(vmm, vmm_ec);
@@ -309,6 +415,7 @@ impl System {
             vmms: vec![vmm],
             disk_srv: disk_srv_sel,
             next_frames: guest_frames_base + guest_pages + 1,
+            supervised: opts.supervise,
         }
     }
 
@@ -357,6 +464,7 @@ impl System {
         ));
         if self.disk_srv.is_some() {
             cfg.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+            cfg.supervised_disk = self.supervised;
         }
 
         let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(cfg)));
@@ -374,6 +482,30 @@ impl System {
                     },
                 )
                 .unwrap();
+            }
+            if self.supervised {
+                let restart_sel = {
+                    let rp = k.component_mut::<RootPm>(self.root).unwrap();
+                    rp.alloc_sel()
+                };
+                k.hypercall(
+                    self.root_ctx,
+                    Hypercall::CreateSm {
+                        count: 0,
+                        dst: restart_sel,
+                    },
+                )
+                .unwrap();
+                let mut ops = RootOps::new(k, self.root_ctx);
+                ops.grant_cap(vmm_sel, restart_sel, Perms::DOWN, SEL_RESTART_SM)
+                    .unwrap();
+                let rp = k.component_mut::<RootPm>(self.root).unwrap();
+                if let Some(sup) = rp.supervision.as_mut() {
+                    sup.clients.push(SupervisedClient {
+                        vmm_sel,
+                        restart_sm_sel: restart_sel,
+                    });
+                }
             }
         }
         k.start_component(vmm, vmm_ec);

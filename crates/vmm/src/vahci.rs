@@ -28,6 +28,48 @@ use nova_x86::insn::OpSize;
 /// the server sees guest page `g` at window page `WINDOW_BASE + g`.
 pub const WINDOW_BASE: u64 = 0x40_000;
 
+/// Cycles an accepted request may stay uncompleted before the VMM
+/// re-submits it. Longer than the disk server's own recovery chain,
+/// so this only triggers when the server truly lost the request
+/// (e.g. it crashed and was restarted).
+const REQUEST_TIMEOUT: u64 = 16_000_000;
+
+/// Cycles before retrying a submission the server refused (EBUSY) or
+/// that failed to reach it (dead portal while a restart is underway).
+const RETRY_DELAY: u64 = 2_000_000;
+
+/// Submission attempts per request before the VMM gives up and
+/// reports a task-file error to the guest — graceful degradation
+/// instead of a hung virtual CPU.
+const MAX_ATTEMPTS: u32 = 6;
+
+/// A request the guest issued that has not completed yet: everything
+/// needed to re-submit it after a timeout or a server restart.
+#[derive(Clone, Copy)]
+struct PendingReq {
+    op: u64,
+    lba: u64,
+    sectors: u32,
+    /// First guest page of the DMA buffer.
+    first_page: u64,
+    /// Buffer length in pages.
+    pages: u64,
+    /// Cycle stamp of the last submission attempt.
+    submitted_at: u64,
+    attempts: u32,
+    /// Whether the server accepted the last submission.
+    accepted: bool,
+}
+
+enum SubmitOutcome {
+    /// The server accepted the request.
+    Accepted,
+    /// Transient refusal (EBUSY, dead portal): retry later.
+    Retry,
+    /// Definitive rejection: fail the slot towards the guest.
+    Fail,
+}
+
 /// How the VMM reaches storage.
 #[derive(Clone, Copy, Debug)]
 pub struct DiskChannel {
@@ -53,12 +95,20 @@ pub struct VAhci {
     ring_tail: u32,
     delegated: HashSet<u64>,
     inflight_slots: u32,
+    pending: [Option<PendingReq>; 32],
     /// Requests the guest issued.
     pub requests: u64,
     /// Completions delivered to the guest.
     pub completions: u64,
     /// Commands rejected (bad structures).
     pub errors: u64,
+    /// Accepted requests whose completion timed out.
+    pub timeouts: u64,
+    /// Re-submissions (after timeouts, refusals, or a server restart).
+    pub resubmits: u64,
+    /// Requests degraded to a guest-visible error after the attempt
+    /// budget ran out.
+    pub degraded: u64,
 }
 
 impl VAhci {
@@ -76,15 +126,49 @@ impl VAhci {
             ring_tail: 0,
             delegated: HashSet::new(),
             inflight_slots: 0,
+            pending: [None; 32],
             requests: 0,
             completions: 0,
             errors: 0,
+            timeouts: 0,
+            resubmits: 0,
+            degraded: 0,
         }
     }
 
     /// Attaches the disk-server channel (done by the VMM at start).
     pub fn attach(&mut self, ch: DiskChannel) {
         self.channel = Some(ch);
+    }
+
+    /// `true` while any guest request awaits completion — the VMM
+    /// keeps its maintenance timer armed exactly that long.
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(Option::is_some)
+    }
+
+    /// Re-attaches after a disk-server restart: the old delegations
+    /// and the ring state died with the old server, and every pending
+    /// request is re-submitted to the new one. Returns `true` if the
+    /// guest's interrupt line should be raised (a request failed
+    /// terminally during re-submission).
+    pub fn reconnect(&mut self, k: &mut Kernel, ctx: CompCtx, ch: DiskChannel) -> bool {
+        self.channel = Some(ch);
+        self.ring_tail = 0;
+        self.delegated.clear();
+        let mut raise = false;
+        for slot in 0..32u8 {
+            if let Some(mut req) = self.pending[slot as usize] {
+                req.accepted = false;
+                req.submitted_at = k.now();
+                req.attempts += 1;
+                self.pending[slot as usize] = Some(req);
+                self.resubmits += 1;
+                k.counters.request_retries += 1;
+                raise |= self.try_submit(k, ctx, slot);
+            }
+        }
+        raise
     }
 
     fn read_guest_u32(&self, k: &Kernel, ctx: CompCtx, gpa: u64) -> Option<u32> {
@@ -95,15 +179,22 @@ impl VAhci {
         k.mem_read(ctx, self.guest_base_page * 4096 + gpa, len)
     }
 
+    /// Reports a task-file error for `slot` to the guest and drops any
+    /// pending state: the degradation path — the guest sees an error
+    /// status, never a hung vCPU.
+    fn fail_slot(&mut self, slot: u8) {
+        self.errors += 1;
+        self.ci &= !(1 << slot);
+        self.p0is |= 1 << 30; // TFES
+        self.is |= 1;
+        self.pending[slot as usize] = None;
+        self.inflight_slots &= !(1 << slot);
+    }
+
     /// Handles a doorbell write: parse the guest's command structures
     /// and forward the request to the disk server.
     fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) {
-        let fail = |s: &mut Self| {
-            s.errors += 1;
-            s.ci &= !(1 << slot);
-            s.p0is |= 1 << 30; // TFES
-            s.is |= 1;
-        };
+        let fail = |s: &mut Self| s.fail_slot(slot);
 
         // Command header and table, from guest memory.
         let Some(hdr_lo) = self.read_guest_u32(k, ctx, self.clb + slot as u64 * 32) else {
@@ -142,50 +233,149 @@ impl VAhci {
         let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, 16) else {
             return fail(self);
         };
-        let dba = u64::from_le_bytes(prdt[0..8].try_into().unwrap());
-        let bytes = sectors as u64 * SECTOR as u64;
-
-        let Some(ch) = self.channel else {
+        let Ok(dba_bytes) = <[u8; 8]>::try_from(&prdt[0..8]) else {
             return fail(self);
         };
-
-        // Delegate the guest buffer pages to the disk server (standing
-        // delegations; only new pages are transferred).
-        let first = dba >> 12;
-        let pages = (dba + bytes).div_ceil(4096) - first;
-        let mut utcb = Utcb::new();
-        for p in first..first + pages {
-            if self.delegated.insert(p) {
-                utcb.xfer.push(XferItem::Mem {
-                    base: self.guest_base_page + p,
-                    count: 1,
-                    rights: MemRights::RW_DMA,
-                    hot: WINDOW_BASE + p,
-                });
-            }
+        let dba = u64::from_le_bytes(dba_bytes);
+        let bytes = sectors as u64 * SECTOR as u64;
+        if self.pending[slot as usize].is_some() {
+            // The slot is still outstanding; a well-behaved guest
+            // never re-rings it.
+            return fail(self);
         }
 
-        let op = if write {
-            proto::OP_WRITE
-        } else {
-            proto::OP_READ
-        };
         // The window address the server programs into the PRDT: it
         // must carry the in-page offset of the guest buffer.
         debug_assert_eq!(dba & 0xfff, 0, "guests use page-aligned buffers");
+        let first = dba >> 12;
+        let pages = (dba + bytes).div_ceil(4096) - first;
+        self.pending[slot as usize] = Some(PendingReq {
+            op: if write {
+                proto::OP_WRITE
+            } else {
+                proto::OP_READ
+            },
+            lba,
+            sectors,
+            first_page: first,
+            pages,
+            submitted_at: k.now(),
+            attempts: 1,
+            accepted: false,
+        });
+        self.requests += 1;
+        self.try_submit(k, ctx, slot);
+    }
+
+    /// Submits the pending request in `slot` and folds the outcome
+    /// into the slot state. Returns `true` if the guest's interrupt
+    /// line should be raised (terminal failure with interrupts on).
+    fn try_submit(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) -> bool {
+        match self.submit_slot(k, ctx, slot) {
+            SubmitOutcome::Accepted => {
+                if let Some(req) = &mut self.pending[slot as usize] {
+                    req.accepted = true;
+                }
+                self.inflight_slots |= 1 << slot;
+                false
+            }
+            // Transient: the maintenance tick retries after
+            // RETRY_DELAY.
+            SubmitOutcome::Retry => false,
+            SubmitOutcome::Fail => {
+                self.fail_slot(slot);
+                self.p0ie != 0
+            }
+        }
+    }
+
+    /// One submission attempt over IPC: delegates whatever buffer
+    /// pages the server does not hold yet (standing delegations —
+    /// committed only if the transfer actually applied) and sends the
+    /// request message.
+    fn submit_slot(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) -> SubmitOutcome {
+        let Some(ch) = self.channel else {
+            return SubmitOutcome::Retry;
+        };
+        let Some(req) = self.pending[slot as usize] else {
+            return SubmitOutcome::Fail;
+        };
+        let newly: Vec<u64> = (req.first_page..req.first_page + req.pages)
+            .filter(|p| !self.delegated.contains(p))
+            .collect();
+        let mut utcb = Utcb::new();
+        for &p in &newly {
+            utcb.xfer.push(XferItem::Mem {
+                base: self.guest_base_page + p,
+                count: 1,
+                rights: MemRights::RW_DMA,
+                hot: WINDOW_BASE + p,
+            });
+        }
         utcb.set_msg(&[
             ch.client,
-            op,
-            lba,
-            sectors as u64,
-            WINDOW_BASE + first,
+            req.op,
+            req.lba,
+            req.sectors as u64,
+            WINDOW_BASE + req.first_page,
             slot as u64,
         ]);
-        if k.ipc_call(ctx, ch.req_sel, &mut utcb).is_err() || utcb.word(0) != proto::OK {
-            return fail(self);
+        match k.ipc_call(ctx, ch.req_sel, &mut utcb) {
+            // Dead portal or busy handler (a restart may be underway):
+            // nothing was transferred, try again later.
+            Err(_) => SubmitOutcome::Retry,
+            Ok(()) => {
+                // The transfer items applied; the delegations stand
+                // even if the server refused the request itself.
+                self.delegated.extend(newly);
+                match utcb.word(0) {
+                    proto::OK => SubmitOutcome::Accepted,
+                    proto::EBUSY => SubmitOutcome::Retry,
+                    _ => SubmitOutcome::Fail,
+                }
+            }
         }
-        self.inflight_slots |= 1 << slot;
-        self.requests += 1;
+    }
+
+    /// Periodic maintenance: re-submits refused requests, times out
+    /// accepted ones the server lost, and degrades requests whose
+    /// attempt budget ran out. Returns `true` if the guest's
+    /// interrupt line should be raised.
+    pub fn check_timeouts(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let now = k.now();
+        let mut raise = false;
+        for slot in 0..32u8 {
+            let Some(mut req) = self.pending[slot as usize] else {
+                continue;
+            };
+            let limit = if req.accepted {
+                REQUEST_TIMEOUT
+            } else {
+                RETRY_DELAY
+            };
+            if now.saturating_sub(req.submitted_at) < limit {
+                continue;
+            }
+            if req.accepted {
+                self.timeouts += 1;
+                k.counters.request_timeouts += 1;
+            }
+            if req.attempts >= MAX_ATTEMPTS {
+                self.degraded += 1;
+                k.counters.degraded_errors += 1;
+                self.fail_slot(slot);
+                raise |= self.p0ie != 0;
+                continue;
+            }
+            req.attempts += 1;
+            req.submitted_at = now;
+            req.accepted = false;
+            self.pending[slot as usize] = Some(req);
+            self.resubmits += 1;
+            k.counters.request_retries += 1;
+            raise |= self.try_submit(k, ctx, slot);
+        }
+        raise
     }
 
     /// Consumes completion records from the server's shared ring;
@@ -209,6 +399,7 @@ impl VAhci {
             let slot = (tag & 31) as u8;
             self.ci &= !(1 << slot);
             self.inflight_slots &= !(1 << slot);
+            self.pending[slot as usize] = None;
             self.completions += 1;
             if status == 0 {
                 self.p0is |= 1; // DHRS

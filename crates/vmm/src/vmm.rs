@@ -100,6 +100,12 @@ pub struct VmmConfig {
     /// mapped read-only; a guest write there is treated as a
     /// code-injection attempt and kills the VM with exit code 0xfc.
     pub protect_kernel: Option<(u64, u64)>,
+    /// The disk server runs under root supervision: the VMM binds the
+    /// restart semaphore root pre-delegated at [`SEL_RESTART_SM`] and
+    /// re-registers its channel whenever the supervisor respawns the
+    /// server; outstanding requests are timed out and resubmitted via
+    /// a maintenance timer instead of hanging the guest forever.
+    pub supervised_disk: bool,
 }
 
 impl VmmConfig {
@@ -124,9 +130,15 @@ impl VmmConfig {
             mtd_full: false,
             guest_dma: false,
             protect_kernel: None,
+            supervised_disk: false,
         }
     }
 }
+
+/// Selector where a supervised VMM expects the root partition manager
+/// to pre-delegate (with DOWN permission) the semaphore it signals
+/// after every disk-server restart.
+pub const SEL_RESTART_SM: CapSel = 0x42;
 
 /// Well-known selectors inside the VMM's capability space.
 mod sel {
@@ -135,6 +147,11 @@ mod sel {
     pub const TIMER_SM: CapSel = 0x40;
     /// Disk completion semaphore.
     pub const DISK_SM: CapSel = 0x41;
+    /// Disk-server restart notification (delegated by root; see
+    /// [`crate::vmm::SEL_RESTART_SM`]).
+    pub const RESTART_SM: CapSel = crate::vmm::SEL_RESTART_SM;
+    /// Maintenance timer semaphore (request-timeout sweep).
+    pub const MAINT_SM: CapSel = 0x43;
     /// The VM protection domain.
     pub const VM_PD: CapSel = 0x50;
     /// SC of the VMM's own EC (activations).
@@ -197,6 +214,9 @@ pub struct Vmm {
     vcpu_state: Vec<VcpuState>,
     timer_sm: Option<SmId>,
     disk_sm: Option<SmId>,
+    restart_sm: Option<SmId>,
+    maint_sm: Option<SmId>,
+    maint_armed: bool,
     gsi_sms: Vec<(SmId, u8)>,
     /// Benchmark marks the guest wrote (in order).
     pub marks: Vec<u32>,
@@ -217,6 +237,9 @@ impl Vmm {
             vcpu_state: vec![VcpuState::default(); vcpus],
             timer_sm: None,
             disk_sm: None,
+            restart_sm: None,
+            maint_sm: None,
+            maint_armed: false,
             gsi_sms: Vec::new(),
             marks: Vec::new(),
             guest_exit: None,
@@ -484,12 +507,8 @@ impl Vmm {
                         let page = gpa >> 12;
                         if page >= pf && page < pf + pc {
                             self.guest_exit = Some(0xfc);
-                            let _ = k.dev_io_write(
-                                ctx,
-                                crate::devices::PORT_EXIT,
-                                OpSize::Byte,
-                                0xfc,
-                            );
+                            let _ =
+                                k.dev_io_write(ctx, crate::devices::PORT_EXIT, OpSize::Byte, 0xfc);
                             msg.reply_block = true;
                             self.finish_reply(vcpu, &mut msg);
                             utcb.vm = Some(msg);
@@ -591,7 +610,107 @@ impl Vmm {
         }
         utcb.vm = Some(msg);
     }
+
+    /// Runs the two-phase registration handshake with the disk server
+    /// and returns the resulting channel, or `None` if the server
+    /// refused or the IPC failed (e.g. mid-restart).
+    ///
+    /// `zero_ring` wipes the completion-ring page first; a freshly
+    /// restarted server starts its producer counter at zero, so a
+    /// stale counter from the previous incarnation must not survive.
+    fn register_disk_channel(
+        &self,
+        k: &mut Kernel,
+        ctx: CompCtx,
+        reg: CapSel,
+        req: CapSel,
+        zero_ring: bool,
+    ) -> Option<DiskChannel> {
+        if zero_ring {
+            k.mem_write(ctx, self.cfg.ring_page * 4096, &[0u8; 4096]);
+        }
+
+        let mut utcb = Utcb::new();
+        k.ipc_call(ctx, reg, &mut utcb).ok()?;
+        let client = utcb.word(0);
+        if client as usize >= nova_user::proto::disk::MAX_CLIENTS {
+            return None;
+        }
+
+        let ring_hot = nova_user::disk::DiskServerConfig::standard().ring_base_page + client;
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[client]);
+        utcb.xfer.push(XferItem::Mem {
+            base: self.cfg.ring_page,
+            count: 1,
+            rights: MemRights::RW,
+            hot: ring_hot,
+        });
+        utcb.xfer.push(XferItem::Cap {
+            sel: sel::DISK_SM,
+            perms: Perms::UP,
+            hot: nova_user::disk::DiskServerConfig::client_sm_sel(client as usize),
+        });
+        k.ipc_call(ctx, reg, &mut utcb).ok()?;
+
+        Some(DiskChannel {
+            req_sel: req,
+            client,
+            ring_va: self.cfg.ring_page * 4096,
+        })
+    }
+
+    /// Handles a disk-server restart notification: re-registers the
+    /// channel with the new server incarnation and resubmits every
+    /// request that was in flight when the old one died.
+    fn reconnect_disk(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        let Some((reg, req)) = self.cfg.disk_portals else {
+            return;
+        };
+        let Some(ch) = self.register_disk_channel(k, ctx, reg, req, true) else {
+            return;
+        };
+        let mut dev = self.dev.take().expect("devices");
+        let raised = dev.vahci.reconnect(k, ctx, ch);
+        if raised {
+            dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
+        }
+        self.dev = Some(dev);
+        if raised {
+            self.kick_vcpu(k, ctx, 0);
+        }
+    }
+
+    /// Arms the maintenance timer while disk requests are outstanding
+    /// and cancels it when the last one drains, so an idle supervised
+    /// VM still reports [`nova_core::RunOutcome::Idle`].
+    fn update_maint_timer(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        if self.maint_sm.is_none() {
+            return;
+        }
+        let want = self.dev.as_ref().is_some_and(|d| d.vahci.has_pending());
+        if want == self.maint_armed {
+            return;
+        }
+        let period = if want { MAINT_PERIOD } else { 0 };
+        if k.hypercall(
+            ctx,
+            Hypercall::SetTimer {
+                sm: sel::MAINT_SM,
+                period,
+            },
+        )
+        .is_ok()
+        {
+            self.maint_armed = want;
+        }
+    }
 }
+
+/// Maintenance-timer period: how often a supervised VMM sweeps its
+/// outstanding disk requests for timeouts (a fraction of the vAHCI
+/// request timeout so degradation is detected promptly).
+const MAINT_PERIOD: Cycles = 1_000_000;
 
 impl Component for Vmm {
     fn name(&self) -> &str {
@@ -642,31 +761,47 @@ impl Component for Vmm {
                 .expect("bind disk");
             self.disk_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
 
-            let mut utcb = Utcb::new();
-            k.ipc_call(ctx, reg, &mut utcb).expect("disk register");
-            let client = utcb.word(0);
+            if self.cfg.supervised_disk {
+                // Restart notification: root pre-delegated a semaphore
+                // (with DOWN permission) at SEL_RESTART_SM and ups it
+                // after every disk-server respawn.
+                k.hypercall(
+                    ctx,
+                    Hypercall::SmBind {
+                        sm: sel::RESTART_SM,
+                    },
+                )
+                .expect("bind restart");
+                self.restart_sm = k
+                    .obj
+                    .pd(ctx.pd)
+                    .caps
+                    .get(sel::RESTART_SM)
+                    .and_then(|c| match c.obj {
+                        nova_core::obj::ObjRef::Sm(id) => Some(id),
+                        _ => None,
+                    });
 
-            let ring_hot = nova_user::disk::DiskServerConfig::standard().ring_base_page + client;
-            let mut utcb = Utcb::new();
-            utcb.set_msg(&[client]);
-            utcb.xfer.push(XferItem::Mem {
-                base: self.cfg.ring_page,
-                count: 1,
-                rights: MemRights::RW,
-                hot: ring_hot,
-            });
-            utcb.xfer.push(XferItem::Cap {
-                sel: sel::DISK_SM,
-                perms: Perms::UP,
-                hot: nova_user::disk::DiskServerConfig::client_sm_sel(client as usize),
-            });
-            k.ipc_call(ctx, reg, &mut utcb).expect("disk setup");
+                // Maintenance timer for the request-timeout sweep,
+                // armed only while guest requests are outstanding (so
+                // idle VMs stay idle).
+                k.hypercall(
+                    ctx,
+                    Hypercall::CreateSm {
+                        count: 0,
+                        dst: sel::MAINT_SM,
+                    },
+                )
+                .expect("maint sm");
+                k.hypercall(ctx, Hypercall::SmBind { sm: sel::MAINT_SM })
+                    .expect("bind maint");
+                self.maint_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
+            }
 
-            vahci.attach(DiskChannel {
-                req_sel: req,
-                client,
-                ring_va: self.cfg.ring_page * 4096,
-            });
+            let ch = self
+                .register_disk_channel(k, ctx, reg, req, false)
+                .expect("disk register");
+            vahci.attach(ch);
         }
         self.dev = Some(VDevices::new(cpu_hz, sel::TIMER_SM, vahci));
 
@@ -722,9 +857,7 @@ impl Component for Vmm {
             let end = start + count;
             while cursor < end {
                 let (next, r) = match protected {
-                    Some((pf, pc)) if cursor >= pf && cursor < pf + pc => {
-                        ((pf + pc).min(end), ro)
-                    }
+                    Some((pf, pc)) if cursor >= pf && cursor < pf + pc => ((pf + pc).min(end), ro),
                     Some((pf, _)) if cursor < pf => (pf.min(end), rights),
                     _ => (end, rights),
                 };
@@ -895,6 +1028,7 @@ impl Component for Vmm {
         if vcpu < self.cfg.vcpus {
             self.handle_exit(k, ctx, vcpu, utcb);
         }
+        self.update_maint_timer(k, ctx);
     }
 
     fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, sm: SmId) {
@@ -914,12 +1048,25 @@ impl Component for Vmm {
             if raised {
                 self.kick_vcpu(k, ctx, 0);
             }
+        } else if Some(sm) == self.maint_sm {
+            let mut dev = self.dev.take().expect("devices");
+            let raised = dev.vahci.check_timeouts(k, ctx);
+            if raised {
+                dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
+            }
+            self.dev = Some(dev);
+            if raised {
+                self.kick_vcpu(k, ctx, 0);
+            }
+        } else if Some(sm) == self.restart_sm {
+            self.reconnect_disk(k, ctx);
         } else if let Some(&(_, gsi)) = self.gsi_sms.iter().find(|(s, _)| *s == sm) {
             if let Some(dev) = self.dev.as_mut() {
                 dev.vpic.pulse(gsi);
             }
             self.kick_vcpu(k, ctx, 0);
         }
+        self.update_maint_timer(k, ctx);
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {

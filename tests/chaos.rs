@@ -1,0 +1,661 @@
+//! Chaos tests: the full stack driven under seeded fault injection,
+//! plus the supervision/recovery path (watchdog -> DestroyPd ->
+//! respawn -> re-registration) exercised end-to-end. The platform's
+//! fault injector is deterministic, so every assertion here is exact:
+//! the same seed reproduces the same fault schedule, and the recovery
+//! counters must balance the injected counts.
+
+use nova_core::cap::{CapSel, Perms};
+use nova_core::kernel::SEL_SELF_EC;
+use nova_core::obj::MemRights;
+use nova_core::utcb::{Utcb, XferItem};
+use nova_core::{CompCtx, CompId, Component, Hypercall, Kernel, KernelConfig, PdId, RunOutcome};
+use nova_guest::diskload::{self, DiskLoadParams};
+use nova_guest::os::{build_os, OsParams};
+use nova_guest::rt;
+use nova_hw::fault::{FaultKind, FaultPlan};
+use nova_hw::machine::{Machine, MachineConfig, AHCI_BASE};
+use nova_user::disk::{DiskServer, DiskServerConfig};
+use nova_user::proto::disk as dproto;
+use nova_user::root::{DiskSupervision, RootOps, RootPm, SupervisedClient};
+use nova_vmm::{GuestImage, LaunchOptions, System, VmmConfig};
+use nova_x86::insn::{AluOp, Cond};
+use nova_x86::reg::Reg;
+use nova_x86::MemRef;
+
+fn image(prog: nova_guest::os::Program) -> GuestImage {
+    GuestImage {
+        bytes: prog.bytes,
+        load_gpa: prog.load_gpa,
+        entry: prog.entry,
+        stack: prog.stack,
+    }
+}
+
+/// Number of disk requests the chaos guest issues.
+const CHAOS_REQUESTS: u32 = 12;
+/// Iterations of the co-resident integrity guest.
+const WITNESS_ITERS: u32 = 6;
+
+/// Checksum the witness guest computes on iteration `iter` (fill a
+/// page with a rolling pattern, then sum it).
+fn witness_checksum(iter: u32) -> u32 {
+    let mut v = 0x1234_5678u32.wrapping_add(iter);
+    let mut s = 0u32;
+    for _ in 0..1024 {
+        s = s.wrapping_add(v);
+        v = v.wrapping_add(0x9e37_79b9);
+    }
+    s
+}
+
+/// A co-resident VM that repeatedly fills a page of its own RAM with
+/// a pattern, checksums it, and reports the checksum through the mark
+/// port — an integrity witness: faults injected into the disk path of
+/// the *other* VM must never perturb these values.
+fn witness_guest() -> nova_guest::os::Program {
+    build_os(OsParams::minimal(), |a, _| {
+        a.mov_ri(Reg::Esi, 0);
+        let iter = a.here_label();
+        // Fill 0x8000..0x9000 with pattern(iter).
+        a.mov_ri(Reg::Edi, 0x8000);
+        a.mov_ri(Reg::Ecx, 1024);
+        a.mov_ri(Reg::Eax, 0x1234_5678);
+        a.alu_rr(AluOp::Add, Reg::Eax, Reg::Esi);
+        let fill = a.here_label();
+        a.mov_mr(MemRef::base_disp(Reg::Edi, 0), Reg::Eax);
+        a.add_ri(Reg::Eax, 0x9e37_79b9);
+        a.add_ri(Reg::Edi, 4);
+        a.dec_r(Reg::Ecx);
+        a.jcc(Cond::Ne, fill);
+        // Checksum it back.
+        a.mov_ri(Reg::Edi, 0x8000);
+        a.mov_ri(Reg::Ecx, 1024);
+        a.mov_ri(Reg::Ebx, 0);
+        let sum = a.here_label();
+        a.alu_rm(AluOp::Add, Reg::Ebx, MemRef::base_disp(Reg::Edi, 0));
+        a.add_ri(Reg::Edi, 4);
+        a.dec_r(Reg::Ecx);
+        a.jcc(Cond::Ne, sum);
+        // Report via the mark port.
+        a.mov_rr(Reg::Eax, Reg::Ebx);
+        a.mov_ri(Reg::Edx, 0xf5);
+        a.out_dx_eax();
+        a.inc_r(Reg::Esi);
+        a.cmp_ri(Reg::Esi, WITNESS_ITERS);
+        a.jcc(Cond::B, iter);
+        // Done: spin (the disk guest's exit shuts the system down).
+        let top = a.here_label();
+        a.jmp(top);
+    })
+}
+
+/// Builds the two-VM chaos system: a supervised disk-server stack
+/// with the diskload guest, plus the co-resident witness VM.
+fn chaos_system(plan: Option<FaultPlan>) -> System {
+    let p = DiskLoadParams {
+        requests: CHAOS_REQUESTS,
+        block_bytes: 4096,
+    };
+    let mut opts = LaunchOptions::supervised(VmmConfig::full_virt(image(diskload::build(p)), 2048));
+    opts.machine.ram = 128 << 20;
+    let mut sys = System::build(opts);
+    sys.add_vm(VmmConfig::full_virt(image(witness_guest()), 1024));
+    if let Some(plan) = plan {
+        sys.k.machine.set_fault_plan(plan);
+    }
+    sys
+}
+
+/// The five-kind chaos plan. Small per-kind caps keep every faulted
+/// request inside the server's retry budget, so the guest must stay
+/// fault-oblivious.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with(FaultKind::AhciTaskFileError, 9000, 3)
+        .with(FaultKind::AhciLostIrq, 9000, 3)
+        .with(FaultKind::AhciSpuriousIrq, 9000, 3)
+        .with(FaultKind::AhciStuckDma, 9000, 2)
+        .with(FaultKind::IommuFault, 5000, 2)
+}
+
+const CHAOS_SEED: u64 = 0x5eed_c0ff_ee01;
+
+/// Mark values emitted by the witness (everything except diskload's
+/// begin/end marks).
+fn witness_marks(sys: &System) -> Vec<u32> {
+    sys.k
+        .machine
+        .marks()
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|&v| v != 0x1000 && v != 0x1001)
+        .collect()
+}
+
+/// Tentpole acceptance: five fault kinds injected into a live run;
+/// the guest completes with correct data, the co-resident VM is
+/// untouched, and the injected counts balance the recovery counters.
+#[test]
+fn chaos_five_fault_kinds_guest_unaffected() {
+    let mut sys = chaos_system(Some(chaos_plan(CHAOS_SEED)));
+    let out = sys.run(Some(60_000_000_000));
+    assert_eq!(out, RunOutcome::Shutdown(0), "disk guest finishes cleanly");
+
+    // All five enabled kinds actually fired.
+    let injected = sys.k.machine.faults().injected;
+    let inj = |k: FaultKind| injected[k as usize];
+    for kind in [
+        FaultKind::AhciTaskFileError,
+        FaultKind::AhciLostIrq,
+        FaultKind::AhciSpuriousIrq,
+        FaultKind::AhciStuckDma,
+        FaultKind::IommuFault,
+    ] {
+        assert!(inj(kind) >= 1, "{kind:?} never fired; pick another seed");
+    }
+    assert_eq!(sys.k.machine.faults().count(FaultKind::NicPacketDrop), 0);
+
+    // The last block the guest read is bit-exact despite the chaos.
+    let host = 0x1000 * 4096 + rt::layout::DISK_BUF as u64;
+    let got = sys.k.machine.mem.read_bytes(host, 512);
+    let lba_last = (CHAOS_REQUESTS as u64 - 1) * (4096 / 512);
+    let expect = sys.k.machine.ahci().sector(lba_last);
+    assert_eq!(got, expect, "guest data correct under fault injection");
+
+    // The co-resident witness VM computed exactly the checksums a
+    // fault-free machine computes.
+    let marks = witness_marks(&sys);
+    let expected: Vec<u32> = (0..WITNESS_ITERS).map(witness_checksum).collect();
+    assert_eq!(marks, expected, "co-resident VM unperturbed");
+    let baseline = {
+        let mut sys = chaos_system(None);
+        assert_eq!(sys.run(Some(60_000_000_000)), RunOutcome::Shutdown(0));
+        witness_marks(&sys)
+    };
+    assert_eq!(marks, baseline, "witness marks identical to fault-free run");
+
+    // Injected counters balance recovery/degradation counters.
+    let stats = sys.disk_server().unwrap().stats;
+    assert_eq!(stats.accepted, CHAOS_REQUESTS as u64, "no vAHCI resubmits");
+    assert_eq!(stats.accepted, stats.completed);
+    assert_eq!(stats.failed, 0, "no request exhausted its retry budget");
+    assert_eq!(stats.rejected, 0);
+    // Every task-file error — injected directly or produced by an
+    // IOMMU-blocked DMA — was retried successfully.
+    assert_eq!(
+        stats.media_retries,
+        inj(FaultKind::AhciTaskFileError) + inj(FaultKind::IommuFault),
+        "every error completion was retried"
+    );
+    // Every wedged DMA was recovered by a controller reset.
+    assert_eq!(stats.controller_resets, inj(FaultKind::AhciStuckDma));
+    // Every blocked DMA transaction was logged by the IOMMU.
+    assert_eq!(
+        sys.k.machine.bus.iommu.faults.len() as u64,
+        inj(FaultKind::IommuFault)
+    );
+    // Lost completions were recovered — either by the timeout poll or
+    // absorbed into a conveniently-timed spurious interrupt (in which
+    // case neither counter ticks, pairwise).
+    assert!(stats.lost_irq_recovered <= inj(FaultKind::AhciLostIrq));
+    assert!(stats.spurious <= inj(FaultKind::AhciSpuriousIrq));
+    assert_eq!(
+        stats.lost_irq_recovered + stats.spurious,
+        inj(FaultKind::AhciLostIrq) + inj(FaultKind::AhciSpuriousIrq)
+            - 2 * (inj(FaultKind::AhciLostIrq) - stats.lost_irq_recovered),
+        "lost/spurious interactions pair up"
+    );
+    // The supervisor never had to restart anything: degraded-mode
+    // recovery handled every fault below the watchdog threshold.
+    assert_eq!(sys.k.counters.driver_restarts, 0);
+    assert_eq!(sys.k.counters.pd_deaths, 0);
+    assert_eq!(
+        sys.k.counters.request_retries,
+        stats.media_retries + {
+            // Stuck-DMA re-issues are counted as retries too.
+            stats.controller_resets
+        }
+    );
+}
+
+/// Determinism: the same seed over the same workload reproduces the
+/// same fault schedule, cycle for cycle, and the same guest-visible
+/// outcome.
+#[test]
+fn same_seed_reproduces_fault_schedule() {
+    let run = || {
+        let mut sys = chaos_system(Some(chaos_plan(CHAOS_SEED)));
+        assert_eq!(sys.run(Some(60_000_000_000)), RunOutcome::Shutdown(0));
+        sys
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.k.machine.faults().injected, b.k.machine.faults().injected);
+    assert_eq!(a.k.machine.faults().trace, b.k.machine.faults().trace);
+    assert!(!a.k.machine.faults().trace.is_empty());
+    assert_eq!(a.k.machine.clock, b.k.machine.clock);
+    assert_eq!(a.k.machine.marks(), b.k.machine.marks());
+
+    // A different seed produces a different schedule (the plans are
+    // probabilistic draws, not fixed scripts).
+    let mut c = chaos_system(Some(chaos_plan(CHAOS_SEED + 1)));
+    assert_eq!(c.run(Some(60_000_000_000)), RunOutcome::Shutdown(0));
+    assert_ne!(a.k.machine.faults().trace, c.k.machine.faults().trace);
+}
+
+/// Full-stack supervision: the disk server is killed mid-workload;
+/// the watchdog fires, root destroys and respawns it, the VMM
+/// re-registers its channel and resubmits, and the guest finishes
+/// with correct data, never seeing the crash.
+#[test]
+fn driver_crash_mid_workload_recovers_end_to_end() {
+    let p = DiskLoadParams {
+        requests: 10,
+        block_bytes: 4096,
+    };
+    let mut sys = System::build(LaunchOptions::supervised(VmmConfig::full_virt(
+        image(diskload::build(p)),
+        2048,
+    )));
+
+    // Run until the server has completed a couple of requests.
+    let srv = sys.disk.unwrap();
+    loop {
+        let out = sys.run(Some(100_000));
+        assert_ne!(
+            out,
+            RunOutcome::Shutdown(0),
+            "guest finished before the crash"
+        );
+        let done = sys
+            .k
+            .component_mut::<DiskServer>(srv)
+            .unwrap()
+            .stats
+            .completed;
+        if done >= 2 {
+            break;
+        }
+    }
+
+    // Kill the driver domain the way a wild write would: a fault that
+    // takes down the whole PD.
+    let srv_pd = PdId(
+        sys.k
+            .obj
+            .pds
+            .iter()
+            .position(|pd| pd.name == "disk-server")
+            .unwrap(),
+    );
+    sys.k.pd_fault(srv_pd, 0xdead);
+    assert_eq!(sys.k.counters.pd_deaths, 1);
+
+    // The system recovers on its own: watchdog -> root respawn ->
+    // VMM re-registration -> resubmission of the in-flight request.
+    let out = sys.run(Some(60_000_000_000));
+    assert_eq!(
+        out,
+        RunOutcome::Shutdown(0),
+        "guest completed after the crash"
+    );
+    assert_eq!(sys.k.counters.driver_restarts, 1);
+
+    // Data integrity across the restart: the last block is correct.
+    let host = 0x1000 * 4096 + rt::layout::DISK_BUF as u64;
+    let got = sys.k.machine.mem.read_bytes(host, 512);
+    let expect = sys.k.machine.ahci().sector(9 * (4096 / 512));
+    assert_eq!(got, expect, "guest data correct across driver restart");
+    // Both benchmark marks arrived: the guest never saw the crash.
+    let vals: Vec<u32> = sys.k.machine.marks().iter().map(|&(_, v)| v).collect();
+    assert_eq!(vals, vec![0x1000, 0x1001]);
+}
+
+/// A test client that counts its completion/restart signals.
+#[derive(Default)]
+struct TestClient {
+    signals: u64,
+}
+
+impl Component for TestClient {
+    fn name(&self) -> &str {
+        "test-client"
+    }
+    fn on_call(&mut self, _k: &mut Kernel, _c: CompCtx, _p: u64, _u: &mut Utcb) {}
+    fn on_signal(&mut self, _k: &mut Kernel, _c: CompCtx, _sm: nova_core::SmId) {
+        self.signals += 1;
+    }
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Client-side selector for the restart-notification semaphore.
+const CL_SEL_RESTART: CapSel = 0x42;
+
+struct Rig {
+    k: Kernel,
+    client_ctx: CompCtx,
+    client_comp: CompId,
+    ahci_dev: usize,
+    cmd_va: u64,
+}
+
+/// Boots root + supervised disk server + a bare client, with the full
+/// supervision wiring the system builder performs: root SC, watchdog
+/// semaphore, `WatchdogArm`, restart semaphore delegated DOWN to the
+/// client, and the service portals at the protocol's well-known
+/// client selectors (so the restart recipe re-delegates to the same
+/// slots).
+fn supervised_rig() -> Rig {
+    let m = Machine::new(MachineConfig::core_i7(64 << 20));
+    let mut k = Kernel::new(m, KernelConfig::default());
+    let (root, root_ec) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+    k.start_component(root, root_ec);
+    let root_ctx = k.component_mut::<RootPm>(root).unwrap().ctx.unwrap();
+
+    let cfg = DiskServerConfig::supervised();
+    let ahci_dev = k.machine.dev.ahci;
+    let mut ops = RootOps::new(&mut k, root_ctx);
+    let (srv_sel, srv_pd) = ops.create_pd("disk-server", None).unwrap();
+    ops.grant_mem(
+        srv_sel,
+        AHCI_BASE / 4096,
+        1,
+        MemRights::RW,
+        cfg.mmio_va / 4096,
+    )
+    .unwrap();
+    ops.grant_mem(srv_sel, 0x300, 2, MemRights::RW_DMA, cfg.cmd_va / 4096)
+        .unwrap();
+    ops.grant_gsi(srv_sel, cfg.gsi).unwrap();
+    ops.assign_device(srv_sel, ahci_dev).unwrap();
+    let (srv_comp, srv_ec) = k.load_component(srv_pd, 0, Box::new(DiskServer::new(cfg)));
+    k.start_component(srv_comp, srv_ec);
+    let srv_ctx = CompCtx {
+        pd: srv_pd,
+        ec: srv_ec,
+        comp: srv_comp,
+    };
+    for (dst, id) in [
+        (0x20, dproto::PORTAL_REGISTER),
+        (0x21, dproto::PORTAL_REQUEST),
+    ] {
+        k.hypercall(
+            srv_ctx,
+            Hypercall::CreatePt {
+                ec: SEL_SELF_EC,
+                mtd: 0,
+                id,
+                dst,
+            },
+        )
+        .unwrap();
+    }
+
+    // The client: a PD with DMA-able memory and an SC.
+    let mut ops = RootOps::new(&mut k, root_ctx);
+    let (cl_sel, cl_pd) = ops.create_pd("client", None).unwrap();
+    ops.grant_mem(cl_sel, 0x400, 64, MemRights::RW_DMA, 0)
+        .unwrap();
+    let (client_comp, client_ec) = k.load_component(cl_pd, 0, Box::<TestClient>::default());
+    k.start_component(client_comp, client_ec);
+    let client_ctx = CompCtx {
+        pd: cl_pd,
+        ec: client_ec,
+        comp: client_comp,
+    };
+    let mut ops = RootOps::new(&mut k, root_ctx);
+    ops.grant_cap(srv_sel, cl_sel, Perms::ALL, 0x30).unwrap();
+    for (from, to) in [
+        (0x20, dproto::CLIENT_SEL_REG as CapSel),
+        (0x21, dproto::CLIENT_SEL_REQ as CapSel),
+    ] {
+        k.hypercall(
+            srv_ctx,
+            Hypercall::DelegateCap {
+                dst_pd: 0x30,
+                sel: from,
+                perms: Perms::CALL,
+                hot: to,
+            },
+        )
+        .unwrap();
+    }
+    k.hypercall(
+        client_ctx,
+        Hypercall::CreateSc {
+            ec: SEL_SELF_EC,
+            prio: 16,
+            quantum: 100_000,
+            dst: 0x22,
+        },
+    )
+    .unwrap();
+
+    // Supervision wiring (what `System::build` does with `supervise`).
+    let (sc_sel, wd_sm_sel, restart_sel) = {
+        let rp = k.component_mut::<RootPm>(root).unwrap();
+        (rp.alloc_sel(), rp.alloc_sel(), rp.alloc_sel())
+    };
+    k.hypercall(
+        root_ctx,
+        Hypercall::CreateSc {
+            ec: SEL_SELF_EC,
+            prio: 48,
+            quantum: 100_000,
+            dst: sc_sel,
+        },
+    )
+    .unwrap();
+    k.hypercall(
+        root_ctx,
+        Hypercall::CreateSm {
+            count: 0,
+            dst: wd_sm_sel,
+        },
+    )
+    .unwrap();
+    k.hypercall(root_ctx, Hypercall::SmBind { sm: wd_sm_sel })
+        .unwrap();
+    let wd_sm = nova_core::SmId(k.obj.sms.len() - 1);
+    k.hypercall(
+        root_ctx,
+        Hypercall::WatchdogArm {
+            pd: srv_sel,
+            sm: wd_sm_sel,
+            timeout: 8_000_000,
+        },
+    )
+    .unwrap();
+    k.hypercall(
+        root_ctx,
+        Hypercall::CreateSm {
+            count: 0,
+            dst: restart_sel,
+        },
+    )
+    .unwrap();
+    let mut ops = RootOps::new(&mut k, root_ctx);
+    ops.grant_cap(cl_sel, restart_sel, Perms::DOWN, CL_SEL_RESTART)
+        .unwrap();
+    k.hypercall(client_ctx, Hypercall::SmBind { sm: CL_SEL_RESTART })
+        .unwrap();
+    let cmd_va = cfg.cmd_va;
+    let rp = k.component_mut::<RootPm>(root).unwrap();
+    rp.supervision = Some(DiskSupervision {
+        srv_sel,
+        wd_sm_sel,
+        wd_sm,
+        timeout: 8_000_000,
+        cfg,
+        ahci_dev,
+        mmio_page: AHCI_BASE / 4096,
+        cmd_frames: 0x300,
+        clients: vec![SupervisedClient {
+            vmm_sel: cl_sel,
+            restart_sm_sel: restart_sel,
+        }],
+        restarts: 0,
+    });
+
+    Rig {
+        k,
+        client_ctx,
+        client_comp,
+        ahci_dev,
+        cmd_va,
+    }
+}
+
+/// Two-phase channel registration against whatever server currently
+/// answers the well-known register portal.
+fn register(r: &mut Rig) -> u64 {
+    // The completion semaphore survives restarts (it is the client's
+    // own object); creating it is idempotent per selector.
+    let _ = r.k.hypercall(
+        r.client_ctx,
+        Hypercall::CreateSm {
+            count: 0,
+            dst: 0x40,
+        },
+    );
+    let _ = r.k.hypercall(r.client_ctx, Hypercall::SmBind { sm: 0x40 });
+
+    let mut utcb = Utcb::new();
+    r.k.ipc_call(r.client_ctx, dproto::CLIENT_SEL_REG as CapSel, &mut utcb)
+        .unwrap();
+    let client_id = utcb.word(0);
+    assert_ne!(client_id, u64::MAX, "server full");
+
+    let cfg = DiskServerConfig::standard();
+    let mut utcb = Utcb::new();
+    utcb.set_msg(&[client_id]);
+    utcb.xfer.push(XferItem::Mem {
+        base: 1,
+        count: 1,
+        rights: MemRights::RW,
+        hot: cfg.ring_base_page + client_id,
+    });
+    utcb.xfer.push(XferItem::Cap {
+        sel: 0x40,
+        perms: Perms::UP,
+        hot: DiskServerConfig::client_sm_sel(client_id as usize),
+    });
+    r.k.ipc_call(r.client_ctx, dproto::CLIENT_SEL_REG as CapSel, &mut utcb)
+        .unwrap();
+    client_id
+}
+
+fn submit_read(r: &mut Rig, client: u64, lba: u64, sectors: u32, window: u64, tag: u64) -> u64 {
+    let mut utcb = Utcb::new();
+    utcb.set_msg(&[client, dproto::OP_READ, lba, sectors as u64, window, tag]);
+    let pages = (sectors as u64 * 512).div_ceil(4096);
+    utcb.xfer.push(XferItem::Mem {
+        base: 8,
+        count: pages,
+        rights: MemRights::RW_DMA,
+        hot: window,
+    });
+    r.k.ipc_call(r.client_ctx, dproto::CLIENT_SEL_REQ as CapSel, &mut utcb)
+        .unwrap();
+    utcb.word(0)
+}
+
+fn client_signals(r: &mut Rig) -> u64 {
+    let id = r.client_comp;
+    r.k.component_mut::<TestClient>(id).unwrap().signals
+}
+
+/// Driver restart at the protocol level: after the crash, `DestroyPd`
+/// has revoked the dead server's IOMMU mappings (client DMA window
+/// included), the respawned server's own command memory is mapped
+/// again, and a client that re-registers gets correct data with no
+/// stale state.
+#[test]
+fn restart_revokes_iommu_mappings_and_client_reregisters() {
+    let mut r = supervised_rig();
+    let client = register(&mut r);
+    let window = 0x500u64;
+    assert_eq!(submit_read(&mut r, client, 100, 8, window, 7), dproto::OK);
+    assert_eq!(r.k.run(Some(100_000_000)), RunOutcome::Budget);
+    assert_eq!(client_signals(&mut r), 1, "first request completed");
+    let got = r.k.mem_read(r.client_ctx, 8 * 4096, 16).unwrap();
+    assert_eq!(got, r.k.machine.ahci().sector(100)[..16].to_vec());
+
+    // The delegated DMA window stands in the IOMMU while the server
+    // lives...
+    let dev = r.ahci_dev;
+    assert!(r
+        .k
+        .machine
+        .bus
+        .iommu
+        .translate(dev, window * 4096, true)
+        .is_some());
+    assert!(r
+        .k
+        .machine
+        .bus
+        .iommu
+        .translate(dev, r.cmd_va, true)
+        .is_some());
+
+    // Crash the server; the death notification fires the watchdog and
+    // root restarts it.
+    let srv_pd = PdId(
+        r.k.obj
+            .pds
+            .iter()
+            .position(|pd| pd.name == "disk-server")
+            .unwrap(),
+    );
+    r.k.pd_fault(srv_pd, 0xdead);
+    let before = client_signals(&mut r);
+    assert_eq!(r.k.run(Some(100_000_000)), RunOutcome::Budget);
+    assert_eq!(r.k.counters.driver_restarts, 1);
+
+    // ...and is gone once the PD died: DestroyPd revoked every mapping
+    // the dead server held, the stale client window included. The new
+    // incarnation's command memory is mapped afresh at the same
+    // domain address.
+    assert!(
+        r.k.machine
+            .bus
+            .iommu
+            .translate(dev, window * 4096, true)
+            .is_none(),
+        "stale client DMA window revoked at the IOMMU"
+    );
+    assert!(
+        r.k.machine
+            .bus
+            .iommu
+            .translate(dev, r.cmd_va, true)
+            .is_some(),
+        "respawned server's command memory mapped"
+    );
+    // The client was told to re-register (restart semaphore).
+    assert!(client_signals(&mut r) > before);
+
+    // Re-register against the new incarnation and read again: fresh
+    // ring, fresh windows, correct data, no guest-visible corruption.
+    r.k.mem_write(r.client_ctx, 4096, &[0u8; 4096]);
+    let client = register(&mut r);
+    assert_eq!(client, 0, "fresh server has a fresh client table");
+    let sig = client_signals(&mut r);
+    assert_eq!(submit_read(&mut r, client, 555, 8, window, 9), dproto::OK);
+    assert_eq!(r.k.run(Some(100_000_000)), RunOutcome::Budget);
+    assert_eq!(client_signals(&mut r), sig + 1, "completion after restart");
+    let got = r.k.mem_read(r.client_ctx, 8 * 4096, 16).unwrap();
+    assert_eq!(got, r.k.machine.ahci().sector(555)[..16].to_vec());
+    // Ring record 0 of the zeroed ring: tag 9, status OK.
+    assert_eq!(r.k.mem_read_u32(r.client_ctx, 4096).unwrap(), 9);
+    assert_eq!(r.k.mem_read_u32(r.client_ctx, 4096 + 4).unwrap(), 0);
+    assert_eq!(
+        r.k.component_mut::<RootPm>(CompId(0))
+            .map(|rp| rp.supervision.as_ref().unwrap().restarts),
+        Some(1)
+    );
+}

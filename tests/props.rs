@@ -1,9 +1,11 @@
-//! Property-based tests over the core data structures and invariants:
+//! Randomized tests over the core data structures and invariants:
 //! assembler/decoder agreement, ALU semantics, TLB coherence, the
 //! mapping database's revocation invariants, capability-space
 //! behaviour, and IOMMU confinement.
-
-use proptest::prelude::*;
+//!
+//! A small local xorshift PRNG replaces an external property-testing
+//! crate so the suite builds with no registry access; every test is
+//! seeded and therefore fully deterministic.
 
 use nova_core::mdb::MapDb;
 use nova_hw::iommu::Iommu;
@@ -13,92 +15,195 @@ use nova_x86::insn::{AluOp, MemRef, Op, Operand};
 use nova_x86::reg::{Reg, Regs};
 use nova_x86::Asm;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    prop::sample::select(Reg::ALL.to_vec())
+/// Deterministic split-mix/xorshift generator for test inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        // xorshift64* — plenty for test-case generation.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn reg(&mut self) -> Reg {
+        Reg::ALL[self.below(Reg::ALL.len() as u64) as usize]
+    }
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
 }
 
-proptest! {
-    /// Whatever the assembler emits, the decoder parses back to the
-    /// same operation, operands and length.
-    #[test]
-    fn assembler_decoder_roundtrip_mov_ri(r in arb_reg(), imm in any::<u32>()) {
+const CASES: usize = 256;
+
+/// Whatever the assembler emits, the decoder parses back to the same
+/// operation, operands and length.
+#[test]
+fn assembler_decoder_roundtrip_mov_ri() {
+    let mut rng = Rng::new(0x1001);
+    for _ in 0..CASES {
+        let r = rng.reg();
+        let imm = rng.u32();
         let mut a = Asm::new(0);
         a.mov_ri(r, imm);
         let code = a.finish();
         let i = decode(&code).unwrap();
-        prop_assert_eq!(i.op, Op::Mov);
-        prop_assert_eq!(i.dst, Operand::Reg(r));
-        prop_assert_eq!(i.src, Operand::Imm(imm));
-        prop_assert_eq!(i.len as usize, code.len());
+        assert_eq!(i.op, Op::Mov);
+        assert_eq!(i.dst, Operand::Reg(r));
+        assert_eq!(i.src, Operand::Imm(imm));
+        assert_eq!(i.len as usize, code.len());
     }
+}
 
-    #[test]
-    fn assembler_decoder_roundtrip_alu(
-        op in prop::sample::select(&[
-            AluOp::Add, AluOp::Or, AluOp::Adc, AluOp::Sbb,
-            AluOp::And, AluOp::Sub, AluOp::Xor, AluOp::Cmp,
-        ][..]),
-        dst in arb_reg(),
-        src in arb_reg(),
-        imm in any::<u32>(),
-    ) {
+#[test]
+fn assembler_decoder_roundtrip_alu() {
+    let ops = [
+        AluOp::Add,
+        AluOp::Or,
+        AluOp::Adc,
+        AluOp::Sbb,
+        AluOp::And,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Cmp,
+    ];
+    let mut rng = Rng::new(0x1002);
+    for _ in 0..CASES {
+        let op = rng.pick(&ops);
+        let dst = rng.reg();
+        let src = rng.reg();
+        let imm = rng.u32();
         let mut a = Asm::new(0);
         a.alu_rr(op, dst, src);
         a.alu_ri(op, dst, imm);
         let code = a.finish();
         let i1 = decode(&code).unwrap();
-        prop_assert_eq!(i1.op, Op::Alu(op));
-        prop_assert_eq!(i1.dst, Operand::Reg(dst));
-        prop_assert_eq!(i1.src, Operand::Reg(src));
+        assert_eq!(i1.op, Op::Alu(op));
+        assert_eq!(i1.dst, Operand::Reg(dst));
+        assert_eq!(i1.src, Operand::Reg(src));
         let i2 = decode(&code[i1.len as usize..]).unwrap();
-        prop_assert_eq!(i2.op, Op::Alu(op));
-        prop_assert_eq!(i2.src, Operand::Imm(imm));
+        assert_eq!(i2.op, Op::Alu(op));
+        assert_eq!(i2.src, Operand::Imm(imm));
     }
+}
 
-    #[test]
-    fn assembler_decoder_roundtrip_mem(
-        base in arb_reg(),
-        disp in -0x10000i32..0x10000,
-        r in arb_reg(),
-    ) {
+#[test]
+fn assembler_decoder_roundtrip_mem() {
+    let mut rng = Rng::new(0x1003);
+    for _ in 0..CASES {
+        let base = rng.reg();
+        let disp = (rng.below(0x20000) as i32) - 0x10000;
+        let r = rng.reg();
         let m = MemRef::base_disp(base, disp);
         let mut a = Asm::new(0);
         a.mov_rm(r, m);
         a.mov_mr(m, r);
         let code = a.finish();
         let i1 = decode(&code).unwrap();
-        prop_assert_eq!(i1.src, Operand::Mem(m));
+        assert_eq!(i1.src, Operand::Mem(m));
         let i2 = decode(&code[i1.len as usize..]).unwrap();
-        prop_assert_eq!(i2.dst, Operand::Mem(m));
+        assert_eq!(i2.dst, Operand::Mem(m));
     }
+}
 
-    /// The decoder never panics on arbitrary bytes and always reports
-    /// a length within the architectural limit.
-    #[test]
-    fn decoder_total_on_junk(bytes in prop::collection::vec(any::<u8>(), 1..20)) {
+/// The decoder never panics on arbitrary bytes and always reports a
+/// length within the architectural limit.
+#[test]
+fn decoder_total_on_junk() {
+    let mut rng = Rng::new(0x1004);
+    for _ in 0..2048 {
+        let len = 1 + rng.below(19) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
         if let Ok(i) = decode(&bytes) {
-            prop_assert!(i.len as usize <= nova_x86::decode::MAX_INSN_LEN);
-            prop_assert!(i.len as usize <= bytes.len());
+            assert!(i.len as usize <= nova_x86::decode::MAX_INSN_LEN);
+            assert!(i.len as usize <= bytes.len());
+        }
+    }
+}
+
+mod exec_env {
+    use nova_x86::exec::{Env, Fault};
+    use nova_x86::insn::OpSize;
+
+    /// A memory-less environment for pure register tests.
+    pub struct NoMem;
+    impl Env for NoMem {
+        type Err = Fault;
+        fn read_mem(&mut self, _: u32, _: OpSize) -> Result<u32, Fault> {
+            Ok(0)
+        }
+        fn write_mem(&mut self, _: u32, _: OpSize, _: u32) -> Result<(), Fault> {
+            Ok(())
+        }
+        fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> {
+            Ok(0)
+        }
+        fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> {
+            Ok(())
+        }
+        fn cpuid(&mut self, _: u32) -> [u32; 4] {
+            [0; 4]
+        }
+        fn rdtsc(&mut self) -> u64 {
+            0
         }
     }
 
-    /// ADD/SUB through the executor agree with wrapping arithmetic,
-    /// and CMP preserves the destination.
-    #[test]
-    fn alu_semantics(a0 in any::<u32>(), b0 in any::<u32>()) {
-        use nova_x86::exec::{execute, Env, Fault};
-        use nova_x86::insn::OpSize;
-        struct NoMem;
-        impl Env for NoMem {
-            type Err = Fault;
-            fn read_mem(&mut self, _: u32, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn write_mem(&mut self, _: u32, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn cpuid(&mut self, _: u32) -> [u32; 4] { [0; 4] }
-            fn rdtsc(&mut self) -> u64 { 0 }
+    /// A flat byte-addressed RAM for tests that push/pop or take
+    /// interrupts.
+    #[derive(Default)]
+    pub struct Ram(pub std::collections::HashMap<u32, u8>);
+    impl Env for Ram {
+        type Err = Fault;
+        fn read_mem(&mut self, a: u32, s: OpSize) -> Result<u32, Fault> {
+            let mut v = 0;
+            for i in 0..s.bytes() {
+                v |= (*self.0.get(&(a + i)).unwrap_or(&0) as u32) << (8 * i);
+            }
+            Ok(v)
         }
-        let mut env = NoMem;
+        fn write_mem(&mut self, a: u32, s: OpSize, val: u32) -> Result<(), Fault> {
+            for i in 0..s.bytes() {
+                self.0.insert(a + i, (val >> (8 * i)) as u8);
+            }
+            Ok(())
+        }
+        fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> {
+            Ok(0)
+        }
+        fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> {
+            Ok(())
+        }
+        fn cpuid(&mut self, _: u32) -> [u32; 4] {
+            [0; 4]
+        }
+        fn rdtsc(&mut self) -> u64 {
+            0
+        }
+    }
+}
+
+/// ADD/SUB through the executor agree with wrapping arithmetic, and
+/// CMP preserves the destination.
+#[test]
+fn alu_semantics() {
+    use nova_x86::exec::execute;
+    let mut rng = Rng::new(0x1005);
+    let mut env = exec_env::NoMem;
+    for _ in 0..CASES {
+        let a0 = rng.u32();
+        let b0 = rng.u32();
 
         let mut regs = Regs::default();
         regs.set(Reg::Eax, a0);
@@ -106,7 +211,7 @@ proptest! {
         // add eax, ebx -> 01 D8
         let i = decode(&[0x01, 0xd8]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
-        prop_assert_eq!(regs.get(Reg::Eax), a0.wrapping_add(b0));
+        assert_eq!(regs.get(Reg::Eax), a0.wrapping_add(b0));
 
         let mut regs = Regs::default();
         regs.set(Reg::Eax, a0);
@@ -114,33 +219,55 @@ proptest! {
         // cmp eax, ebx -> 39 D8
         let i = decode(&[0x39, 0xd8]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
-        prop_assert_eq!(regs.get(Reg::Eax), a0, "CMP writes no result");
+        assert_eq!(regs.get(Reg::Eax), a0, "CMP writes no result");
         // ZF iff equal.
-        prop_assert_eq!(
-            regs.eflags & nova_x86::reg::flags::ZF != 0,
-            a0 == b0
-        );
+        assert_eq!(regs.eflags & nova_x86::reg::flags::ZF != 0, a0 == b0);
     }
+}
 
-    /// TLB coherence: after inserting an entry it is found (same tag),
-    /// never found under another tag, and gone after invalidation.
-    #[test]
-    fn tlb_coherence(vpn in 0u64..0x10_0000, vpid in 1u16..16, other in 16u16..32) {
+/// TLB coherence: after inserting an entry it is found (same tag),
+/// never found under another tag, and gone after invalidation.
+#[test]
+fn tlb_coherence() {
+    let mut rng = Rng::new(0x1006);
+    for _ in 0..CASES {
+        let vpn = rng.below(0x10_0000);
+        let vpid = 1 + rng.below(15) as u16;
+        let other = 16 + rng.below(16) as u16;
         let mut t = Tlb::new();
-        let e = TlbEntry { vpid, vpn, hpa: vpn << 12, page_size: 4096, write: true };
+        let e = TlbEntry {
+            vpid,
+            vpn,
+            hpa: vpn << 12,
+            page_size: 4096,
+            write: true,
+        };
         t.insert(e);
-        prop_assert_eq!(t.lookup(vpid, vpn << 12), Some(e));
-        prop_assert_eq!(t.lookup(other, vpn << 12), None);
+        assert_eq!(t.lookup(vpid, vpn << 12), Some(e));
+        assert_eq!(t.lookup(other, vpn << 12), None);
         t.invalidate(vpid, vpn << 12);
-        prop_assert_eq!(t.lookup(vpid, vpn << 12), None);
+        assert_eq!(t.lookup(vpid, vpn << 12), None);
     }
+}
 
-    /// Flushing a tag removes exactly that tag's entries.
-    #[test]
-    fn tlb_flush_vpid_precise(vpns in prop::collection::btree_set(0u64..4096, 1..64)) {
+/// Flushing a tag removes exactly that tag's entries.
+#[test]
+fn tlb_flush_vpid_precise() {
+    let mut rng = Rng::new(0x1007);
+    for _ in 0..64 {
+        let mut vpns = std::collections::BTreeSet::new();
+        for _ in 0..(1 + rng.below(63)) {
+            vpns.insert(rng.below(4096));
+        }
         let mut t = Tlb::new();
         for &vpn in &vpns {
-            t.insert(TlbEntry { vpid: 1, vpn, hpa: 0, page_size: 4096, write: false });
+            t.insert(TlbEntry {
+                vpid: 1,
+                vpn,
+                hpa: 0,
+                page_size: 4096,
+                write: false,
+            });
             t.insert(TlbEntry {
                 vpid: 2,
                 vpn: vpn + 8192,
@@ -151,17 +278,19 @@ proptest! {
         }
         t.flush_vpid(1);
         for &vpn in &vpns {
-            prop_assert!(t.lookup(1, vpn << 12).is_none());
+            assert!(t.lookup(1, vpn << 12).is_none());
         }
     }
+}
 
-    /// Mapping-database invariant: revoking a node removes its whole
-    /// subtree and nothing else; the database never leaks nodes.
-    #[test]
-    fn mdb_revoke_subtree_exact(
+/// Mapping-database invariant: revoking a node removes its whole
+/// subtree and nothing else; the database never leaks nodes.
+#[test]
+fn mdb_revoke_subtree_exact() {
+    let mut rng = Rng::new(0x1008);
+    for _ in 0..CASES {
         // A random tree over 16 nodes: parent[i] < i.
-        parents in prop::collection::vec(0usize..16, 15),
-    ) {
+        let parents: Vec<usize> = (0..15).map(|_| rng.below(16) as usize).collect();
         let mut db: MapDb<u64> = MapDb::new();
         db.insert_root(0, 0);
         for (i, p) in parents.iter().enumerate() {
@@ -170,7 +299,7 @@ proptest! {
             db.delegate((parent, 0), (child, 0));
         }
         let total = db.len();
-        prop_assert_eq!(total, 16);
+        assert_eq!(total, 16);
 
         // Compute the expected subtree of node `cut` by hand.
         let cut = (parents.first().copied().unwrap_or(0) % 15) + 1;
@@ -194,44 +323,50 @@ proptest! {
 
         let mut removed = Vec::new();
         db.revoke((cut, 0), true, &mut |k| removed.push(k));
-        prop_assert_eq!(removed.len(), expected);
+        assert_eq!(removed.len(), expected);
         for (owner, _) in removed {
-            prop_assert!(!db.contains(owner, 0));
+            assert!(!db.contains(owner, 0));
         }
-        prop_assert_eq!(db.len(), total - expected);
-        prop_assert!(db.contains(0, 0), "the root is never collateral");
+        assert_eq!(db.len(), total - expected);
+        assert!(db.contains(0, 0), "the root is never collateral");
     }
+}
 
-    /// IOMMU: a device only ever reaches pages explicitly mapped for
-    /// it, at the translated location.
-    #[test]
-    fn iommu_confinement(
-        pages in prop::collection::btree_map(0u64..256, 0u64..256, 1..32),
-        probe in 0u64..256,
-    ) {
+/// IOMMU: a device only ever reaches pages explicitly mapped for it,
+/// at the translated location.
+#[test]
+fn iommu_confinement() {
+    let mut rng = Rng::new(0x1009);
+    for _ in 0..CASES {
+        let mut pages = std::collections::BTreeMap::new();
+        for _ in 0..(1 + rng.below(31)) {
+            pages.insert(rng.below(256), rng.below(256));
+        }
+        let probe = rng.below(256);
         let mut io = Iommu::enabled();
         for (&bus, &host) in &pages {
             io.map_page(1, bus << 12, host << 12, true);
         }
         let got = io.translate(1, probe << 12, true);
         match pages.get(&probe) {
-            Some(&host) => prop_assert_eq!(got, Some(host << 12)),
-            None => prop_assert_eq!(got, None),
+            Some(&host) => assert_eq!(got, Some(host << 12)),
+            None => assert_eq!(got, None),
         }
         // Another device sees nothing.
-        prop_assert_eq!(io.translate(2, probe << 12, false), None);
+        assert_eq!(io.translate(2, probe << 12, false), None);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Shadow page tables built by the vTLB code agree with the MMU's
-    /// hardware walker for arbitrary fill patterns.
-    #[test]
-    fn shadow_fills_match_walker(
-        fills in prop::collection::btree_map(0u32..1024, 0u64..1024, 1..64),
-    ) {
+/// Shadow page tables built by the vTLB code agree with the MMU's
+/// hardware walker for arbitrary fill patterns.
+#[test]
+fn shadow_fills_match_walker() {
+    let mut rng = Rng::new(0x100a);
+    for _ in 0..32 {
+        let mut fills = std::collections::BTreeMap::new();
+        for _ in 0..(1 + rng.below(63)) {
+            fills.insert(rng.below(1024) as u32, rng.below(1024));
+        }
         use nova_core::hostpt::{FrameAllocator, ShadowPt};
         let mut mem = nova_hw::mem::PhysMem::new(32 << 20);
         let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
@@ -250,37 +385,39 @@ proptest! {
                 false,
                 &cost,
                 &mut cyc,
-            ).unwrap();
-            prop_assert_eq!(leaf.hpa, pa_page << 12);
+            )
+            .unwrap();
+            assert_eq!(leaf.hpa, pa_page << 12);
         }
         s.flush(&mut mem);
         for &va_page in fills.keys() {
-            prop_assert!(nova_hw::mmu::walk_2level(
-                &mem, s.root as u32, va_page << 12,
-                nova_x86::paging::Access::READ, false, &cost, &mut cyc,
-            ).is_err(), "flush drops every translation");
+            assert!(
+                nova_hw::mmu::walk_2level(
+                    &mem,
+                    s.root as u32,
+                    va_page << 12,
+                    nova_x86::paging::Access::READ,
+                    false,
+                    &cost,
+                    &mut cyc,
+                )
+                .is_err(),
+                "flush drops every translation"
+            );
         }
     }
 }
 
-proptest! {
-    /// Shift semantics agree with Rust's wrapping operators for all
-    /// counts the hardware masks to 0..31.
-    #[test]
-    fn shift_semantics(a0 in any::<u32>(), n in 0u8..32) {
-        use nova_x86::exec::{execute, Env, Fault};
-        use nova_x86::insn::OpSize;
-        struct NoMem;
-        impl Env for NoMem {
-            type Err = Fault;
-            fn read_mem(&mut self, _: u32, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn write_mem(&mut self, _: u32, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn cpuid(&mut self, _: u32) -> [u32; 4] { [0; 4] }
-            fn rdtsc(&mut self) -> u64 { 0 }
-        }
-        let mut env = NoMem;
+/// Shift semantics agree with Rust's wrapping operators for all
+/// counts the hardware masks to 0..31.
+#[test]
+fn shift_semantics() {
+    use nova_x86::exec::execute;
+    let mut rng = Rng::new(0x100b);
+    let mut env = exec_env::NoMem;
+    for _ in 0..CASES {
+        let a0 = rng.u32();
+        let n = rng.below(32) as u8;
 
         // shl eax, n -> C1 E0 n
         let mut regs = Regs::default();
@@ -288,7 +425,7 @@ proptest! {
         let i = decode(&[0xc1, 0xe0, n]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
         let expect = if n == 0 { a0 } else { a0 << n };
-        prop_assert_eq!(regs.get(Reg::Eax), expect);
+        assert_eq!(regs.get(Reg::Eax), expect);
 
         // shr eax, n -> C1 E8 n
         let mut regs = Regs::default();
@@ -296,33 +433,31 @@ proptest! {
         let i = decode(&[0xc1, 0xe8, n]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
         let expect = if n == 0 { a0 } else { a0 >> n };
-        prop_assert_eq!(regs.get(Reg::Eax), expect);
+        assert_eq!(regs.get(Reg::Eax), expect);
 
         // sar eax, n -> C1 F8 n
         let mut regs = Regs::default();
         regs.set(Reg::Eax, a0);
         let i = decode(&[0xc1, 0xf8, n]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
-        let expect = if n == 0 { a0 } else { ((a0 as i32) >> n) as u32 };
-        prop_assert_eq!(regs.get(Reg::Eax), expect);
+        let expect = if n == 0 {
+            a0
+        } else {
+            ((a0 as i32) >> n) as u32
+        };
+        assert_eq!(regs.get(Reg::Eax), expect);
     }
+}
 
-    /// MUL/DIV round-trip: (a*b)/b == a with the remainder folded in.
-    #[test]
-    fn mul_div_roundtrip(a0 in any::<u32>(), b0 in 1u32..u32::MAX) {
-        use nova_x86::exec::{execute, Env, Fault};
-        use nova_x86::insn::OpSize;
-        struct NoMem;
-        impl Env for NoMem {
-            type Err = Fault;
-            fn read_mem(&mut self, _: u32, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn write_mem(&mut self, _: u32, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn cpuid(&mut self, _: u32) -> [u32; 4] { [0; 4] }
-            fn rdtsc(&mut self) -> u64 { 0 }
-        }
-        let mut env = NoMem;
+/// MUL/DIV round-trip: (a*b)/b == a with the remainder folded in.
+#[test]
+fn mul_div_roundtrip() {
+    use nova_x86::exec::execute;
+    let mut rng = Rng::new(0x100c);
+    let mut env = exec_env::NoMem;
+    for _ in 0..CASES {
+        let a0 = rng.u32();
+        let b0 = 1 + (rng.u32() % (u32::MAX - 1));
 
         let mut regs = Regs::default();
         regs.set(Reg::Eax, a0);
@@ -331,26 +466,28 @@ proptest! {
         let i = decode(&[0xf7, 0xe3]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
         let wide = (a0 as u64) * (b0 as u64);
-        prop_assert_eq!(regs.get(Reg::Eax), wide as u32);
-        prop_assert_eq!(regs.get(Reg::Edx), (wide >> 32) as u32);
+        assert_eq!(regs.get(Reg::Eax), wide as u32);
+        assert_eq!(regs.get(Reg::Edx), (wide >> 32) as u32);
 
         // div ebx: back to (a0, remainder 0)
         let i = decode(&[0xf7, 0xf3]).unwrap();
         execute(&i, &mut regs, &mut env).unwrap();
-        prop_assert_eq!(regs.get(Reg::Eax), a0);
-        prop_assert_eq!(regs.get(Reg::Edx), 0);
+        assert_eq!(regs.get(Reg::Eax), a0);
+        assert_eq!(regs.get(Reg::Edx), 0);
     }
+}
 
-    /// Effective-address arithmetic matches the definition for every
-    /// base/index/scale/displacement combination.
-    #[test]
-    fn effective_address_formula(
-        base in 0u32..0x1000_0000,
-        index in 0u32..0x1000,
-        scale in prop::sample::select(&[1u8, 2, 4, 8][..]),
-        disp in -0x8000i32..0x8000,
-    ) {
-        use nova_x86::exec::effective_address;
+/// Effective-address arithmetic matches the definition for every
+/// base/index/scale/displacement combination.
+#[test]
+fn effective_address_formula() {
+    use nova_x86::exec::effective_address;
+    let mut rng = Rng::new(0x100d);
+    for _ in 0..CASES {
+        let base = rng.u32() % 0x1000_0000;
+        let index = rng.u32() % 0x1000;
+        let scale = rng.pick(&[1u8, 2, 4, 8]);
+        let disp = (rng.below(0x10000) as i32) - 0x8000;
         let mut regs = Regs::default();
         regs.set(Reg::Ebx, base);
         regs.set(Reg::Esi, index);
@@ -363,22 +500,31 @@ proptest! {
         let expect = base
             .wrapping_add(index.wrapping_mul(scale as u32))
             .wrapping_add(disp as u32);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// Capability-space invariant: set/get/remove behave like a map,
-    /// and `insert` never clobbers an occupied slot.
-    #[test]
-    fn capspace_map_semantics(
-        ops in prop::collection::vec((0usize..64, any::<bool>()), 1..64),
-    ) {
-        use nova_core::cap::{CapSpace, Capability, Perms};
-        use nova_core::obj::{ObjRef, SmId};
+/// Capability-space invariant: set/get/remove behave like a map, and
+/// lookups after a random op sequence agree with a model map.
+#[test]
+fn capspace_map_semantics() {
+    use nova_core::cap::{CapSpace, Capability, Perms};
+    use nova_core::obj::{ObjRef, SmId};
+    let mut rng = Rng::new(0x100e);
+    for _ in 0..64 {
         let mut cs = CapSpace::new();
         let mut model: std::collections::HashMap<usize, usize> = Default::default();
-        for (i, (sel, insert)) in ops.into_iter().enumerate() {
-            if insert {
-                cs.set(sel, Capability { obj: ObjRef::Sm(SmId(i)), perms: Perms::ALL });
+        let ops = 1 + rng.below(63);
+        for i in 0..ops as usize {
+            let sel = rng.below(64) as usize;
+            if rng.next() & 1 == 1 {
+                cs.set(
+                    sel,
+                    Capability {
+                        obj: ObjRef::Sm(SmId(i)),
+                        perms: Perms::ALL,
+                    },
+                );
                 model.insert(sel, i);
             } else {
                 cs.remove(sel);
@@ -390,47 +536,32 @@ proptest! {
                 ObjRef::Sm(SmId(i)) => i,
                 _ => usize::MAX,
             });
-            prop_assert_eq!(got, model.get(&sel).copied());
+            assert_eq!(got, model.get(&sel).copied());
         }
-        prop_assert_eq!(cs.count(), model.len());
+        assert_eq!(cs.count(), model.len());
     }
+}
 
-    /// INT n followed by IRET restores EIP, ESP and EFLAGS exactly.
-    #[test]
-    fn int_iret_roundtrip(vec in 0u8..64, eflags_if in any::<bool>()) {
-        use nova_x86::exec::{execute, Env, Fault};
-        use nova_x86::insn::OpSize;
-        #[derive(Default)]
-        struct Ram(std::collections::HashMap<u32, u8>);
-        impl Env for Ram {
-            type Err = Fault;
-            fn read_mem(&mut self, a: u32, s: OpSize) -> Result<u32, Fault> {
-                let mut v = 0;
-                for i in 0..s.bytes() {
-                    v |= (*self.0.get(&(a + i)).unwrap_or(&0) as u32) << (8 * i);
-                }
-                Ok(v)
-            }
-            fn write_mem(&mut self, a: u32, s: OpSize, val: u32) -> Result<(), Fault> {
-                for i in 0..s.bytes() {
-                    self.0.insert(a + i, (val >> (8 * i)) as u8);
-                }
-                Ok(())
-            }
-            fn io_in(&mut self, _: u16, _: OpSize) -> Result<u32, Fault> { Ok(0) }
-            fn io_out(&mut self, _: u16, _: OpSize, _: u32) -> Result<(), Fault> { Ok(()) }
-            fn cpuid(&mut self, _: u32) -> [u32; 4] { [0; 4] }
-            fn rdtsc(&mut self) -> u64 { 0 }
-        }
-        let mut env = Ram::default();
+/// INT n followed by IRET restores EIP, ESP and EFLAGS exactly.
+#[test]
+fn int_iret_roundtrip() {
+    use nova_x86::exec::{execute, Env};
+    use nova_x86::insn::OpSize;
+    let mut rng = Rng::new(0x100f);
+    for _ in 0..CASES {
+        let vec = rng.below(64) as u8;
+        let eflags_if = rng.next() & 1 == 1;
+        let mut env = exec_env::Ram::default();
         // IDT at 0x5000: handler at 0x4000 for every vector.
         let mut regs = Regs {
             idt_base: 0x5000,
             idt_limit: 0x7ff,
             ..Regs::default()
         };
-        env.write_mem(0x5000 + vec as u32 * 8, OpSize::Dword, 0x0008_4000).unwrap();
-        env.write_mem(0x5000 + vec as u32 * 8 + 4, OpSize::Dword, 0x8e00).unwrap();
+        env.write_mem(0x5000 + vec as u32 * 8, OpSize::Dword, 0x0008_4000)
+            .unwrap();
+        env.write_mem(0x5000 + vec as u32 * 8 + 4, OpSize::Dword, 0x8e00)
+            .unwrap();
         regs.set(Reg::Esp, 0x8000);
         regs.eip = 0x100;
         if eflags_if {
@@ -440,13 +571,13 @@ proptest! {
 
         let int = decode(&[0xcd, vec]).unwrap();
         execute(&int, &mut regs, &mut env).unwrap();
-        prop_assert_eq!(regs.eip, 0x4000);
-        prop_assert!(!regs.if_set(), "gates clear IF");
+        assert_eq!(regs.eip, 0x4000);
+        assert!(!regs.if_set(), "gates clear IF");
 
         let iret = decode(&[0xcf]).unwrap();
         execute(&iret, &mut regs, &mut env).unwrap();
-        prop_assert_eq!(regs.eip, before.eip + 2, "resumes after INT");
-        prop_assert_eq!(regs.get(Reg::Esp), before.get(Reg::Esp));
-        prop_assert_eq!(regs.eflags, before.eflags);
+        assert_eq!(regs.eip, before.eip + 2, "resumes after INT");
+        assert_eq!(regs.get(Reg::Esp), before.get(Reg::Esp));
+        assert_eq!(regs.eflags, before.eflags);
     }
 }

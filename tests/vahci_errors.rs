@@ -64,6 +64,71 @@ fn malformed_guest_command_reports_task_file_error() {
     assert_eq!(stats.completed, 0);
 }
 
+/// A *physical* task-file error propagates through every layer: the
+/// fault injector makes the real controller fail the command three
+/// times, the disk server burns its retry budget and completes the
+/// request with `STATUS_ERROR`, and the virtual controller translates
+/// that into TFES in the guest's P0IS.
+#[test]
+fn physical_task_file_error_propagates_to_guest() {
+    use nova_hw::ahci::regs;
+    use nova_hw::fault::{FaultKind, FaultPlan};
+    let base = nova_hw::machine::AHCI_BASE as u32;
+    let prog = build_os(OsParams::minimal(), |a, _| {
+        // A well-formed READ DMA EXT for LBA 5, 8 sectors: H2D FIS,
+        // one PRDT entry into DISK_BUF.
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA), 0x0025_0027);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 4), 5);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 8), 0);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 12), 8);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 0x80), layout::DISK_BUF);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 0x84), 0);
+        a.mov_mi(MemRef::abs(layout::DISK_CTBA + 0x8c), 4096 - 1);
+        a.mov_mi(MemRef::abs(layout::DISK_CMD), 1 << 16);
+        a.mov_mi(MemRef::abs(layout::DISK_CMD + 8), layout::DISK_CTBA);
+        a.mov_mi(MemRef::abs(base + regs::P0CLB), layout::DISK_CMD);
+        a.mov_mi(MemRef::abs(base + regs::P0CLB2), 0);
+        a.mov_mi(MemRef::abs(base + regs::P0CI), 1);
+        // Interrupts stay off: poll the slot until the virtual
+        // controller retires the command, then report P0IS.
+        let poll = a.here_label();
+        a.mov_rm(Reg::Eax, MemRef::abs(base + regs::P0CI));
+        a.cmp_ri(Reg::Eax, 0);
+        a.jcc(nova_x86::insn::Cond::Ne, poll);
+        a.mov_rm(Reg::Eax, MemRef::abs(base + regs::P0IS));
+        a.mov_ri(Reg::Edx, 0xf5);
+        a.out_dx_eax();
+        rt::emit_exit(a, 0);
+    });
+    let mut sys = System::build(LaunchOptions::standard(VmmConfig::full_virt(
+        image(prog),
+        2048,
+    )));
+    // Every issue of the command hits a task-file error until the cap
+    // of three — exactly the server's attempt budget — is spent.
+    sys.k
+        .machine
+        .set_fault_plan(FaultPlan::seeded(7).with(FaultKind::AhciTaskFileError, 65536, 3));
+    assert_eq!(sys.run(Some(5_000_000_000)), RunOutcome::Shutdown(0));
+
+    let marks = sys.vmm().guest_marks();
+    assert_eq!(marks.len(), 1);
+    assert_ne!(marks[0] & (1 << 30), 0, "TFES visible to the guest");
+
+    // The server retried twice, then completed the request degraded.
+    let stats = sys.disk_server().unwrap().stats;
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.media_retries, 2);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(
+        sys.k.machine.faults().count(FaultKind::AhciTaskFileError),
+        3
+    );
+    assert_eq!(sys.k.counters.request_retries, 2);
+    assert_eq!(sys.k.counters.degraded_errors, 1);
+}
+
 /// A doorbell with no command list programmed: rejected cleanly.
 #[test]
 fn doorbell_without_setup_fails_cleanly() {
