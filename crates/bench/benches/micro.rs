@@ -6,7 +6,14 @@
 //! batches) so the bench builds without registry access.
 
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
+
+use nova_bench::report::write_json;
+use nova_trace::json::Json;
+
+/// Medians collected by [`bench`], written as `BENCH_micro.json`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 use nova_core::cap::{CapSpace, Capability, Perms};
 use nova_core::hostpt::{FrameAllocator, ShadowPt};
@@ -20,8 +27,8 @@ use nova_user::RootPm;
 use nova_x86::decode::decode;
 
 /// Times `f` over `iters` iterations, repeated for several samples;
-/// prints the median per-iteration cost.
-fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+/// prints (and returns) the median per-iteration cost.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) -> f64 {
     const SAMPLES: usize = 7;
     let mut per_iter = Vec::with_capacity(SAMPLES);
     // Warm-up.
@@ -36,7 +43,10 @@ fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
         per_iter.push(t0.elapsed().as_nanos() as f64 / iters as f64);
     }
     per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("{name:40} {:10.1} ns/iter", per_iter[SAMPLES / 2]);
+    let median = per_iter[SAMPLES / 2];
+    println!("{name:40} {median:10.1} ns/iter");
+    RESULTS.lock().unwrap().push((name.to_string(), median));
+    median
 }
 
 fn bench_decode() {
@@ -218,4 +228,23 @@ fn main() {
     bench_shadow_fill();
     bench_ipc();
     bench_sim_speed();
+
+    let rows = Json::Arr(
+        RESULTS
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, ns)| {
+                Json::obj()
+                    .field("name", Json::from(name.as_str()))
+                    .field("ns_per_iter", Json::F64(*ns))
+            })
+            .collect(),
+    );
+    let path = write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../.."),
+        "micro",
+        vec![("rows".into(), rows)],
+    );
+    println!("\nwrote {path}");
 }

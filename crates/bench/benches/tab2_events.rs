@@ -4,12 +4,17 @@
 
 use nova_bench::configs::*;
 use nova_bench::paper::{self, TABLE2};
-use nova_bench::report::{banner, fmt_count, Table};
+use nova_bench::report::{banner, fmt_count, write_json, Table};
 use nova_core::Counters;
 use nova_guest::compile::{self, CompileParams};
 use nova_guest::diskload::{self, DiskLoadParams};
+use nova_trace::json::Json;
 
 const BUDGET: u64 = 3_000_000_000_000;
+
+/// Repository root, relative to this crate (benches run with the
+/// package directory as cwd).
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
 /// Extracts the Table 2 row values from measured counters.
 fn row_values(c: &Counters, runtime_s: f64) -> Vec<(&'static str, u64)> {
@@ -95,6 +100,36 @@ fn main() {
     }
     t.print();
 
+    let opt = |v: Option<u64>| v.map(Json::U64).unwrap_or(Json::Null);
+    let rows = Json::Arr(
+        TABLE2
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Json::obj()
+                    .field("event", Json::from(p.name))
+                    .field("ept", Json::U64(er[i].1))
+                    .field("vtlb", Json::U64(vr[i].1))
+                    .field("disk4k", Json::U64(dr[i].1))
+                    .field("paper_ept", opt(p.ept))
+                    .field("paper_vtlb", opt(p.vtlb))
+                    .field("paper_disk4k", opt(p.disk))
+            })
+            .collect(),
+    );
+    let path = write_json(
+        REPO_ROOT,
+        "tab2",
+        vec![
+            (
+                "note".into(),
+                Json::from("Runtime rows are milliseconds here, seconds in the paper"),
+            ),
+            ("rows".into(), rows),
+        ],
+    );
+    println!("\nwrote {path}");
+
     let ratio = vc.total_exits() as f64 / ec.total_exits().max(1) as f64;
     println!(
         "\nShape check: nested paging reduces VM exits by {:.0}x here (paper: ~234x — \
@@ -137,6 +172,44 @@ fn main() {
          direct consequence of the decomposed architecture (Section 8.5).",
         paper::S85_AVG_EXIT_CYCLES
     );
+
+    let comp = |cycles: u64, paper_share: Option<f64>| {
+        let o = Json::obj()
+            .field("cycles", Json::U64(cycles))
+            .field("share", Json::F64(cycles as f64 / total as f64));
+        match paper_share {
+            Some(s) => o.field("paper_share", Json::F64(s)),
+            None => o.field("paper_share", Json::Null),
+        }
+    };
+    let path = write_json(
+        REPO_ROOT,
+        "s85",
+        vec![
+            ("workload".into(), Json::from("EPT compile run")),
+            ("total_exits".into(), Json::U64(ec.total_exits())),
+            ("total_cycles".into(), Json::U64(total)),
+            ("avg_exit_cycles".into(), Json::F64(avg)),
+            (
+                "paper_avg_exit_cycles".into(),
+                Json::F64(paper::S85_AVG_EXIT_CYCLES),
+            ),
+            (
+                "transition".into(),
+                comp(ec.cycles_transition, Some(paper::S85_TRANSITION_SHARE)),
+            ),
+            (
+                "ipc".into(),
+                comp(ec.cycles_ipc, Some(paper::S85_IPC_SHARE)),
+            ),
+            (
+                "emulation".into(),
+                comp(ec.cycles_emulation, Some(paper::S85_EMULATION_SHARE)),
+            ),
+            ("kernel".into(), comp(ec.cycles_kernel, None)),
+        ],
+    );
+    println!("wrote {path}");
 
     fault_injection_section();
 }

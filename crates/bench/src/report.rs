@@ -1,4 +1,7 @@
-//! Plain-text table rendering for the figure harnesses.
+//! Plain-text table rendering and machine-readable JSON reports for
+//! the figure harnesses.
+
+use nova_trace::json::Json;
 
 /// Prints a header banner.
 pub fn banner(title: &str) {
@@ -72,9 +75,52 @@ impl Table {
     }
 }
 
+impl Table {
+    /// The table as a JSON array of objects keyed by the column
+    /// headers — the machine-readable twin of [`Table::print`].
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|r| {
+                    let mut o = Json::obj();
+                    for (h, c) in self.headers.iter().zip(r) {
+                        o = o.field(h, Json::from(c.as_str()));
+                    }
+                    o
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Writes a `BENCH_<name>.json` report next to the repository root:
+/// `{"bench": <name>, ...fields}` rendered deterministically. Returns
+/// the path it wrote.
+pub fn write_json(repo_root_rel: &str, name: &str, fields: Vec<(String, Json)>) -> String {
+    let mut o = Json::obj().field("bench", Json::from(name));
+    for (k, v) in fields {
+        o = o.field(&k, v);
+    }
+    let path = format!("{repo_root_rel}/BENCH_{name}.json");
+    std::fs::write(&path, o.render()).expect("write bench JSON");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table_to_json_is_row_major() {
+        let mut t = Table::new(&["config", "value"]);
+        t.row(vec!["ept".into(), "181".into()]);
+        t.row(vec!["vtlb".into(), "9".into()]);
+        assert_eq!(
+            t.to_json().render(),
+            r#"[{"config":"ept","value":"181"},{"config":"vtlb","value":"9"}]"#
+        );
+    }
 
     #[test]
     fn count_formatting() {

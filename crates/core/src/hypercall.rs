@@ -252,6 +252,40 @@ pub enum Hypercall {
     WatchdogPet,
 }
 
+impl Hypercall {
+    /// Stable ordinal of the hypercall, used as the `detail` payload of
+    /// `hypercall` trace events.
+    pub fn number(&self) -> u64 {
+        match self {
+            Hypercall::CreatePd { .. } => 0,
+            Hypercall::DestroyPd { .. } => 1,
+            Hypercall::CreateEc { .. } => 2,
+            Hypercall::CreateSc { .. } => 3,
+            Hypercall::CreatePt { .. } => 4,
+            Hypercall::CreateSm { .. } => 5,
+            Hypercall::DelegateMem { .. } => 6,
+            Hypercall::DelegateIo { .. } => 7,
+            Hypercall::DelegateCap { .. } => 8,
+            Hypercall::RevokeMem { .. } => 9,
+            Hypercall::RevokeIo { .. } => 10,
+            Hypercall::RevokeCap { .. } => 11,
+            Hypercall::SmUp { .. } => 12,
+            Hypercall::SmDown { .. } => 13,
+            Hypercall::SmBind { .. } => 14,
+            Hypercall::EcSetState { .. } => 15,
+            Hypercall::EcCtrlVm { .. } => 16,
+            Hypercall::EcRecall { .. } => 17,
+            Hypercall::EcResume { .. } => 18,
+            Hypercall::AssignGsi { .. } => 19,
+            Hypercall::DelegateGsi { .. } => 20,
+            Hypercall::SetTimer { .. } => 21,
+            Hypercall::AssignDev { .. } => 22,
+            Hypercall::WatchdogArm { .. } => 23,
+            Hypercall::WatchdogPet => 24,
+        }
+    }
+}
+
 /// Successful hypercall result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HcReply {

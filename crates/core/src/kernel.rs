@@ -14,6 +14,7 @@ use nova_hw::cpu::run_guest;
 use nova_hw::machine::Machine;
 use nova_hw::vmx::{mtd, ExitReason, PagingVirt, Vmcs};
 use nova_hw::Cycles;
+use nova_trace::{Kind as TraceKind, PD_NONE};
 use nova_x86::insn::OpSize;
 use nova_x86::paging::{Access, PAGE_SIZE};
 use nova_x86::reg::Regs;
@@ -433,18 +434,51 @@ impl Kernel {
     /// Charges modeled component work (instruction emulation, device
     /// state-machine updates) to the clock.
     pub fn charge(&mut self, cycles: Cycles) {
+        let at = self.machine.clock;
         self.machine.clock += cycles;
         self.counters.cycles_emulation += cycles;
+        self.machine
+            .bus
+            .trace
+            .emit(0, PD_NONE, TraceKind::CostEmulation, cycles, at);
     }
 
     fn charge_kernel(&mut self, cycles: Cycles) {
+        let at = self.machine.clock;
         self.machine.clock += cycles;
         self.counters.cycles_kernel += cycles;
+        self.machine
+            .bus
+            .trace
+            .emit(0, PD_NONE, TraceKind::CostKernel, cycles, at);
     }
 
     fn charge_ipc(&mut self, cycles: Cycles) {
+        let at = self.machine.clock;
         self.machine.clock += cycles;
         self.counters.cycles_ipc += cycles;
+        self.machine
+            .bus
+            .trace
+            .emit(0, PD_NONE, TraceKind::CostIpc, cycles, at);
+    }
+
+    /// Shorthand for emitting a kernel tracepoint at the current cycle.
+    #[inline]
+    fn trace_emit(&mut self, pd: u16, kind: TraceKind, detail: u64) {
+        let at = self.machine.clock;
+        self.machine.bus.trace.emit(0, pd, kind, detail, at);
+    }
+
+    /// Span begin/end at the current cycle.
+    #[inline]
+    fn trace_emit_span(&mut self, pd: u16, kind: TraceKind, detail: u64, begin: bool) {
+        let at = self.machine.clock;
+        if begin {
+            self.machine.bus.trace.begin(0, pd, kind, detail, at);
+        } else {
+            self.machine.bus.trace.end(0, pd, kind, detail, at);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -495,6 +529,7 @@ impl Kernel {
     /// user/kernel boundary crossing.
     pub fn hypercall(&mut self, ctx: CompCtx, hc: Hypercall) -> Result<HcReply, HcErr> {
         self.counters.hypercalls += 1;
+        self.trace_emit(ctx.pd.0 as u16, TraceKind::Hypercall, hc.number());
         // Any hypercall is a sign of life for watchdogs on the caller.
         self.watchdog_stamp(ctx.pd);
         let ee = self.machine.cost.syscall_entry_exit;
@@ -783,6 +818,8 @@ impl Kernel {
                     vmcs.injection = Some(inj);
                     vmcs.halted = false;
                     self.counters.injected_virq += 1;
+                    let pd16 = self.obj.ec(ec_id).pd.0 as u16;
+                    self.trace_emit(pd16, TraceKind::VirqInject, inj.vector as u64);
                 }
                 let vmcs = self.obj.ec_mut(ec_id).vmcs_mut().unwrap();
                 if intwin {
@@ -1209,6 +1246,7 @@ impl Kernel {
             return Err(HcErr::Busy);
         }
         let comp = *self.ec_component.get(&handler_ec).ok_or(HcErr::BadParam)?;
+        self.trace_emit_span(caller_pd.0 as u16, TraceKind::IpcCall, portal_id, true);
 
         // Call-direction accounting: entry/exit, IPC path, TLB effects
         // on a cross-AS traversal, per-word payload (Figure 8).
@@ -1246,6 +1284,7 @@ impl Kernel {
         self.charge_ipc(reply_cost);
         let items: Vec<XferItem> = utcb.xfer.drain(..).collect();
         self.apply_xfer(handler_pd, caller_pd, &items)?;
+        self.trace_emit_span(caller_pd.0 as u16, TraceKind::IpcCall, portal_id, false);
         Ok(())
     }
 
@@ -1311,6 +1350,7 @@ impl Kernel {
     /// signal the bound semaphore, EOI.
     fn deliver_vector(&mut self, vector: u8) {
         self.charge_kernel(IRQ_KERNEL_CYCLES);
+        self.trace_emit(PD_NONE, TraceKind::IrqDeliver, vector as u64);
         let gsi = vector.wrapping_sub(0x20);
         // EOI the physical controller (slave interrupts need both).
         if gsi >= 8 {
@@ -1371,11 +1411,12 @@ impl Kernel {
         for w in &mut self.watchdogs {
             if !w.fired && now >= w.stamp + w.timeout {
                 w.fired = true;
-                fired.push(w.sm);
+                fired.push((w.sm, w.pd));
             }
         }
-        for sm in fired {
+        for (sm, pd) in fired {
             self.counters.watchdog_fires += 1;
+            self.trace_emit(pd.0 as u16, TraceKind::WatchdogFire, 0);
             self.sm_up(sm);
         }
     }
@@ -1386,7 +1427,7 @@ impl Kernel {
     /// domain fires immediately — the death notification a supervisor
     /// uses to trigger teardown and restart. The domain's resources
     /// stay in place until the supervisor issues `DestroyPd`.
-    pub fn pd_fault(&mut self, pd: PdId, _code: u64) {
+    pub fn pd_fault(&mut self, pd: PdId, code: u64) {
         if self.obj.pd(pd).dying {
             return;
         }
@@ -1411,6 +1452,7 @@ impl Kernel {
             }
         }
         self.counters.pd_deaths += 1;
+        self.trace_emit(pd.0 as u16, TraceKind::PdDeath, code);
         let mut fired = Vec::new();
         for w in &mut self.watchdogs {
             if w.pd == pd && !w.fired {
@@ -1560,6 +1602,13 @@ impl Kernel {
         };
 
         self.counters.count_exit(&reason);
+        let pd16 = self.obj.ec(ec_id).pd.0 as u16;
+        let cpu16 = cpu as u16;
+        let at = self.machine.clock;
+        self.machine
+            .bus
+            .trace
+            .emit(cpu16, pd16, TraceKind::VmExit, reason.index() as u64, at);
         let tagged = self
             .obj
             .ec(ec_id)
@@ -1567,11 +1616,38 @@ impl Kernel {
             .map(|v| v.vpid != 0)
             .unwrap_or(false);
         let tc = self.machine.cost.vm_transition_cost(tagged);
+        self.machine
+            .bus
+            .trace
+            .emit(cpu16, pd16, TraceKind::CostTransition, tc, at);
         self.machine.clock += tc;
         self.counters.cycles_transition += tc;
 
         let guest_elapsed = self.machine.clock - entered;
+        let at = self.machine.clock;
+        self.machine.bus.trace.begin(
+            cpu16,
+            pd16,
+            TraceKind::ExitHandle,
+            reason.index() as u64,
+            at,
+        );
         self.handle_exit(ec_id, reason);
+        let handled = self.machine.clock;
+        self.machine.bus.trace.end(
+            cpu16,
+            pd16,
+            TraceKind::ExitHandle,
+            reason.index() as u64,
+            handled,
+        );
+        if self.machine.bus.trace.active() {
+            self.machine
+                .bus
+                .trace
+                .metrics
+                .observe("exit_cycles", pd16 as u64, handled - entered);
+        }
 
         // Quantum accounting and requeue (unless blocked).
         let sc = self.obj.sc_mut(sc_id);
@@ -1623,6 +1699,8 @@ impl Kernel {
                 );
                 if flushed {
                     self.counters.vtlb_flushes += 1;
+                    let pd16 = self.obj.ec(ec_id).pd.0 as u16;
+                    self.trace_emit(pd16, TraceKind::VtlbFlush, cr as u64);
                     let cpu = self.obj.ec(ec_id).cpu;
                     let vpid = self.obj.ec(ec_id).vmcs().unwrap().vpid;
                     if vpid == 0 {
@@ -1690,9 +1768,13 @@ impl Kernel {
             err,
         );
         match outcome {
-            VtlbOutcome::Filled => self.counters.vtlb_fills += 1,
+            VtlbOutcome::Filled => {
+                self.counters.vtlb_fills += 1;
+                self.trace_emit(pd.0 as u16, TraceKind::VtlbFill, addr as u64);
+            }
             VtlbOutcome::InjectPf { err } => {
                 self.counters.guest_page_faults += 1;
+                self.trace_emit(pd.0 as u16, TraceKind::GuestPageFault, addr as u64);
                 let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().unwrap();
                 vmcs.guest.cr2 = addr;
                 vmcs.injection = Some(nova_hw::vmx::Injection {
@@ -1763,9 +1845,11 @@ impl Kernel {
         let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().expect("vCPU");
         apply_mtd(&mut vmcs.guest, &reply.regs, reply.reply_mtd);
         if let Some(inj) = reply.reply_inject {
+            let vector = inj.vector;
             vmcs.injection = Some(inj);
             vmcs.halted = false;
             self.counters.injected_virq += 1;
+            self.trace_emit(pd.0 as u16, TraceKind::VirqInject, vector as u64);
         }
         let vmcs = self.obj.ecs[ec_id.0].vmcs_mut().unwrap();
         if reply.reply_intwin {
@@ -1803,6 +1887,7 @@ impl Kernel {
         };
         // The activation enters the component through the kernel: one
         // boundary round trip.
+        self.trace_emit(ctx.pd.0 as u16, TraceKind::SchedDispatch, ec_id.0 as u64);
         let cost = self.machine.cost;
         self.charge_ipc(cost.ipc_cross_as());
         match act {

@@ -212,10 +212,7 @@ impl Ahci {
     fn issue(&mut self, ctx: &mut DevCtx, slot: u8) {
         match self.parse_command(ctx, slot) {
             Some(req) => {
-                if ctx
-                    .fault
-                    .roll(ctx.now, FaultKind::AhciStuckDma, slot as u64)
-                {
+                if ctx.roll_fault(FaultKind::AhciStuckDma, slot as u64) {
                     // DMA engine wedges: the command is accepted (CI
                     // stays set) but never completes until GHC.HR.
                     self.inflight = Some(req);
@@ -225,11 +222,7 @@ impl Ahci {
                 let delay = self.params.fixed_latency + self.params.transfer_cycles(bytes);
                 self.inflight = Some(req);
                 ctx.schedule(delay, slot as u64);
-                if self.p0ie != 0
-                    && ctx
-                        .fault
-                        .roll(ctx.now, FaultKind::AhciSpuriousIrq, slot as u64)
-                {
+                if self.p0ie != 0 && ctx.roll_fault(FaultKind::AhciSpuriousIrq, slot as u64) {
                     // Interrupt with no completion pending: the driver
                     // will find IS clear.
                     ctx.pulse_irq(self.irq_line);
@@ -319,10 +312,7 @@ impl Device for Ahci {
         let Some(req) = self.inflight.take() else {
             return;
         };
-        if ctx
-            .fault
-            .roll(ctx.now, FaultKind::AhciTaskFileError, req.slot as u64)
-        {
+        if ctx.roll_fault(FaultKind::AhciTaskFileError, req.slot as u64) {
             // Media error: the command completes with TFES and no data.
             self.errors += 1;
             self.p0is |= 1 << 30;
@@ -385,10 +375,7 @@ impl Device for Ahci {
         self.ci &= !(1 << req.slot);
         self.is |= 1;
         if self.p0ie != 0 {
-            if ctx
-                .fault
-                .roll(ctx.now, FaultKind::AhciLostIrq, req.slot as u64)
-            {
+            if ctx.roll_fault(FaultKind::AhciLostIrq, req.slot as u64) {
                 // Completion state is all set, but the interrupt is
                 // lost — the driver must time out and poll.
             } else {

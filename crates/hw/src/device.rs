@@ -1,6 +1,7 @@
 //! Device bus: MMIO/port routing, the device trait, and the context
 //! devices use for DMA, interrupts and event scheduling.
 
+use nova_trace::{Kind, Tracer, PD_NONE};
 use nova_x86::insn::OpSize;
 
 use crate::event::{Event, EventQueue};
@@ -37,6 +38,8 @@ pub struct DevCtx<'a> {
     pub ctl: &'a mut BusCtl,
     /// Fault injector (consulted at device fault sites).
     pub fault: &'a mut FaultInjector,
+    /// Event tracer (IRQ, DMA and injected-fault tracepoints).
+    pub trace: &'a mut Tracer,
     /// Current cycle.
     pub now: Cycles,
     /// This device's bus index (its IOMMU requester id).
@@ -60,6 +63,8 @@ impl DevCtx<'_> {
     /// cannot assert this one (Section 4.2).
     pub fn raise_irq(&mut self, line: u8) {
         if self.iommu.irq_permitted(self.dev, line) {
+            self.trace
+                .emit(0, PD_NONE, Kind::IrqRaise, line as u64, self.now);
             self.pic.set_line(line, true);
         }
     }
@@ -73,8 +78,22 @@ impl DevCtx<'_> {
     /// remapping.
     pub fn pulse_irq(&mut self, line: u8) {
         if self.iommu.irq_permitted(self.dev, line) {
+            self.trace
+                .emit(0, PD_NONE, Kind::IrqRaise, line as u64, self.now);
             self.pic.pulse(line);
         }
+    }
+
+    /// Consults the fault plan at a device fault site (see
+    /// [`FaultInjector::roll`]), recording injected faults in the
+    /// event trace as well.
+    pub fn roll_fault(&mut self, kind: FaultKind, detail: u64) -> bool {
+        let hit = self.fault.roll(self.now, kind, detail);
+        if hit {
+            self.trace
+                .emit(0, PD_NONE, Kind::FaultInject, kind as u64, self.now);
+        }
+        hit
     }
 
     /// DMA write: moves `data` into memory at bus address `addr`,
@@ -82,6 +101,7 @@ impl DevCtx<'_> {
     /// Returns `false` (and records a fault) if any page is blocked;
     /// the transfer stops at the first blocked page.
     pub fn dma_write(&mut self, addr: u64, data: &[u8]) -> bool {
+        self.trace.emit(0, PD_NONE, Kind::DmaStart, addr, self.now);
         if self.inject_iommu_fault(addr, true) {
             return false;
         }
@@ -96,12 +116,15 @@ impl DevCtx<'_> {
             }
             off += chunk;
         }
+        self.trace
+            .emit(0, PD_NONE, Kind::DmaComplete, data.len() as u64, self.now);
         true
     }
 
     /// DMA read: copies `len` bytes from bus address `addr`. Returns
     /// `None` on an IOMMU fault.
     pub fn dma_read(&mut self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        self.trace.emit(0, PD_NONE, Kind::DmaStart, addr, self.now);
         if self.inject_iommu_fault(addr, false) {
             return None;
         }
@@ -115,6 +138,8 @@ impl DevCtx<'_> {
             out.extend_from_slice(&self.mem.read_bytes(hpa, chunk));
             off += chunk;
         }
+        self.trace
+            .emit(0, PD_NONE, Kind::DmaComplete, len as u64, self.now);
         Some(out)
     }
 
@@ -122,7 +147,7 @@ impl DevCtx<'_> {
     /// were stale. Recorded as an ordinary [`DmaFault`] so the fault
     /// is observable exactly like a real blocked transfer.
     fn inject_iommu_fault(&mut self, addr: u64, write: bool) -> bool {
-        if self.fault.roll(self.now, FaultKind::IommuFault, addr) {
+        if self.roll_fault(FaultKind::IommuFault, addr) {
             self.iommu.faults.push(DmaFault {
                 device: self.dev,
                 addr,
@@ -191,6 +216,8 @@ pub struct DeviceBus {
     pub ctl: BusCtl,
     /// Platform fault injector (inert unless a plan is attached).
     pub fault: FaultInjector,
+    /// Platform tracer (off — zero rings, zero mask — by default).
+    pub trace: Tracer,
 }
 
 impl DeviceBus {
@@ -205,6 +232,7 @@ impl DeviceBus {
             iommu,
             ctl: BusCtl::default(),
             fault: FaultInjector::disabled(),
+            trace: Tracer::off(),
         }
     }
 
@@ -256,6 +284,7 @@ impl DeviceBus {
             iommu: &mut self.iommu,
             ctl: &mut self.ctl,
             fault: &mut self.fault,
+            trace: &mut self.trace,
             now,
             dev,
         };

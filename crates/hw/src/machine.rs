@@ -1,6 +1,7 @@
 //! The assembled evaluation machine: RAM, CPU cores, and the platform
 //! devices of the paper's testbed (Section 8) at fixed addresses.
 
+use nova_trace::{ring::DEFAULT_CAPACITY, Tracer};
 use nova_x86::insn::OpSize;
 
 use crate::ahci::{Ahci, DiskParams};
@@ -253,6 +254,23 @@ impl Machine {
     /// The fault injector (for counters and the fault trace).
     pub fn faults(&self) -> &FaultInjector {
         &self.bus.fault
+    }
+
+    /// Turns on cycle-stamped tracing with the given category mask
+    /// (see `nova_trace::cat`), one ring per CPU. Replaces any
+    /// previously recorded trace.
+    pub fn enable_tracing(&mut self, mask: u64) {
+        self.bus.trace = Tracer::new(self.cpus.len().max(1), DEFAULT_CAPACITY, mask);
+    }
+
+    /// The platform tracer (events, metrics, drop count).
+    pub fn tracer(&self) -> &Tracer {
+        &self.bus.trace
+    }
+
+    /// Mutable tracer handle, for kernel- and user-level tracepoints.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.bus.trace
     }
 
     /// Benchmark marks recorded so far.

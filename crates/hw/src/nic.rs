@@ -167,7 +167,7 @@ impl Nic {
     }
 
     fn deliver_packet(&mut self, ctx: &mut DevCtx, bytes: u32) {
-        if ctx.fault.roll(ctx.now, FaultKind::NicPacketDrop, self.seq) {
+        if ctx.roll_fault(FaultKind::NicPacketDrop, self.seq) {
             // Dropped on the wire: the sequence number is consumed, so
             // the driver observes a gap in the stream.
             self.seq += 1;

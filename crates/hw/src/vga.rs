@@ -180,6 +180,7 @@ mod tests {
             iommu: &mut bus.iommu,
             ctl: &mut bus.ctl,
             fault: &mut bus.fault,
+            trace: &mut bus.trace,
             now: 0,
             dev: 0,
         };

@@ -1,0 +1,102 @@
+//! Chrome trace-event exporter: renders a recorded trace as the JSON
+//! Trace Event Format understood by `chrome://tracing` and Perfetto,
+//! where spans draw as a flamegraph-style timeline.
+//!
+//! Mapping: `pid` is the protection domain, `tid` the CPU, and `ts`
+//! the cycle clock (the viewer's microseconds are simulated cycles).
+//! Span kinds render as `B`/`E` pairs, weighted cost events as
+//! complete (`X`) slices carrying their cycle weight as `dur`, and
+//! everything else as instant (`i`) events. Output is byte-stable for
+//! a given trace — the determinism contract makes exported traces
+//! golden-test artifacts.
+
+use std::fmt::Write;
+
+use crate::event::{Phase, TraceEvent, PD_NONE};
+use crate::ring::Tracer;
+
+fn common(out: &mut String, e: &TraceEvent) {
+    let pid = if e.pd == PD_NONE {
+        "hw".to_string()
+    } else {
+        format!("pd{}", e.pd)
+    };
+    let _ = write!(
+        out,
+        r#""name":"{}","cat":"{}","pid":"{}","tid":{},"ts":{}"#,
+        e.kind.name(),
+        e.kind.category_name(),
+        pid,
+        e.cpu,
+        e.cycle
+    );
+}
+
+/// Renders `events` (already merged/ordered, e.g. from
+/// [`Tracer::events`]) as a Chrome trace JSON document.
+pub fn export_events(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        common(&mut out, e);
+        if e.kind.weighted() {
+            // A complete slice: the charge started at `cycle` and
+            // lasted `detail` cycles.
+            let _ = write!(out, r#","ph":"X","dur":{}"#, e.detail);
+        } else {
+            match e.phase {
+                Phase::Begin => out.push_str(r#","ph":"B""#),
+                Phase::End => out.push_str(r#","ph":"E""#),
+                Phase::Instant => out.push_str(r#","ph":"i","s":"t""#),
+            }
+        }
+        let _ = write!(out, r#","args":{{"detail":{}}}}}"#, e.detail);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders everything the tracer recorded.
+pub fn export(tracer: &Tracer) -> String {
+    export_events(&tracer.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{cat, Kind};
+
+    #[test]
+    fn export_shapes_and_phases() {
+        let mut t = Tracer::new(1, 16, cat::ALL);
+        t.emit(0, 2, Kind::VmExit, 3, 100);
+        t.emit(0, PD_NONE, Kind::CostIpc, 600, 110);
+        t.begin(0, 2, Kind::IpcCall, 7, 120);
+        t.end(0, 2, Kind::IpcCall, 7, 150);
+        let s = export(&t);
+        assert!(s.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(s.ends_with("]}"));
+        assert!(s.contains(r#""name":"vm_exit","cat":"exit","pid":"pd2","tid":0,"ts":100,"ph":"i","s":"t","args":{"detail":3}"#));
+        assert!(s.contains(
+            r#""name":"cost_ipc","cat":"exit","pid":"hw","tid":0,"ts":110,"ph":"X","dur":600"#
+        ));
+        assert!(s.contains(r#""ph":"B""#));
+        assert!(s.contains(r#""ph":"E""#));
+    }
+
+    #[test]
+    fn export_is_reproducible() {
+        let run = || {
+            let mut t = Tracer::new(2, 8, cat::ALL);
+            for i in 0..20u64 {
+                t.emit((i % 2) as u16, 1, Kind::Hypercall, i, i * 10);
+            }
+            export(&t)
+        };
+        assert_eq!(run(), run());
+    }
+}

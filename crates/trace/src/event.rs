@@ -1,0 +1,309 @@
+//! Trace events: the record format, tracepoint kinds and the
+//! category bitmask that gates emission.
+
+/// Protection-domain id used when the emitting layer has no domain
+/// context (raw hardware, kernel-internal accounting).
+pub const PD_NONE: u16 = u16::MAX;
+
+/// Event categories, used as a bitmask in the tracer's enable filter.
+/// Tracing one subsystem costs nothing in the others.
+pub mod cat {
+    /// Kernel control path: hypercalls, IPC, scheduling, supervision.
+    pub const KERNEL: u64 = 1 << 0;
+    /// VM exits and the Section 8.5 cost-attribution events.
+    pub const EXIT: u64 = 1 << 1;
+    /// Physical interrupt raising and delivery.
+    pub const IRQ: u64 = 1 << 2;
+    /// Device DMA transfers.
+    pub const DMA: u64 = 1 << 3;
+    /// Injected platform faults.
+    pub const FAULT: u64 = 1 << 4;
+    /// vTLB fills/flushes and guest page faults.
+    pub const TLB: u64 = 1 << 5;
+    /// VMM instruction/device emulation spans.
+    pub const EMU: u64 = 1 << 6;
+    /// Virtual interrupt injection.
+    pub const VIRQ: u64 = 1 << 7;
+    /// Disk-server request lifecycle.
+    pub const DISK: u64 = 1 << 8;
+    /// Supervision: watchdogs, domain deaths, driver restarts.
+    pub const SUPERVISION: u64 = 1 << 9;
+    /// Log service output.
+    pub const LOG: u64 = 1 << 10;
+    /// Everything.
+    pub const ALL: u64 = u64::MAX;
+}
+
+/// What a tracepoint records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Kind {
+    /// A hypercall entered the kernel (`detail` unused).
+    Hypercall = 0,
+    /// Portal IPC span: call dispatch through reply (`detail` =
+    /// portal id).
+    IpcCall = 1,
+    /// The scheduler dispatched an execution context (`detail` = EC
+    /// id).
+    SchedDispatch = 2,
+    /// A watchdog deadline expired (`detail` = watched PD).
+    WatchdogFire = 3,
+    /// A protection domain died (`detail` = fault code).
+    PdDeath = 4,
+    /// A VM exit occurred (`detail` = exit-reason index).
+    VmExit = 5,
+    /// Exit-handling span from world switch to resume (`detail` =
+    /// exit-reason index).
+    ExitHandle = 6,
+    /// Guest/host transition cost (weighted: `detail` = cycles).
+    CostTransition = 7,
+    /// IPC state-transfer cost (weighted: `detail` = cycles).
+    CostIpc = 8,
+    /// VMM/device emulation cost (weighted: `detail` = cycles).
+    CostEmulation = 9,
+    /// Hypervisor-internal cost (weighted: `detail` = cycles).
+    CostKernel = 10,
+    /// A device raised a physical interrupt line (`detail` = line).
+    IrqRaise = 11,
+    /// The kernel delivered an interrupt vector (`detail` = vector).
+    IrqDeliver = 12,
+    /// A device DMA transfer started (`detail` = bus address).
+    DmaStart = 13,
+    /// A device DMA transfer completed (`detail` = bytes moved).
+    DmaComplete = 14,
+    /// The platform injected a fault (`detail` = fault-kind index).
+    FaultInject = 15,
+    /// The vTLB filled a shadow entry (`detail` = faulting address).
+    VtlbFill = 16,
+    /// The vTLB was flushed (`detail` = vpid).
+    VtlbFlush = 17,
+    /// A page fault was forwarded to the guest kernel (`detail` =
+    /// faulting address).
+    GuestPageFault = 18,
+    /// VMM emulation span for one exit (`detail` = exit-reason
+    /// index).
+    VmmEmulate = 19,
+    /// A virtual interrupt was injected (`detail` = vector).
+    VirqInject = 20,
+    /// The disk server accepted a request (`detail` = LBA).
+    DiskAccept = 21,
+    /// The disk server issued a command to the controller (`detail` =
+    /// LBA).
+    DiskIssue = 22,
+    /// A disk request completed towards the client (`detail` =
+    /// status).
+    DiskComplete = 23,
+    /// A failed disk command was re-issued (`detail` = attempt).
+    DiskRetry = 24,
+    /// An in-flight disk request timed out (`detail` = LBA).
+    DiskTimeout = 25,
+    /// The disk server reset the controller (`detail` = reset count).
+    DiskReset = 26,
+    /// A spurious disk interrupt was absorbed (`detail` unused).
+    DiskSpurious = 27,
+    /// The disk server throttled a client (`detail` = client index).
+    DiskReject = 28,
+    /// A supervisor restarted a driver (`detail` = incarnation).
+    DriverRestart = 29,
+    /// The log service wrote to the UART (`detail` = bytes written).
+    LogWrite = 30,
+    /// A component was called on a portal it does not implement
+    /// (`detail` = portal id).
+    BadPortal = 31,
+}
+
+/// Number of tracepoint kinds.
+pub const KIND_COUNT: usize = 32;
+
+/// All kinds, in discriminant order.
+pub const ALL_KINDS: [Kind; KIND_COUNT] = [
+    Kind::Hypercall,
+    Kind::IpcCall,
+    Kind::SchedDispatch,
+    Kind::WatchdogFire,
+    Kind::PdDeath,
+    Kind::VmExit,
+    Kind::ExitHandle,
+    Kind::CostTransition,
+    Kind::CostIpc,
+    Kind::CostEmulation,
+    Kind::CostKernel,
+    Kind::IrqRaise,
+    Kind::IrqDeliver,
+    Kind::DmaStart,
+    Kind::DmaComplete,
+    Kind::FaultInject,
+    Kind::VtlbFill,
+    Kind::VtlbFlush,
+    Kind::GuestPageFault,
+    Kind::VmmEmulate,
+    Kind::VirqInject,
+    Kind::DiskAccept,
+    Kind::DiskIssue,
+    Kind::DiskComplete,
+    Kind::DiskRetry,
+    Kind::DiskTimeout,
+    Kind::DiskReset,
+    Kind::DiskSpurious,
+    Kind::DiskReject,
+    Kind::DriverRestart,
+    Kind::LogWrite,
+    Kind::BadPortal,
+];
+
+impl Kind {
+    /// The category this kind belongs to (one [`cat`] bit).
+    pub fn category(self) -> u64 {
+        match self {
+            Kind::Hypercall | Kind::IpcCall | Kind::SchedDispatch => cat::KERNEL,
+            Kind::WatchdogFire | Kind::PdDeath | Kind::DriverRestart => cat::SUPERVISION,
+            Kind::VmExit
+            | Kind::ExitHandle
+            | Kind::CostTransition
+            | Kind::CostIpc
+            | Kind::CostEmulation
+            | Kind::CostKernel => cat::EXIT,
+            Kind::IrqRaise | Kind::IrqDeliver => cat::IRQ,
+            Kind::DmaStart | Kind::DmaComplete => cat::DMA,
+            Kind::FaultInject => cat::FAULT,
+            Kind::VtlbFill | Kind::VtlbFlush | Kind::GuestPageFault => cat::TLB,
+            Kind::VmmEmulate => cat::EMU,
+            Kind::VirqInject => cat::VIRQ,
+            Kind::DiskAccept
+            | Kind::DiskIssue
+            | Kind::DiskComplete
+            | Kind::DiskRetry
+            | Kind::DiskTimeout
+            | Kind::DiskReset
+            | Kind::DiskSpurious
+            | Kind::DiskReject => cat::DISK,
+            Kind::LogWrite | Kind::BadPortal => cat::LOG,
+        }
+    }
+
+    /// `true` for cost-attribution kinds whose `detail` is a cycle
+    /// weight rather than an argument ([`crate::query::span_cycles`]
+    /// sums the weight directly instead of matching begin/end pairs).
+    pub fn weighted(self) -> bool {
+        matches!(
+            self,
+            Kind::CostTransition | Kind::CostIpc | Kind::CostEmulation | Kind::CostKernel
+        )
+    }
+
+    /// Stable display name (also the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Hypercall => "hypercall",
+            Kind::IpcCall => "ipc_call",
+            Kind::SchedDispatch => "sched_dispatch",
+            Kind::WatchdogFire => "watchdog_fire",
+            Kind::PdDeath => "pd_death",
+            Kind::VmExit => "vm_exit",
+            Kind::ExitHandle => "exit_handle",
+            Kind::CostTransition => "cost_transition",
+            Kind::CostIpc => "cost_ipc",
+            Kind::CostEmulation => "cost_emulation",
+            Kind::CostKernel => "cost_kernel",
+            Kind::IrqRaise => "irq_raise",
+            Kind::IrqDeliver => "irq_deliver",
+            Kind::DmaStart => "dma_start",
+            Kind::DmaComplete => "dma_complete",
+            Kind::FaultInject => "fault_inject",
+            Kind::VtlbFill => "vtlb_fill",
+            Kind::VtlbFlush => "vtlb_flush",
+            Kind::GuestPageFault => "guest_page_fault",
+            Kind::VmmEmulate => "vmm_emulate",
+            Kind::VirqInject => "virq_inject",
+            Kind::DiskAccept => "disk_accept",
+            Kind::DiskIssue => "disk_issue",
+            Kind::DiskComplete => "disk_complete",
+            Kind::DiskRetry => "disk_retry",
+            Kind::DiskTimeout => "disk_timeout",
+            Kind::DiskReset => "disk_reset",
+            Kind::DiskSpurious => "disk_spurious",
+            Kind::DiskReject => "disk_reject",
+            Kind::DriverRestart => "driver_restart",
+            Kind::LogWrite => "log_write",
+            Kind::BadPortal => "bad_portal",
+        }
+    }
+
+    /// Stable category name (the Chrome trace `cat` field).
+    pub fn category_name(self) -> &'static str {
+        match self.category() {
+            cat::KERNEL => "kernel",
+            cat::EXIT => "exit",
+            cat::IRQ => "irq",
+            cat::DMA => "dma",
+            cat::FAULT => "fault",
+            cat::TLB => "tlb",
+            cat::EMU => "emu",
+            cat::VIRQ => "virq",
+            cat::DISK => "disk",
+            cat::SUPERVISION => "supervision",
+            _ => "log",
+        }
+    }
+}
+
+/// Span phase of an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// A point event.
+    Instant,
+    /// Opens a span; matched by the next [`Phase::End`] of the same
+    /// kind on the same (cpu, pd).
+    Begin,
+    /// Closes the innermost open span of the same kind.
+    End,
+}
+
+/// One trace record. Fixed size; every field is a deterministic
+/// function of simulation state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global cycle clock at emission (for weighted cost events: the
+    /// cycle at which the charged work *started*).
+    pub cycle: u64,
+    /// Emitting CPU.
+    pub cpu: u16,
+    /// Emitting protection domain, or [`PD_NONE`].
+    pub pd: u16,
+    /// Tracepoint kind.
+    pub kind: Kind,
+    /// Span phase.
+    pub phase: Phase,
+    /// Kind-specific argument (see [`Kind`] docs).
+    pub detail: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_distinct_name_and_a_category_bit() {
+        let mut names = std::collections::BTreeSet::new();
+        for k in ALL_KINDS {
+            assert!(names.insert(k.name()), "duplicate name {}", k.name());
+            assert_eq!(k.category().count_ones(), 1);
+            assert!(!k.category_name().is_empty());
+        }
+        assert_eq!(names.len(), KIND_COUNT);
+    }
+
+    #[test]
+    fn weighted_kinds_are_the_cost_kinds() {
+        let weighted: Vec<Kind> = ALL_KINDS.iter().copied().filter(|k| k.weighted()).collect();
+        assert_eq!(
+            weighted,
+            vec![
+                Kind::CostTransition,
+                Kind::CostIpc,
+                Kind::CostEmulation,
+                Kind::CostKernel
+            ]
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Trace queries: derive counts, span cycle totals and histograms
+//! from recorded events, so tests and benches assert cost breakdowns
+//! instead of eyeballing printed tables.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Kind, Phase, TraceEvent};
+use crate::metrics::HIST_BUCKETS;
+
+/// Events of one kind, in trace order.
+pub fn events_of(events: &[TraceEvent], kind: Kind) -> Vec<TraceEvent> {
+    events.iter().filter(|e| e.kind == kind).copied().collect()
+}
+
+/// Counts events of `kind` grouped by their `detail` field (e.g. VM
+/// exits per exit-reason index).
+pub fn count_by_detail(events: &[TraceEvent], kind: Kind) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for e in events.iter().filter(|e| e.kind == kind) {
+        *out.entry(e.detail).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Durations of every completed span of `kind`, in completion order.
+/// For weighted cost kinds the `detail` of each instant event *is*
+/// the duration; for span kinds, begin/end pairs are matched
+/// innermost-first per (cpu, pd).
+pub fn span_durations(events: &[TraceEvent], kind: Kind) -> Vec<u64> {
+    if kind.weighted() {
+        return events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.detail)
+            .collect();
+    }
+    let mut open: BTreeMap<(u16, u16), Vec<u64>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events.iter().filter(|e| e.kind == kind) {
+        match e.phase {
+            Phase::Begin => open.entry((e.cpu, e.pd)).or_default().push(e.cycle),
+            Phase::End => {
+                if let Some(start) = open.get_mut(&(e.cpu, e.pd)).and_then(|s| s.pop()) {
+                    out.push(e.cycle.saturating_sub(start));
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+    out
+}
+
+/// Total cycles spent in spans of `kind` (see [`span_durations`]).
+pub fn span_cycles(events: &[TraceEvent], kind: Kind) -> u64 {
+    span_durations(events, kind).iter().sum()
+}
+
+/// log2 histogram of span durations of `kind` (bucket `i` counts
+/// durations with `floor(log2(d)) == i`; zero lands in bucket 0).
+pub fn histogram(events: &[TraceEvent], kind: Kind) -> [u64; HIST_BUCKETS] {
+    let mut hist = [0u64; HIST_BUCKETS];
+    for d in span_durations(events, kind) {
+        let b = (63 - d.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::cat;
+    use crate::Tracer;
+
+    fn sample() -> Vec<TraceEvent> {
+        let mut t = Tracer::new(1, 64, cat::ALL);
+        t.emit(0, 1, Kind::VmExit, 3, 100);
+        t.emit(0, 1, Kind::VmExit, 3, 200);
+        t.emit(0, 1, Kind::VmExit, 6, 300);
+        t.emit(0, 1, Kind::CostIpc, 600, 310);
+        t.emit(0, 1, Kind::CostIpc, 400, 320);
+        t.begin(0, 1, Kind::IpcCall, 7, 1000);
+        t.begin(0, 1, Kind::IpcCall, 8, 1100); // nested
+        t.end(0, 1, Kind::IpcCall, 8, 1150);
+        t.end(0, 1, Kind::IpcCall, 7, 1400);
+        t.events()
+    }
+
+    #[test]
+    fn events_of_and_count_by_detail() {
+        let evs = sample();
+        assert_eq!(events_of(&evs, Kind::VmExit).len(), 3);
+        let by = count_by_detail(&evs, Kind::VmExit);
+        assert_eq!(by.get(&3), Some(&2));
+        assert_eq!(by.get(&6), Some(&1));
+    }
+
+    #[test]
+    fn weighted_kinds_sum_their_details() {
+        let evs = sample();
+        assert_eq!(span_cycles(&evs, Kind::CostIpc), 1000);
+    }
+
+    #[test]
+    fn nested_spans_match_innermost_first() {
+        let evs = sample();
+        assert_eq!(span_durations(&evs, Kind::IpcCall), vec![50, 400]);
+        assert_eq!(span_cycles(&evs, Kind::IpcCall), 450);
+    }
+
+    #[test]
+    fn histogram_buckets_durations() {
+        let evs = sample();
+        let h = histogram(&evs, Kind::IpcCall);
+        assert_eq!(h[5], 1, "50 cycles → bucket 5");
+        assert_eq!(h[8], 1, "400 cycles → bucket 8");
+    }
+}

@@ -1,0 +1,211 @@
+//! The tracer: fixed-capacity per-CPU event rings behind a category
+//! bitmask.
+
+use crate::event::{Kind, Phase, TraceEvent};
+use crate::metrics::Metrics;
+
+/// Default ring capacity per CPU (events). At ~40 bytes per event
+/// this is a few megabytes per CPU — enough for the benchmark
+/// workloads without wrapping.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// One CPU's fixed-capacity ring. When full, the oldest event is
+/// overwritten (and counted), so a long run keeps its most recent
+/// window rather than aborting.
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write position.
+    next: usize,
+    /// Events overwritten after the ring wrapped.
+    overwritten: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            next: 0,
+            overwritten: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.overwritten += 1;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Events in emission order.
+    fn ordered(&self) -> impl Iterator<Item = &TraceEvent> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+}
+
+/// The tracer: an enable mask, per-CPU rings, and the metrics
+/// registry. Lives on the simulated machine so every layer (devices,
+/// kernel, VMM, user components) can reach it.
+pub struct Tracer {
+    mask: u64,
+    rings: Vec<Ring>,
+    /// Named per-domain counters and cycle histograms.
+    pub metrics: Metrics,
+}
+
+impl Tracer {
+    /// A disabled tracer: the mask is zero, nothing is allocated, and
+    /// every tracepoint reduces to one branch. This is every
+    /// machine's default.
+    pub fn off() -> Tracer {
+        Tracer {
+            mask: 0,
+            rings: Vec::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// An enabled tracer with `cpus` rings of `capacity` events each,
+    /// recording the categories in `mask` (see [`crate::cat`]).
+    pub fn new(cpus: usize, capacity: usize, mask: u64) -> Tracer {
+        Tracer {
+            mask,
+            rings: (0..cpus.max(1)).map(|_| Ring::new(capacity)).collect(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// `true` if any category in `category_mask` is enabled.
+    #[inline]
+    pub fn on(&self, category_mask: u64) -> bool {
+        self.mask & category_mask != 0
+    }
+
+    /// `true` if the tracer records anything at all.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// The enable mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    fn push(&mut self, cpu: u16, pd: u16, kind: Kind, phase: Phase, detail: u64, cycle: u64) {
+        if self.mask & kind.category() == 0 || self.rings.is_empty() {
+            return;
+        }
+        let ring = (cpu as usize).min(self.rings.len() - 1);
+        self.rings[ring].push(TraceEvent {
+            cycle,
+            cpu,
+            pd,
+            kind,
+            phase,
+            detail,
+        });
+    }
+
+    /// Records an instant event.
+    #[inline]
+    pub fn emit(&mut self, cpu: u16, pd: u16, kind: Kind, detail: u64, cycle: u64) {
+        self.push(cpu, pd, kind, Phase::Instant, detail, cycle);
+    }
+
+    /// Opens a span.
+    #[inline]
+    pub fn begin(&mut self, cpu: u16, pd: u16, kind: Kind, detail: u64, cycle: u64) {
+        self.push(cpu, pd, kind, Phase::Begin, detail, cycle);
+    }
+
+    /// Closes the innermost open span of `kind` on (cpu, pd).
+    #[inline]
+    pub fn end(&mut self, cpu: u16, pd: u16, kind: Kind, detail: u64, cycle: u64) {
+        self.push(cpu, pd, kind, Phase::End, detail, cycle);
+    }
+
+    /// All recorded events, merged across CPUs and stably ordered by
+    /// cycle (ties keep per-ring emission order, lower CPUs first).
+    /// The order is deterministic, which makes exported traces
+    /// byte-comparable.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self
+            .rings
+            .iter()
+            .flat_map(|r| r.ordered().copied())
+            .collect();
+        out.sort_by_key(|e| e.cycle);
+        out
+    }
+
+    /// Events overwritten after a ring wrapped. Non-zero means the
+    /// capacity was too small for the full run and queries see only
+    /// the most recent window.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.overwritten).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::cat;
+
+    #[test]
+    fn off_records_nothing() {
+        let mut t = Tracer::off();
+        t.emit(0, 0, Kind::VmExit, 1, 10);
+        assert!(t.events().is_empty());
+        assert!(!t.active());
+    }
+
+    #[test]
+    fn mask_filters_categories() {
+        let mut t = Tracer::new(1, 16, cat::EXIT);
+        t.emit(0, 0, Kind::VmExit, 1, 10); // EXIT: kept
+        t.emit(0, 0, Kind::IrqDeliver, 2, 11); // IRQ: filtered
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, Kind::VmExit);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut t = Tracer::new(1, 4, cat::ALL);
+        for i in 0..10u64 {
+            t.emit(0, 0, Kind::Hypercall, i, i);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "the most recent window survives"
+        );
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn merge_is_cycle_ordered_and_stable() {
+        let mut t = Tracer::new(2, 16, cat::ALL);
+        t.emit(1, 0, Kind::VmExit, 0, 5);
+        t.emit(0, 0, Kind::Hypercall, 1, 5);
+        t.emit(0, 0, Kind::Hypercall, 2, 3);
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].cycle, 3);
+        // Tie at cycle 5: CPU 0 sorts before CPU 1.
+        assert_eq!(evs[1].cpu, 0);
+        assert_eq!(evs[2].cpu, 1);
+    }
+}

@@ -20,6 +20,7 @@ use nova_core::cap::CapSel;
 use nova_core::{CompCtx, Component, Hypercall, Kernel, Utcb};
 use nova_hw::ahci::{regs, ATA_READ_DMA_EXT, ATA_WRITE_DMA_EXT, SECTOR};
 use nova_hw::Cycles;
+use nova_trace::Kind as TraceKind;
 use nova_x86::insn::OpSize;
 
 use crate::proto::disk as proto;
@@ -175,8 +176,18 @@ impl DiskServer {
             .unwrap_or(0)
     }
 
+    /// Emits a disk-server tracepoint stamped with the current cycle.
+    fn trace(k: &mut Kernel, ctx: CompCtx, kind: TraceKind, detail: u64) {
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .emit(0, ctx.pd.0 as u16, kind, detail, at);
+    }
+
     /// Programs the physical controller with `req` (Figure 4, step 3).
     fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request) {
+        Self::trace(k, ctx, TraceKind::DiskIssue, req.lba);
         k.charge(self.submit_cost);
         let clb = self.cfg.cmd_va;
         let ctba = self.cfg.cmd_va + 0x1000;
@@ -248,6 +259,7 @@ impl DiskServer {
             req.attempts += 1;
             self.stats.media_retries += 1;
             k.counters.request_retries += 1;
+            Self::trace(k, ctx, TraceKind::DiskRetry, req.attempts as u64);
             self.issue(k, ctx, req);
             return;
         }
@@ -256,6 +268,15 @@ impl DiskServer {
     }
 
     fn complete(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request, status: u32) {
+        Self::trace(k, ctx, TraceKind::DiskComplete, status as u64);
+        if k.machine.bus.trace.active() {
+            let served = k.now().saturating_sub(self.issued_at);
+            k.machine
+                .bus
+                .trace
+                .metrics
+                .observe("disk_service_cycles", ctx.pd.0 as u64, served);
+        }
         k.charge(self.complete_cost);
         let bytes = req.sectors as u64 * SECTOR as u64;
         self.stats.completed += 1;
@@ -304,6 +325,7 @@ impl DiskServer {
             return;
         }
         k.counters.request_timeouts += 1;
+        Self::trace(k, ctx, TraceKind::DiskTimeout, 0);
         let ci = self.mmio_read(k, ctx, regs::P0CI);
         if ci & 1 == 0 {
             // The command finished but its interrupt was lost: drain
@@ -321,6 +343,7 @@ impl DiskServer {
         // while the attempt budget lasts.
         self.stats.controller_resets += 1;
         k.counters.controller_resets += 1;
+        Self::trace(k, ctx, TraceKind::DiskReset, 0);
         self.mmio_write(k, ctx, regs::GHC, 1);
         self.init_controller(k, ctx);
         let Some(mut req) = self.inflight.take() else {
@@ -462,11 +485,13 @@ impl Component for DiskServer {
                 if c.outstanding >= proto::MAX_OUTSTANDING {
                     // Throttle the channel (Section 4.2).
                     self.stats.rejected += 1;
+                    Self::trace(k, ctx, TraceKind::DiskReject, lba);
                     utcb.set_msg(&[proto::EBUSY]);
                     return;
                 }
                 c.outstanding += 1;
                 self.stats.accepted += 1;
+                Self::trace(k, ctx, TraceKind::DiskAccept, lba);
                 let req = Request {
                     client,
                     write: op == proto::OP_WRITE,
@@ -498,6 +523,7 @@ impl Component for DiskServer {
         if is == 0 {
             self.stats.spurious += 1;
             k.counters.spurious_irqs += 1;
+            Self::trace(k, ctx, TraceKind::DiskSpurious, 0);
             return;
         }
         self.mmio_write(k, ctx, regs::IS, is);

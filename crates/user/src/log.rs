@@ -3,6 +3,7 @@
 //! only the UART's I/O ports, reached through a portal.
 
 use nova_core::{CompCtx, Component, Kernel, Utcb};
+use nova_trace::Kind as TraceKind;
 use nova_x86::insn::OpSize;
 
 use crate::proto::log as proto;
@@ -29,7 +30,17 @@ impl Component for LogService {
     }
 
     fn on_call(&mut self, k: &mut Kernel, ctx: CompCtx, portal_id: u64, utcb: &mut Utcb) {
+        let at = k.now();
+        let pd = ctx.pd.0 as u64;
         if portal_id != proto::PORTAL_WRITE {
+            // An unknown portal is a client-side protocol error: keep
+            // the zero-bytes reply, but record the event instead of
+            // dropping it silently.
+            k.machine
+                .bus
+                .trace
+                .emit(0, ctx.pd.0 as u16, TraceKind::BadPortal, portal_id, at);
+            k.machine.bus.trace.metrics.add("bad_portal", pd, 1);
             utcb.set_msg(&[0]);
             return;
         }
@@ -47,6 +58,14 @@ impl Component for LogService {
             n += 1;
         }
         self.written += n;
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .emit(0, ctx.pd.0 as u16, TraceKind::LogWrite, n, at);
+        if k.machine.bus.trace.active() {
+            k.machine.bus.trace.metrics.add("log_bytes", pd, n);
+        }
         utcb.set_msg(&[n]);
     }
 
@@ -101,5 +120,44 @@ mod tests {
         k.ipc_call(svc_ctx, 0x20, &mut utcb).unwrap();
         assert_eq!(utcb.word(0), 2);
         assert_eq!(k.machine.serial_text(), "hi");
+    }
+
+    #[test]
+    fn unknown_portal_is_counted_not_swallowed() {
+        let m = Machine::new(MachineConfig::core_i7(32 << 20));
+        let mut k = Kernel::new(m, KernelConfig::default());
+        let (rc, re) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
+        k.start_component(rc, re);
+        let root_ctx = k.component_mut::<RootPm>(rc).unwrap().ctx.unwrap();
+
+        let mut ops = RootOps::new(&mut k, root_ctx);
+        let (_sel, pd) = ops.create_pd("log", None).unwrap();
+        let (comp, ec) = k.load_component(pd, 0, Box::new(LogService::new(COM1)));
+        k.start_component(comp, ec);
+        let svc_ctx = CompCtx { pd, ec, comp };
+        // A portal whose id is not PORTAL_WRITE: calls through it used
+        // to be silently answered with 0 and left no record at all.
+        k.hypercall(
+            svc_ctx,
+            Hypercall::CreatePt {
+                ec: nova_core::kernel::SEL_SELF_EC,
+                mtd: 0,
+                id: proto::PORTAL_WRITE + 7,
+                dst: 0x21,
+            },
+        )
+        .unwrap();
+
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[b'x' as u64]);
+        k.ipc_call(svc_ctx, 0x21, &mut utcb).unwrap();
+        assert_eq!(utcb.word(0), 0, "unknown portal writes nothing");
+        let m = k
+            .machine
+            .tracer()
+            .metrics
+            .get("bad_portal", pd.0 as u64)
+            .expect("bad_portal recorded even with tracing off");
+        assert_eq!(m.count, 1);
     }
 }

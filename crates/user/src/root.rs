@@ -11,6 +11,7 @@ use nova_core::kernel::SEL_SELF_EC;
 use nova_core::obj::{MemRights, PdId, VmPaging};
 use nova_core::utcb::Utcb;
 use nova_core::{CompCtx, Component, HcErr, HcReply, Hypercall, Kernel, SmId};
+use nova_trace::Kind as TraceKind;
 
 use crate::disk::{DiskServer, DiskServerConfig};
 use crate::proto::disk as dproto;
@@ -215,6 +216,14 @@ impl RootPm {
         k.counters.driver_restarts += 1;
         sup.srv_sel = srv_sel;
         sup.restarts += 1;
+        let at = k.now();
+        k.machine.bus.trace.emit(
+            0,
+            ctx.pd.0 as u16,
+            TraceKind::DriverRestart,
+            sup.restarts,
+            at,
+        );
         self.supervision = Some(sup);
     }
 }

@@ -24,6 +24,7 @@ use nova_core::{CompCtx, Component, Hypercall, Kernel, SmId, Utcb};
 use nova_hw::mmu::MmuRegs;
 use nova_hw::vmx::{mtd, ExitReason, Injection};
 use nova_hw::Cycles;
+use nova_trace::Kind as TraceKind;
 use nova_x86::exec::Fault;
 use nova_x86::insn::OpSize;
 use nova_x86::reg::{flags, Reg, Reg8, Regs};
@@ -428,6 +429,13 @@ impl Vmm {
         let Some(mut msg) = utcb.vm.take() else {
             return;
         };
+        let reason_idx = msg.reason.index() as u64;
+        let pd16 = ctx.pd.0 as u16;
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .begin(0, pd16, TraceKind::VmmEmulate, reason_idx, at);
         let cost = k.machine.cost;
         match msg.reason {
             ExitReason::Cpuid { len } => {
@@ -511,6 +519,11 @@ impl Vmm {
                                 k.dev_io_write(ctx, crate::devices::PORT_EXIT, OpSize::Byte, 0xfc);
                             msg.reply_block = true;
                             self.finish_reply(vcpu, &mut msg);
+                            let at = k.now();
+                            k.machine
+                                .bus
+                                .trace
+                                .end(0, pd16, TraceKind::VmmEmulate, reason_idx, at);
                             utcb.vm = Some(msg);
                             return;
                         }
@@ -608,6 +621,11 @@ impl Vmm {
         if msg.reply_block {
             self.vcpu_state[vcpu].halted = true;
         }
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .end(0, pd16, TraceKind::VmmEmulate, reason_idx, at);
         utcb.vm = Some(msg);
     }
 

@@ -8,11 +8,13 @@
 //! - [`vmm`] (`nova-vmm`): the user-level virtual-machine monitor.
 //! - [`guest`] (`nova-guest`): guest operating system and workloads.
 //! - [`baseline`] (`nova-baseline`): monolithic/paravirt comparators.
+//! - [`trace`] (`nova-trace`): cycle-stamped tracing, metrics, exporters.
 
 pub use nova_baseline as baseline;
 pub use nova_core as hypervisor;
 pub use nova_guest as guest;
 pub use nova_hw as hw;
+pub use nova_trace as trace;
 pub use nova_user as user;
 pub use nova_vmm as vmm;
 pub use nova_x86 as x86;
