@@ -28,6 +28,8 @@ fn guest() -> GuestImage {
             timer_divisor: None,
             disk: false,
             nic: false,
+            pv_disk: false,
+            pv_net: false,
         },
         |a, _| {
             // Two identical passes over 4 MB..8 MB (PSE-mapped kernel

@@ -283,6 +283,55 @@ pub fn run_nova_direct_nic(
     }
 }
 
+/// NOVA run with the paravirtual batched disk ring enabled (Figure
+/// 6's "virtual" series: one doorbell exit per request batch instead
+/// of ~6 trapped MMIO accesses per request).
+pub fn run_nova_pv_disk(cost: CostModel, prog: &Program, budget: Cycles) -> RunResult {
+    let mut cfg = VmmConfig::full_virt(image(prog), GUEST_PAGES);
+    cfg.pv_disk = true;
+    let mut opts = LaunchOptions::standard(cfg);
+    opts.machine = machine_cfg(cost);
+    let mut sys = System::build(opts);
+    let out = sys.run(Some(budget));
+    RunResult {
+        label: "NOVA virtual disk".into(),
+        cycles: sys.k.machine.clock,
+        idle: sys.k.machine.cpus[0].idle_cycles,
+        exits: sys.k.counters.total_exits(),
+        counters: Some(sys.k.counters.clone()),
+        ok: matches!(out, RunOutcome::Shutdown(_)),
+        marks: sys.k.machine.marks().to_vec(),
+    }
+}
+
+/// NOVA run with the paravirtual NIC backend (Figure 7's "virtual"
+/// series: the VMM owns the physical NIC; the guest posts receive
+/// buffers through the PV ring and takes zero exits per packet).
+pub fn run_nova_pv_nic(
+    cost: CostModel,
+    prog: &Program,
+    budget: Cycles,
+    start_traffic: impl FnOnce(&mut Machine),
+) -> RunResult {
+    let mut cfg = VmmConfig::full_virt(image(prog), GUEST_PAGES);
+    cfg.pv_nic = true;
+    let mut opts = LaunchOptions::standard(cfg);
+    opts.machine = machine_cfg(cost);
+    opts.with_disk = false;
+    let mut sys = System::build(opts);
+    start_traffic(&mut sys.k.machine);
+    let out = sys.run(Some(budget));
+    RunResult {
+        label: "NOVA virtual NIC".into(),
+        cycles: sys.k.machine.clock,
+        idle: sys.k.machine.cpus[0].idle_cycles,
+        exits: sys.k.counters.total_exits(),
+        counters: Some(sys.k.counters.clone()),
+        ok: matches!(out, RunOutcome::Shutdown(_)),
+        marks: sys.k.machine.marks().to_vec(),
+    }
+}
+
 /// Monolithic comparator run.
 pub fn run_mono(
     cost: CostModel,

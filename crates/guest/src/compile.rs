@@ -118,6 +118,8 @@ pub fn build(p: CompileParams) -> Program {
         timer_divisor: p.timer_divisor,
         disk: p.disk_every > 0,
         nic: false,
+        pv_disk: false,
+        pv_net: false,
     };
     build_os(params, |a, _| {
         a.mov_mi(rt::var(vars::SCRATCH), 0); // task counter

@@ -38,6 +38,8 @@ pub fn build(p: DiskLoadParams) -> Program {
         timer_divisor: None,
         disk: true,
         nic: false,
+        pv_disk: false,
+        pv_net: false,
     };
     build_os(params, |a, _| {
         rt::emit_mark(a, 0x1000); // benchmark start

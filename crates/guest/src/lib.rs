@@ -19,6 +19,8 @@ pub mod diskload;
 pub mod mp;
 pub mod netload;
 pub mod os;
+pub mod pvdiskload;
+pub mod pvnetload;
 pub mod rt;
 
 pub use os::{build_os, OsParams, Program};

@@ -50,6 +50,8 @@ pub fn build(p: NetLoadParams) -> Program {
         timer_divisor: None,
         disk: false,
         nic: true,
+        pv_disk: false,
+        pv_net: false,
     };
     build_os(params, |a, _| {
         // --- NIC interrupt handler ---

@@ -32,6 +32,12 @@ pub struct OsParams {
     pub disk: bool,
     /// Unmask the NIC interrupt (the workload installs its handler).
     pub nic: bool,
+    /// Initialize the paravirtual batched disk driver (shared ring +
+    /// doorbell) and unmask its interrupt.
+    pub pv_disk: bool,
+    /// Unmask the paravirtual NIC interrupt (the workload installs
+    /// its handler and posts the ring).
+    pub pv_net: bool,
 }
 
 impl OsParams {
@@ -43,6 +49,8 @@ impl OsParams {
             timer_divisor: None,
             disk: false,
             nic: false,
+            pv_disk: false,
+            pv_net: false,
         }
     }
 }
@@ -53,6 +61,8 @@ pub const VEC_TIMER: u8 = 0x20;
 pub const VEC_DISK: u8 = 0x2b;
 /// Interrupt vector of the NIC (line 10).
 pub const VEC_NIC: u8 = 0x2a;
+/// Interrupt vector of the paravirtual disk queue (line 9).
+pub const VEC_PV_DISK: u8 = 0x29;
 
 /// Handler labels the body may wire further vectors to.
 pub struct OsLabels {
@@ -74,6 +84,7 @@ pub fn build_os(params: OsParams, body: impl FnOnce(&mut Asm, &OsLabels)) -> Pro
     let timer_handler = rt::emit_timer_handler(&mut a);
     let pf_handler = rt::emit_pf_handler(&mut a);
     let disk_handler = rt::emit_disk_handler(&mut a);
+    let pv_disk_handler = rt::emit_pv_disk_handler(&mut a);
 
     a.bind(start);
     a.cld();
@@ -89,6 +100,9 @@ pub fn build_os(params: OsParams, body: impl FnOnce(&mut Asm, &OsLabels)) -> Pro
     if params.disk {
         rt::emit_idt_install(&mut a, VEC_DISK, disk_handler);
     }
+    if params.pv_disk {
+        rt::emit_idt_install(&mut a, VEC_PV_DISK, pv_disk_handler);
+    }
 
     // PIC masks: clear bits for enabled lines; the cascade (line 2)
     // must be open for any slave interrupt.
@@ -97,14 +111,17 @@ pub fn build_os(params: OsParams, body: impl FnOnce(&mut Asm, &OsLabels)) -> Pro
     if params.timer_divisor.is_some() {
         master_mask &= !(1 << 0);
     }
-    if params.disk || params.nic {
+    if params.disk || params.nic || params.pv_disk || params.pv_net {
         master_mask &= !(1 << 2);
     }
     if params.disk {
         slave_mask &= !(1 << (11 - 8));
     }
-    if params.nic {
+    if params.nic || params.pv_net {
         slave_mask &= !(1 << (10 - 8));
+    }
+    if params.pv_disk {
+        slave_mask &= !(1 << (9 - 8));
     }
     rt::emit_pic_init(&mut a, master_mask, slave_mask);
 
@@ -116,13 +133,21 @@ pub fn build_os(params: OsParams, body: impl FnOnce(&mut Asm, &OsLabels)) -> Pro
     if params.disk {
         rt::emit_disk_init(&mut a);
     }
+    if params.pv_disk {
+        rt::emit_pv_disk_init(&mut a);
+    }
 
     if let Some(div) = params.timer_divisor {
         rt::out_byte(&mut a, 0x43, 0x34);
         rt::out_byte(&mut a, 0x40, div as u8);
         rt::out_byte(&mut a, 0x40, (div >> 8) as u8);
     }
-    if params.timer_divisor.is_some() || params.disk || params.nic {
+    if params.timer_divisor.is_some()
+        || params.disk
+        || params.nic
+        || params.pv_disk
+        || params.pv_net
+    {
         a.sti();
     }
 

@@ -28,6 +28,12 @@ pub mod layout {
     pub const DISK_BUF: u32 = 0x38000;
     /// NIC receive-descriptor ring.
     pub const NIC_RING: u32 = 0x40000;
+    /// Paravirtual disk ring page (shared with the VMM backend).
+    pub const PV_DISK_RING: u32 = 0x42000;
+    /// Paravirtual net ring (two pages: shared + backend-private).
+    pub const PV_NET_RING: u32 = 0x44000;
+    /// Paravirtual disk DMA buffers (one batch's worth).
+    pub const PV_DISK_BUF: u32 = 0x48000;
     /// NIC packet buffers (16 KB each, up to 256 of them at 8 MB).
     pub const NIC_BUF: u32 = 0x80_0000;
     /// Frame pool for demand paging.
@@ -62,6 +68,13 @@ pub mod vars {
     pub const AP_COUNT: u32 = 32;
     /// Scratch.
     pub const SCRATCH: u32 = 36;
+    /// Paravirtual ring producer slot (next descriptor/entry index,
+    /// wraps at the ring capacity).
+    pub const PV_SLOT: u32 = 40;
+    /// Paravirtual disk LBA cursor.
+    pub const PV_LBA: u32 = 44;
+    /// Paravirtual auxiliary counter (net buffer index).
+    pub const PV_AUX: u32 = 48;
 }
 
 /// Address of a kernel variable.
@@ -362,6 +375,94 @@ pub fn emit_disk_handler(a: &mut Asm) -> nova_x86::asm::Label {
     l
 }
 
+/// Emits the paravirtual disk interrupt handler (slave IRQ 9 →
+/// vector 0x29): one write-1-to-clear MMIO exit to acknowledge the
+/// coalesced completion interrupt, then EOI. Completion state itself
+/// lives in the shared ring page — the handler never reads a device
+/// register.
+pub fn emit_pv_disk_handler(a: &mut Asm) -> nova_x86::asm::Label {
+    let base = nova_hw::pv::PV_BASE as u32;
+    let l = a.here_label();
+    a.push_r(Reg::Eax);
+    a.push_r(Reg::Edx);
+    a.mov_mi(MemRef::abs(base + nova_hw::pv::regs::DISK_ISR as u32), 1);
+    emit_eoi_both(a);
+    a.pop_r(Reg::Edx);
+    a.pop_r(Reg::Eax);
+    a.iret();
+    l
+}
+
+/// Emits one-time paravirtual disk bring-up: hands the ring page's
+/// guest-physical address to the backend (one MMIO exit, ever).
+pub fn emit_pv_disk_init(a: &mut Asm) {
+    let base = nova_hw::pv::PV_BASE as u32;
+    a.mov_mi(
+        MemRef::abs(base + nova_hw::pv::regs::DISK_RING as u32),
+        layout::PV_DISK_RING,
+    );
+}
+
+/// Emits a batched paravirtual disk read: fills `batch` descriptors
+/// (sequential LBAs from the [`vars::PV_LBA`] cursor, buffers packed
+/// from [`layout::PV_DISK_BUF`]), rings the doorbell **once**, and
+/// halts until the ring's cumulative `used` counter reaches the
+/// target in [`vars::SCRATCH`]. Clobbers EAX, EBX, ECX, EDX, EDI.
+pub fn emit_pv_disk_batch_read(a: &mut Asm, batch: u32, sectors: u32) {
+    use nova_hw::pv::{disk, regs, PV_BASE};
+    let ring = layout::PV_DISK_RING;
+    let block_bytes = sectors * 512;
+
+    a.mov_ri(Reg::Ecx, batch);
+    a.mov_ri(Reg::Edi, layout::PV_DISK_BUF);
+    let fill = a.here_label();
+    // EBX = descriptor address = ring + DESC0 + slot * DESC_SIZE.
+    a.mov_rm(Reg::Eax, var(vars::PV_SLOT));
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    a.shl_ri(Reg::Ebx, 5);
+    a.add_ri(Reg::Ebx, ring + disk::DESC0 as u32);
+    a.mov_mi(
+        MemRef::base_disp(Reg::Ebx, disk::D_OP as i32),
+        disk::OP_READ,
+    );
+    a.mov_mi(MemRef::base_disp(Reg::Ebx, disk::D_SECTORS as i32), sectors);
+    a.mov_rm(Reg::Eax, var(vars::PV_LBA));
+    a.mov_mr(MemRef::base_disp(Reg::Ebx, disk::D_LBA as i32), Reg::Eax);
+    a.mov_mi(MemRef::base_disp(Reg::Ebx, disk::D_LBA as i32 + 4), 0);
+    a.mov_mr(MemRef::base_disp(Reg::Ebx, disk::D_BUF as i32), Reg::Edi);
+    a.mov_mi(MemRef::base_disp(Reg::Ebx, disk::D_BUF as i32 + 4), 0);
+    a.mov_mi(MemRef::base_disp(Reg::Ebx, disk::D_STATUS as i32), 0);
+    a.alu_mi(AluOp::Add, var(vars::PV_LBA), sectors);
+    // Advance the producer slot, wrapping at the ring capacity.
+    a.mov_rm(Reg::Eax, var(vars::PV_SLOT));
+    a.inc_r(Reg::Eax);
+    a.cmp_ri(Reg::Eax, disk::CAPACITY);
+    let no_wrap = a.label();
+    a.jcc(Cond::B, no_wrap);
+    a.xor_rr(Reg::Eax, Reg::Eax);
+    a.bind(no_wrap);
+    a.mov_mr(var(vars::PV_SLOT), Reg::Eax);
+    a.add_ri(Reg::Edi, block_bytes);
+    a.dec_r(Reg::Ecx);
+    a.jcc(Cond::Ne, fill);
+
+    // One doorbell MMIO exit for the whole batch.
+    a.mov_mi(
+        MemRef::abs(PV_BASE as u32 + regs::DISK_DOORBELL as u32),
+        batch,
+    );
+
+    // Halt until `used` (read from shared memory — no exit) reaches
+    // the cumulative completion target.
+    a.alu_mi(AluOp::Add, var(vars::SCRATCH), batch);
+    let wait = a.here_label();
+    a.sti();
+    a.hlt();
+    a.mov_rm(Reg::Eax, MemRef::abs(ring + disk::USED as u32));
+    a.alu_rm(AluOp::Cmp, Reg::Eax, var(vars::SCRATCH));
+    a.jcc(Cond::B, wait);
+}
+
 /// Emits one-time AHCI driver initialization: command-list base and
 /// interrupt enable.
 pub fn emit_disk_init(a: &mut Asm) {
@@ -440,12 +541,15 @@ mod tests {
         a.mov_ri(Reg::Ebx, 1);
         a.mov_ri(Reg::Ecx, layout::DISK_BUF);
         emit_disk_read_sync(&mut a);
+        emit_pv_disk_init(&mut a);
+        emit_pv_disk_batch_read(&mut a, 8, 8);
         emit_exit(&mut a, 0);
         let h = emit_timer_handler(&mut a);
         let d = emit_default_handler(&mut a);
         let p = emit_pf_handler(&mut a);
         let dk = emit_disk_handler(&mut a);
-        let _ = (h, d, p, dk);
+        let pv = emit_pv_disk_handler(&mut a);
+        let _ = (h, d, p, dk, pv);
         decodes(&a.finish());
     }
 

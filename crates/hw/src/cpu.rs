@@ -146,14 +146,15 @@ impl CpuEnv<'_> {
             // Write to a read-only entry: fall through to the walk,
             // which classifies the fault.
         }
-        #[cfg(feature = "tlb-debug")]
-        {
-            use std::sync::atomic::{AtomicU64, Ordering};
-            static N: AtomicU64 = AtomicU64::new(0);
-            let n = N.fetch_add(1, Ordering::Relaxed);
-            if self.guest.is_some() && (200_000..200_100).contains(&n) {
-                eprintln!("MISS #{n} vpid={vpid} addr={addr:#x} access={access:?}");
-            }
+        // TLB miss: attribute the fill walk to the VPID in the metrics
+        // registry (free when tracing is off; replaces the old
+        // `tlb-debug` stderr scaffolding and its process-global
+        // counter).
+        if self.bus.trace.active() {
+            self.bus
+                .trace
+                .metrics
+                .add(nova_trace::names::TLB_FILLS, vpid as u64, 1);
         }
 
         let leaf = match self.guest {

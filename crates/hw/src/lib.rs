@@ -31,6 +31,7 @@ pub mod nic;
 pub mod pci;
 pub mod pic;
 pub mod pit;
+pub mod pv;
 pub mod serial;
 pub mod tlb;
 pub mod vga;

@@ -1,0 +1,155 @@
+//! Paravirtual batched-I/O device ABI (`nova-pv`).
+//!
+//! The trap-and-emulate vAHCI model costs ~6 MMIO exits plus an HLT
+//! and several PIC EOI port exits for *every* disk request, because
+//! the guest drives the device through the same register protocol a
+//! physical AHCI controller would demand. This module defines the
+//! shared-memory ring protocol that replaces that register dance for
+//! guests that opt in (the "virtual" columns of Fig. 6/7): the guest
+//! writes request descriptors into a ring page it shares with the
+//! VMM, then rings a single *doorbell* register once per **batch**.
+//! Completions are written back into the ring by the VMM with no
+//! guest exit at all; one coalesced virtual interrupt per drain wakes
+//! the guest.
+//!
+//! This file is pure ABI — register offsets and ring layout shared by
+//! the guest driver (`nova-guest`) and the VMM backend (`nova-vmm`).
+//! No hardware model lives behind [`PV_BASE`]: accesses always take
+//! an MMIO exit to the VMM, which is exactly the point — the protocol
+//! is designed so the guest touches the region once per batch, not
+//! once per request.
+//!
+//! # Exit budget
+//!
+//! Per batch of `n` disk requests: 1 doorbell MMIO exit + 1 HLT +
+//! 1 ISR-ack MMIO exit + the PIC EOI port exits, independent of `n`.
+//! The guest polls completion state (`used` counter, per-descriptor
+//! status) straight from the shared page without exiting.
+//!
+//! # Interrupt coalescing
+//!
+//! The backend latches an in-service bit per queue ([`regs::DISK_ISR`]
+//! / [`regs::NET_ISR`]). While the bit is set no further interrupt is
+//! injected for that queue; completions keep accumulating in the ring.
+//! The guest acknowledges by writing 1 to the ISR register
+//! (write-1-to-clear) — if more completions arrived meanwhile, the
+//! backend immediately re-raises. The guest never needs to *read* the
+//! ISR register: the `used` counter in shared memory already says how
+//! much work there is.
+
+/// Guest-physical base of the paravirtual device's register page.
+///
+/// Sits in the same MMIO hole as the vAHCI ([`crate::machine`]
+/// `AHCI_BASE`) and virtual NIC windows, inside the guest kernel's
+/// identity-mapped device PDE, so no extra guest mappings are needed.
+pub const PV_BASE: u64 = 0xfeb2_0000;
+
+/// Size of the register window (one page).
+pub const PV_SIZE: u64 = 0x1000;
+
+/// Register offsets within the [`PV_BASE`] page.
+pub mod regs {
+    /// Read-only feature bitmap ([`super::FEAT_DISK`] |
+    /// [`super::FEAT_NET`]); 0 means no PV backend is attached.
+    pub const FEAT: u64 = 0x00;
+    /// Write: guest-physical address of the disk ring page.
+    pub const DISK_RING: u64 = 0x04;
+    /// Write: number of descriptors newly published to the disk ring.
+    /// This is the one per-batch exit on the submit path.
+    pub const DISK_DOORBELL: u64 = 0x08;
+    /// Disk completion interrupt status; write 1 to acknowledge
+    /// (write-1-to-clear). Re-raises immediately if completions
+    /// arrived while the bit was latched.
+    pub const DISK_ISR: u64 = 0x0c;
+    /// Write: guest-physical address of the net ring (two pages:
+    /// shared ring page + backend-private page).
+    pub const NET_RING: u64 = 0x10;
+    /// Write: number of receive buffers newly posted (ring refill).
+    pub const NET_DOORBELL: u64 = 0x14;
+    /// Net receive interrupt status; write-1-to-clear.
+    pub const NET_ISR: u64 = 0x18;
+}
+
+/// [`regs::FEAT`] bit: batched disk queue available.
+pub const FEAT_DISK: u32 = 1 << 0;
+/// [`regs::FEAT`] bit: paravirtual NIC receive queue available.
+pub const FEAT_NET: u32 = 1 << 1;
+
+/// Disk ring layout: one 4 KiB guest-allocated page.
+///
+/// Producer side (guest): writes descriptors at slots
+/// `submitted % CAPACITY`, then rings [`regs::DISK_DOORBELL`]
+/// with the count of new descriptors. Consumer side (VMM): processes
+/// descriptors in order, writes per-descriptor `status`, then
+/// advances the cumulative [`disk::USED`] counter (the status words
+/// for a descriptor are valid once `USED` has advanced past it).
+pub mod disk {
+    /// u32 at +0: cumulative count of completed descriptors
+    /// (VMM-written, monotonic). The guest compares against its own
+    /// submitted count to find fresh completions — no exit needed.
+    pub const USED: u64 = 0;
+    /// u32 at +4: cumulative count of descriptors that completed
+    /// with an error (VMM-written, monotonic).
+    pub const ERRORS: u64 = 4;
+    /// First descriptor slot.
+    pub const DESC0: u64 = 32;
+    /// Descriptor stride in bytes.
+    pub const DESC_SIZE: u64 = 32;
+    /// Number of descriptor slots in the ring page:
+    /// (4096 - 32) / 32 = 127.
+    pub const CAPACITY: u32 = 127;
+
+    /// u32: operation, [`OP_READ`] or [`OP_WRITE`].
+    pub const D_OP: u64 = 0;
+    /// u32: transfer length in 512-byte sectors.
+    pub const D_SECTORS: u64 = 4;
+    /// u64: starting logical block address.
+    pub const D_LBA: u64 = 8;
+    /// u64: guest-physical address of the data buffer (any byte
+    /// alignment; the transfer may cross page boundaries).
+    pub const D_BUF: u64 = 16;
+    /// u32: completion status, [`ST_OK`] or [`ST_ERROR`]
+    /// (VMM-written).
+    pub const D_STATUS: u64 = 24;
+
+    /// [`D_OP`]: read `sectors` from `lba` into `buf`.
+    pub const OP_READ: u32 = 1;
+    /// [`D_OP`]: write `sectors` from `buf` to `lba`.
+    pub const OP_WRITE: u32 = 2;
+    /// [`D_STATUS`]: transfer completed successfully.
+    pub const ST_OK: u32 = 0;
+    /// [`D_STATUS`]: transfer failed (bad parameters or media error).
+    pub const ST_ERROR: u32 = 1;
+}
+
+/// Net receive ring layout: two guest-allocated pages.
+///
+/// Page 0 is the shared PV ring; page 1 is private to the backend
+/// (it hosts the real e1000e hardware descriptor ring the VMM
+/// programs into the physical NIC — the guest never touches it).
+///
+/// The guest posts receive buffers by filling entries (buffer
+/// address + capacity, status 0) and ringing
+/// [`regs::NET_DOORBELL`] with the number of new buffers —
+/// once per ring *refill*, not per packet. The backend fills each
+/// delivered packet into the next posted buffer in order, sets the
+/// entry's actual `len` and `status = 1`, and advances [`net::USED`].
+pub mod net {
+    /// u32 at +0: cumulative count of filled (delivered) entries.
+    pub const USED: u64 = 0;
+    /// First entry slot.
+    pub const ENTRY0: u64 = 32;
+    /// Entry stride in bytes.
+    pub const ENTRY_SIZE: u64 = 16;
+    /// Number of entry slots in the shared page:
+    /// (4096 - 32) / 16 = 254.
+    pub const CAPACITY: u32 = 254;
+
+    /// u64: guest-physical address of the receive buffer.
+    pub const E_BUF: u64 = 0;
+    /// u32: on post, buffer capacity; on completion, packet length.
+    pub const E_LEN: u64 = 8;
+    /// u32: 0 = posted (guest-owned buffer handed to backend),
+    /// 1 = filled (packet delivered, guest may consume).
+    pub const E_STATUS: u64 = 12;
+}

@@ -48,5 +48,5 @@ pub mod query;
 pub mod ring;
 
 pub use event::{cat, Kind, Phase, TraceEvent, PD_NONE};
-pub use metrics::{Cell, Metrics, HIST_BUCKETS};
+pub use metrics::{names, Cell, Metrics, HIST_BUCKETS};
 pub use ring::Tracer;

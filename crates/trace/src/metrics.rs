@@ -8,6 +8,30 @@ use std::collections::BTreeMap;
 /// `floor(log2(value)) == i` (bucket 0 also holds zero).
 pub const HIST_BUCKETS: usize = 32;
 
+/// Well-known metric names recorded across the stack, collected here
+/// so producers, exporters and test assertions agree on spelling.
+pub mod names {
+    /// Cycles per VM exit, observed by the kernel on every exit.
+    pub const EXIT_CYCLES: &str = "exit_cycles";
+    /// Cycles from issue to completion per disk request, observed by
+    /// the disk server.
+    pub const DISK_SERVICE_CYCLES: &str = "disk_service_cycles";
+    /// Requests accepted per batched disk submission, observed by the
+    /// disk server on every batch-portal call.
+    pub const DISK_BATCH_SIZE: &str = "disk_batch_size";
+    /// Descriptors per paravirtual doorbell ring, observed by the VMM
+    /// when the guest rings the batch doorbell.
+    pub const PV_BATCH_SIZE: &str = "pv_batch_size";
+    /// Paravirtual doorbell exits taken (count metric).
+    pub const PV_DOORBELLS: &str = "pv_doorbells";
+    /// Coalesced completion interrupts the paravirtual backend
+    /// injected (count metric).
+    pub const PV_COMPLETION_IRQS: &str = "pv_completion_irqs";
+    /// TLB fill walks performed for a guest (count metric) — the
+    /// successor of the old `tlb-debug` stderr scaffolding.
+    pub const TLB_FILLS: &str = "tlb_fills";
+}
+
 /// One metric cell: an event count, a cycle (or value) sum, and a
 /// log2 histogram of observed values.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

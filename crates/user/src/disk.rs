@@ -103,7 +103,11 @@ struct Request {
     write: bool,
     lba: u64,
     sectors: u32,
-    window_page: u64,
+    /// Scatter-gather list of (window byte address, byte count)
+    /// segments; only the first `nsegs` entries are meaningful. The
+    /// addresses carry any in-page offset of the client's buffers.
+    segs: [(u64, u32); proto::MAX_SEGMENTS],
+    nsegs: usize,
     tag: u64,
     attempts: u32,
 }
@@ -192,8 +196,8 @@ impl DiskServer {
         let clb = self.cfg.cmd_va;
         let ctba = self.cfg.cmd_va + 0x1000;
 
-        // Command header slot 0: one PRDT entry.
-        k.mem_write_u32(ctx, clb, 1 << 16);
+        // Command header slot 0: one PRDT entry per segment.
+        k.mem_write_u32(ctx, clb, (req.nsegs as u32) << 16);
         k.mem_write_u32(ctx, clb + 8, ctba as u32);
         k.mem_write_u32(ctx, clb + 12, (ctba >> 32) as u32);
 
@@ -224,13 +228,15 @@ impl DiskServer {
             &[req.sectors as u8, (req.sectors >> 8) as u8],
         );
 
-        // PRDT entry 0: the delegated window (domain addresses; the
-        // IOMMU translates, and blocks anything not delegated).
-        let bytes = req.sectors * SECTOR;
-        let dba = req.window_page * 4096;
-        k.mem_write_u32(ctx, ctba + 0x80, dba as u32);
-        k.mem_write_u32(ctx, ctba + 0x84, (dba >> 32) as u32);
-        k.mem_write_u32(ctx, ctba + 0x8c, bytes - 1);
+        // PRDT: one entry per delegated-window segment (domain
+        // addresses; the IOMMU translates, and blocks anything not
+        // delegated).
+        for (i, &(addr, bytes)) in req.segs[..req.nsegs].iter().enumerate() {
+            let e = ctba + 0x80 + i as u64 * 16;
+            k.mem_write_u32(ctx, e, addr as u32);
+            k.mem_write_u32(ctx, e + 4, (addr >> 32) as u32);
+            k.mem_write_u32(ctx, e + 12, bytes - 1);
+        }
 
         // Doorbell: the one per-request MMIO write.
         self.mmio_write(k, ctx, regs::P0CI, 1);
@@ -271,11 +277,11 @@ impl DiskServer {
         Self::trace(k, ctx, TraceKind::DiskComplete, status as u64);
         if k.machine.bus.trace.active() {
             let served = k.now().saturating_sub(self.issued_at);
-            k.machine
-                .bus
-                .trace
-                .metrics
-                .observe("disk_service_cycles", ctx.pd.0 as u64, served);
+            k.machine.bus.trace.metrics.observe(
+                nova_trace::names::DISK_SERVICE_CYCLES,
+                ctx.pd.0 as u64,
+                served,
+            );
         }
         k.charge(self.complete_cost);
         let bytes = req.sectors as u64 * SECTOR as u64;
@@ -308,6 +314,81 @@ impl DiskServer {
         // Next queued request.
         if let Some(next) = self.queue.pop_front() {
             self.issue(k, ctx, next);
+        }
+    }
+
+    /// Parses and validates one request body
+    /// `(op, lba, sectors, tag, nsegs, (addr, bytes) × nsegs)` starting
+    /// at word `at` of `utcb`, on behalf of `client`. Returns the
+    /// request and the number of words consumed, or `None` when the
+    /// body is malformed or a segment touches memory the client never
+    /// delegated.
+    fn parse_request(
+        &self,
+        k: &Kernel,
+        ctx: CompCtx,
+        utcb: &Utcb,
+        at: usize,
+        client: usize,
+    ) -> Option<(Request, usize)> {
+        let op = utcb.word(at);
+        let lba = utcb.word(at + 1);
+        let sectors = utcb.word(at + 2) as u32;
+        let tag = utcb.word(at + 3);
+        let nsegs = utcb.word(at + 4) as usize;
+        if self.clients.get(client).is_none()
+            || sectors == 0
+            || sectors as u64 > proto::MAX_SECTORS
+            || (op != proto::OP_READ && op != proto::OP_WRITE)
+            || nsegs == 0
+            || nsegs > proto::MAX_SEGMENTS
+        {
+            return None;
+        }
+        let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
+        let mut total = 0u64;
+        for (i, seg) in segs[..nsegs].iter_mut().enumerate() {
+            let addr = utcb.word(at + 5 + i * 2);
+            let bytes = utcb.word(at + 6 + i * 2);
+            if bytes == 0 || bytes > proto::MAX_SECTORS * SECTOR as u64 {
+                return None;
+            }
+            // Every page the segment touches must be delegated.
+            for p in (addr >> 12)..=((addr + bytes - 1) >> 12) {
+                k.obj.pd(ctx.pd).mem.lookup(p)?;
+            }
+            *seg = (addr, bytes as u32);
+            total += bytes;
+        }
+        if total != sectors as u64 * SECTOR as u64 {
+            return None;
+        }
+        Some((
+            Request {
+                client,
+                write: op == proto::OP_WRITE,
+                lba,
+                sectors,
+                segs,
+                nsegs,
+                tag,
+                attempts: 0,
+            },
+            5 + nsegs * 2,
+        ))
+    }
+
+    /// Accepts a validated request onto the channel: bumps the
+    /// outstanding count and either issues it immediately or queues it
+    /// behind the in-flight command.
+    fn accept(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request) {
+        self.clients[req.client].outstanding += 1;
+        self.stats.accepted += 1;
+        Self::trace(k, ctx, TraceKind::DiskAccept, req.lba);
+        if self.inflight.is_none() {
+            self.issue(k, ctx, req);
+        } else {
+            self.queue.push_back(req);
         }
     }
 
@@ -458,55 +539,53 @@ impl Component for DiskServer {
             }
             proto::PORTAL_REQUEST => {
                 let client = utcb.word(0) as usize;
-                let op = utcb.word(1);
-                let lba = utcb.word(2);
-                let sectors = utcb.word(3) as u32;
-                let window_page = utcb.word(4);
-                let tag = utcb.word(5);
-
-                let valid = self.clients.get(client).is_some()
-                    && sectors > 0
-                    && sectors as u64 <= proto::MAX_SECTORS
-                    && (op == proto::OP_READ || op == proto::OP_WRITE);
-                if !valid {
+                let Some((req, _)) = self.parse_request(k, ctx, utcb, 1, client) else {
                     utcb.set_msg(&[proto::EINVAL]);
                     return;
-                }
-                // Validate the client actually delegated the window.
-                let bytes = sectors as u64 * SECTOR as u64;
-                let pages = bytes.div_ceil(4096);
-                for p in 0..pages {
-                    if k.obj.pd(ctx.pd).mem.lookup(window_page + p).is_none() {
-                        utcb.set_msg(&[proto::EINVAL]);
-                        return;
-                    }
-                }
-                let c = &mut self.clients[client];
-                if c.outstanding >= proto::MAX_OUTSTANDING {
+                };
+                if self.clients[client].outstanding >= proto::MAX_OUTSTANDING {
                     // Throttle the channel (Section 4.2).
                     self.stats.rejected += 1;
-                    Self::trace(k, ctx, TraceKind::DiskReject, lba);
+                    Self::trace(k, ctx, TraceKind::DiskReject, req.lba);
                     utcb.set_msg(&[proto::EBUSY]);
                     return;
                 }
-                c.outstanding += 1;
-                self.stats.accepted += 1;
-                Self::trace(k, ctx, TraceKind::DiskAccept, lba);
-                let req = Request {
-                    client,
-                    write: op == proto::OP_WRITE,
-                    lba,
-                    sectors,
-                    window_page,
-                    tag,
-                    attempts: 0,
-                };
-                if self.inflight.is_none() {
-                    self.issue(k, ctx, req);
-                } else {
-                    self.queue.push_back(req);
-                }
+                self.accept(k, ctx, req);
                 utcb.set_msg(&[proto::OK]);
+            }
+            proto::PORTAL_BATCH => {
+                let client = utcb.word(0) as usize;
+                let count = utcb.word(1) as usize;
+                if self.clients.get(client).is_none() || count == 0 || count > proto::MAX_BATCH {
+                    utcb.set_msg(&[proto::EINVAL, 0]);
+                    return;
+                }
+                let mut at = 2;
+                let mut accepted = 0u64;
+                let mut status = proto::OK;
+                for _ in 0..count {
+                    let Some((req, used)) = self.parse_request(k, ctx, utcb, at, client) else {
+                        status = proto::EINVAL;
+                        break;
+                    };
+                    at += used;
+                    if self.clients[client].outstanding >= proto::MAX_OUTSTANDING {
+                        self.stats.rejected += 1;
+                        Self::trace(k, ctx, TraceKind::DiskReject, req.lba);
+                        status = proto::EBUSY;
+                        break;
+                    }
+                    self.accept(k, ctx, req);
+                    accepted += 1;
+                }
+                if k.machine.bus.trace.active() {
+                    k.machine.bus.trace.metrics.observe(
+                        nova_trace::names::DISK_BATCH_SIZE,
+                        ctx.pd.0 as u64,
+                        accepted,
+                    );
+                }
+                utcb.set_msg(&[status, accepted]);
             }
             _ => utcb.set_msg(&[proto::EINVAL]),
         }
@@ -575,6 +654,7 @@ mod tests {
         k: Kernel,
         server_portal_reg: CapSel,
         server_portal_req: CapSel,
+        server_portal_req_batch: CapSel,
         client_ctx: CompCtx,
         client_comp: nova_core::CompId,
         server_comp: nova_core::CompId,
@@ -639,6 +719,16 @@ mod tests {
             },
         )
         .unwrap();
+        k.hypercall(
+            server_ctx,
+            Hypercall::CreatePt {
+                ec: nova_core::kernel::SEL_SELF_EC,
+                mtd: 0,
+                id: proto::PORTAL_BATCH,
+                dst: 0x22,
+            },
+        )
+        .unwrap();
 
         // Client PD with some memory.
         let mut ops = RootOps::new(&mut k, root_ctx);
@@ -695,6 +785,16 @@ mod tests {
             },
         )
         .unwrap();
+        k.hypercall(
+            srv_ctx,
+            Hypercall::DelegateCap {
+                dst_pd: 0x30,
+                sel: 0x22,
+                perms: Perms::CALL,
+                hot: 0x23,
+            },
+        )
+        .unwrap();
 
         // Client needs an SC so completion signals can run.
         k.hypercall(
@@ -712,6 +812,7 @@ mod tests {
             k,
             server_portal_reg: 0x20,
             server_portal_req: 0x21,
+            server_portal_req_batch: 0x23,
             client_ctx,
             client_comp,
             server_comp,
@@ -759,9 +860,19 @@ mod tests {
 
     fn submit_read(s: &mut Setup, client: u64, lba: u64, sectors: u32, window: u64) -> u64 {
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, lba, sectors as u64, window, 99]);
+        let bytes = sectors as u64 * SECTOR as u64;
+        utcb.set_msg(&[
+            client,
+            proto::OP_READ,
+            lba,
+            sectors as u64,
+            99,
+            1,
+            window * 4096,
+            bytes,
+        ]);
         // Delegate client pages 8.. as the DMA window.
-        let pages = (sectors as u64 * SECTOR as u64).div_ceil(4096);
+        let pages = bytes.div_ceil(4096);
         utcb.xfer.push(XferItem::Mem {
             base: 8,
             count: pages,
@@ -848,22 +959,138 @@ mod tests {
         let client = register(&mut s);
         // Zero sectors.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, 0, 0, 0x500, 1]);
+        utcb.set_msg(&[client, proto::OP_READ, 0, 0, 1, 1, 0x500 * 4096, 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL);
         // Window never delegated.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 0x900, 1]);
+        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 1, 0x900 * 4096, 8 * 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL, "undelegated window refused");
         // Unknown client id.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[77, proto::OP_READ, 0, 1, 0x500, 1]);
+        utcb.set_msg(&[77, proto::OP_READ, 0, 1, 1, 1, 0x500 * 4096, 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL);
+        // Segment lengths that do not cover the transfer.
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 1, 0x500 * 4096, 512]);
+        s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
+            .unwrap();
+        assert_eq!(utcb.word(0), proto::EINVAL, "short scatter list refused");
+        // Too many segments.
+        let mut msg = vec![client, proto::OP_READ, 0, 9, 1, 9];
+        for i in 0..9u64 {
+            msg.extend_from_slice(&[0x500 * 4096 + i * 512, 512]);
+        }
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&msg);
+        s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
+            .unwrap();
+        assert_eq!(utcb.word(0), proto::EINVAL, "segment bound enforced");
+    }
+
+    /// A scatter-gather read whose segments start at odd in-page
+    /// offsets: the PRDT entries must carry the offsets through, so
+    /// the payload lands exactly where the client pointed.
+    #[test]
+    fn scatter_gather_with_unaligned_segments() {
+        let mut s = setup();
+        let client = register(&mut s);
+        let window = 0x500u64;
+        // 8 sectors split across two segments at offsets 512 and 256
+        // of two different window pages.
+        let seg_a = window * 4096 + 512;
+        let seg_b = (window + 1) * 4096 + 256;
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[
+            client,
+            proto::OP_READ,
+            42,
+            8,
+            7,
+            2,
+            seg_a,
+            2048,
+            seg_b,
+            2048,
+        ]);
+        utcb.xfer.push(XferItem::Mem {
+            base: 8,
+            count: 2,
+            rights: MemRights::RW_DMA,
+            hot: window,
+        });
+        s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
+            .unwrap();
+        assert_eq!(utcb.word(0), proto::OK);
+        s.k.run(Some(100_000_000));
+
+        // First half of the transfer at client page 8 offset 512,
+        // second half at page 9 offset 256.
+        let mut expect = Vec::new();
+        for lba in 42..50 {
+            expect.extend_from_slice(&s.k.machine.ahci().sector(lba));
+        }
+        let got_a = s.k.mem_read(s.client_ctx, 8 * 4096 + 512, 2048).unwrap();
+        let got_b = s.k.mem_read(s.client_ctx, 9 * 4096 + 256, 2048).unwrap();
+        assert_eq!(got_a, expect[..2048].to_vec());
+        assert_eq!(got_b, expect[2048..].to_vec());
+        assert!(s.k.machine.bus.iommu.faults.is_empty());
+    }
+
+    /// One batched call submits a full channel's worth of requests and
+    /// a follow-up batch is refused with the accepted-prefix count.
+    #[test]
+    fn batched_submission_fills_channel_in_one_call() {
+        let mut s = setup();
+        let client = register(&mut s);
+        let mut msg = vec![client, proto::MAX_BATCH as u64];
+        let mut utcb = Utcb::new();
+        for i in 0..proto::MAX_BATCH as u64 {
+            msg.extend_from_slice(&[proto::OP_READ, 10 + i, 1, i, 1, (0x500 + i) * 4096, 512]);
+            utcb.xfer.push(XferItem::Mem {
+                base: 8 + i,
+                count: 1,
+                rights: MemRights::RW_DMA,
+                hot: 0x500 + i,
+            });
+        }
+        utcb.set_msg(&msg);
+        s.k.ipc_call(s.client_ctx, s.server_portal_req_batch, &mut utcb)
+            .unwrap();
+        assert_eq!(utcb.word(0), proto::OK);
+        assert_eq!(
+            utcb.word(1),
+            proto::MAX_BATCH as u64,
+            "all entries accepted"
+        );
+
+        // The channel is full now: another batch accepts nothing.
+        let mut utcb = Utcb::new();
+        utcb.set_msg(&[client, 1, proto::OP_READ, 99, 1, 77, 1, 0x500 * 4096, 512]);
+        s.k.ipc_call(s.client_ctx, s.server_portal_req_batch, &mut utcb)
+            .unwrap();
+        assert_eq!(utcb.word(0), proto::EBUSY);
+        assert_eq!(utcb.word(1), 0);
+
+        s.k.run(Some(1_000_000_000));
+        let stats =
+            s.k.component_mut::<DiskServer>(s.server_comp)
+                .unwrap()
+                .stats;
+        assert_eq!(stats.completed, proto::MAX_BATCH as u64);
+        assert_eq!(stats.rejected, 1);
+        // Every request got its own completion record and signal.
+        assert_eq!(
+            s.k.component_mut::<TestClient>(s.client_comp)
+                .unwrap()
+                .signals,
+            proto::MAX_BATCH as u64
+        );
     }
 
     #[test]

@@ -11,10 +11,24 @@ pub mod disk {
     pub const PORTAL_REGISTER: u64 = 1;
 
     /// Portal id: request submission. Message words:
-    /// `[client, op, lba, sectors, window_page, tag]`; transfer items
-    /// delegate the DMA buffer pages at `window_page`. Reply word 0:
+    /// `[client, op, lba, sectors, tag, nsegs, (addr, bytes) × nsegs]`
+    /// — a scatter-gather list of up to [`MAX_SEGMENTS`] segments. Each
+    /// `addr` is a byte address in the server's window (so unaligned
+    /// guest buffers carry their in-page offset), `bytes` its length;
+    /// the lengths must sum to `sectors * 512`. Transfer items delegate
+    /// the DMA buffer pages covering every segment. Reply word 0:
     /// status ([`OK`] or [`EBUSY`]).
     pub const PORTAL_REQUEST: u64 = 2;
+
+    /// Portal id: batched request submission — the one-exit-per-batch
+    /// path behind the paravirtual ring. Message words:
+    /// `[client, count, (op, lba, sectors, tag, nsegs, (addr, bytes) ×
+    /// nsegs) × count]`, each entry shaped exactly like a
+    /// [`PORTAL_REQUEST`] body. Entries are accepted in order; reply
+    /// words: `[status, accepted]` where entries `0..accepted` were
+    /// accepted and `status` is [`OK`] when all were, otherwise the
+    /// reason entry `accepted` was refused ([`EBUSY`] or [`EINVAL`]).
+    pub const PORTAL_BATCH: u64 = 3;
 
     /// Read operation.
     pub const OP_READ: u64 = 1;
@@ -37,6 +51,15 @@ pub mod disk {
     /// Maximum requests a client may have outstanding before EBUSY.
     pub const MAX_OUTSTANDING: usize = 8;
 
+    /// Maximum scatter-gather segments per request (bounds the
+    /// server's PRDT against a hostile client and keeps a batch of
+    /// single-segment requests inside one UTCB).
+    pub const MAX_SEGMENTS: usize = 8;
+
+    /// Maximum entries in one [`PORTAL_BATCH`] submission (one batch
+    /// fills the outstanding budget exactly).
+    pub const MAX_BATCH: usize = MAX_OUTSTANDING;
+
     /// Maximum sectors per request (bounds the server's PRDT math
     /// against arithmetic overflow from a hostile client).
     pub const MAX_SECTORS: u64 = 1024;
@@ -55,6 +78,9 @@ pub mod disk {
     pub const CLIENT_SEL_REG: usize = 0x44;
     /// Selector where a client finds the request portal capability.
     pub const CLIENT_SEL_REQ: usize = 0x45;
+    /// Selector where a client finds the batch-submission portal
+    /// capability ([`PORTAL_BATCH`]).
+    pub const CLIENT_SEL_BATCH: usize = 0x46;
 }
 
 /// Log-service protocol.

@@ -154,6 +154,7 @@ impl RootPm {
         for (dst, id) in [
             (0x20, dproto::PORTAL_REGISTER),
             (0x21, dproto::PORTAL_REQUEST),
+            (0x22, dproto::PORTAL_BATCH),
         ] {
             k.hypercall(
                 srv_ctx,
@@ -181,6 +182,7 @@ impl RootPm {
             for (from, to) in [
                 (0x20, dproto::CLIENT_SEL_REG),
                 (0x21, dproto::CLIENT_SEL_REQ),
+                (0x22, dproto::CLIENT_SEL_BATCH),
             ] {
                 k.hypercall(
                     srv_ctx,

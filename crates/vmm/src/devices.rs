@@ -12,6 +12,8 @@ use nova_hw::pit::PIT_HZ;
 use nova_hw::Cycles;
 use nova_x86::insn::OpSize;
 
+use crate::pvdisk::{PvDisk, PV_DISK_IRQ};
+use crate::pvnet::PvNet;
 use crate::vahci::VAhci;
 
 /// The virtual PIT (channel 0 rate generator): guest divisor writes
@@ -225,6 +227,10 @@ pub struct VDevices {
     pub vkbd: VKbd,
     /// Virtual disk controller.
     pub vahci: VAhci,
+    /// Paravirtual batched disk queue (second disk-server client).
+    pub pvdisk: PvDisk,
+    /// Paravirtual NIC backend (present when the VMM owns the NIC).
+    pub pvnet: Option<PvNet>,
     /// Virtual PCI configuration space.
     pub vpci: VPci,
     /// Pending out-of-band effects.
@@ -233,7 +239,13 @@ pub struct VDevices {
 
 impl VDevices {
     /// Creates the device complement.
-    pub fn new(cpu_hz: u64, timer_sm_sel: CapSel, vahci: VAhci) -> VDevices {
+    pub fn new(
+        cpu_hz: u64,
+        timer_sm_sel: CapSel,
+        vahci: VAhci,
+        pvdisk: PvDisk,
+        pvnet: Option<PvNet>,
+    ) -> VDevices {
         let mut vpic = DualPic::new();
         // Guests usually program the PIC themselves, but start usable.
         let _ = &mut vpic;
@@ -243,6 +255,8 @@ impl VDevices {
             vserial: VSerial::default(),
             vkbd: VKbd::default(),
             vahci,
+            pvdisk,
+            pvnet,
             vpci: VPci::default(),
             special: SpecialPorts::default(),
         }
@@ -290,6 +304,7 @@ impl VDevices {
     /// `true` if `gpa` belongs to a virtual MMIO window.
     pub fn owns_gpa(&self, gpa: u64) -> bool {
         (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000).contains(&gpa)
+            || (nova_hw::pv::PV_BASE..nova_hw::pv::PV_BASE + nova_hw::pv::PV_SIZE).contains(&gpa)
     }
 
     /// Guest MMIO read.
@@ -297,6 +312,28 @@ impl VDevices {
         if (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000).contains(&gpa) {
             let off = (gpa - nova_hw::machine::AHCI_BASE) as u32;
             return self.vahci.mmio_read(k, ctx, off, size);
+        }
+        if (nova_hw::pv::PV_BASE..nova_hw::pv::PV_BASE + nova_hw::pv::PV_SIZE).contains(&gpa) {
+            let _ = (k, ctx);
+            let off = gpa - nova_hw::pv::PV_BASE;
+            return match off {
+                nova_hw::pv::regs::FEAT => {
+                    let mut f = 0;
+                    if self.pvdisk.enabled() {
+                        f |= nova_hw::pv::FEAT_DISK;
+                    }
+                    if self.pvnet.is_some() {
+                        f |= nova_hw::pv::FEAT_NET;
+                    }
+                    f
+                }
+                nova_hw::pv::regs::NET_RING
+                | nova_hw::pv::regs::NET_DOORBELL
+                | nova_hw::pv::regs::NET_ISR => {
+                    self.pvnet.as_ref().map(|n| n.mmio_read(off)).unwrap_or(0)
+                }
+                _ => self.pvdisk.mmio_read(off),
+            };
         }
         size.mask()
     }
@@ -306,6 +343,25 @@ impl VDevices {
         if (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000).contains(&gpa) {
             let off = (gpa - nova_hw::machine::AHCI_BASE) as u32;
             self.vahci.mmio_write(k, ctx, off, size, val);
+        }
+        if (nova_hw::pv::PV_BASE..nova_hw::pv::PV_BASE + nova_hw::pv::PV_SIZE).contains(&gpa) {
+            let off = gpa - nova_hw::pv::PV_BASE;
+            match off {
+                nova_hw::pv::regs::NET_RING
+                | nova_hw::pv::regs::NET_DOORBELL
+                | nova_hw::pv::regs::NET_ISR => {
+                    if let Some(n) = self.pvnet.as_mut() {
+                        if n.mmio_write(k, ctx, off, val) {
+                            self.vpic.pulse(nova_hw::machine::NIC_IRQ);
+                        }
+                    }
+                }
+                _ => {
+                    if self.pvdisk.mmio_write(k, ctx, off, val) {
+                        self.vpic.pulse(PV_DISK_IRQ);
+                    }
+                }
+            }
         }
     }
 }

@@ -282,7 +282,13 @@ mod tests {
             base_page: 0x400,
             pages: 1024,
         };
-        let dev = VDevices::new(2_670_000_000, 0, VAhci::new(view.base_page));
+        let dev = VDevices::new(
+            2_670_000_000,
+            0,
+            VAhci::new(view.base_page),
+            crate::pvdisk::PvDisk::new(view.base_page, view.pages),
+            None,
+        );
         (k, ctx, view, dev)
     }
 
@@ -467,7 +473,13 @@ mod string_mmio_tests {
             base_page: 0x400,
             pages: 1024,
         };
-        let mut dev = VDevices::new(2_670_000_000, 0, VAhci::new(view.base_page));
+        let mut dev = VDevices::new(
+            2_670_000_000,
+            0,
+            VAhci::new(view.base_page),
+            crate::pvdisk::PvDisk::new(view.base_page, view.pages),
+            None,
+        );
 
         // rep stosd to [AHCI_BASE + P0IE], 3 dwords. (IE, then two
         // reserved registers — writes must reach the model.)

@@ -20,6 +20,7 @@ use crate::vmm::{Vmm, VmmConfig, SEL_RESTART_SM};
 /// re-delegates to the same slots).
 const VMM_SEL_DISK_REG: CapSel = disk_proto::CLIENT_SEL_REG as CapSel;
 const VMM_SEL_DISK_REQ: CapSel = disk_proto::CLIENT_SEL_REQ as CapSel;
+const VMM_SEL_DISK_BATCH: CapSel = disk_proto::CLIENT_SEL_BATCH as CapSel;
 
 /// Watchdog deadline for the supervised disk server.
 const DISK_WATCHDOG_TIMEOUT: Cycles = 8_000_000;
@@ -161,6 +162,16 @@ impl System {
                 },
             )
             .unwrap();
+            k.hypercall(
+                srv_ctx,
+                Hypercall::CreatePt {
+                    ec: nova_core::kernel::SEL_SELF_EC,
+                    mtd: 0,
+                    id: disk_proto::PORTAL_BATCH,
+                    dst: 0x22,
+                },
+            )
+            .unwrap();
             disk = Some(comp);
             disk_srv_sel = Some((srv_sel, srv_ctx));
 
@@ -233,13 +244,22 @@ impl System {
             opts.vmm.guest_base_page,
         )
         .unwrap();
-        // Completion-ring page.
+        // Completion-ring pages: one for the vAHCI path, one for the
+        // PV batched queue (a second disk-server client).
         ops.grant_mem(
             vmm_sel,
             guest_frames_base + guest_pages,
             1,
             MemRights::RW,
             opts.vmm.ring_page,
+        )
+        .unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            guest_frames_base + guest_pages + 1,
+            1,
+            MemRights::RW,
+            opts.vmm.pv_ring_page,
         )
         .unwrap();
         // Debug/mark ports so the guest's shutdown stops the world.
@@ -305,8 +325,26 @@ impl System {
             opts.vmm.direct_ports.push((crate::devices::PORT_EXIT, 2));
         }
 
+        // Paravirtual NIC: the VMM (not the VM) owns the physical
+        // controller — register window, interrupt, IOMMU mapping.
+        // Guest RAM is already DMA-granted into the VMM's space, so
+        // packet payloads land straight in guest buffers.
+        if opts.vmm.pv_nic {
+            ops.grant_mem(
+                vmm_sel,
+                nova_hw::machine::NIC_BASE / 4096,
+                4,
+                MemRights::RW,
+                crate::pvnet::PVNET_MMIO_PAGE,
+            )
+            .unwrap();
+            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ).unwrap();
+            ops.assign_device(vmm_sel, nic_dev).unwrap();
+        }
+
         if disk.is_some() {
             opts.vmm.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+            opts.vmm.disk_batch_portal = Some(VMM_SEL_DISK_BATCH);
             opts.vmm.supervised_disk = opts.supervise;
         }
 
@@ -334,6 +372,16 @@ impl System {
                     sel: 0x21,
                     perms: Perms::CALL,
                     hot: VMM_SEL_DISK_REQ,
+                },
+            )
+            .unwrap();
+            k.hypercall(
+                srv_ctx,
+                Hypercall::DelegateCap {
+                    dst_pd: 0x30,
+                    sel: 0x22,
+                    perms: Perms::CALL,
+                    hot: VMM_SEL_DISK_BATCH,
                 },
             )
             .unwrap();
@@ -414,7 +462,7 @@ impl System {
             vmm,
             vmms: vec![vmm],
             disk_srv: disk_srv_sel,
-            next_frames: guest_frames_base + guest_pages + 1,
+            next_frames: guest_frames_base + guest_pages + 2,
             supervised: opts.supervise,
         }
     }
@@ -428,7 +476,7 @@ impl System {
         // 2 MB mappings for the second guest as well.
         let frames = self.next_frames.next_multiple_of(512);
         let guest_pages = cfg.guest_pages;
-        self.next_frames = frames + guest_pages + 1;
+        self.next_frames = frames + guest_pages + 2;
 
         let mut ops = RootOps::new(k, self.root_ctx);
         let (vmm_sel, vmm_pd) = ops.create_pd("vmm2", None).unwrap();
@@ -448,6 +496,14 @@ impl System {
             cfg.ring_page,
         )
         .unwrap();
+        ops.grant_mem(
+            vmm_sel,
+            frames + guest_pages + 1,
+            1,
+            MemRights::RW,
+            cfg.pv_ring_page,
+        )
+        .unwrap();
         ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2).unwrap();
         ops.grant_mem(
             vmm_sel,
@@ -464,6 +520,7 @@ impl System {
         ));
         if self.disk_srv.is_some() {
             cfg.disk_portals = Some((VMM_SEL_DISK_REG, VMM_SEL_DISK_REQ));
+            cfg.disk_batch_portal = Some(VMM_SEL_DISK_BATCH);
             cfg.supervised_disk = self.supervised;
         }
 
@@ -471,7 +528,11 @@ impl System {
         if let Some((srv_sel, srv_ctx)) = self.disk_srv {
             let mut ops = RootOps::new(k, self.root_ctx);
             ops.grant_cap(srv_sel, vmm_sel, Perms::ALL, 0x31).unwrap();
-            for (from, to) in [(0x20, VMM_SEL_DISK_REG), (0x21, VMM_SEL_DISK_REQ)] {
+            for (from, to) in [
+                (0x20, VMM_SEL_DISK_REG),
+                (0x21, VMM_SEL_DISK_REQ),
+                (0x22, VMM_SEL_DISK_BATCH),
+            ] {
                 k.hypercall(
                     srv_ctx,
                     Hypercall::DelegateCap {

@@ -17,6 +17,8 @@ pub mod bios;
 pub mod devices;
 pub mod emu;
 pub mod launch;
+pub mod pvdisk;
+pub mod pvnet;
 pub mod vahci;
 pub mod vmm;
 

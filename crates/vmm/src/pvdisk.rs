@@ -1,0 +1,550 @@
+//! The paravirtual batched disk backend (the VMM side of
+//! [`nova_hw::pv`]).
+//!
+//! Where the virtual AHCI controller emulates the full register
+//! protocol — costing the guest ~6 MMIO exits per request — this
+//! backend consumes request descriptors from a shared ring page the
+//! guest fills directly, triggered by a single doorbell write per
+//! *batch*. Requests are forwarded to the disk server over the same
+//! IPC channel architecture the vAHCI uses, but through the server's
+//! batch portal ([`proto::PORTAL_BATCH`]): one IPC carries up to
+//! [`proto::MAX_BATCH`] requests. Completions are written back into
+//! the guest's ring (status word per descriptor plus a cumulative
+//! `used` counter) without any guest exit; one coalesced virtual
+//! interrupt — raised once the queue fully drains — wakes the guest.
+//!
+//! The backend registers with the disk server as a *second* client —
+//! its own completion ring, its own outstanding window — so the vAHCI
+//! path and the PV path coexist in one VM and are throttled
+//! independently. All of the vAHCI's robustness machinery carries
+//! over: retry on EBUSY, timeout of accepted requests the server
+//! lost, re-registration and resubmission after a supervised server
+//! restart, and degradation to a guest-visible per-descriptor error
+//! status when the attempt budget runs out.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use nova_core::obj::MemRights;
+use nova_core::utcb::XferItem;
+use nova_core::{CompCtx, Kernel, Utcb};
+use nova_hw::ahci::SECTOR;
+use nova_hw::pv::{disk as ring, regs};
+use nova_user::proto::disk as proto;
+
+use crate::vahci::{DiskChannel, WINDOW_BASE};
+
+/// Virtual interrupt line for PV disk completions (a free slave-PIC
+/// line; the vAHCI keeps [`nova_hw::machine::AHCI_IRQ`]).
+pub const PV_DISK_IRQ: u8 = 9;
+
+/// Same budget constants as the vAHCI path (`crate::vahci`): the
+/// failure modes (server restart, EBUSY, lost requests) are
+/// identical, only the submission interface differs.
+const REQUEST_TIMEOUT: u64 = 16_000_000;
+const RETRY_DELAY: u64 = 2_000_000;
+const MAX_ATTEMPTS: u32 = 6;
+
+/// One guest descriptor in flight: everything needed to (re)submit.
+#[derive(Clone, Copy)]
+struct PvPending {
+    /// Cumulative descriptor index — doubles as the server tag.
+    idx: u64,
+    op: u64,
+    lba: u64,
+    sectors: u32,
+    /// Guest-physical byte address of the (contiguous) buffer.
+    buf: u64,
+    bytes: u32,
+    submitted_at: u64,
+    attempts: u32,
+    accepted: bool,
+}
+
+/// The paravirtual disk queue backend.
+pub struct PvDisk {
+    guest_base_page: u64,
+    guest_pages: u64,
+    channel: Option<DiskChannel>,
+    /// Guest-physical address of the shared ring page (0 = unset).
+    ring_gpa: u64,
+    /// Cumulative count of descriptors the guest has published.
+    submitted: u64,
+    /// Cumulative count of completions published back to the guest.
+    used: u64,
+    /// Cumulative error completions (mirrored into the ring page).
+    used_errors: u64,
+    /// Consumer tail of the server's completion ring.
+    ring_tail: u32,
+    delegated: HashSet<u64>,
+    /// In-flight descriptors, in submission order.
+    pending: VecDeque<PvPending>,
+    /// Out-of-order completions awaiting in-order publication:
+    /// descriptor index → ring status word.
+    done: BTreeMap<u64, u32>,
+    /// Latched completion-interrupt bit ([`regs::DISK_ISR`]).
+    isr: u32,
+    /// `used` value at the last interrupt raise (coalescing state).
+    raised_used: u64,
+    /// Doorbell writes (one per guest batch).
+    pub doorbells: u64,
+    /// Batch IPCs sent to the disk server.
+    pub batches: u64,
+    /// Descriptors the guest published.
+    pub requests: u64,
+    /// Completions published back to the guest.
+    pub completions: u64,
+    /// Descriptors rejected before submission (bad fields).
+    pub errors: u64,
+    /// Accepted requests whose completion timed out.
+    pub timeouts: u64,
+    /// Re-submissions (timeouts, refusals, server restarts).
+    pub resubmits: u64,
+    /// Requests degraded to a guest-visible error status.
+    pub degraded: u64,
+    /// Completion interrupts raised (after coalescing).
+    pub irqs: u64,
+}
+
+impl PvDisk {
+    /// Creates the backend for a guest-RAM window starting at VMM page
+    /// `guest_base_page` spanning `guest_pages` pages.
+    pub fn new(guest_base_page: u64, guest_pages: u64) -> PvDisk {
+        PvDisk {
+            guest_base_page,
+            guest_pages,
+            channel: None,
+            ring_gpa: 0,
+            submitted: 0,
+            used: 0,
+            used_errors: 0,
+            ring_tail: 0,
+            delegated: HashSet::new(),
+            pending: VecDeque::new(),
+            done: BTreeMap::new(),
+            isr: 0,
+            raised_used: 0,
+            doorbells: 0,
+            batches: 0,
+            requests: 0,
+            completions: 0,
+            errors: 0,
+            timeouts: 0,
+            resubmits: 0,
+            degraded: 0,
+            irqs: 0,
+        }
+    }
+
+    /// Attaches the disk-server channel (`req_sel` must name the
+    /// server's *batch* portal).
+    pub fn attach(&mut self, ch: DiskChannel) {
+        self.channel = Some(ch);
+    }
+
+    /// `true` once a channel is attached (drives the FEAT register).
+    pub fn enabled(&self) -> bool {
+        self.channel.is_some()
+    }
+
+    /// `true` while any descriptor awaits completion.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn guest_va(&self, gpa: u64) -> u64 {
+        self.guest_base_page * 4096 + gpa
+    }
+
+    /// Guest MMIO read of a PV register this backend owns.
+    pub fn mmio_read(&self, off: u64) -> u32 {
+        match off {
+            regs::DISK_ISR => self.isr,
+            _ => 0,
+        }
+    }
+
+    /// Guest MMIO write. Returns `true` if the virtual interrupt line
+    /// should be raised.
+    pub fn mmio_write(&mut self, k: &mut Kernel, ctx: CompCtx, off: u64, val: u32) -> bool {
+        match off {
+            regs::DISK_RING => {
+                self.ring_gpa = val as u64;
+                false
+            }
+            regs::DISK_DOORBELL => self.doorbell(k, ctx, val),
+            regs::DISK_ISR => self.isr_ack(val),
+            _ => false,
+        }
+    }
+
+    /// Write-1-to-clear acknowledge. Re-raises immediately when the
+    /// queue drained completely while the bit was latched, so the
+    /// guest can never miss a wakeup.
+    fn isr_ack(&mut self, val: u32) -> bool {
+        self.isr &= !val;
+        if self.isr == 0 && self.pending.is_empty() && self.used != self.raised_used {
+            self.raise()
+        } else {
+            false
+        }
+    }
+
+    /// Latches the ISR and reports whether a (new) interrupt should
+    /// fire — at most one until the guest acknowledges (coalescing).
+    fn raise(&mut self) -> bool {
+        self.raised_used = self.used;
+        if self.isr == 0 {
+            self.isr = 1;
+            self.irqs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Doorbell write: ingest `count` freshly published descriptors,
+    /// submit everything submittable in as few batch IPCs as
+    /// possible, and publish any synchronous failures.
+    fn doorbell(&mut self, k: &mut Kernel, ctx: CompCtx, count: u32) -> bool {
+        // A count beyond the ring capacity is a guest bug; clamping
+        // bounds the work one exit can demand from the VMM.
+        let count = count.min(ring::CAPACITY);
+        self.doorbells += 1;
+        if k.machine.bus.trace.active() {
+            k.machine
+                .bus
+                .trace
+                .metrics
+                .add(nova_trace::names::PV_DOORBELLS, 0, 1);
+            k.machine
+                .bus
+                .trace
+                .metrics
+                .observe(nova_trace::names::PV_BATCH_SIZE, 0, count as u64);
+        }
+        for _ in 0..count {
+            let idx = self.submitted;
+            self.submitted += 1;
+            self.requests += 1;
+            match self.read_desc(k, ctx, idx) {
+                Some(req) => self.pending.push_back(req),
+                None => {
+                    // Malformed descriptor: complete it with an error
+                    // status without involving the server.
+                    self.errors += 1;
+                    self.done.insert(idx, ring::ST_ERROR);
+                }
+            }
+        }
+        let mut raise = self.submit_ready(k, ctx);
+        raise |= self.publish(k, ctx);
+        raise
+    }
+
+    /// Reads and validates the guest descriptor at cumulative index
+    /// `idx`.
+    fn read_desc(&self, k: &Kernel, ctx: CompCtx, idx: u64) -> Option<PvPending> {
+        if self.ring_gpa == 0 {
+            return None;
+        }
+        let slot = idx % ring::CAPACITY as u64;
+        let base = self.guest_va(self.ring_gpa + ring::DESC0 + slot * ring::DESC_SIZE);
+        let op = k.mem_read_u32(ctx, base + ring::D_OP)?;
+        let sectors = k.mem_read_u32(ctx, base + ring::D_SECTORS)?;
+        let lba = k.mem_read_u32(ctx, base + ring::D_LBA)? as u64
+            | (k.mem_read_u32(ctx, base + ring::D_LBA + 4)? as u64) << 32;
+        let buf = k.mem_read_u32(ctx, base + ring::D_BUF)? as u64
+            | (k.mem_read_u32(ctx, base + ring::D_BUF + 4)? as u64) << 32;
+        let write = match op {
+            ring::OP_READ => false,
+            ring::OP_WRITE => true,
+            _ => return None,
+        };
+        if sectors == 0 || sectors as u64 > proto::MAX_SECTORS {
+            return None;
+        }
+        let bytes = sectors * SECTOR;
+        // The buffer must lie inside guest RAM — out-of-range pages
+        // could not be delegated to the server anyway.
+        if buf.checked_add(bytes as u64)? > self.guest_pages * 4096 {
+            return None;
+        }
+        Some(PvPending {
+            idx,
+            op: if write {
+                proto::OP_WRITE
+            } else {
+                proto::OP_READ
+            },
+            lba,
+            sectors,
+            buf,
+            bytes,
+            submitted_at: k.now(),
+            attempts: 0,
+            accepted: false,
+        })
+    }
+
+    /// Submits as many unaccepted descriptors as the server's
+    /// outstanding window allows, batching up to [`proto::MAX_BATCH`]
+    /// per IPC. Returns `true` if the interrupt line should be raised
+    /// (a descriptor failed terminally).
+    fn submit_ready(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let mut raise = false;
+        // A definitive EINVAL removes one entry and retries the rest;
+        // bound the loop by the pending count.
+        for _ in 0..=self.pending.len() {
+            let Some(ch) = self.channel else {
+                return raise;
+            };
+            let accepted_cnt = self.pending.iter().filter(|p| p.accepted).count();
+            let window = proto::MAX_OUTSTANDING
+                .saturating_sub(accepted_cnt)
+                .min(proto::MAX_BATCH);
+            let batch: Vec<usize> = self
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.accepted)
+                .map(|(i, _)| i)
+                .take(window)
+                .collect();
+            if batch.is_empty() {
+                return raise;
+            }
+
+            // Delegate whatever buffer pages the server does not hold
+            // yet (standing delegations, exactly as the vAHCI path).
+            let mut newly: Vec<u64> = Vec::new();
+            for &i in &batch {
+                let p = &self.pending[i];
+                for page in (p.buf >> 12)..=((p.buf + p.bytes as u64 - 1) >> 12) {
+                    if !self.delegated.contains(&page) && !newly.contains(&page) {
+                        newly.push(page);
+                    }
+                }
+            }
+            let mut utcb = Utcb::new();
+            for &p in &newly {
+                utcb.xfer.push(XferItem::Mem {
+                    base: self.guest_base_page + p,
+                    count: 1,
+                    rights: MemRights::RW_DMA,
+                    hot: WINDOW_BASE + p,
+                });
+            }
+            let now = k.now();
+            let mut msg = vec![ch.client, batch.len() as u64];
+            for &i in &batch {
+                let p = &self.pending[i];
+                msg.extend_from_slice(&[
+                    p.op,
+                    p.lba,
+                    p.sectors as u64,
+                    p.idx,
+                    1,
+                    WINDOW_BASE * 4096 + p.buf,
+                    p.bytes as u64,
+                ]);
+            }
+            utcb.set_msg(&msg);
+            self.batches += 1;
+            for &i in &batch {
+                let p = &mut self.pending[i];
+                p.attempts += 1;
+                p.submitted_at = now;
+            }
+            match k.ipc_call(ctx, ch.req_sel, &mut utcb) {
+                // Dead portal (restart underway): retry via the
+                // maintenance timer.
+                Err(_) => return raise,
+                Ok(()) => {
+                    self.delegated.extend(newly);
+                    let status = utcb.word(0);
+                    let accepted = utcb.word(1) as usize;
+                    for &i in batch.iter().take(accepted) {
+                        self.pending[i].accepted = true;
+                    }
+                    match status {
+                        proto::OK => return raise,
+                        // Window full at the server: the rest retries
+                        // when completions free slots.
+                        proto::EBUSY => return raise,
+                        _ => {
+                            // The entry right after the accepted
+                            // prefix is definitively bad: fail it and
+                            // resubmit the remainder.
+                            if let Some(&i) = batch.get(accepted) {
+                                let p = self.pending.remove(i).expect("batch index");
+                                self.degraded += 1;
+                                k.counters.degraded_errors += 1;
+                                self.done.insert(p.idx, ring::ST_ERROR);
+                                raise = true;
+                            } else {
+                                return raise;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        raise
+    }
+
+    /// Publishes in-order completions into the guest's ring: status
+    /// words, then the cumulative `used`/`errors` counters. Returns
+    /// `true` if the interrupt line should be raised.
+    fn publish(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        if self.ring_gpa == 0 {
+            return false;
+        }
+        let mut advanced = false;
+        while let Some(status) = self.done.remove(&self.used) {
+            let slot = self.used % ring::CAPACITY as u64;
+            let base = self.guest_va(self.ring_gpa + ring::DESC0 + slot * ring::DESC_SIZE);
+            k.mem_write_u32(ctx, base + ring::D_STATUS, status);
+            if status != ring::ST_OK {
+                self.used_errors += 1;
+            }
+            self.used += 1;
+            advanced = true;
+        }
+        if !advanced {
+            return false;
+        }
+        k.mem_write_u32(
+            ctx,
+            self.guest_va(self.ring_gpa + ring::ERRORS),
+            self.used_errors as u32,
+        );
+        k.mem_write_u32(
+            ctx,
+            self.guest_va(self.ring_gpa + ring::USED),
+            self.used as u32,
+        );
+        // Interrupt moderation: completions land in the ring silently
+        // while work is still in flight; the one interrupt fires when
+        // the queue fully drains. A batch-synchronous guest sleeps
+        // through every intermediate completion and wakes exactly
+        // once per batch. (When `pending` is empty the publish loop
+        // above cannot leave a gap, so nothing is ever stranded.)
+        if self.pending.is_empty() {
+            self.raise()
+        } else {
+            false
+        }
+    }
+
+    /// Consumes completion records from the server's ring and
+    /// publishes them to the guest; returns `true` if the interrupt
+    /// line should be raised.
+    pub fn drain_completions(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let Some(ch) = self.channel else {
+            return false;
+        };
+        let mut drained = false;
+        loop {
+            let head = k.mem_read_u32(ctx, ch.ring_va + 4092).unwrap_or(0);
+            if self.ring_tail == head {
+                break;
+            }
+            let slot_idx = self.ring_tail as usize % proto::RING_RECORDS;
+            let rec = ch.ring_va + slot_idx as u64 * 16;
+            let tag = k.mem_read_u32(ctx, rec).unwrap_or(0);
+            let status = k.mem_read_u32(ctx, rec + 4).unwrap_or(1);
+            self.ring_tail = self.ring_tail.wrapping_add(1);
+            if let Some(pos) = self.pending.iter().position(|p| p.idx as u32 == tag) {
+                let p = self.pending.remove(pos).expect("position");
+                self.completions += 1;
+                self.done.insert(
+                    p.idx,
+                    if status == 0 {
+                        ring::ST_OK
+                    } else {
+                        ring::ST_ERROR
+                    },
+                );
+                drained = true;
+            }
+        }
+        let mut raise = false;
+        if drained {
+            // Freed window: push queued descriptors to the server.
+            raise |= self.submit_ready(k, ctx);
+        }
+        raise |= self.publish(k, ctx);
+        if raise && k.machine.bus.trace.active() {
+            k.machine
+                .bus
+                .trace
+                .metrics
+                .add(nova_trace::names::PV_COMPLETION_IRQS, 0, 1);
+        }
+        raise
+    }
+
+    /// Periodic maintenance, mirroring the vAHCI sweep: re-submits
+    /// refused descriptors, times out accepted ones the server lost,
+    /// degrades descriptors whose attempt budget ran out.
+    pub fn check_timeouts(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let now = k.now();
+        let mut resubmit = false;
+        let mut raise = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &mut self.pending[i];
+            let limit = if p.accepted {
+                REQUEST_TIMEOUT
+            } else {
+                RETRY_DELAY
+            };
+            if now.saturating_sub(p.submitted_at) < limit {
+                i += 1;
+                continue;
+            }
+            if p.accepted {
+                self.timeouts += 1;
+                k.counters.request_timeouts += 1;
+            }
+            if p.attempts >= MAX_ATTEMPTS {
+                let p = self.pending.remove(i).expect("index");
+                self.degraded += 1;
+                k.counters.degraded_errors += 1;
+                self.done.insert(p.idx, ring::ST_ERROR);
+                raise = true;
+                continue;
+            }
+            p.accepted = false;
+            self.resubmits += 1;
+            k.counters.request_retries += 1;
+            resubmit = true;
+            i += 1;
+        }
+        if resubmit {
+            raise |= self.submit_ready(k, ctx);
+        }
+        raise |= self.publish(k, ctx);
+        raise
+    }
+
+    /// Re-attaches after a disk-server restart: fresh channel, fresh
+    /// delegations, and every in-flight descriptor is re-submitted.
+    pub fn reconnect(&mut self, k: &mut Kernel, ctx: CompCtx, ch: DiskChannel) -> bool {
+        self.channel = Some(ch);
+        self.ring_tail = 0;
+        self.delegated.clear();
+        let any = !self.pending.is_empty();
+        for p in self.pending.iter_mut() {
+            p.accepted = false;
+            self.resubmits += 1;
+            k.counters.request_retries += 1;
+        }
+        let mut raise = false;
+        if any {
+            raise |= self.submit_ready(k, ctx);
+        }
+        raise |= self.publish(k, ctx);
+        raise
+    }
+}

@@ -50,10 +50,12 @@ struct PendingReq {
     op: u64,
     lba: u64,
     sectors: u32,
-    /// First guest page of the DMA buffer.
-    first_page: u64,
-    /// Buffer length in pages.
-    pages: u64,
+    /// The guest's PRDT as (guest-physical byte address, byte count)
+    /// segments; only the first `nsegs` entries are meaningful.
+    /// Buffers need not be page-aligned — the in-page offset is
+    /// carried through to the disk server's window addresses.
+    segs: [(u64, u32); proto::MAX_SEGMENTS],
+    nsegs: usize,
     /// Cycle stamp of the last submission attempt.
     submitted_at: u64,
     attempts: u32,
@@ -218,37 +220,45 @@ impl VAhci {
             ATA_WRITE_DMA_EXT => true,
             _ => return fail(self),
         };
+        // All six LBA bytes of the 48-bit command — dropping
+        // `cfis[9]`/`cfis[10]` would silently wrap requests beyond
+        // 2 TB back into the low disk.
         let lba = cfis[4] as u64
             | (cfis[5] as u64) << 8
             | (cfis[6] as u64) << 16
-            | (cfis[8] as u64) << 24;
+            | (cfis[8] as u64) << 24
+            | (cfis[9] as u64) << 32
+            | (cfis[10] as u64) << 40;
         let sectors = cfis[12] as u32 | (cfis[13] as u32) << 8;
-        if sectors == 0 || prdtl == 0 {
+        if sectors == 0 || prdtl == 0 || prdtl > proto::MAX_SEGMENTS {
             return fail(self);
         }
 
-        // Single-entry PRDT covering a physically contiguous guest
-        // buffer (what our guests build; multi-entry support would
-        // iterate here).
-        let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, 16) else {
+        // The PRDT, every entry of it. Buffers need not be page
+        // aligned (the window address the server programs carries the
+        // in-page offset), but the entries must cover the transfer
+        // exactly — a mismatch is a guest driver bug and fails the
+        // slot instead of transferring to the wrong window address.
+        let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, prdtl * 16) else {
             return fail(self);
         };
-        let Ok(dba_bytes) = <[u8; 8]>::try_from(&prdt[0..8]) else {
+        let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
+        let mut total = 0u64;
+        for (i, e) in prdt.chunks_exact(16).enumerate() {
+            let dba = u64::from_le_bytes(e[0..8].try_into().expect("16-byte chunk"));
+            let dbc = u32::from_le_bytes(e[12..16].try_into().expect("16-byte chunk")) & 0x3f_ffff;
+            segs[i] = (dba, dbc + 1);
+            total += dbc as u64 + 1;
+        }
+        if total != sectors as u64 * SECTOR as u64 {
             return fail(self);
-        };
-        let dba = u64::from_le_bytes(dba_bytes);
-        let bytes = sectors as u64 * SECTOR as u64;
+        }
         if self.pending[slot as usize].is_some() {
             // The slot is still outstanding; a well-behaved guest
             // never re-rings it.
             return fail(self);
         }
 
-        // The window address the server programs into the PRDT: it
-        // must carry the in-page offset of the guest buffer.
-        debug_assert_eq!(dba & 0xfff, 0, "guests use page-aligned buffers");
-        let first = dba >> 12;
-        let pages = (dba + bytes).div_ceil(4096) - first;
         self.pending[slot as usize] = Some(PendingReq {
             op: if write {
                 proto::OP_WRITE
@@ -257,8 +267,8 @@ impl VAhci {
             },
             lba,
             sectors,
-            first_page: first,
-            pages,
+            segs,
+            nsegs: prdtl,
             submitted_at: k.now(),
             attempts: 1,
             accepted: false,
@@ -300,9 +310,16 @@ impl VAhci {
         let Some(req) = self.pending[slot as usize] else {
             return SubmitOutcome::Fail;
         };
-        let newly: Vec<u64> = (req.first_page..req.first_page + req.pages)
-            .filter(|p| !self.delegated.contains(p))
-            .collect();
+        // Union of guest pages the segments touch that the server
+        // does not hold yet.
+        let mut newly: Vec<u64> = Vec::new();
+        for &(dba, bytes) in &req.segs[..req.nsegs] {
+            for p in (dba >> 12)..=((dba + bytes as u64 - 1) >> 12) {
+                if !self.delegated.contains(&p) && !newly.contains(&p) {
+                    newly.push(p);
+                }
+            }
+        }
         let mut utcb = Utcb::new();
         for &p in &newly {
             utcb.xfer.push(XferItem::Mem {
@@ -312,14 +329,21 @@ impl VAhci {
                 hot: WINDOW_BASE + p,
             });
         }
-        utcb.set_msg(&[
-            ch.client,
-            req.op,
-            req.lba,
-            req.sectors as u64,
-            WINDOW_BASE + req.first_page,
-            slot as u64,
-        ]);
+        // Window byte address of guest byte `b` is
+        // `WINDOW_BASE * 4096 + b` (pages map at WINDOW_BASE + page),
+        // so unaligned buffers keep their in-page offset.
+        let mut msg = [0u64; 6 + 2 * proto::MAX_SEGMENTS];
+        msg[0] = ch.client;
+        msg[1] = req.op;
+        msg[2] = req.lba;
+        msg[3] = req.sectors as u64;
+        msg[4] = slot as u64;
+        msg[5] = req.nsegs as u64;
+        for (i, &(dba, bytes)) in req.segs[..req.nsegs].iter().enumerate() {
+            msg[6 + i * 2] = WINDOW_BASE * 4096 + dba;
+            msg[7 + i * 2] = bytes as u64;
+        }
+        utcb.set_msg(&msg[..6 + req.nsegs * 2]);
         match k.ipc_call(ctx, ch.req_sel, &mut utcb) {
             // Dead portal or busy handler (a restart may be underway):
             // nothing was transferred, try again later.

@@ -32,6 +32,8 @@ use nova_x86::reg::{flags, Reg, Reg8, Regs};
 use crate::bios;
 use crate::devices::{SpecialPorts, VDevices};
 use crate::emu::{emulate_one, virtual_cpuid, EmuEnv, EmuErr, GuestView};
+use crate::pvdisk::{PvDisk, PV_DISK_IRQ};
+use crate::pvnet::PvNet;
 use crate::vahci::{DiskChannel, VAhci};
 
 /// A guest program image the virtual BIOS loads.
@@ -77,6 +79,19 @@ pub struct VmmConfig {
     /// Disk-server portals in the VMM's space (register, request), if
     /// storage is attached.
     pub disk_portals: Option<(CapSel, CapSel)>,
+    /// Disk-server batch portal in the VMM's space, if the server
+    /// offers batched submission.
+    pub disk_batch_portal: Option<CapSel>,
+    /// Attach the paravirtual batched disk queue (registers as a
+    /// second disk-server client with its own completion ring at
+    /// [`VmmConfig::pv_ring_page`]).
+    pub pv_disk: bool,
+    /// VMM page of the PV disk queue's completion ring.
+    pub pv_ring_page: u64,
+    /// Attach the paravirtual NIC backend: the launcher granted the
+    /// VMM the physical NIC window at [`crate::pvnet::PVNET_MMIO_PAGE`],
+    /// its GSI, and the IOMMU mapping.
+    pub pv_nic: bool,
     /// Exit-free direct configuration (the paper's "Direct" bar): no
     /// HLT or interrupt intercepts, all listed ports passed through.
     pub exitless_direct: bool,
@@ -124,6 +139,10 @@ impl VmmConfig {
             quantum: 1_000_000,
             image,
             disk_portals: None,
+            disk_batch_portal: None,
+            pv_disk: false,
+            pv_ring_page: 0x801,
+            pv_nic: false,
             exitless_direct: false,
             direct_ports: Vec::new(),
             direct_mmio: Vec::new(),
@@ -153,6 +172,8 @@ mod sel {
     pub const RESTART_SM: CapSel = crate::vmm::SEL_RESTART_SM;
     /// Maintenance timer semaphore (request-timeout sweep).
     pub const MAINT_SM: CapSel = 0x43;
+    /// Physical-NIC interrupt semaphore (paravirtual NIC backend).
+    pub const PVNET_SM: CapSel = 0x47;
     /// The VM protection domain.
     pub const VM_PD: CapSel = 0x50;
     /// SC of the VMM's own EC (activations).
@@ -217,6 +238,7 @@ pub struct Vmm {
     disk_sm: Option<SmId>,
     restart_sm: Option<SmId>,
     maint_sm: Option<SmId>,
+    pvnet_sm: Option<SmId>,
     maint_armed: bool,
     gsi_sms: Vec<(SmId, u8)>,
     /// Benchmark marks the guest wrote (in order).
@@ -240,6 +262,7 @@ impl Vmm {
             disk_sm: None,
             restart_sm: None,
             maint_sm: None,
+            pvnet_sm: None,
             maint_armed: false,
             gsi_sms: Vec::new(),
             marks: Vec::new(),
@@ -259,6 +282,11 @@ impl Vmm {
     /// Benchmark marks the guest wrote.
     pub fn guest_marks(&self) -> Vec<u32> {
         self.marks.clone()
+    }
+
+    /// The virtual device complex (panics before [`Vmm::on_start`]).
+    pub fn dev(&self) -> &crate::devices::VDevices {
+        self.dev.as_ref().expect("devices")
     }
 
     /// Types scancodes at the guest's virtual keyboard and raises its
@@ -642,10 +670,11 @@ impl Vmm {
         ctx: CompCtx,
         reg: CapSel,
         req: CapSel,
+        ring_page: u64,
         zero_ring: bool,
     ) -> Option<DiskChannel> {
         if zero_ring {
-            k.mem_write(ctx, self.cfg.ring_page * 4096, &[0u8; 4096]);
+            k.mem_write(ctx, ring_page * 4096, &[0u8; 4096]);
         }
 
         let mut utcb = Utcb::new();
@@ -659,7 +688,7 @@ impl Vmm {
         let mut utcb = Utcb::new();
         utcb.set_msg(&[client]);
         utcb.xfer.push(XferItem::Mem {
-            base: self.cfg.ring_page,
+            base: ring_page,
             count: 1,
             rights: MemRights::RW,
             hot: ring_hot,
@@ -674,7 +703,7 @@ impl Vmm {
         Some(DiskChannel {
             req_sel: req,
             client,
-            ring_va: self.cfg.ring_page * 4096,
+            ring_va: ring_page * 4096,
         })
     }
 
@@ -685,16 +714,31 @@ impl Vmm {
         let Some((reg, req)) = self.cfg.disk_portals else {
             return;
         };
-        let Some(ch) = self.register_disk_channel(k, ctx, reg, req, true) else {
+        let Some(ch) = self.register_disk_channel(k, ctx, reg, req, self.cfg.ring_page, true)
+        else {
             return;
         };
         let mut dev = self.dev.take().expect("devices");
-        let raised = dev.vahci.reconnect(k, ctx, ch);
-        if raised {
+        let mut kick = dev.vahci.reconnect(k, ctx, ch);
+        if kick {
             dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
         }
+        // The PV queue is a separate client with its own ring; it
+        // re-registers independently with the same fresh server.
+        if dev.pvdisk.enabled() {
+            if let Some(batch) = self.cfg.disk_batch_portal {
+                if let Some(ch) =
+                    self.register_disk_channel(k, ctx, reg, batch, self.cfg.pv_ring_page, true)
+                {
+                    if dev.pvdisk.reconnect(k, ctx, ch) {
+                        dev.vpic.pulse(PV_DISK_IRQ);
+                        kick = true;
+                    }
+                }
+            }
+        }
         self.dev = Some(dev);
-        if raised {
+        if kick {
             self.kick_vcpu(k, ctx, 0);
         }
     }
@@ -706,7 +750,10 @@ impl Vmm {
         if self.maint_sm.is_none() {
             return;
         }
-        let want = self.dev.as_ref().is_some_and(|d| d.vahci.has_pending());
+        let want = self
+            .dev
+            .as_ref()
+            .is_some_and(|d| d.vahci.has_pending() || d.pvdisk.has_pending());
         if want == self.maint_armed {
             return;
         }
@@ -766,6 +813,7 @@ impl Component for Vmm {
 
         // Disk channel.
         let mut vahci = VAhci::new(self.cfg.guest_base_page);
+        let mut pvdisk = PvDisk::new(self.cfg.guest_base_page, self.cfg.guest_pages);
         if let Some((reg, req)) = self.cfg.disk_portals {
             k.hypercall(
                 ctx,
@@ -817,11 +865,47 @@ impl Component for Vmm {
             }
 
             let ch = self
-                .register_disk_channel(k, ctx, reg, req, false)
+                .register_disk_channel(k, ctx, reg, req, self.cfg.ring_page, false)
                 .expect("disk register");
             vahci.attach(ch);
+
+            // The PV batched queue registers as a second client with
+            // its own completion ring, sharing the same completion
+            // semaphore (one signal drains both rings).
+            if self.cfg.pv_disk {
+                let batch = self.cfg.disk_batch_portal.expect("batch portal");
+                let ch = self
+                    .register_disk_channel(k, ctx, reg, batch, self.cfg.pv_ring_page, false)
+                    .expect("pv disk register");
+                pvdisk.attach(ch);
+            }
         }
-        self.dev = Some(VDevices::new(cpu_hz, sel::TIMER_SM, vahci));
+        let pvnet = self.cfg.pv_nic.then(|| {
+            // The launcher granted the physical NIC window, GSI, and
+            // IOMMU mapping; the backend gets its interrupt via a
+            // dedicated semaphore.
+            k.hypercall(
+                ctx,
+                Hypercall::CreateSm {
+                    count: 0,
+                    dst: sel::PVNET_SM,
+                },
+            )
+            .expect("pvnet sm");
+            k.hypercall(ctx, Hypercall::SmBind { sm: sel::PVNET_SM })
+                .expect("bind pvnet");
+            self.pvnet_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
+            k.hypercall(
+                ctx,
+                Hypercall::AssignGsi {
+                    sm: sel::PVNET_SM,
+                    gsi: nova_hw::machine::NIC_IRQ,
+                },
+            )
+            .expect("assign nic gsi (root must delegate ownership first)");
+            PvNet::new(self.cfg.guest_base_page)
+        });
+        self.dev = Some(VDevices::new(cpu_hz, sel::TIMER_SM, vahci, pvdisk, pvnet));
 
         // Direct-assignment interrupt forwarding.
         for (i, &gsi) in self.cfg.direct_gsis.clone().iter().enumerate() {
@@ -1057,13 +1141,19 @@ impl Component for Vmm {
             }
             self.kick_vcpu(k, ctx, 0);
         } else if Some(sm) == self.disk_sm {
+            // One completion semaphore serves both disk clients; each
+            // drains its own ring and raises its own interrupt line.
             let mut dev = self.dev.take().expect("devices");
             let raised = dev.vahci.drain_completions(k, ctx);
             if raised {
                 dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
             }
+            let pv_raised = dev.pvdisk.drain_completions(k, ctx);
+            if pv_raised {
+                dev.vpic.pulse(PV_DISK_IRQ);
+            }
             self.dev = Some(dev);
-            if raised {
+            if raised || pv_raised {
                 self.kick_vcpu(k, ctx, 0);
             }
         } else if Some(sm) == self.maint_sm {
@@ -1071,6 +1161,20 @@ impl Component for Vmm {
             let raised = dev.vahci.check_timeouts(k, ctx);
             if raised {
                 dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
+            }
+            let pv_raised = dev.pvdisk.check_timeouts(k, ctx);
+            if pv_raised {
+                dev.vpic.pulse(PV_DISK_IRQ);
+            }
+            self.dev = Some(dev);
+            if raised || pv_raised {
+                self.kick_vcpu(k, ctx, 0);
+            }
+        } else if Some(sm) == self.pvnet_sm {
+            let mut dev = self.dev.take().expect("devices");
+            let raised = dev.pvnet.as_mut().is_some_and(|n| n.on_irq(k, ctx));
+            if raised {
+                dev.vpic.pulse(nova_hw::machine::NIC_IRQ);
             }
             self.dev = Some(dev);
             if raised {

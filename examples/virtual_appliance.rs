@@ -26,6 +26,8 @@ fn appliance() -> GuestImage {
         timer_divisor: None,
         disk: true,
         nic: false,
+        pv_disk: false,
+        pv_net: false,
     };
     let program = build_os(params, |a, _| {
         rt::emit_puts(a, "audit appliance: verifying ledger\n");

@@ -550,7 +550,16 @@ fn register(r: &mut Rig) -> u64 {
 
 fn submit_read(r: &mut Rig, client: u64, lba: u64, sectors: u32, window: u64, tag: u64) -> u64 {
     let mut utcb = Utcb::new();
-    utcb.set_msg(&[client, dproto::OP_READ, lba, sectors as u64, window, tag]);
+    utcb.set_msg(&[
+        client,
+        dproto::OP_READ,
+        lba,
+        sectors as u64,
+        tag,
+        1,
+        window * 4096,
+        sectors as u64 * 512,
+    ]);
     let pages = (sectors as u64 * 512).div_ceil(4096);
     utcb.xfer.push(XferItem::Mem {
         base: 8,
