@@ -40,6 +40,15 @@ pub struct Counters {
     pub spurious_irqs: u64,
     /// Device controller resets performed during recovery.
     pub controller_resets: u64,
+    /// Malformed guest inputs rejected by a validator (per-request
+    /// degradation, not a kill).
+    pub guest_faults_rejected: u64,
+    /// Structured VM kills filed by VMMs (Byzantine-guest
+    /// containment).
+    pub vm_kills: u64,
+    /// Hypercalls refused because a PD exhausted its kernel-object
+    /// quota.
+    pub quota_rejections: u64,
 
     /// Cycles spent in guest/host transitions (Section 8.5: 26%).
     pub cycles_transition: Cycles,
@@ -122,6 +131,11 @@ impl Counters {
         d.controller_resets = d
             .controller_resets
             .saturating_sub(earlier.controller_resets);
+        d.guest_faults_rejected = d
+            .guest_faults_rejected
+            .saturating_sub(earlier.guest_faults_rejected);
+        d.vm_kills = d.vm_kills.saturating_sub(earlier.vm_kills);
+        d.quota_rejections = d.quota_rejections.saturating_sub(earlier.quota_rejections);
         d.cycles_transition = d
             .cycles_transition
             .saturating_sub(earlier.cycles_transition);

@@ -5,6 +5,14 @@
 //! the required permission bits before acting. Virtual machines hold
 //! no hypercall capabilities at all — their only channel is the
 //! VM-exit portal IPC (Section 4.2).
+//!
+//! Arguments arrive from untrusted components: every variant's fields
+//! are range-checked by the kernel before use, and violations come
+//! back as a typed [`HcErr`] — including [`HcErr::QuotaExceeded`]
+//! when a domain tries to exhaust kernel object memory. The module is
+//! lint-gated panic-free.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_hw::vmx::Injection;
 use nova_hw::Cycles;
@@ -311,4 +319,9 @@ pub enum HcErr {
     Busy,
     /// The caller does not own the resource being delegated.
     NotOwner,
+    /// The caller's domain hit its kernel-object quota: creating more
+    /// PDs/ECs/SCs/portals/semaphores would exhaust kernel memory.
+    /// Graceful backpressure instead of an allocation failure deep in
+    /// the kernel (Section 4.1's resource-accountability argument).
+    QuotaExceeded,
 }

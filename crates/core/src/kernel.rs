@@ -87,6 +87,11 @@ pub struct KernelConfig {
     /// that lands while a guest runs is a hardware-interrupt VM exit
     /// (the dominant interrupt class of Table 2).
     pub scheduler_timer_hz: Option<u32>,
+    /// Kernel objects (PDs, ECs, SCs, portals, semaphores) any single
+    /// domain may create. Creation beyond the quota fails with
+    /// [`HcErr::QuotaExceeded`] — graceful backpressure instead of
+    /// kernel memory exhaustion by a hostile or runaway component.
+    pub obj_quota: usize,
 }
 
 impl Default for KernelConfig {
@@ -97,9 +102,15 @@ impl Default for KernelConfig {
             quantum: 1_000_000,
             hv_mem: 16 << 20,
             scheduler_timer_hz: None,
+            obj_quota: 4096,
         }
     }
 }
+
+/// Largest page count a single delegate/revoke hypercall may name:
+/// enough for any realistic RAM range (64 GB of 4 KB pages), small
+/// enough that a hostile count cannot stall the kernel walking it.
+const MAX_RANGE_PAGES: u64 = 1 << 24;
 
 /// Why [`Kernel::run`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -514,6 +525,18 @@ impl Kernel {
         }
     }
 
+    /// Charges one kernel object against `pd`'s creation quota, or
+    /// rejects with [`HcErr::QuotaExceeded`]. Called before any
+    /// allocation, so a rejected hypercall leaves no partial state.
+    fn charge_quota(&mut self, pd: PdId) -> Result<(), HcErr> {
+        if self.obj.pd(pd).kobjs >= self.config.obj_quota {
+            self.counters.quota_rejections += 1;
+            return Err(HcErr::QuotaExceeded);
+        }
+        self.obj.pd_mut(pd).kobjs += 1;
+        Ok(())
+    }
+
     fn install_cap(&mut self, pd: PdId, sel: CapSel, cap: Capability) {
         self.obj.pd_mut(pd).caps.set(sel, cap);
         if !self.cap_db.contains(pd.0, sel) {
@@ -537,6 +560,7 @@ impl Kernel {
         let caller = ctx.pd;
         match hc {
             Hypercall::CreatePd { name, vm, dst } => {
+                self.charge_quota(caller)?;
                 let mut pd = Pd::new(name);
                 pd.vm_paging = vm;
                 pd.large_pages = self.config.host_large_pages;
@@ -569,6 +593,7 @@ impl Kernel {
                 if cpu >= self.machine.cpus.len() {
                     return Err(HcErr::BadParam);
                 }
+                self.charge_quota(caller)?;
                 let kind = if vcpu {
                     let paging = self.obj.pd(target).vm_paging.ok_or(HcErr::BadParam)?;
                     let vpid = if self.config.use_tags && self.machine.cost.has_tagged_tlb {
@@ -633,6 +658,7 @@ impl Kernel {
                 if quantum == 0 {
                     return Err(HcErr::BadParam);
                 }
+                self.charge_quota(caller)?;
                 let sc = self.obj.add_sc(Sc {
                     ec: ec_id,
                     prio,
@@ -661,6 +687,7 @@ impl Kernel {
                 if self.obj.ec(ec_id).vmcs().is_some() {
                     return Err(HcErr::BadParam); // handler must be a thread
                 }
+                self.charge_quota(caller)?;
                 let pt = self.obj.add_pt(Portal { ec: ec_id, mtd, id });
                 self.install_cap(
                     caller,
@@ -673,6 +700,7 @@ impl Kernel {
                 Ok(HcReply::Ok)
             }
             Hypercall::CreateSm { count, dst } => {
+                self.charge_quota(caller)?;
                 let sm = self.obj.add_sm(Semaphore {
                     count,
                     bound: None,
@@ -696,6 +724,15 @@ impl Kernel {
                 hot,
             } => {
                 let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                // Hostile ranges: a count that wraps the page-number
+                // space (or one sized to stall the kernel walking it)
+                // is a parameter error, not a loop.
+                if count > MAX_RANGE_PAGES
+                    || base.checked_add(count).is_none()
+                    || hot.checked_add(count).is_none()
+                {
+                    return Err(HcErr::BadParam);
+                }
                 self.delegate_mem(caller, target, base, count, rights, hot)?;
                 Ok(HcReply::Ok)
             }
@@ -705,6 +742,9 @@ impl Kernel {
                 count,
             } => {
                 let target = self.lookup_pd(caller, dst_pd, Perms::CTRL)?;
+                if u32::from(base) + u32::from(count) > 0x1_0000 {
+                    return Err(HcErr::BadParam);
+                }
                 self.delegate_io(caller, target, base, count)?;
                 Ok(HcReply::Ok)
             }
@@ -723,6 +763,9 @@ impl Kernel {
                 count,
                 include_self,
             } => {
+                if count > MAX_RANGE_PAGES || base.checked_add(count).is_none() {
+                    return Err(HcErr::BadParam);
+                }
                 for page in base..base + count {
                     self.revoke_mem_page(caller, page, include_self);
                 }
@@ -821,9 +864,10 @@ impl Kernel {
                     let pd16 = self.obj.ec(ec_id).pd.0 as u16;
                     self.trace_emit(pd16, TraceKind::VirqInject, inj.vector as u64);
                 }
-                let vmcs = self.obj.ec_mut(ec_id).vmcs_mut().unwrap();
                 if intwin {
-                    vmcs.intwin_exit = true;
+                    if let Some(vmcs) = self.obj.ec_mut(ec_id).vmcs_mut() {
+                        vmcs.intwin_exit = true;
+                    }
                 }
                 self.unblock(ec_id);
                 Ok(HcReply::Ok)
@@ -928,7 +972,10 @@ impl Kernel {
             }
         }
         for i in 0..count {
-            let src = self.obj.pd(from).mem.lookup(base + i).unwrap();
+            // Validated above; a vanished mapping is a caller race.
+            let Some(src) = self.obj.pd(from).mem.lookup(base + i) else {
+                return Err(HcErr::NotOwner);
+            };
             let eff = src.rights.mask(rights);
             self.obj.pd_mut(to).mem.map(
                 hot + i,
@@ -968,7 +1015,10 @@ impl Kernel {
         let mut i = 0;
         while i < count {
             let gpage = hot + i;
-            let mapping = self.obj.pd(pd).mem.lookup(gpage).unwrap();
+            let Some(mapping) = self.obj.pd(pd).mem.lookup(gpage) else {
+                i += 1;
+                continue;
+            };
             let aligned =
                 gpage.is_multiple_of(cp) && mapping.hpa.is_multiple_of(cp * PAGE_SIZE as u64);
             if use_large && aligned && count - i >= cp {
@@ -1506,7 +1556,7 @@ impl Kernel {
     /// Reads a u32 from the component's address space.
     pub fn mem_read_u32(&self, ctx: CompCtx, addr: u64) -> Option<u32> {
         self.mem_read(ctx, addr, 4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .and_then(|b| Some(u32::from_le_bytes(b.try_into().ok()?)))
     }
 
     /// Writes a u32 into the component's address space.
@@ -2054,6 +2104,108 @@ mod tests {
         // Hypervisor memory excluded.
         let hv_first_page = (32 << 20) as u64 / 4096 - k.config.hv_mem / 4096;
         assert!(root.mem.lookup(hv_first_page).is_none());
+    }
+
+    #[test]
+    fn object_quota_rejects_gracefully() {
+        let m = Machine::new(MachineConfig::core_i7(32 << 20));
+        let mut k = Kernel::new(
+            m,
+            KernelConfig {
+                obj_quota: 8,
+                ..KernelConfig::default()
+            },
+        );
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+
+        // Burn the whole quota on semaphores...
+        let mut created = 0;
+        for i in 0..64usize {
+            match k.hypercall(
+                ctx,
+                Hypercall::CreateSm {
+                    count: 0,
+                    dst: 0x100 + i,
+                },
+            ) {
+                Ok(_) => created += 1,
+                Err(HcErr::QuotaExceeded) => break,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert_eq!(created, 8, "quota bounds creation");
+        // ...and every further creation, of any kind, stays rejected
+        // without touching kernel state.
+        let pds = k.obj.pds.len();
+        assert_eq!(
+            k.hypercall(
+                ctx,
+                Hypercall::CreatePd {
+                    name: "greedy".into(),
+                    vm: None,
+                    dst: 0x200,
+                },
+            ),
+            Err(HcErr::QuotaExceeded)
+        );
+        assert_eq!(k.obj.pds.len(), pds, "no partial allocation");
+        assert!(k.counters.quota_rejections >= 2);
+        // The rest of the system still works: non-creating hypercalls
+        // are unaffected.
+        k.hypercall(ctx, Hypercall::SmUp { sm: 0x100 }).unwrap();
+    }
+
+    #[test]
+    fn hostile_delegate_ranges_rejected() {
+        let mut k = kernel();
+        let (comp, ec) = k.load_component(k.root_pd, 0, Box::<Doubler>::default());
+        let ctx = root_ctx(&k, ec, comp);
+        k.hypercall(
+            ctx,
+            Hypercall::CreatePd {
+                name: "sub".into(),
+                vm: None,
+                dst: 0x30,
+            },
+        )
+        .unwrap();
+        // A count that wraps the page-number space must fail fast.
+        assert_eq!(
+            k.hypercall(
+                ctx,
+                Hypercall::DelegateMem {
+                    dst_pd: 0x30,
+                    base: u64::MAX - 2,
+                    count: 8,
+                    rights: MemRights::RW,
+                    hot: 0,
+                },
+            ),
+            Err(HcErr::BadParam)
+        );
+        assert_eq!(
+            k.hypercall(
+                ctx,
+                Hypercall::RevokeMem {
+                    base: 4,
+                    count: u64::MAX,
+                    include_self: false,
+                },
+            ),
+            Err(HcErr::BadParam)
+        );
+        assert_eq!(
+            k.hypercall(
+                ctx,
+                Hypercall::DelegateIo {
+                    dst_pd: 0x30,
+                    base: 0xfff0,
+                    count: 0x20,
+                },
+            ),
+            Err(HcErr::BadParam)
+        );
     }
 
     #[test]

@@ -216,6 +216,11 @@ pub struct Pd {
     pub vcpus: Vec<EcId>,
     /// Whether the domain is being destroyed.
     pub dying: bool,
+    /// Kernel objects this domain has created (PDs, ECs, SCs,
+    /// portals, semaphores) — charged against
+    /// [`KernelConfig::obj_quota`](crate::KernelConfig) so no single
+    /// domain can exhaust kernel object memory.
+    pub kobjs: usize,
 }
 
 impl Pd {
@@ -232,6 +237,7 @@ impl Pd {
             devices: Vec::new(),
             vcpus: Vec::new(),
             dying: false,
+            kobjs: 0,
         }
     }
 

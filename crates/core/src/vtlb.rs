@@ -16,6 +16,18 @@
 //! the VM's [`MemSpace`]; the cycle cost of the whole fill is the
 //! measured `vtlb_fill_sw` constant (Figure 9), so the shortcut's
 //! *performance* is represented faithfully.
+//!
+//! # Trust model
+//!
+//! Every value the walk consumes — CR3, PDE, PTE — is guest-written
+//! and may point anywhere, including outside guest RAM, at the
+//! guest's own page tables, or into a device window. A table frame
+//! the memory space cannot translate is indistinguishable (to the
+//! guest) from a not-present entry, so the walk answers with an
+//! injected #PF, never a hypervisor panic. The module is lint-gated
+//! panic-free.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_hw::mem::PhysMem;
 use nova_hw::vmx::Vmcs;
@@ -218,6 +230,7 @@ pub fn handle_invlpg(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use nova_x86::reg::cr0;
@@ -398,6 +411,68 @@ mod tests {
             (4 << 20) + 0x2345,
             "identity GPA through host space"
         );
+    }
+
+    #[test]
+    fn inject_when_cr3_outside_guest_ram() {
+        // A hostile guest loads CR3 with a frame far beyond its RAM:
+        // the PDE fetch cannot be translated, so the walk answers
+        // with a non-present #PF instead of dereferencing wild memory.
+        let (mut mem, mut alloc, ms, mut shadow) = setup();
+        let mut vmcs = vmcs_with_shadow(shadow.root);
+        vmcs.guest.cr3 = 0xfff0_0000;
+        vmcs.guest.cr0 = cr0::PE | cr0::PG;
+
+        let out = handle_page_fault(
+            &mut mem,
+            &mut alloc,
+            &ms,
+            &mut shadow,
+            &vmcs,
+            0x40_0123,
+            pf_err::WRITE,
+        );
+        assert_eq!(out, VtlbOutcome::InjectPf { err: pf_err::WRITE });
+    }
+
+    #[test]
+    fn inject_when_pte_frame_outside_guest_ram() {
+        // Valid PDE whose page-table pointer aims outside guest RAM
+        // (e.g. at a device window): the PTE fetch fails to translate
+        // and the guest gets a #PF, not the hypervisor a bad read.
+        let (mut mem, mut alloc, ms, mut shadow) = setup();
+        let groot_gpa = 0x10_000u32;
+        let di = 0x40_0000u32 >> 22;
+        let pde_hpa = ms.translate(groot_gpa as u64 + di as u64 * 4).unwrap();
+        mem.write_u32(pde_hpa, 0xfeb2_0000u32 | pte::P | pte::W);
+
+        let mut vmcs = vmcs_with_shadow(shadow.root);
+        vmcs.guest.cr3 = groot_gpa;
+        vmcs.guest.cr0 = cr0::PE | cr0::PG;
+
+        let out = handle_page_fault(&mut mem, &mut alloc, &ms, &mut shadow, &vmcs, 0x40_0000, 0);
+        assert_eq!(out, VtlbOutcome::InjectPf { err: 0 });
+    }
+
+    #[test]
+    fn self_mapping_guest_table_fills() {
+        // A guest table that points a PTE at its own page-table frame
+        // is weird but legal: the walk must terminate and fill.
+        let (mut mem, mut alloc, ms, mut shadow) = setup();
+        let groot_gpa = 0x10_000u32;
+        let gpt_gpa = 0x11_000u32;
+        let di = 0x40_0000u32 >> 22;
+        let pde_hpa = ms.translate(groot_gpa as u64 + di as u64 * 4).unwrap();
+        mem.write_u32(pde_hpa, gpt_gpa | pte::P | pte::W);
+        let pte_hpa = ms.translate(gpt_gpa as u64).unwrap();
+        mem.write_u32(pte_hpa, gpt_gpa | pte::P | pte::W); // maps itself
+
+        let mut vmcs = vmcs_with_shadow(shadow.root);
+        vmcs.guest.cr3 = groot_gpa;
+        vmcs.guest.cr0 = cr0::PE | cr0::PG;
+
+        let out = handle_page_fault(&mut mem, &mut alloc, &ms, &mut shadow, &vmcs, 0x40_0000, 0);
+        assert_eq!(out, VtlbOutcome::Filled);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod compile;
 pub mod diskload;
+pub mod hostile;
 pub mod mp;
 pub mod netload;
 pub mod os;

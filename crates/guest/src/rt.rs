@@ -453,14 +453,19 @@ pub fn emit_pv_disk_batch_read(a: &mut Asm, batch: u32, sectors: u32) {
     );
 
     // Halt until `used` (read from shared memory — no exit) reaches
-    // the cumulative completion target.
+    // the cumulative completion target. Both sides are the low 32
+    // bits of monotonically growing u64 counters, so the comparison
+    // must be wraparound-safe: wait while `used - target` is negative
+    // (used modularly behind target), not while `used < target` —
+    // the ordered compare deadlocks or exits early when either
+    // counter crosses the 2^32 boundary.
     a.alu_mi(AluOp::Add, var(vars::SCRATCH), batch);
     let wait = a.here_label();
     a.sti();
     a.hlt();
     a.mov_rm(Reg::Eax, MemRef::abs(ring + disk::USED as u32));
-    a.alu_rm(AluOp::Cmp, Reg::Eax, var(vars::SCRATCH));
-    a.jcc(Cond::B, wait);
+    a.alu_rm(AluOp::Sub, Reg::Eax, var(vars::SCRATCH));
+    a.jcc(Cond::S, wait);
 }
 
 /// Emits one-time AHCI driver initialization: command-list base and

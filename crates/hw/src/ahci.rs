@@ -17,6 +17,12 @@
 //! bandwidth-proportional transfer time, giving Figure 6 its crossover:
 //! below ~8 KB the request rate is latency-bound and CPU utilization is
 //! flat; above it the disk bandwidth limits throughput.
+//!
+//! Command structures arrive by DMA from driver-owned memory and are
+//! untrusted: malformed headers degrade to a task-file error (TFES),
+//! never a model panic. The module is lint-gated panic-free.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use std::collections::HashMap;
 
@@ -169,34 +175,43 @@ impl Ahci {
     fn parse_command(&mut self, ctx: &mut DevCtx, slot: u8) -> Option<Request> {
         // Command header: 32 bytes at CLB + slot*32.
         let hdr = ctx.dma_read(self.clb + slot as u64 * 32, 32)?;
-        let dw0 = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        // Little-endian field extraction without panicking slices: the
+        // header and FIS are fixed-size DMA reads, but nothing about
+        // their *content* is trusted.
+        let le = |b: &[u8], off: usize, n: usize| -> u64 {
+            b.get(off..off + n)
+                .map(|s| s.iter().rev().fold(0u64, |a, &x| a << 8 | x as u64))
+                .unwrap_or(0)
+        };
+        let dw0 = le(&hdr, 0, 4) as u32;
         let prdtl = (dw0 >> 16) as usize;
-        let ctba = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+        let ctba = le(&hdr, 8, 8);
 
         // Command table: CFIS (64 bytes) + PRDT at +0x80.
         let cfis = ctx.dma_read(ctba, 64)?;
-        if cfis[0] != 0x27 {
+        let fis = |i: usize| cfis.get(i).copied().unwrap_or(0);
+        if fis(0) != 0x27 {
             return None; // not a host-to-device FIS
         }
-        let cmd = cfis[2];
+        let cmd = fis(2);
         let write = match cmd {
             ATA_READ_DMA_EXT => false,
             ATA_WRITE_DMA_EXT => true,
             _ => return None,
         };
-        let lba = cfis[4] as u64
-            | (cfis[5] as u64) << 8
-            | (cfis[6] as u64) << 16
-            | (cfis[8] as u64) << 24
-            | (cfis[9] as u64) << 32
-            | (cfis[10] as u64) << 40;
-        let count = cfis[12] as u32 | (cfis[13] as u32) << 8;
+        let lba = fis(4) as u64
+            | (fis(5) as u64) << 8
+            | (fis(6) as u64) << 16
+            | (fis(8) as u64) << 24
+            | (fis(9) as u64) << 32
+            | (fis(10) as u64) << 40;
+        let count = fis(12) as u32 | (fis(13) as u32) << 8;
 
         let prdt_raw = ctx.dma_read(ctba + 0x80, prdtl * 16)?;
-        let mut prdt = Vec::with_capacity(prdtl);
+        let mut prdt = Vec::with_capacity(prdtl.min(64));
         for e in prdt_raw.chunks_exact(16) {
-            let dba = u64::from_le_bytes(e[0..8].try_into().unwrap());
-            let dbc = u32::from_le_bytes(e[12..16].try_into().unwrap()) & 0x3f_ffff;
+            let dba = le(e, 0, 8);
+            let dbc = le(e, 12, 4) as u32 & 0x3f_ffff;
             prdt.push((dba, dbc + 1));
         }
 
@@ -386,6 +401,7 @@ impl Device for Ahci {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::device::DeviceBus;

@@ -1,0 +1,212 @@
+//! The Byzantine-guest error domain: typed rejection reasons for
+//! malformed guest input, and the structured kill record a VMM files
+//! when it terminates a VM.
+//!
+//! NOVA's isolation claim (Section 4 of the paper) is that a hostile
+//! guest — even one colluding with its per-VM VMM — can harm only
+//! itself. Everything a guest controls is therefore treated as an
+//! attack surface: paravirtual descriptor rings, vAHCI command
+//! headers and PRDTs, guest page tables walked by the vTLB, the
+//! instruction bytes fed to the emulator, and hypercall arguments.
+//! Validators on each surface return a [`GuestFault`] instead of
+//! panicking; the VMM either degrades the single request (a
+//! guest-visible error completion) or, for input that leaves the VM
+//! unserviceable, escalates to a [`VmKill`] that names the surface
+//! and reason machine-readably.
+//!
+//! This module is in `nova-hw` (the bottom of the stack) so the
+//! hardware ABI (`crate::pv`), the hypervisor core (vTLB, hypercall
+//! decode) and the VMM (pvdisk/pvnet/vAHCI/emulator) all share one
+//! vocabulary. The fuzz harness in `tests/hostile.rs` asserts every
+//! kill carries the reason matching the surface it attacked.
+
+/// Which guest-controlled interface an input arrived on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GuestSurface {
+    /// Paravirtual disk descriptor ring (`crate::pv` disk layout).
+    PvDiskRing = 0,
+    /// Paravirtual network ring (`crate::pv` net layout).
+    PvNetRing = 1,
+    /// vAHCI command list / command table / PRDT.
+    Vahci = 2,
+    /// Guest page tables walked by the vTLB on shadow-paging fills.
+    VtlbWalk = 3,
+    /// Instruction bytes decoded by the VMM's emulator.
+    Emulator = 4,
+    /// Hypercall argument decode.
+    Hypercall = 5,
+    /// Guest-physical memory accesses (EPT-protected ranges).
+    GuestMemory = 6,
+    /// Architectural CPU state (e.g. an unrecoverable triple fault).
+    CpuState = 7,
+}
+
+impl GuestSurface {
+    /// All surfaces, in discriminant order.
+    pub const ALL: [GuestSurface; 8] = [
+        GuestSurface::PvDiskRing,
+        GuestSurface::PvNetRing,
+        GuestSurface::Vahci,
+        GuestSurface::VtlbWalk,
+        GuestSurface::Emulator,
+        GuestSurface::Hypercall,
+        GuestSurface::GuestMemory,
+        GuestSurface::CpuState,
+    ];
+
+    /// Short name for traces and test assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuestSurface::PvDiskRing => "pv-disk-ring",
+            GuestSurface::PvNetRing => "pv-net-ring",
+            GuestSurface::Vahci => "vahci",
+            GuestSurface::VtlbWalk => "vtlb-walk",
+            GuestSurface::Emulator => "emulator",
+            GuestSurface::Hypercall => "hypercall",
+            GuestSurface::GuestMemory => "guest-memory",
+            GuestSurface::CpuState => "cpu-state",
+        }
+    }
+}
+
+/// Why a guest input was rejected. One variant per distinct validator
+/// outcome, so rejection counters and kill records stay
+/// machine-readable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GuestFault {
+    /// A ring/queue index or count exceeds the interface's capacity.
+    IndexOutOfRange,
+    /// A guest-supplied buffer (base or base+len) falls outside the
+    /// VM's RAM, or wraps the address space.
+    BufferOutOfRange,
+    /// A structure that must be naturally aligned is not.
+    Misaligned,
+    /// A field holds an operation code the interface does not define.
+    BadOpcode,
+    /// A length/count field is zero or exceeds the per-request limit.
+    BadLength,
+    /// A shared-memory structure base (ring, command list, FIS area)
+    /// points outside guest RAM.
+    BadBase,
+    /// The guest re-rang a slot/descriptor that is still outstanding.
+    Rerung,
+    /// A page-table entry points at an unmapped or out-of-range frame.
+    BadTableFrame,
+    /// The emulator met bytes it cannot decode.
+    UndecodableInstruction,
+    /// The guest wrote to a range the host dimension protects
+    /// (classified as code injection).
+    ProtectedRangeWrite,
+    /// The vCPU wedged architecturally (triple fault).
+    UnrecoverableCpuState,
+    /// Hypercall arguments failed validation.
+    BadArgument,
+}
+
+impl GuestFault {
+    /// Short name for traces and test assertions.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuestFault::IndexOutOfRange => "index-out-of-range",
+            GuestFault::BufferOutOfRange => "buffer-out-of-range",
+            GuestFault::Misaligned => "misaligned",
+            GuestFault::BadOpcode => "bad-opcode",
+            GuestFault::BadLength => "bad-length",
+            GuestFault::BadBase => "bad-base",
+            GuestFault::Rerung => "rerung",
+            GuestFault::BadTableFrame => "bad-table-frame",
+            GuestFault::UndecodableInstruction => "undecodable-instruction",
+            GuestFault::ProtectedRangeWrite => "protected-range-write",
+            GuestFault::UnrecoverableCpuState => "unrecoverable-cpu-state",
+            GuestFault::BadArgument => "bad-argument",
+        }
+    }
+}
+
+/// A structured VM-kill record: which surface the fatal input arrived
+/// on and why it was fatal. Filed by the VMM when containment demands
+/// terminating the guest (as opposed to degrading one request).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmKill {
+    /// The interface the input arrived on.
+    pub surface: GuestSurface,
+    /// The validator outcome that was fatal.
+    pub reason: GuestFault,
+}
+
+impl VmKill {
+    /// Builds a kill record.
+    pub fn new(surface: GuestSurface, reason: GuestFault) -> VmKill {
+        VmKill { surface, reason }
+    }
+
+    /// The 8-bit exit code forwarded to `PORT_EXIT` when this kill
+    /// terminates the VM. Codes `0xfc`/`0xfd`/`0xfe` predate this
+    /// module (code injection, triple fault, undecodable instruction)
+    /// and are preserved; every other surface gets a stable code in
+    /// `0xe0..=0xe7` so supervisors and tests can tell kills apart
+    /// without parsing strings.
+    pub fn exit_code(self) -> u8 {
+        match (self.surface, self.reason) {
+            (GuestSurface::GuestMemory, GuestFault::ProtectedRangeWrite) => 0xfc,
+            (GuestSurface::CpuState, GuestFault::UnrecoverableCpuState) => 0xfd,
+            (GuestSurface::Emulator, GuestFault::UndecodableInstruction) => 0xfe,
+            (s, _) => 0xe0 + s as u8,
+        }
+    }
+
+    /// `true` if `code` is one of the kill exit codes (as opposed to a
+    /// voluntary guest exit value).
+    pub fn is_kill_code(code: u8) -> bool {
+        matches!(code, 0xfc..=0xfe | 0xe0..=0xe7)
+    }
+}
+
+impl core::fmt::Display for VmKill {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.surface.name(), self.reason.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_exit_codes_preserved() {
+        assert_eq!(
+            VmKill::new(GuestSurface::GuestMemory, GuestFault::ProtectedRangeWrite).exit_code(),
+            0xfc
+        );
+        assert_eq!(
+            VmKill::new(GuestSurface::CpuState, GuestFault::UnrecoverableCpuState).exit_code(),
+            0xfd
+        );
+        assert_eq!(
+            VmKill::new(GuestSurface::Emulator, GuestFault::UndecodableInstruction).exit_code(),
+            0xfe
+        );
+    }
+
+    #[test]
+    fn kill_codes_are_distinct_per_surface() {
+        let mut codes: Vec<u8> = GuestSurface::ALL
+            .iter()
+            .map(|&s| VmKill::new(s, GuestFault::BadBase).exit_code())
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), GuestSurface::ALL.len());
+        for &c in &codes {
+            assert!(VmKill::is_kill_code(c), "{c:#x}");
+        }
+        assert!(!VmKill::is_kill_code(0));
+        assert!(!VmKill::is_kill_code(0xf4));
+    }
+
+    #[test]
+    fn display_is_machine_readable() {
+        let k = VmKill::new(GuestSurface::PvDiskRing, GuestFault::BufferOutOfRange);
+        assert_eq!(k.to_string(), "pv-disk-ring/buffer-out-of-range");
+    }
+}

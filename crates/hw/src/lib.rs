@@ -22,6 +22,7 @@ pub mod cpu;
 pub mod device;
 pub mod event;
 pub mod fault;
+pub mod guestfault;
 pub mod iommu;
 pub mod kbd;
 pub mod machine;
@@ -44,4 +45,5 @@ pub type Cycles = u64;
 pub type PAddr = u64;
 
 pub use cost::CostModel;
+pub use guestfault::{GuestFault, GuestSurface, VmKill};
 pub use machine::Machine;

@@ -36,6 +36,35 @@
 //! backend immediately re-raises. The guest never needs to *read* the
 //! ISR register: the `used` counter in shared memory already says how
 //! much work there is.
+//!
+//! # Counter wraparound
+//!
+//! The `used`/`errors` counters in the shared pages are the low
+//! 32 bits of monotonically increasing 64-bit backend counters.
+//! Consumers must therefore never compare them with `<`/`>=`
+//! directly: after 2³² completions the ring value wraps to a small
+//! number and an ordered compare would conclude no progress (or
+//! infinite progress) forever. The correct idiom is the wrapping
+//! difference [`fresh`] — `used.wrapping_sub(seen)` — which counts
+//! new completions correctly across the wrap as long as fewer than
+//! 2³¹ completions happen between observations (guaranteed by the
+//! ring capacities, which are < 2⁸). The guest driver's wait loops
+//! and the VMM backends both use this idiom; the unit tests below
+//! pin it down.
+//!
+//! # Trust model
+//!
+//! Everything in the shared pages is **guest-controlled** and may be
+//! rewritten, torn, or crafted adversarially at any time. The VMM
+//! backends therefore treat each descriptor field as untrusted input:
+//! bounds are validated against guest RAM on every read
+//! ([`crate::guestfault::GuestFault`] names the rejection reasons),
+//! malformed descriptors complete with an error status visible to the
+//! guest, and only structurally fatal input (an unusable ring base)
+//! escalates to a VM kill. No value read from these pages may ever
+//! index hypervisor memory unchecked.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 /// Guest-physical base of the paravirtual device's register page.
 ///
@@ -152,4 +181,79 @@ pub mod net {
     /// u32: 0 = posted (guest-owned buffer handed to backend),
     /// 1 = filled (packet delivered, guest may consume).
     pub const E_STATUS: u64 = 12;
+}
+
+/// Wraparound-safe progress on a cumulative ring counter: how many
+/// completions `now` is ahead of `seen`, modulo 2³².
+///
+/// Both values are the truncated low 32 bits of a monotonic 64-bit
+/// counter; the wrapping difference is exact as long as fewer than
+/// 2³¹ completions separate the two observations, which the ring
+/// capacities guarantee by orders of magnitude.
+pub fn fresh(now: u32, seen: u32) -> u32 {
+    now.wrapping_sub(seen)
+}
+
+/// `true` if `[buf, buf + len)` lies entirely inside a guest RAM of
+/// `ram_pages` 4 KiB pages starting at guest-physical 0, without
+/// wrapping the 64-bit address space. The shared-ring trust model
+/// requires this check on every guest-supplied buffer address before
+/// the backend touches it.
+pub fn buffer_in_ram(buf: u64, len: u64, ram_pages: u64) -> bool {
+    let ram_bytes = ram_pages << 12;
+    match buf.checked_add(len) {
+        Some(end) => end <= ram_bytes,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counts_without_wrap() {
+        assert_eq!(fresh(10, 10), 0);
+        assert_eq!(fresh(17, 10), 7);
+    }
+
+    #[test]
+    fn fresh_counts_across_u32_wrap() {
+        // 3 completions straddling the 2^32 boundary: seen at
+        // 0xffff_fffe, counter now wrapped to 1.
+        assert_eq!(fresh(1, 0xffff_fffe), 3);
+        // Exactly at the wrap.
+        assert_eq!(fresh(0, 0xffff_ffff), 1);
+        // An ordered compare would get both of these wrong: the raw
+        // u32 compare `1 < 0xffff_fffe` claims no progress forever.
+    }
+
+    #[test]
+    fn fresh_matches_u64_truncation() {
+        // The backend counter is u64; the ring holds its low 32 bits.
+        // fresh() over the truncations equals the true u64 delta for
+        // deltas < 2^31.
+        let cases: [(u64, u64); 4] = [
+            (5, 9),
+            (0xffff_fff0, 0x1_0000_0010),
+            (0x2_ffff_ffff, 0x3_0000_0005),
+            (u64::MAX - 2, u64::MAX),
+        ];
+        for (seen64, now64) in cases {
+            let expect = (now64 - seen64) as u32;
+            assert_eq!(fresh(now64 as u32, seen64 as u32), expect);
+        }
+    }
+
+    #[test]
+    fn buffer_bounds() {
+        let pages = 1024; // 4 MiB guest
+        assert!(buffer_in_ram(0, 512, pages));
+        assert!(buffer_in_ram((pages << 12) - 512, 512, pages));
+        assert!(!buffer_in_ram((pages << 12) - 511, 512, pages));
+        assert!(!buffer_in_ram(pages << 12, 1, pages));
+        // Address-space wrap must not pass the check.
+        assert!(!buffer_in_ram(u64::MAX - 4, 512, pages));
+    }
 }

@@ -30,6 +30,12 @@ pub mod names {
     /// TLB fill walks performed for a guest (count metric) — the
     /// successor of the old `tlb-debug` stderr scaffolding.
     pub const TLB_FILLS: &str = "tlb_fills";
+    /// Malformed guest inputs rejected by a validator without killing
+    /// the VM (count metric; domain = guest surface discriminant).
+    pub const GUEST_FAULT_REJECTED: &str = "guest_fault_rejected";
+    /// Structured VM kills (count metric; domain = the kill's 8-bit
+    /// exit code, so per-reason rates are separable).
+    pub const VM_KILLS_BY_REASON: &str = "vm_kills_by_reason";
 }
 
 /// One metric cell: an event count, a cycle (or value) sum, and a

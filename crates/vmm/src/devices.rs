@@ -301,6 +301,15 @@ impl VDevices {
         let _ = size;
     }
 
+    /// Takes the first structurally fatal guest input any backend
+    /// recorded during this exit's device work (containment: the VMM
+    /// converts it into a [`nova_hw::VmKill`]).
+    pub fn take_fatal(&mut self) -> Option<nova_hw::VmKill> {
+        self.pvdisk
+            .take_fatal()
+            .or_else(|| self.pvnet.as_mut().and_then(|n| n.take_fatal()))
+    }
+
     /// `true` if `gpa` belongs to a virtual MMIO window.
     pub fn owns_gpa(&self, gpa: u64) -> bool {
         (nova_hw::machine::AHCI_BASE..nova_hw::machine::AHCI_BASE + 0x1000).contains(&gpa)

@@ -10,6 +10,14 @@
 //! guest RAM via the VMM's memory window, or dispatch to the virtual
 //! device models for MMIO. Exceptions raised mid-emulation (the
 //! "fixup code" of the paper) surface as faults for the VMM to inject.
+//!
+//! Everything decoded here — opcode bytes, operands, page-table
+//! entries — is attacker-controlled guest state: malformed input
+//! comes back as [`EmuErr::Fault`] (injected into the guest) or
+//! [`EmuErr::Unsupported`] (a structural VM kill), never a panic.
+//! The module is lint-gated panic-free.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_core::{CompCtx, Kernel};
 use nova_hw::mmu::MmuRegs;
@@ -147,10 +155,11 @@ impl Env for EmuEnv<'_> {
         let gpa = self.gva_to_gpa(addr, true, false)?;
         if self.in_ram(gpa) {
             let bytes = val.to_le_bytes();
+            let n = (size.bytes() as usize).min(bytes.len());
             let ok = self.k.mem_write(
                 self.ctx,
                 self.view.base_page * 4096 + gpa,
-                &bytes[..size.bytes() as usize],
+                bytes.get(..n).unwrap_or(&bytes),
             );
             if ok {
                 Ok(())
@@ -228,8 +237,12 @@ pub fn fetch_insn(env: &mut EmuEnv, regs: &Regs) -> Result<Insn, EmuErr> {
         if !env.in_ram(gpa) {
             break;
         }
-        match env.k.mem_read(env.ctx, env.view.base_page * 4096 + gpa, 1) {
-            Some(b) => bytes.push(b[0]),
+        match env
+            .k
+            .mem_read(env.ctx, env.view.base_page * 4096 + gpa, 1)
+            .and_then(|b| b.first().copied())
+        {
+            Some(b) => bytes.push(b),
             None => break,
         }
         // Try decoding as soon as plausible to avoid reading past the
@@ -262,6 +275,7 @@ pub fn emulate_one(env: &mut EmuEnv, regs: &mut Regs) -> Result<(Insn, Exec), Em
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use nova_core::{Kernel, KernelConfig};
@@ -285,7 +299,7 @@ mod tests {
         let dev = VDevices::new(
             2_670_000_000,
             0,
-            VAhci::new(view.base_page),
+            VAhci::new(view.base_page, view.pages),
             crate::pvdisk::PvDisk::new(view.base_page, view.pages),
             None,
         );
@@ -449,6 +463,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic)]
 mod string_mmio_tests {
     use super::*;
     use crate::devices::VDevices;
@@ -476,7 +491,7 @@ mod string_mmio_tests {
         let mut dev = VDevices::new(
             2_670_000_000,
             0,
-            VAhci::new(view.base_page),
+            VAhci::new(view.base_page, view.pages),
             crate::pvdisk::PvDisk::new(view.base_page, view.pages),
             None,
         );

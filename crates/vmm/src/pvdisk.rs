@@ -21,6 +21,17 @@
 //! lost, re-registration and resubmission after a supervised server
 //! restart, and degradation to a guest-visible per-descriptor error
 //! status when the attempt budget runs out.
+//!
+//! Everything read from the shared ring is Byzantine-guest input (see
+//! the trust model in [`nova_hw::pv`]): descriptor fields are
+//! validated against guest RAM before any use, malformed descriptors
+//! complete with [`ring::ST_ERROR`], and an unusable ring base
+//! escalates to a structured [`VmKill`] the VMM files after the
+//! triggering MMIO exit. This module is lint-gated panic-free — no
+//! guest input may reach an `unwrap`/index that could take down the
+//! VMM.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
@@ -29,6 +40,7 @@ use nova_core::utcb::XferItem;
 use nova_core::{CompCtx, Kernel, Utcb};
 use nova_hw::ahci::SECTOR;
 use nova_hw::pv::{disk as ring, regs};
+use nova_hw::{GuestFault, GuestSurface, VmKill};
 use nova_user::proto::disk as proto;
 
 use crate::vahci::{DiskChannel, WINDOW_BASE};
@@ -103,6 +115,9 @@ pub struct PvDisk {
     pub degraded: u64,
     /// Completion interrupts raised (after coalescing).
     pub irqs: u64,
+    /// Structurally fatal guest input awaiting escalation: the VMM
+    /// collects this after the triggering exit and kills the VM.
+    fatal: Option<VmKill>,
 }
 
 impl PvDisk {
@@ -132,6 +147,28 @@ impl PvDisk {
             resubmits: 0,
             degraded: 0,
             irqs: 0,
+            fatal: None,
+        }
+    }
+
+    /// Takes the pending fatal kill, if Byzantine input made the ring
+    /// unusable.
+    pub fn take_fatal(&mut self) -> Option<VmKill> {
+        self.fatal.take()
+    }
+
+    /// Records one rejected guest input on this surface: the
+    /// per-backend counter, the hypervisor counter, and the
+    /// `guest_fault_rejected` metric (domain = surface).
+    fn reject(&mut self, k: &mut Kernel, _fault: GuestFault) {
+        self.errors += 1;
+        k.counters.guest_faults_rejected += 1;
+        if k.machine.bus.trace.active() {
+            k.machine.bus.trace.metrics.add(
+                nova_trace::names::GUEST_FAULT_REJECTED,
+                GuestSurface::PvDiskRing as u64,
+                1,
+            );
         }
     }
 
@@ -168,7 +205,24 @@ impl PvDisk {
     pub fn mmio_write(&mut self, k: &mut Kernel, ctx: CompCtx, off: u64, val: u32) -> bool {
         match off {
             regs::DISK_RING => {
-                self.ring_gpa = val as u64;
+                // The ring page must be a whole page inside guest RAM;
+                // a guest that opts into the PV protocol and then
+                // hands over an unusable ring cannot be serviced at
+                // all — structural kill, not a per-request error.
+                let gpa = val as u64;
+                let reason = if gpa & 0xfff != 0 {
+                    Some(GuestFault::Misaligned)
+                } else if !nova_hw::pv::buffer_in_ram(gpa, 4096, self.guest_pages) {
+                    Some(GuestFault::BadBase)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    self.reject(k, reason);
+                    self.fatal = Some(VmKill::new(GuestSurface::PvDiskRing, reason));
+                    return false;
+                }
+                self.ring_gpa = gpa;
                 false
             }
             regs::DISK_DOORBELL => self.doorbell(k, ctx, val),
@@ -208,6 +262,9 @@ impl PvDisk {
     fn doorbell(&mut self, k: &mut Kernel, ctx: CompCtx, count: u32) -> bool {
         // A count beyond the ring capacity is a guest bug; clamping
         // bounds the work one exit can demand from the VMM.
+        if count > ring::CAPACITY {
+            self.reject(k, GuestFault::IndexOutOfRange);
+        }
         let count = count.min(ring::CAPACITY);
         self.doorbells += 1;
         if k.machine.bus.trace.active() {
@@ -227,11 +284,11 @@ impl PvDisk {
             self.submitted += 1;
             self.requests += 1;
             match self.read_desc(k, ctx, idx) {
-                Some(req) => self.pending.push_back(req),
-                None => {
+                Ok(req) => self.pending.push_back(req),
+                Err(fault) => {
                     // Malformed descriptor: complete it with an error
                     // status without involving the server.
-                    self.errors += 1;
+                    self.reject(k, fault);
                     self.done.insert(idx, ring::ST_ERROR);
                 }
             }
@@ -242,34 +299,34 @@ impl PvDisk {
     }
 
     /// Reads and validates the guest descriptor at cumulative index
-    /// `idx`.
-    fn read_desc(&self, k: &Kernel, ctx: CompCtx, idx: u64) -> Option<PvPending> {
+    /// `idx`. Every field is untrusted; the error names the first
+    /// validation that failed.
+    fn read_desc(&self, k: &Kernel, ctx: CompCtx, idx: u64) -> Result<PvPending, GuestFault> {
         if self.ring_gpa == 0 {
-            return None;
+            return Err(GuestFault::BadBase);
         }
         let slot = idx % ring::CAPACITY as u64;
         let base = self.guest_va(self.ring_gpa + ring::DESC0 + slot * ring::DESC_SIZE);
-        let op = k.mem_read_u32(ctx, base + ring::D_OP)?;
-        let sectors = k.mem_read_u32(ctx, base + ring::D_SECTORS)?;
-        let lba = k.mem_read_u32(ctx, base + ring::D_LBA)? as u64
-            | (k.mem_read_u32(ctx, base + ring::D_LBA + 4)? as u64) << 32;
-        let buf = k.mem_read_u32(ctx, base + ring::D_BUF)? as u64
-            | (k.mem_read_u32(ctx, base + ring::D_BUF + 4)? as u64) << 32;
+        let rd = |off: u64| k.mem_read_u32(ctx, base + off).ok_or(GuestFault::BadBase);
+        let op = rd(ring::D_OP)?;
+        let sectors = rd(ring::D_SECTORS)?;
+        let lba = rd(ring::D_LBA)? as u64 | (rd(ring::D_LBA + 4)? as u64) << 32;
+        let buf = rd(ring::D_BUF)? as u64 | (rd(ring::D_BUF + 4)? as u64) << 32;
         let write = match op {
             ring::OP_READ => false,
             ring::OP_WRITE => true,
-            _ => return None,
+            _ => return Err(GuestFault::BadOpcode),
         };
         if sectors == 0 || sectors as u64 > proto::MAX_SECTORS {
-            return None;
+            return Err(GuestFault::BadLength);
         }
         let bytes = sectors * SECTOR;
         // The buffer must lie inside guest RAM — out-of-range pages
         // could not be delegated to the server anyway.
-        if buf.checked_add(bytes as u64)? > self.guest_pages * 4096 {
-            return None;
+        if !nova_hw::pv::buffer_in_ram(buf, bytes as u64, self.guest_pages) {
+            return Err(GuestFault::BufferOutOfRange);
         }
-        Some(PvPending {
+        Ok(PvPending {
             idx,
             op: if write {
                 proto::OP_WRITE
@@ -318,7 +375,9 @@ impl PvDisk {
             // yet (standing delegations, exactly as the vAHCI path).
             let mut newly: Vec<u64> = Vec::new();
             for &i in &batch {
-                let p = &self.pending[i];
+                let Some(p) = self.pending.get(i) else {
+                    continue;
+                };
                 for page in (p.buf >> 12)..=((p.buf + p.bytes as u64 - 1) >> 12) {
                     if !self.delegated.contains(&page) && !newly.contains(&page) {
                         newly.push(page);
@@ -337,7 +396,9 @@ impl PvDisk {
             let now = k.now();
             let mut msg = vec![ch.client, batch.len() as u64];
             for &i in &batch {
-                let p = &self.pending[i];
+                let Some(p) = self.pending.get(i) else {
+                    continue;
+                };
                 msg.extend_from_slice(&[
                     p.op,
                     p.lba,
@@ -351,9 +412,10 @@ impl PvDisk {
             utcb.set_msg(&msg);
             self.batches += 1;
             for &i in &batch {
-                let p = &mut self.pending[i];
-                p.attempts += 1;
-                p.submitted_at = now;
+                if let Some(p) = self.pending.get_mut(i) {
+                    p.attempts += 1;
+                    p.submitted_at = now;
+                }
             }
             match k.ipc_call(ctx, ch.req_sel, &mut utcb) {
                 // Dead portal (restart underway): retry via the
@@ -364,7 +426,9 @@ impl PvDisk {
                     let status = utcb.word(0);
                     let accepted = utcb.word(1) as usize;
                     for &i in batch.iter().take(accepted) {
-                        self.pending[i].accepted = true;
+                        if let Some(p) = self.pending.get_mut(i) {
+                            p.accepted = true;
+                        }
                     }
                     match status {
                         proto::OK => return raise,
@@ -375,8 +439,9 @@ impl PvDisk {
                             // The entry right after the accepted
                             // prefix is definitively bad: fail it and
                             // resubmit the remainder.
-                            if let Some(&i) = batch.get(accepted) {
-                                let p = self.pending.remove(i).expect("batch index");
+                            if let Some(p) =
+                                batch.get(accepted).and_then(|&i| self.pending.remove(i))
+                            {
                                 self.degraded += 1;
                                 k.counters.degraded_errors += 1;
                                 self.done.insert(p.idx, ring::ST_ERROR);
@@ -454,8 +519,12 @@ impl PvDisk {
             let tag = k.mem_read_u32(ctx, rec).unwrap_or(0);
             let status = k.mem_read_u32(ctx, rec + 4).unwrap_or(1);
             self.ring_tail = self.ring_tail.wrapping_add(1);
-            if let Some(pos) = self.pending.iter().position(|p| p.idx as u32 == tag) {
-                let p = self.pending.remove(pos).expect("position");
+            let found = self
+                .pending
+                .iter()
+                .position(|p| p.idx as u32 == tag)
+                .and_then(|pos| self.pending.remove(pos));
+            if let Some(p) = found {
                 self.completions += 1;
                 self.done.insert(
                     p.idx,
@@ -493,7 +562,9 @@ impl PvDisk {
         let mut raise = false;
         let mut i = 0;
         while i < self.pending.len() {
-            let p = &mut self.pending[i];
+            let Some(p) = self.pending.get_mut(i) else {
+                break;
+            };
             let limit = if p.accepted {
                 REQUEST_TIMEOUT
             } else {
@@ -508,11 +579,12 @@ impl PvDisk {
                 k.counters.request_timeouts += 1;
             }
             if p.attempts >= MAX_ATTEMPTS {
-                let p = self.pending.remove(i).expect("index");
-                self.degraded += 1;
-                k.counters.degraded_errors += 1;
-                self.done.insert(p.idx, ring::ST_ERROR);
-                raise = true;
+                if let Some(p) = self.pending.remove(i) {
+                    self.degraded += 1;
+                    k.counters.degraded_errors += 1;
+                    self.done.insert(p.idx, ring::ST_ERROR);
+                    raise = true;
+                }
                 continue;
             }
             p.accepted = false;

@@ -17,10 +17,21 @@
 //! Exit accounting per delivered packet: zero guest exits on the data
 //! path. The guest pays one doorbell exit per refill batch and one
 //! ISR-acknowledge exit per (already hardware-coalesced) interrupt.
+//!
+//! Because the backend programs guest-supplied addresses into a real
+//! DMA engine, posted buffers are the most security-critical guest
+//! input in the VMM: every buffer is bounds-checked against guest RAM
+//! *before* it reaches a hardware descriptor, and a buffer outside
+//! guest RAM — an attempted DMA into foreign memory — is a structural
+//! [`VmKill`], not a per-packet error. Same for an unusable ring
+//! base. The module is lint-gated panic-free.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_core::{CompCtx, Kernel};
 use nova_hw::nic::{regs as hw, ICR_RXT0, RXD_STAT_DD};
 use nova_hw::pv::{net as ring, regs};
+use nova_hw::{GuestFault, GuestSurface, VmKill};
 
 /// VMM page where the launcher maps the physical NIC's register
 /// window for a paravirtual-NIC VMM (the direct-assignment path uses
@@ -36,6 +47,7 @@ const HW_ENTRIES: u64 = 256;
 /// The paravirtual NIC backend.
 pub struct PvNet {
     guest_base_page: u64,
+    guest_pages: u64,
     /// VMM virtual address of the NIC register window.
     mmio_va: u64,
     /// Guest-physical address of the ring allocation (2 pages).
@@ -53,14 +65,19 @@ pub struct PvNet {
     pub packets: u64,
     /// Virtual interrupts injected (after coalescing).
     pub irqs: u64,
+    /// Posted buffers rejected by validation.
+    pub rejected: u64,
+    /// Structurally fatal guest input awaiting escalation by the VMM.
+    fatal: Option<VmKill>,
 }
 
 impl PvNet {
     /// Creates the backend for a guest-RAM window starting at VMM
-    /// page `guest_base_page`.
-    pub fn new(guest_base_page: u64) -> PvNet {
+    /// page `guest_base_page` spanning `guest_pages` pages.
+    pub fn new(guest_base_page: u64, guest_pages: u64) -> PvNet {
         PvNet {
             guest_base_page,
+            guest_pages,
             mmio_va: PVNET_MMIO_PAGE * 4096,
             ring_gpa: 0,
             posted: 0,
@@ -70,6 +87,32 @@ impl PvNet {
             doorbells: 0,
             packets: 0,
             irqs: 0,
+            rejected: 0,
+            fatal: None,
+        }
+    }
+
+    /// Takes the pending fatal kill, if Byzantine input reached the
+    /// DMA path.
+    pub fn take_fatal(&mut self) -> Option<VmKill> {
+        self.fatal.take()
+    }
+
+    /// Records one rejected guest input on this surface and arms the
+    /// structural kill: anything invalid here was headed for a real
+    /// DMA engine.
+    fn reject_fatal(&mut self, k: &mut Kernel, reason: GuestFault) {
+        self.rejected += 1;
+        k.counters.guest_faults_rejected += 1;
+        if k.machine.bus.trace.active() {
+            k.machine.bus.trace.metrics.add(
+                nova_trace::names::GUEST_FAULT_REJECTED,
+                GuestSurface::PvNetRing as u64,
+                1,
+            );
+        }
+        if self.fatal.is_none() {
+            self.fatal = Some(VmKill::new(GuestSurface::PvNetRing, reason));
         }
     }
 
@@ -115,7 +158,23 @@ impl PvNet {
     pub fn mmio_write(&mut self, k: &mut Kernel, ctx: CompCtx, off: u64, val: u32) -> bool {
         match off {
             regs::NET_RING => {
-                self.ring_gpa = val as u64;
+                // Two whole pages (shared ring + backend-private
+                // hardware ring) inside guest RAM, page-aligned; the
+                // hardware ring page holds real DMA descriptors, so an
+                // unusable base is structurally fatal.
+                let gpa = val as u64;
+                let reason = if gpa & 0xfff != 0 {
+                    Some(GuestFault::Misaligned)
+                } else if !nova_hw::pv::buffer_in_ram(gpa, 2 * 4096, self.guest_pages) {
+                    Some(GuestFault::BadBase)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    self.reject_fatal(k, reason);
+                    return false;
+                }
+                self.ring_gpa = gpa;
                 self.init_hw(k, ctx);
                 false
             }
@@ -169,6 +228,16 @@ impl PvNet {
             let entry = self.guest_va(self.ring_gpa + ring::ENTRY0 + slot * ring::ENTRY_SIZE);
             let buf = k.mem_read_u32(ctx, entry + ring::E_BUF).unwrap_or(0) as u64
                 | (k.mem_read_u32(ctx, entry + ring::E_BUF + 4).unwrap_or(0) as u64) << 32;
+            let cap = k.mem_read_u32(ctx, entry + ring::E_LEN).unwrap_or(0) as u64;
+            // The posted buffer becomes a hardware DMA target: it must
+            // lie entirely inside guest RAM (capacity included, and at
+            // least one byte) or the guest is aiming the NIC at memory
+            // it does not own. Stop the batch — the hardware ring
+            // stays consistent with `posted` — and escalate.
+            if !nova_hw::pv::buffer_in_ram(buf, cap.max(1), self.guest_pages) {
+                self.reject_fatal(k, GuestFault::BufferOutOfRange);
+                break;
+            }
             let hwd = self.guest_va(self.ring_gpa + 4096 + (idx % HW_ENTRIES) * 16);
             let dva = self.dva(buf);
             k.mem_write_u32(ctx, hwd, dva as u32);

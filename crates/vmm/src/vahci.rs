@@ -13,6 +13,15 @@
 //! (guests reuse their DMA buffers); they are torn down wholesale when
 //! the VM is destroyed. The security implications are exactly the ones
 //! Section 4.2 discusses for delegated buffers.
+//!
+//! Every structure the controller parses — command list, command
+//! table, CFIS, PRDT — lives in guest memory and is Byzantine input:
+//! all reads are bounds-checked against guest RAM, all rejections
+//! surface to the guest as a task-file error (TFES) on the offending
+//! slot, and nothing the guest writes can panic the VMM or index
+//! outside its own window (lint-gated below).
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use std::collections::HashSet;
 
@@ -21,6 +30,7 @@ use nova_core::obj::MemRights;
 use nova_core::utcb::XferItem;
 use nova_core::{CompCtx, Kernel, Utcb};
 use nova_hw::ahci::{regs, ATA_READ_DMA_EXT, ATA_WRITE_DMA_EXT, SECTOR};
+use nova_hw::{GuestFault, GuestSurface};
 use nova_user::proto::disk as proto;
 use nova_x86::insn::OpSize;
 
@@ -88,6 +98,9 @@ pub struct VAhci {
     /// Guest-physical base of the VMM window holding guest RAM
     /// (guest page `g` is VMM page `guest_base_page + g`).
     guest_base_page: u64,
+    /// Guest RAM size in pages — the bound every guest-supplied
+    /// address is validated against.
+    guest_pages: u64,
     channel: Option<DiskChannel>,
     clb: u64,
     is: u32,
@@ -115,10 +128,11 @@ pub struct VAhci {
 
 impl VAhci {
     /// Creates the model for a VMM whose guest-RAM window starts at
-    /// page `guest_base_page`.
-    pub fn new(guest_base_page: u64) -> VAhci {
+    /// page `guest_base_page` spanning `guest_pages` pages.
+    pub fn new(guest_base_page: u64, guest_pages: u64) -> VAhci {
         VAhci {
             guest_base_page,
+            guest_pages,
             channel: None,
             clb: 0,
             is: 0,
@@ -160,11 +174,11 @@ impl VAhci {
         self.delegated.clear();
         let mut raise = false;
         for slot in 0..32u8 {
-            if let Some(mut req) = self.pending[slot as usize] {
+            if let Some(mut req) = self.pend(slot) {
                 req.accepted = false;
                 req.submitted_at = k.now();
                 req.attempts += 1;
-                self.pending[slot as usize] = Some(req);
+                self.set_pend(slot, Some(req));
                 self.resubmits += 1;
                 k.counters.request_retries += 1;
                 raise |= self.try_submit(k, ctx, slot);
@@ -181,6 +195,19 @@ impl VAhci {
         k.mem_read(ctx, self.guest_base_page * 4096 + gpa, len)
     }
 
+    /// The pending request in `slot`, if any (the slot index is
+    /// masked to the 32-slot range, mirroring the hardware register).
+    fn pend(&self, slot: u8) -> Option<PendingReq> {
+        self.pending.get(slot as usize & 31).copied().flatten()
+    }
+
+    /// Replaces the pending state of `slot`.
+    fn set_pend(&mut self, slot: u8, v: Option<PendingReq>) {
+        if let Some(p) = self.pending.get_mut(slot as usize & 31) {
+            *p = v;
+        }
+    }
+
     /// Reports a task-file error for `slot` to the guest and drops any
     /// pending state: the degradation path — the guest sees an error
     /// status, never a hung vCPU.
@@ -189,49 +216,78 @@ impl VAhci {
         self.ci &= !(1 << slot);
         self.p0is |= 1 << 30; // TFES
         self.is |= 1;
-        self.pending[slot as usize] = None;
+        self.set_pend(slot, None);
         self.inflight_slots &= !(1 << slot);
     }
 
-    /// Handles a doorbell write: parse the guest's command structures
-    /// and forward the request to the disk server.
-    fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) {
-        let fail = |s: &mut Self| s.fail_slot(slot);
+    /// A malformed guest command structure: count the typed rejection,
+    /// then degrade the slot with a task-file error.
+    fn fail_guest(&mut self, k: &mut Kernel, slot: u8, _fault: GuestFault) {
+        k.counters.guest_faults_rejected += 1;
+        if k.machine.bus.trace.active() {
+            k.machine.bus.trace.metrics.add(
+                nova_trace::names::GUEST_FAULT_REJECTED,
+                GuestSurface::Vahci as u64,
+                1,
+            );
+        }
+        self.fail_slot(slot);
+    }
 
-        // Command header and table, from guest memory.
+    /// Handles a doorbell write: parse the guest's command structures
+    /// and forward the request to the disk server. Every field is
+    /// untrusted guest input.
+    fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) {
+        // The command list must fit in guest RAM before the header is
+        // dereferenced; `clb` is two raw guest-written registers.
+        if !nova_hw::pv::buffer_in_ram(self.clb, 32 * 32, self.guest_pages) {
+            return self.fail_guest(k, slot, GuestFault::BadBase);
+        }
         let Some(hdr_lo) = self.read_guest_u32(k, ctx, self.clb + slot as u64 * 32) else {
-            return fail(self);
+            return self.fail_guest(k, slot, GuestFault::BadBase);
         };
         let prdtl = (hdr_lo >> 16) as usize;
         let Some(ctba) = self
             .read_guest_u32(k, ctx, self.clb + slot as u64 * 32 + 8)
             .map(|v| v as u64)
         else {
-            return fail(self);
+            return self.fail_guest(k, slot, GuestFault::BadBase);
         };
-        let Some(cfis) = self.read_guest(k, ctx, ctba, 64) else {
-            return fail(self);
-        };
-        if cfis[0] != 0x27 {
-            return fail(self);
+        // Command table: 64-byte CFIS plus the PRDT at +0x80.
+        if !nova_hw::pv::buffer_in_ram(
+            ctba,
+            0x80 + proto::MAX_SEGMENTS as u64 * 16,
+            self.guest_pages,
+        ) {
+            return self.fail_guest(k, slot, GuestFault::BadBase);
         }
-        let write = match cfis[2] {
+        let Some(cfis) = self.read_guest(k, ctx, ctba, 64) else {
+            return self.fail_guest(k, slot, GuestFault::BadBase);
+        };
+        let fis = |i: usize| cfis.get(i).copied().unwrap_or(0);
+        if fis(0) != 0x27 {
+            return self.fail_guest(k, slot, GuestFault::BadOpcode);
+        }
+        let write = match fis(2) {
             ATA_READ_DMA_EXT => false,
             ATA_WRITE_DMA_EXT => true,
-            _ => return fail(self),
+            _ => return self.fail_guest(k, slot, GuestFault::BadOpcode),
         };
         // All six LBA bytes of the 48-bit command — dropping
         // `cfis[9]`/`cfis[10]` would silently wrap requests beyond
         // 2 TB back into the low disk.
-        let lba = cfis[4] as u64
-            | (cfis[5] as u64) << 8
-            | (cfis[6] as u64) << 16
-            | (cfis[8] as u64) << 24
-            | (cfis[9] as u64) << 32
-            | (cfis[10] as u64) << 40;
-        let sectors = cfis[12] as u32 | (cfis[13] as u32) << 8;
-        if sectors == 0 || prdtl == 0 || prdtl > proto::MAX_SEGMENTS {
-            return fail(self);
+        let lba = fis(4) as u64
+            | (fis(5) as u64) << 8
+            | (fis(6) as u64) << 16
+            | (fis(8) as u64) << 24
+            | (fis(9) as u64) << 32
+            | (fis(10) as u64) << 40;
+        let sectors = fis(12) as u32 | (fis(13) as u32) << 8;
+        if sectors == 0 {
+            return self.fail_guest(k, slot, GuestFault::BadLength);
+        }
+        if prdtl == 0 || prdtl > proto::MAX_SEGMENTS {
+            return self.fail_guest(k, slot, GuestFault::IndexOutOfRange);
         }
 
         // The PRDT, every entry of it. Buffers need not be page
@@ -240,39 +296,54 @@ impl VAhci {
         // exactly — a mismatch is a guest driver bug and fails the
         // slot instead of transferring to the wrong window address.
         let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, prdtl * 16) else {
-            return fail(self);
+            return self.fail_guest(k, slot, GuestFault::BadBase);
         };
         let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
         let mut total = 0u64;
         for (i, e) in prdt.chunks_exact(16).enumerate() {
-            let dba = u64::from_le_bytes(e[0..8].try_into().expect("16-byte chunk"));
-            let dbc = u32::from_le_bytes(e[12..16].try_into().expect("16-byte chunk")) & 0x3f_ffff;
-            segs[i] = (dba, dbc + 1);
-            total += dbc as u64 + 1;
+            let word = |r: core::ops::Range<usize>| {
+                e.get(r)
+                    .map(|b| b.iter().rev().fold(0u64, |a, &x| a << 8 | x as u64))
+                    .unwrap_or(0)
+            };
+            let dba = word(0..8);
+            let dbc = (word(12..16) as u32) & 0x3f_ffff;
+            let bytes = dbc as u64 + 1;
+            // Each segment is a future DMA target in guest RAM.
+            if !nova_hw::pv::buffer_in_ram(dba, bytes, self.guest_pages) {
+                return self.fail_guest(k, slot, GuestFault::BufferOutOfRange);
+            }
+            if let Some(s) = segs.get_mut(i) {
+                *s = (dba, dbc + 1);
+            }
+            total += bytes;
         }
         if total != sectors as u64 * SECTOR as u64 {
-            return fail(self);
+            return self.fail_guest(k, slot, GuestFault::BadLength);
         }
-        if self.pending[slot as usize].is_some() {
+        if self.pend(slot).is_some() {
             // The slot is still outstanding; a well-behaved guest
             // never re-rings it.
-            return fail(self);
+            return self.fail_guest(k, slot, GuestFault::Rerung);
         }
 
-        self.pending[slot as usize] = Some(PendingReq {
-            op: if write {
-                proto::OP_WRITE
-            } else {
-                proto::OP_READ
-            },
-            lba,
-            sectors,
-            segs,
-            nsegs: prdtl,
-            submitted_at: k.now(),
-            attempts: 1,
-            accepted: false,
-        });
+        self.set_pend(
+            slot,
+            Some(PendingReq {
+                op: if write {
+                    proto::OP_WRITE
+                } else {
+                    proto::OP_READ
+                },
+                lba,
+                sectors,
+                segs,
+                nsegs: prdtl,
+                submitted_at: k.now(),
+                attempts: 1,
+                accepted: false,
+            }),
+        );
         self.requests += 1;
         self.try_submit(k, ctx, slot);
     }
@@ -283,7 +354,11 @@ impl VAhci {
     fn try_submit(&mut self, k: &mut Kernel, ctx: CompCtx, slot: u8) -> bool {
         match self.submit_slot(k, ctx, slot) {
             SubmitOutcome::Accepted => {
-                if let Some(req) = &mut self.pending[slot as usize] {
+                if let Some(req) = self
+                    .pending
+                    .get_mut(slot as usize & 31)
+                    .and_then(Option::as_mut)
+                {
                     req.accepted = true;
                 }
                 self.inflight_slots |= 1 << slot;
@@ -307,13 +382,15 @@ impl VAhci {
         let Some(ch) = self.channel else {
             return SubmitOutcome::Retry;
         };
-        let Some(req) = self.pending[slot as usize] else {
+        let Some(req) = self.pend(slot) else {
             return SubmitOutcome::Fail;
         };
+        let segs = req.segs.get(..req.nsegs).unwrap_or(&[]);
         // Union of guest pages the segments touch that the server
-        // does not hold yet.
+        // does not hold yet. Segments were bounds-checked against
+        // guest RAM at issue(), so the end address cannot overflow.
         let mut newly: Vec<u64> = Vec::new();
-        for &(dba, bytes) in &req.segs[..req.nsegs] {
+        for &(dba, bytes) in segs {
             for p in (dba >> 12)..=((dba + bytes as u64 - 1) >> 12) {
                 if !self.delegated.contains(&p) && !newly.contains(&p) {
                     newly.push(p);
@@ -332,18 +409,19 @@ impl VAhci {
         // Window byte address of guest byte `b` is
         // `WINDOW_BASE * 4096 + b` (pages map at WINDOW_BASE + page),
         // so unaligned buffers keep their in-page offset.
-        let mut msg = [0u64; 6 + 2 * proto::MAX_SEGMENTS];
-        msg[0] = ch.client;
-        msg[1] = req.op;
-        msg[2] = req.lba;
-        msg[3] = req.sectors as u64;
-        msg[4] = slot as u64;
-        msg[5] = req.nsegs as u64;
-        for (i, &(dba, bytes)) in req.segs[..req.nsegs].iter().enumerate() {
-            msg[6 + i * 2] = WINDOW_BASE * 4096 + dba;
-            msg[7 + i * 2] = bytes as u64;
+        let mut msg = vec![
+            ch.client,
+            req.op,
+            req.lba,
+            req.sectors as u64,
+            slot as u64,
+            req.nsegs as u64,
+        ];
+        for &(dba, bytes) in segs {
+            msg.push(WINDOW_BASE * 4096 + dba);
+            msg.push(bytes as u64);
         }
-        utcb.set_msg(&msg[..6 + req.nsegs * 2]);
+        utcb.set_msg(&msg);
         match k.ipc_call(ctx, ch.req_sel, &mut utcb) {
             // Dead portal or busy handler (a restart may be underway):
             // nothing was transferred, try again later.
@@ -369,7 +447,7 @@ impl VAhci {
         let now = k.now();
         let mut raise = false;
         for slot in 0..32u8 {
-            let Some(mut req) = self.pending[slot as usize] else {
+            let Some(mut req) = self.pend(slot) else {
                 continue;
             };
             let limit = if req.accepted {
@@ -394,7 +472,7 @@ impl VAhci {
             req.attempts += 1;
             req.submitted_at = now;
             req.accepted = false;
-            self.pending[slot as usize] = Some(req);
+            self.set_pend(slot, Some(req));
             self.resubmits += 1;
             k.counters.request_retries += 1;
             raise |= self.try_submit(k, ctx, slot);
@@ -423,7 +501,7 @@ impl VAhci {
             let slot = (tag & 31) as u8;
             self.ci &= !(1 << slot);
             self.inflight_slots &= !(1 << slot);
-            self.pending[slot as usize] = None;
+            self.set_pend(slot, None);
             self.completions += 1;
             if status == 0 {
                 self.p0is |= 1; // DHRS

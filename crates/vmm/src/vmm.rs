@@ -23,7 +23,7 @@ use nova_core::utcb::XferItem;
 use nova_core::{CompCtx, Component, Hypercall, Kernel, SmId, Utcb};
 use nova_hw::mmu::MmuRegs;
 use nova_hw::vmx::{mtd, ExitReason, Injection};
-use nova_hw::Cycles;
+use nova_hw::{Cycles, GuestFault, GuestSurface, VmKill};
 use nova_trace::Kind as TraceKind;
 use nova_x86::exec::Fault;
 use nova_x86::insn::OpSize;
@@ -245,6 +245,9 @@ pub struct Vmm {
     pub marks: Vec<u32>,
     /// Guest's exit code once it shut down.
     pub guest_exit: Option<u8>,
+    /// Structured record of why the VMM killed the guest, if it did
+    /// (voluntary guest exits leave this `None`).
+    pub kill: Option<VmKill>,
     /// Statistics.
     pub stats: VmmStats,
 }
@@ -267,6 +270,7 @@ impl Vmm {
             gsi_sms: Vec::new(),
             marks: Vec::new(),
             guest_exit: None,
+            kill: None,
             stats: VmmStats::default(),
         }
     }
@@ -384,6 +388,34 @@ impl Vmm {
                 },
             );
         }
+    }
+
+    /// The containment path (Section 4): terminates this VM — and only
+    /// this VM — with a structured, machine-readable kill record.
+    ///
+    /// Files the [`VmKill`], sets the guest exit code from it, bumps
+    /// the hypervisor's `vm_kills` counter and the per-reason
+    /// `nova-trace` metric (domain = exit code), and forwards the code
+    /// to the physical debug port so supervisors observe the death.
+    /// The caller still owns the exit message and must park the vCPU
+    /// (`reply_block`).
+    fn kill_vm(&mut self, k: &mut Kernel, ctx: CompCtx, kill: VmKill) {
+        let code = kill.exit_code();
+        // First kill wins: a cascade of exits after the fatal one must
+        // not rewrite the recorded root cause.
+        if self.kill.is_none() {
+            self.kill = Some(kill);
+        }
+        self.guest_exit = Some(code);
+        k.counters.vm_kills += 1;
+        if k.machine.bus.trace.active() {
+            k.machine
+                .bus
+                .trace
+                .metrics
+                .add(nova_trace::names::VM_KILLS_BY_REASON, code as u64, 1);
+        }
+        let _ = k.dev_io_write(ctx, crate::devices::PORT_EXIT, OpSize::Byte, code as u32);
     }
 
     /// Completes exit handling: inject a pending vector if the window
@@ -530,6 +562,9 @@ impl Vmm {
                 msg.regs.eip = msg.regs.eip.wrapping_add(len as u32);
                 msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
                 self.apply_special(k, ctx, vcpu);
+                if let Some(kill) = self.dev.as_mut().and_then(VDevices::take_fatal) {
+                    self.kill_vm(k, ctx, kill);
+                }
                 if self.guest_exit.is_some() {
                     // The guest powered off: park the vCPU for good.
                     msg.reply_block = true;
@@ -542,9 +577,14 @@ impl Vmm {
                     if let Some((pf, pc)) = self.cfg.protect_kernel {
                         let page = gpa >> 12;
                         if page >= pf && page < pf + pc {
-                            self.guest_exit = Some(0xfc);
-                            let _ =
-                                k.dev_io_write(ctx, crate::devices::PORT_EXIT, OpSize::Byte, 0xfc);
+                            self.kill_vm(
+                                k,
+                                ctx,
+                                VmKill::new(
+                                    GuestSurface::GuestMemory,
+                                    GuestFault::ProtectedRangeWrite,
+                                ),
+                            );
                             msg.reply_block = true;
                             self.finish_reply(vcpu, &mut msg);
                             let at = k.now();
@@ -580,6 +620,11 @@ impl Vmm {
                         msg.reply_mtd =
                             mtd::GPR_ACDB | mtd::GPR_BSD | mtd::ESP | mtd::EIP | mtd::EFL;
                         self.apply_special(k, ctx, vcpu);
+                        // A device backend may have flagged the input
+                        // it just consumed as structurally hostile.
+                        if let Some(kill) = self.dev.as_mut().and_then(VDevices::take_fatal) {
+                            self.kill_vm(k, ctx, kill);
+                        }
                         if self.guest_exit.is_some() {
                             msg.reply_block = true;
                         }
@@ -598,7 +643,11 @@ impl Vmm {
                     Err(EmuErr::Unsupported) => {
                         // The paper's VMM would have a wider emulator;
                         // ours treats this as a fatal guest error.
-                        self.guest_exit = Some(0xfe);
+                        self.kill_vm(
+                            k,
+                            ctx,
+                            VmKill::new(GuestSurface::Emulator, GuestFault::UndecodableInstruction),
+                        );
                         msg.reply_block = true;
                     }
                 }
@@ -634,7 +683,11 @@ impl Vmm {
                 msg.reply_mtd = mtd::GPR_ACDB | mtd::EIP;
             }
             ExitReason::TripleFault => {
-                self.guest_exit = Some(0xfd);
+                self.kill_vm(
+                    k,
+                    ctx,
+                    VmKill::new(GuestSurface::CpuState, GuestFault::UnrecoverableCpuState),
+                );
                 msg.reply_block = true;
             }
             // Never routed to the VMM (kernel-handled or synchronous).
@@ -812,7 +865,7 @@ impl Component for Vmm {
         self.timer_sm = Some(nova_core::SmId(k.obj.sms.len() - 1));
 
         // Disk channel.
-        let mut vahci = VAhci::new(self.cfg.guest_base_page);
+        let mut vahci = VAhci::new(self.cfg.guest_base_page, self.cfg.guest_pages);
         let mut pvdisk = PvDisk::new(self.cfg.guest_base_page, self.cfg.guest_pages);
         if let Some((reg, req)) = self.cfg.disk_portals {
             k.hypercall(
@@ -903,7 +956,7 @@ impl Component for Vmm {
                 },
             )
             .expect("assign nic gsi (root must delegate ownership first)");
-            PvNet::new(self.cfg.guest_base_page)
+            PvNet::new(self.cfg.guest_base_page, self.cfg.guest_pages)
         });
         self.dev = Some(VDevices::new(cpu_hz, sel::TIMER_SM, vahci, pvdisk, pvnet));
 
