@@ -49,6 +49,12 @@ pub struct Counters {
     /// Hypercalls refused because a PD exhausted its kernel-object
     /// quota.
     pub quota_rejections: u64,
+    /// VMM checkpoints captured by the supervisor.
+    pub checkpoints_taken: u64,
+    /// VMM incarnations started beyond the first (microreboots).
+    pub vmm_restarts: u64,
+    /// Escalation-ladder transitions (resume → cold reboot → failed).
+    pub escalations: u64,
 
     /// Cycles spent in guest/host transitions (Section 8.5: 26%).
     pub cycles_transition: Cycles,
@@ -136,6 +142,11 @@ impl Counters {
             .saturating_sub(earlier.guest_faults_rejected);
         d.vm_kills = d.vm_kills.saturating_sub(earlier.vm_kills);
         d.quota_rejections = d.quota_rejections.saturating_sub(earlier.quota_rejections);
+        d.checkpoints_taken = d
+            .checkpoints_taken
+            .saturating_sub(earlier.checkpoints_taken);
+        d.vmm_restarts = d.vmm_restarts.saturating_sub(earlier.vmm_restarts);
+        d.escalations = d.escalations.saturating_sub(earlier.escalations);
         d.cycles_transition = d
             .cycles_transition
             .saturating_sub(earlier.cycles_transition);

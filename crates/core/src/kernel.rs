@@ -11,8 +11,9 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use nova_hw::cpu::run_guest;
+use nova_hw::fault::FaultKind;
 use nova_hw::machine::Machine;
-use nova_hw::vmx::{mtd, ExitReason, PagingVirt, Vmcs};
+use nova_hw::vmx::{mtd, ExitReason, Injection, PagingVirt, Vmcs};
 use nova_hw::Cycles;
 use nova_trace::{Kind as TraceKind, PD_NONE};
 use nova_x86::insn::OpSize;
@@ -202,6 +203,125 @@ struct KernelTimer {
     sm: SmId,
     due: Cycles,
     period: Cycles,
+}
+
+/// Fault code the kernel files when it crashes a VMM via injected
+/// [`FaultKind::VmmCrash`], so supervisors can tell an injected death
+/// from an organic one in the trace.
+pub const VMM_CRASH_CODE: u64 = 0xc4a5;
+
+/// The architectural state of one virtual CPU, as captured by
+/// [`Kernel::export_vcpu`] for a supervisor checkpoint and replayed by
+/// [`Kernel::import_vcpu`] into a fresh vCPU after a VMM microreboot.
+///
+/// Only *guest-owned* state is here. Host-side VMCS configuration
+/// (intercepts, passthrough bitmaps, paging mode, VPID) is policy the
+/// respawned VMM re-derives from its own configuration, and the vTLB
+/// shadow tables are a cache the kernel rebuilds on demand — neither
+/// is captured (DESIGN.md §6e).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcpuSnapshot {
+    /// Guest architectural registers.
+    pub regs: Regs,
+    /// Guest was halted (activity state).
+    pub halted: bool,
+    /// Guest was in the one-instruction STI shadow.
+    pub sti_shadow: bool,
+    /// Event that was pending injection.
+    pub injection: Option<Injection>,
+    /// An interrupt-window exit was requested.
+    pub intwin_exit: bool,
+    /// A recall was pending.
+    pub recall_pending: bool,
+    /// TSC offset.
+    pub tsc_offset: u64,
+    /// The EC was blocked in the kernel (parked after HLT or a
+    /// `reply_block`).
+    pub blocked: bool,
+}
+
+impl VcpuSnapshot {
+    /// Serialized size in bytes: 16 little-endian u32 register words,
+    /// the u64 TSC offset, five flag bytes, and a 7-byte injection
+    /// record (present, vector, error code, error-code present).
+    pub const BYTES: usize = 16 * 4 + 8 + 5 + 7;
+
+    /// Deterministic little-endian serialization.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTES);
+        let r = &self.regs;
+        for gpr in 0..8 {
+            out.extend_from_slice(&r.gpr[gpr].to_le_bytes());
+        }
+        for w in [
+            r.eip,
+            r.eflags,
+            r.cr0,
+            r.cr2,
+            r.cr3,
+            r.cr4,
+            r.idt_base,
+            r.idt_limit as u32,
+        ] {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.tsc_offset.to_le_bytes());
+        out.push(self.halted as u8);
+        out.push(self.sti_shadow as u8);
+        out.push(self.intwin_exit as u8);
+        out.push(self.recall_pending as u8);
+        out.push(self.blocked as u8);
+        let inj = self.injection;
+        out.push(inj.is_some() as u8);
+        out.push(inj.map(|i| i.vector).unwrap_or(0));
+        out.extend_from_slice(&inj.and_then(|i| i.error_code).unwrap_or(0).to_le_bytes());
+        out.push(matches!(
+            inj,
+            Some(Injection {
+                error_code: Some(_),
+                ..
+            })
+        ) as u8);
+        debug_assert_eq!(out.len(), Self::BYTES);
+        out
+    }
+
+    /// Inverse of [`VcpuSnapshot::to_bytes`]; `None` on a short
+    /// record.
+    pub fn from_bytes(b: &[u8]) -> Option<VcpuSnapshot> {
+        if b.len() < Self::BYTES {
+            return None;
+        }
+        let u32_at = |o: usize| -> u32 { u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]) };
+        let mut regs = Regs::default();
+        for gpr in 0..8 {
+            regs.gpr[gpr] = u32_at(gpr * 4);
+        }
+        regs.eip = u32_at(32);
+        regs.eflags = u32_at(36);
+        regs.cr0 = u32_at(40);
+        regs.cr2 = u32_at(44);
+        regs.cr3 = u32_at(48);
+        regs.cr4 = u32_at(52);
+        regs.idt_base = u32_at(56);
+        regs.idt_limit = u32_at(60) as u16;
+        let tsc_offset =
+            u64::from_le_bytes([b[64], b[65], b[66], b[67], b[68], b[69], b[70], b[71]]);
+        let injection = (b[77] != 0).then(|| Injection {
+            vector: b[78],
+            error_code: (b[83] != 0).then(|| u32_at(79)),
+        });
+        Some(VcpuSnapshot {
+            regs,
+            halted: b[72] != 0,
+            sti_shadow: b[73] != 0,
+            injection,
+            intwin_exit: b[74] != 0,
+            recall_pending: b[75] != 0,
+            tsc_offset,
+            blocked: b[76] != 0,
+        })
+    }
 }
 
 impl Kernel {
@@ -1235,12 +1355,18 @@ impl Kernel {
             self.activations.remove(ec);
             self.ec_component.remove(ec);
         }
-        // Unbind semaphores pointed at dead ECs.
-        for sm in &mut self.obj.sms {
+        // Unbind semaphores pointed at dead ECs, and cancel kernel
+        // timers feeding them: a destroyed VMM's periodic timers must
+        // not keep signalling into the void (the machine would never
+        // go idle again).
+        let mut orphaned: Vec<SmId> = Vec::new();
+        for (i, sm) in self.obj.sms.iter_mut().enumerate() {
             if sm.bound.is_some_and(|e| ecs.contains(&e)) {
                 sm.bound = None;
+                orphaned.push(SmId(i));
             }
         }
+        self.timers.retain(|t| !orphaned.contains(&t.sm));
         // Interrupt routes into the dead domain revert to root, so
         // the supervisor can re-grant them to a restarted driver.
         let root = self.root_pd;
@@ -1495,12 +1621,18 @@ impl Kernel {
             self.activations.remove(ec);
         }
         // Semaphores bound into the dead domain stop delivering — a
-        // crashed driver must not keep handling its interrupts.
-        for sm in &mut self.obj.sms {
+        // crashed driver must not keep handling its interrupts — and
+        // kernel timers feeding those semaphores are cancelled, so a
+        // dead VMM's periodic virtual timers cannot livelock the idle
+        // loop while the supervisor recovers.
+        let mut orphaned: Vec<SmId> = Vec::new();
+        for (i, sm) in self.obj.sms.iter_mut().enumerate() {
             if sm.bound.is_some_and(|e| ecs.contains(&e)) {
                 sm.bound = None;
+                orphaned.push(SmId(i));
             }
         }
+        self.timers.retain(|t| !orphaned.contains(&t.sm));
         self.counters.pd_deaths += 1;
         self.trace_emit(pd.0 as u16, TraceKind::PdDeath, code);
         let mut fired = Vec::new();
@@ -1513,6 +1645,85 @@ impl Kernel {
         for sm in fired {
             self.sm_up(sm);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // vCPU state capture (supervisor checkpoint/restore)
+    // ------------------------------------------------------------------
+
+    /// Exports the architectural state of a virtual CPU for a
+    /// supervisor checkpoint. `pd_sel` must be a CTRL-bearing
+    /// capability of `caller` to the owning VMM's domain; `vcpu_sel`
+    /// names the vCPU inside *that* domain's capability space (where
+    /// it must carry EC_CTRL permission). The path deliberately works
+    /// on a faulted-but-not-yet-destroyed domain: [`Kernel::pd_fault`]
+    /// leaves capabilities in place precisely so the supervisor can
+    /// capture state before it issues `DestroyPd`.
+    pub fn export_vcpu(
+        &self,
+        caller: PdId,
+        pd_sel: CapSel,
+        vcpu_sel: CapSel,
+    ) -> Result<VcpuSnapshot, HcErr> {
+        let owner = self.lookup_pd(caller, pd_sel, Perms::CTRL)?;
+        let cap = self.obj.pd(owner).caps.get(vcpu_sel).ok_or(HcErr::BadCap)?;
+        if !cap.perms.allows(Perms::EC_CTRL) {
+            return Err(HcErr::BadPerm);
+        }
+        let ec_id = match cap.obj {
+            ObjRef::Ec(id) => id,
+            _ => return Err(HcErr::BadCap),
+        };
+        let ec = self.obj.ec(ec_id);
+        let vmcs = ec.vmcs().ok_or(HcErr::BadParam)?;
+        Ok(VcpuSnapshot {
+            regs: vmcs.guest.clone(),
+            halted: vmcs.halted,
+            sti_shadow: vmcs.sti_shadow,
+            injection: vmcs.injection,
+            intwin_exit: vmcs.intwin_exit,
+            recall_pending: vmcs.recall_pending,
+            tsc_offset: vmcs.tsc_offset,
+            blocked: ec.blocked,
+        })
+    }
+
+    /// Imports a [`VcpuSnapshot`] into a virtual CPU: the restore half
+    /// of a VMM microreboot, aimed at the fresh vCPU a respawned VMM
+    /// just created. Same capability path as [`Kernel::export_vcpu`].
+    /// The vCPU resumes exactly where the checkpoint caught it:
+    /// running vCPUs are requeued, parked ones stay blocked until
+    /// their VMM resumes them.
+    pub fn import_vcpu(
+        &mut self,
+        caller: PdId,
+        pd_sel: CapSel,
+        vcpu_sel: CapSel,
+        snap: &VcpuSnapshot,
+    ) -> Result<(), HcErr> {
+        let owner = self.lookup_pd(caller, pd_sel, Perms::CTRL)?;
+        let cap = self.obj.pd(owner).caps.get(vcpu_sel).ok_or(HcErr::BadCap)?;
+        if !cap.perms.allows(Perms::EC_CTRL) {
+            return Err(HcErr::BadPerm);
+        }
+        let ec_id = match cap.obj {
+            ObjRef::Ec(id) => id,
+            _ => return Err(HcErr::BadCap),
+        };
+        let vmcs = self.obj.ec_mut(ec_id).vmcs_mut().ok_or(HcErr::BadParam)?;
+        vmcs.guest = snap.regs.clone();
+        vmcs.halted = snap.halted;
+        vmcs.sti_shadow = snap.sti_shadow;
+        vmcs.injection = snap.injection;
+        vmcs.intwin_exit = snap.intwin_exit;
+        vmcs.recall_pending = snap.recall_pending;
+        vmcs.tsc_offset = snap.tsc_offset;
+        if snap.blocked {
+            self.obj.ec_mut(ec_id).blocked = true;
+        } else {
+            self.unblock(ec_id);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1865,6 +2076,31 @@ impl Kernel {
                 return;
             }
         };
+
+        // Fault site: the VMM process dies just before this exit is
+        // delivered to it. The handler EC's domain is the VMM (root is
+        // never crashed); the vCPU parks exactly as it would if the
+        // portal were gone, and the supervisor's watchdog takes it
+        // from there.
+        let handler_pd = self.obj.ec(self.obj.pt(pt).ec).pd;
+        if handler_pd != self.root_pd {
+            let now = self.machine.clock;
+            if self
+                .machine
+                .bus
+                .fault
+                .roll(now, FaultKind::VmmCrash, handler_pd.0 as u64)
+            {
+                self.trace_emit(
+                    handler_pd.0 as u16,
+                    TraceKind::FaultInject,
+                    FaultKind::VmmCrash as u64,
+                );
+                self.pd_fault(handler_pd, VMM_CRASH_CODE);
+                self.obj.ec_mut(ec_id).blocked = true;
+                return;
+            }
+        }
 
         // Read the guest state selected by the portal's MTD out of the
         // VMCS (the Section 5.2 optimization: fewer groups = fewer

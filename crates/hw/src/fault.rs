@@ -38,10 +38,14 @@ pub enum FaultKind {
     /// A DMA transaction is blocked at the IOMMU (recorded as a
     /// [`crate::iommu::DmaFault`]), as if the mapping were stale.
     IommuFault = 6,
+    /// A user-level VMM dies mid-exit: the kernel faults the VMM's PD
+    /// just before delivering a VM exit to it, as if the VMM process
+    /// had crashed. Exercises the root supervisor's microreboot path.
+    VmmCrash = 7,
 }
 
 /// Number of fault kinds.
-pub const KINDS: usize = 7;
+pub const KINDS: usize = 8;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [FaultKind; KINDS] = [
@@ -52,6 +56,7 @@ pub const ALL_KINDS: [FaultKind; KINDS] = [
     FaultKind::NicPacketDrop,
     FaultKind::NicPacketCorrupt,
     FaultKind::IommuFault,
+    FaultKind::VmmCrash,
 ];
 
 /// A seeded schedule of faults: per-kind probabilities and caps.

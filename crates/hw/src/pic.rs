@@ -161,31 +161,45 @@ impl DualPic {
         self.set_line(line, false);
     }
 
+    /// Master arbitration with the slave's INT output mirrored onto
+    /// line 2: the winning master line, honouring IMR and in-service
+    /// priority. A pending slave request only wins if line 2 is the
+    /// master's highest-priority ready line.
+    fn master_best(&self) -> Option<u8> {
+        let cascade = if self.slave.best().is_some() {
+            1 << 2
+        } else {
+            0
+        };
+        let ready = (self.master.irr | cascade) & !self.master.imr;
+        for l in 0..8 {
+            if self.master.isr & (1 << l) != 0 {
+                return None;
+            }
+            if ready & (1 << l) != 0 {
+                return Some(l);
+            }
+        }
+        None
+    }
+
     /// `true` if any unmasked interrupt is pending (the INTR pin).
     pub fn intr(&self) -> bool {
-        if self.slave.best().is_some() && self.master.imr & (1 << 2) == 0 {
-            return true;
-        }
-        self.master
-            .best()
+        self.master_best()
             .is_some_and(|l| l != 2 || self.slave.best().is_some())
     }
 
     /// CPU interrupt acknowledge: returns the vector of the
     /// highest-priority pending interrupt and moves it in-service.
     pub fn ack(&mut self) -> Option<u8> {
-        // Slave interrupts arrive through master line 2.
-        if let Some(sl) = self.slave.best() {
-            if self.master.imr & (1 << 2) == 0 {
-                self.slave.ack(sl);
-                self.master.irr |= 1 << 2;
-                self.master.ack(2);
-                return Some(self.slave.offset + sl);
-            }
-        }
-        let l = self.master.best()?;
+        let l = self.master_best()?;
         if l == 2 {
-            return None; // cascade line with nothing behind it
+            // Slave interrupts arrive through master line 2.
+            let sl = self.slave.best()?;
+            self.slave.ack(sl);
+            self.master.irr |= 1 << 2;
+            self.master.ack(2);
+            return Some(self.slave.offset + sl);
         }
         self.master.ack(l);
         Some(self.master.offset + l)
@@ -217,6 +231,45 @@ impl DualPic {
     pub fn mask(&self) -> u16 {
         self.master.imr as u16 | (self.slave.imr as u16) << 8
     }
+
+    /// Serializes the full controller state (both chips plus the line
+    /// levels) into [`DualPic::STATE_LEN`] bytes. Together with
+    /// [`DualPic::import_state`] this lets a supervisor checkpoint a
+    /// virtual PIC without the model exposing its registers.
+    pub fn export_state(&self) -> [u8; Self::STATE_LEN] {
+        [
+            self.master.irr,
+            self.master.isr,
+            self.master.imr,
+            self.master.offset,
+            self.master.init_state,
+            self.slave.irr,
+            self.slave.isr,
+            self.slave.imr,
+            self.slave.offset,
+            self.slave.init_state,
+            (self.lines & 0xff) as u8,
+            (self.lines >> 8) as u8,
+        ]
+    }
+
+    /// Restores state produced by [`DualPic::export_state`].
+    pub fn import_state(&mut self, s: &[u8; Self::STATE_LEN]) {
+        self.master.irr = s[0];
+        self.master.isr = s[1];
+        self.master.imr = s[2];
+        self.master.offset = s[3];
+        self.master.init_state = s[4];
+        self.slave.irr = s[5];
+        self.slave.isr = s[6];
+        self.slave.imr = s[7];
+        self.slave.offset = s[8];
+        self.slave.init_state = s[9];
+        self.lines = s[10] as u16 | (s[11] as u16) << 8;
+    }
+
+    /// Size of the serialized state from [`DualPic::export_state`].
+    pub const STATE_LEN: usize = 12;
 }
 
 #[cfg(test)]
@@ -299,6 +352,22 @@ mod tests {
         p.io_write(MASTER_DATA, 0x00); // OCW1: unmask all
         p.pulse(2 + 1);
         assert_eq!(p.ack(), Some(0x43));
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut p = unmasked();
+        p.pulse(11);
+        p.pulse(1);
+        assert_eq!(p.ack(), Some(0x21));
+        p.set_line(6, true);
+        let snap = p.export_state();
+        let mut q = DualPic::new();
+        q.import_state(&snap);
+        assert_eq!(q.export_state(), snap);
+        assert_eq!(q.mask(), p.mask());
+        assert_eq!(q.intr(), p.intr());
+        assert_eq!(q.ack(), p.ack(), "restored PIC acks the same vector");
     }
 
     #[test]

@@ -110,10 +110,16 @@ pub enum Kind {
     /// A component was called on a portal it does not implement
     /// (`detail` = portal id).
     BadPortal = 31,
+    /// VMM checkpoint span: capture of guest + device state (`detail`
+    /// = checkpoint bytes).
+    Checkpoint = 32,
+    /// VMM restore span: respawn through guest resume (`detail` =
+    /// escalation level).
+    Restore = 33,
 }
 
 /// Number of tracepoint kinds.
-pub const KIND_COUNT: usize = 32;
+pub const KIND_COUNT: usize = 34;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [Kind; KIND_COUNT] = [
@@ -149,6 +155,8 @@ pub const ALL_KINDS: [Kind; KIND_COUNT] = [
     Kind::DriverRestart,
     Kind::LogWrite,
     Kind::BadPortal,
+    Kind::Checkpoint,
+    Kind::Restore,
 ];
 
 impl Kind {
@@ -156,7 +164,11 @@ impl Kind {
     pub fn category(self) -> u64 {
         match self {
             Kind::Hypercall | Kind::IpcCall | Kind::SchedDispatch => cat::KERNEL,
-            Kind::WatchdogFire | Kind::PdDeath | Kind::DriverRestart => cat::SUPERVISION,
+            Kind::WatchdogFire
+            | Kind::PdDeath
+            | Kind::DriverRestart
+            | Kind::Checkpoint
+            | Kind::Restore => cat::SUPERVISION,
             Kind::VmExit
             | Kind::ExitHandle
             | Kind::CostTransition
@@ -226,6 +238,8 @@ impl Kind {
             Kind::DriverRestart => "driver_restart",
             Kind::LogWrite => "log_write",
             Kind::BadPortal => "bad_portal",
+            Kind::Checkpoint => "checkpoint",
+            Kind::Restore => "restore",
         }
     }
 

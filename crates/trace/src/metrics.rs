@@ -36,6 +36,18 @@ pub mod names {
     /// Structured VM kills (count metric; domain = the kill's 8-bit
     /// exit code, so per-reason rates are separable).
     pub const VM_KILLS_BY_REASON: &str = "vm_kills_by_reason";
+    /// VMM incarnations started by the supervisor beyond the first
+    /// (count metric; domain = supervised VM index).
+    pub const VMM_RESTARTS: &str = "vmm_restarts";
+    /// Serialized checkpoint size in bytes, observed on every capture
+    /// (domain = supervised VM index).
+    pub const CHECKPOINT_BYTES: &str = "checkpoint_bytes";
+    /// Cycles from crash detection to guest resume, observed per
+    /// restore (domain = supervised VM index).
+    pub const RESTORE_LATENCY_CYCLES: &str = "restore_latency_cycles";
+    /// Escalation-ladder transitions (count metric; domain = the
+    /// ladder level entered: 1 = cold reboot, 2 = marked failed).
+    pub const ESCALATIONS_BY_LEVEL: &str = "escalations_by_level";
 }
 
 /// One metric cell: an event count, a cycle (or value) sum, and a

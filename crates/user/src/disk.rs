@@ -14,6 +14,8 @@
 //! A per-client outstanding-request bound implements the
 //! denial-of-service throttling of Section 4.2.
 
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
+
 use std::collections::VecDeque;
 
 use nova_core::cap::CapSel;
@@ -95,6 +97,11 @@ struct Client {
     ring_page: u64,
     ring_head: u32,
     outstanding: usize,
+    /// A detached client's slot stays allocated (ring-page assignments
+    /// are positional) but completions are dropped instead of written
+    /// into a ring a dead VMM no longer reads, and registration may
+    /// reuse the slot for the client's next incarnation.
+    active: bool,
 }
 
 #[derive(Clone, Copy)]
@@ -231,7 +238,7 @@ impl DiskServer {
         // PRDT: one entry per delegated-window segment (domain
         // addresses; the IOMMU translates, and blocks anything not
         // delegated).
-        for (i, &(addr, bytes)) in req.segs[..req.nsegs].iter().enumerate() {
+        for (i, &(addr, bytes)) in req.segs.iter().take(req.nsegs).enumerate() {
             let e = ctba + 0x80 + i as u64 * 16;
             k.mem_write_u32(ctx, e, addr as u32);
             k.mem_write_u32(ctx, e + 4, (addr >> 32) as u32);
@@ -294,8 +301,11 @@ impl DiskServer {
         }
 
         // Completion record into the client's shared ring page
-        // (Figure 4, step 7's shared-memory channel).
-        if let Some(c) = self.clients.get_mut(req.client) {
+        // (Figure 4, step 7's shared-memory channel). A detached
+        // client's completion is dropped: its ring page may already
+        // back the next incarnation's channel, and its semaphore
+        // capability died with it.
+        if let Some(c) = self.clients.get_mut(req.client).filter(|c| c.active) {
             c.outstanding = c.outstanding.saturating_sub(1);
             let slot = c.ring_head as usize % proto::RING_RECORDS;
             c.ring_head = c.ring_head.wrapping_add(1);
@@ -336,7 +346,7 @@ impl DiskServer {
         let sectors = utcb.word(at + 2) as u32;
         let tag = utcb.word(at + 3);
         let nsegs = utcb.word(at + 4) as usize;
-        if self.clients.get(client).is_none()
+        if !self.clients.get(client).is_some_and(|c| c.active)
             || sectors == 0
             || sectors as u64 > proto::MAX_SECTORS
             || (op != proto::OP_READ && op != proto::OP_WRITE)
@@ -347,7 +357,7 @@ impl DiskServer {
         }
         let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
         let mut total = 0u64;
-        for (i, seg) in segs[..nsegs].iter_mut().enumerate() {
+        for (i, seg) in segs.iter_mut().take(nsegs).enumerate() {
             let addr = utcb.word(at + 5 + i * 2);
             let bytes = utcb.word(at + 6 + i * 2);
             if bytes == 0 || bytes > proto::MAX_SECTORS * SECTOR as u64 {
@@ -382,7 +392,9 @@ impl DiskServer {
     /// outstanding count and either issues it immediately or queues it
     /// behind the in-flight command.
     fn accept(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request) {
-        self.clients[req.client].outstanding += 1;
+        if let Some(c) = self.clients.get_mut(req.client) {
+            c.outstanding += 1;
+        }
         self.stats.accepted += 1;
         Self::trace(k, ctx, TraceKind::DiskAccept, req.lba);
         if self.inflight.is_none() {
@@ -390,6 +402,22 @@ impl DiskServer {
         } else {
             self.queue.push_back(req);
         }
+    }
+
+    /// Detaches a client whose owner (VMM incarnation) died: queued
+    /// requests are dropped, any in-flight command finishes against a
+    /// suppressed ring, and the slot becomes reusable by the next
+    /// registration. Called by root's supervisor before it revives the
+    /// VMM, so stale completions can never corrupt the successor's
+    /// ring.
+    pub fn detach_client(&mut self, client: u64) {
+        let id = client as usize;
+        if let Some(c) = self.clients.get_mut(id) {
+            c.active = false;
+            c.outstanding = 0;
+            c.ring_head = 0;
+        }
+        self.queue.retain(|r| r.client != id);
     }
 
     /// Periodic self-check: heartbeat plus recovery of requests whose
@@ -514,9 +542,20 @@ impl Component for DiskServer {
         match portal_id {
             proto::PORTAL_REGISTER => {
                 if utcb.len_words() == 0 {
-                    // Phase 1: allocate the channel. The reply word is
+                    // Phase 1: allocate the channel, preferring a
+                    // detached slot (so supervised VMM incarnations do
+                    // not exhaust the client table). The reply word is
                     // the client id, so "full" is the one id no server
                     // can ever hand out.
+                    if let Some((id, c)) =
+                        self.clients.iter_mut().enumerate().find(|(_, c)| !c.active)
+                    {
+                        c.ring_head = 0;
+                        c.outstanding = 0;
+                        c.active = true;
+                        utcb.set_msg(&[id as u64]);
+                        return;
+                    }
                     let id = self.clients.len();
                     if id >= proto::MAX_CLIENTS {
                         utcb.set_msg(&[u64::MAX]);
@@ -526,6 +565,7 @@ impl Component for DiskServer {
                         ring_page: self.cfg.ring_base_page + id as u64,
                         ring_head: 0,
                         outstanding: 0,
+                        active: true,
                     });
                     utcb.set_msg(&[id as u64]);
                 } else {
@@ -533,7 +573,7 @@ impl Component for DiskServer {
                     // arrived as transfer items (already applied by the
                     // kernel at the documented selectors/pages).
                     let id = utcb.word(0) as usize;
-                    let ok = self.clients.get(id).is_some();
+                    let ok = self.clients.get(id).is_some_and(|c| c.active);
                     utcb.set_msg(&[if ok { proto::OK } else { proto::EINVAL }]);
                 }
             }
@@ -543,7 +583,8 @@ impl Component for DiskServer {
                     utcb.set_msg(&[proto::EINVAL]);
                     return;
                 };
-                if self.clients[client].outstanding >= proto::MAX_OUTSTANDING {
+                let outstanding = self.clients.get(client).map_or(0, |c| c.outstanding);
+                if outstanding >= proto::MAX_OUTSTANDING {
                     // Throttle the channel (Section 4.2).
                     self.stats.rejected += 1;
                     Self::trace(k, ctx, TraceKind::DiskReject, req.lba);
@@ -556,7 +597,10 @@ impl Component for DiskServer {
             proto::PORTAL_BATCH => {
                 let client = utcb.word(0) as usize;
                 let count = utcb.word(1) as usize;
-                if self.clients.get(client).is_none() || count == 0 || count > proto::MAX_BATCH {
+                if !self.clients.get(client).is_some_and(|c| c.active)
+                    || count == 0
+                    || count > proto::MAX_BATCH
+                {
                     utcb.set_msg(&[proto::EINVAL, 0]);
                     return;
                 }
@@ -569,7 +613,8 @@ impl Component for DiskServer {
                         break;
                     };
                     at += used;
-                    if self.clients[client].outstanding >= proto::MAX_OUTSTANDING {
+                    let outstanding = self.clients.get(client).map_or(0, |c| c.outstanding);
+                    if outstanding >= proto::MAX_OUTSTANDING {
                         self.stats.rejected += 1;
                         Self::trace(k, ctx, TraceKind::DiskReject, req.lba);
                         status = proto::EBUSY;
@@ -620,6 +665,7 @@ impl Component for DiskServer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use nova_core::cap::Perms;

@@ -5,6 +5,15 @@
 //! root partition manager makes the initial allocation decisions:
 //! creating protection domains for services and virtual machines and
 //! delegating the resources each needs — and nothing more.
+//!
+//! Root is also the top of the crash-only supervision tree: it watches
+//! the disk server and every VMM through kernel watchdogs and, when one
+//! dies, rebuilds it from the same recipe it used at boot. Respawn is
+//! fallible by design — a failed step schedules a bounded-backoff retry
+//! and, for VMs, climbs an escalation ladder (resume from checkpoint →
+//! cold reboot → mark failed) instead of panicking root itself.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_core::cap::{CapSel, Perms};
 use nova_core::kernel::SEL_SELF_EC;
@@ -33,6 +42,10 @@ pub struct DiskSupervision {
     /// Root's capability selector for the current server PD
     /// (refreshed on every restart).
     pub srv_sel: CapSel,
+    /// The current server's component identity (refreshed on every
+    /// restart; VM recipes need it to act with the server's authority
+    /// when rewiring a revived client).
+    pub srv_ctx: CompCtx,
     /// Root's selector for the watchdog semaphore.
     pub wd_sm_sel: CapSel,
     /// The watchdog semaphore's identity (to recognize the signal).
@@ -53,6 +66,149 @@ pub struct DiskSupervision {
     pub restarts: u64,
 }
 
+/// Why a respawn recipe step failed. Carrying the step name keeps the
+/// error actionable without threading strings through every caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RespawnError {
+    /// The named recipe step's hypercall was refused by the kernel.
+    Step(&'static str, HcErr),
+    /// Supervision state the recipe depends on was missing or
+    /// inconsistent (named for diagnosis).
+    State(&'static str),
+}
+
+/// Respawn attempts per escalation rung before climbing to the next.
+pub const REVIVE_ATTEMPTS: u32 = 3;
+/// Initial retry backoff after a failed respawn step, in cycles.
+pub const RETRY_BACKOFF: u64 = 250_000;
+/// Ceiling for the exponential retry backoff, in cycles.
+pub const BACKOFF_CAP: u64 = 8_000_000;
+/// A crash this soon after a restore means the current escalation rung
+/// does not hold; the supervisor climbs instead of looping on it.
+pub const STABILITY_WINDOW: u64 = 2_000_000;
+/// Escalation rung: resume the guest from the last checkpoint.
+pub const LEVEL_RESUME: u8 = 0;
+/// Escalation rung: discard the checkpoint and cold-boot the guest.
+pub const LEVEL_COLD: u8 = 1;
+/// Escalation rung: give up on this VM; siblings keep running.
+pub const LEVEL_FAILED: u8 = 2;
+
+/// Retry state for a failed disk-server respawn, created lazily on the
+/// first failure (the happy path allocates nothing).
+pub struct DiskRetry {
+    /// Root's selector for the retry timer semaphore.
+    pub sm_sel: CapSel,
+    /// The semaphore's identity (to recognize the signal).
+    pub sm: SmId,
+    /// Failed respawn attempts since the last success.
+    pub attempts: u32,
+    /// Next retry delay in cycles (doubles per failure, capped).
+    pub backoff: u64,
+}
+
+/// How the supervisor checkpoints and rebuilds one VM. Implemented
+/// outside this crate (the VMM crate knows how to provision itself);
+/// root only drives the policy: when to checkpoint, when to revive,
+/// when to climb the escalation ladder.
+pub trait VmRecipe {
+    /// Serializes a consistent checkpoint of the running VM (vCPU
+    /// state, guest memory, virtual-device state) tagged with `seq`.
+    fn checkpoint(
+        &mut self,
+        k: &mut Kernel,
+        ctx: CompCtx,
+        seq: u64,
+    ) -> Result<Vec<u8>, RespawnError>;
+
+    /// Tears down the dead incarnation (VM and VMM protection
+    /// domains), provisions a fresh VMM, and either restores
+    /// `checkpoint` into it or — when `None` — cold-boots the guest
+    /// image. Returns root's capability selector for the new VMM PD so
+    /// the supervisor can re-arm its watchdog. Must be idempotent: a
+    /// failed attempt may be retried from the top.
+    fn revive(
+        &mut self,
+        k: &mut Kernel,
+        ctx: CompCtx,
+        checkpoint: Option<&[u8]>,
+    ) -> Result<CapSel, RespawnError>;
+
+    /// Final teardown when the supervisor marks the VM failed; best
+    /// effort, must not panic.
+    fn abandon(&mut self, _k: &mut Kernel, _ctx: CompCtx) {}
+
+    /// Refreshes the recipe's view of the disk-server wiring before a
+    /// revive: the server may itself have been respawned since the
+    /// recipe was built, invalidating any cached selectors. Default:
+    /// no disk dependency, nothing to refresh.
+    fn rewire_disk(&mut self, _srv_sel: CapSel, _srv_ctx: CompCtx) {}
+
+    /// Downcast access for launchers and tests that track
+    /// recipe-specific state (e.g. the current VMM component id).
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Everything root holds to supervise one VMM: the signal channels,
+/// the rebuild recipe, the last checkpoint, and the escalation-ladder
+/// bookkeeping.
+pub struct VmmSupervision {
+    /// Index of this entry in `RootPm::vmm_supervision` (metric
+    /// domain); set by `install_vm_supervision`.
+    pub slot: usize,
+    /// Root's capability selector for the current VMM PD (refreshed on
+    /// every revive).
+    pub vmm_sel: CapSel,
+    /// Root's selector for the watchdog semaphore.
+    pub wd_sm_sel: CapSel,
+    /// The watchdog semaphore's identity.
+    pub wd_sm: SmId,
+    /// Root's selector for the periodic checkpoint timer semaphore.
+    pub ckpt_sm_sel: CapSel,
+    /// The checkpoint timer semaphore's identity.
+    pub ckpt_sm: SmId,
+    /// Root's selector for the one-shot revive-retry timer semaphore.
+    pub retry_sm_sel: CapSel,
+    /// The retry timer semaphore's identity.
+    pub retry_sm: SmId,
+    /// Watchdog deadline in cycles.
+    pub timeout: u64,
+    /// Checkpoint cadence in cycles.
+    pub ckpt_period: u64,
+    /// How to checkpoint and rebuild this VM.
+    pub recipe: Box<dyn VmRecipe>,
+    /// The most recent consistent checkpoint, if any was taken.
+    pub last_checkpoint: Option<Vec<u8>>,
+    /// Sequence number of `last_checkpoint`.
+    pub seq: u64,
+    /// Current escalation rung (`LEVEL_*`).
+    pub level: u8,
+    /// Failed revive attempts on the current rung.
+    pub attempts: u32,
+    /// Next retry delay in cycles (doubles per failure, capped).
+    pub backoff: u64,
+    /// Successful revives performed so far.
+    pub restarts: u64,
+    /// Ladder climbs performed so far.
+    pub escalations: u64,
+    /// True between crash detection and a successful revive; gates the
+    /// checkpoint cadence off a dead incarnation.
+    pub reviving: bool,
+    /// Index of this VM's entry in `DiskSupervision::clients`, when it
+    /// is a supervised disk client: a successful revive refreshes that
+    /// entry's `vmm_sel` so later disk-server restarts rewire the new
+    /// incarnation, not the dead one.
+    pub disk_client_slot: Option<usize>,
+    /// The supervisor gave up on this VM; the slot stays allocated so
+    /// sibling indices (and metric domains) remain stable.
+    pub failed: bool,
+    /// When the current (or last) crash was detected, for restore
+    /// latency accounting.
+    pub crash_at: u64,
+    /// When the last successful revive finished, for the stability
+    /// window.
+    pub last_restore_at: u64,
+}
+
 /// The root partition manager component.
 #[derive(Default)]
 pub struct RootPm {
@@ -61,6 +217,13 @@ pub struct RootPm {
     /// Disk-server supervision state, installed by a supervised
     /// launch.
     pub supervision: Option<DiskSupervision>,
+    /// Disk respawn retry state (lazily created on first failure).
+    pub disk_retry: Option<DiskRetry>,
+    /// The disk respawn budget is exhausted; the service stays down
+    /// but root and every VM keep running.
+    pub disk_failed: bool,
+    /// Per-VM supervision entries, indexed by install order.
+    pub vmm_supervision: Vec<Option<VmmSupervision>>,
     next_sel: CapSel,
 }
 
@@ -70,9 +233,22 @@ impl RootPm {
         RootPm {
             ctx: None,
             supervision: None,
+            disk_retry: None,
+            disk_failed: false,
+            vmm_supervision: Vec::new(),
             // Low selectors stay free for well-known assignments.
             next_sel: 0x100,
         }
+    }
+
+    /// Registers a VM under supervision; returns its slot index. The
+    /// entry's `slot` is overwritten so metric domains always match
+    /// the vector position.
+    pub fn install_vm_supervision(&mut self, mut sup: VmmSupervision) -> usize {
+        let slot = self.vmm_supervision.len();
+        sup.slot = slot;
+        self.vmm_supervision.push(Some(sup));
+        slot
     }
 
     /// Allocates a fresh capability selector in root's space.
@@ -83,15 +259,62 @@ impl RootPm {
     }
 
     /// Tears down the (dead or wedged) disk server and brings up a
-    /// fresh incarnation: `DestroyPd` recursively revokes everything
+    /// fresh incarnation. A failed recipe step no longer panics root:
+    /// it schedules a bounded exponential-backoff retry, and when the
+    /// attempt budget runs out the service is marked failed — degraded,
+    /// not fatal, because every VM keeps running on its own timeouts.
+    pub fn restart_disk_server(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        if self.disk_failed {
+            return;
+        }
+        // The retry timer is periodic; disarm it before attempting so
+        // a success does not leave a stray signal behind.
+        if let Some(r) = &self.disk_retry {
+            let _ = k.hypercall(
+                ctx,
+                Hypercall::SetTimer {
+                    sm: r.sm_sel,
+                    period: 0,
+                },
+            );
+        }
+        match self.respawn_disk_server(k, ctx) {
+            Ok(()) => {
+                if let Some(r) = &mut self.disk_retry {
+                    r.attempts = 0;
+                    r.backoff = RETRY_BACKOFF;
+                }
+            }
+            Err(_err) => self.schedule_disk_retry(k, ctx),
+        }
+    }
+
+    /// One respawn attempt: `DestroyPd` recursively revokes everything
     /// the old server held — every client DMA window standing in the
     /// IOMMU included — then root repeats its boot-time grants for a
     /// new PD, starts a new server, re-delegates the service portals,
     /// re-arms the watchdog, and signals each client to re-register.
-    pub fn restart_disk_server(&mut self, k: &mut Kernel, ctx: CompCtx) {
+    /// Supervision state is only committed on full success, so a
+    /// failed attempt can be retried from the top (the half-built PD
+    /// leaks until the next successful incarnation's quota check).
+    fn respawn_disk_server(&mut self, k: &mut Kernel, ctx: CompCtx) -> Result<(), RespawnError> {
         let Some(mut sup) = self.supervision.take() else {
-            return;
+            return Err(RespawnError::State("no disk supervision installed"));
         };
+        let r = self.respawn_disk_server_inner(k, ctx, &mut sup);
+        self.supervision = Some(sup);
+        r
+    }
+
+    fn respawn_disk_server_inner(
+        &mut self,
+        k: &mut Kernel,
+        ctx: CompCtx,
+        sup: &mut DiskSupervision,
+    ) -> Result<(), RespawnError> {
+        let step = |name: &'static str| move |e: HcErr| RespawnError::Step(name, e);
+        // The old PD may already be gone (death notification) — a
+        // failed destroy is not an error.
         let _ = k.hypercall(ctx, Hypercall::DestroyPd { pd: sup.srv_sel });
 
         let srv_sel = self.alloc_sel();
@@ -103,7 +326,7 @@ impl RootPm {
                 dst: srv_sel,
             },
         )
-        .expect("respawn disk-server pd");
+        .map_err(step("disk-server pd"))?;
         let pd = PdId(k.obj.pds.len() - 1);
         k.hypercall(
             ctx,
@@ -115,7 +338,7 @@ impl RootPm {
                 hot: sup.cfg.mmio_va / 4096,
             },
         )
-        .expect("respawn mmio grant");
+        .map_err(step("mmio grant"))?;
         k.hypercall(
             ctx,
             Hypercall::DelegateMem {
@@ -126,7 +349,7 @@ impl RootPm {
                 hot: sup.cfg.cmd_va / 4096,
             },
         )
-        .expect("respawn command memory grant");
+        .map_err(step("command memory grant"))?;
         k.hypercall(
             ctx,
             Hypercall::DelegateGsi {
@@ -134,7 +357,7 @@ impl RootPm {
                 gsi: sup.cfg.gsi,
             },
         )
-        .expect("respawn gsi grant");
+        .map_err(step("gsi grant"))?;
         k.hypercall(
             ctx,
             Hypercall::AssignDev {
@@ -142,7 +365,7 @@ impl RootPm {
                 device: sup.ahci_dev,
             },
         )
-        .expect("respawn device assignment");
+        .map_err(step("device assignment"))?;
 
         let (comp, ec) = k.load_component(pd, 0, Box::new(DiskServer::new(sup.cfg)));
         k.start_component(comp, ec);
@@ -165,7 +388,7 @@ impl RootPm {
                     dst,
                 },
             )
-            .expect("respawn portal");
+            .map_err(step("service portal"))?;
         }
         for (i, c) in sup.clients.iter().enumerate() {
             let pd_hot = 0x30 + i;
@@ -178,7 +401,7 @@ impl RootPm {
                     hot: pd_hot,
                 },
             )
-            .expect("respawn client pd cap");
+            .map_err(step("client pd cap"))?;
             for (from, to) in [
                 (0x20, dproto::CLIENT_SEL_REG),
                 (0x21, dproto::CLIENT_SEL_REQ),
@@ -193,7 +416,7 @@ impl RootPm {
                         hot: to,
                     },
                 )
-                .expect("respawn portal delegation");
+                .map_err(step("portal delegation"))?;
             }
         }
 
@@ -205,7 +428,7 @@ impl RootPm {
                 timeout: sup.timeout,
             },
         )
-        .expect("re-arm watchdog");
+        .map_err(step("watchdog re-arm"))?;
         for c in &sup.clients {
             let _ = k.hypercall(
                 ctx,
@@ -217,6 +440,7 @@ impl RootPm {
 
         k.counters.driver_restarts += 1;
         sup.srv_sel = srv_sel;
+        sup.srv_ctx = srv_ctx;
         sup.restarts += 1;
         let at = k.now();
         k.machine.bus.trace.emit(
@@ -226,7 +450,303 @@ impl RootPm {
             sup.restarts,
             at,
         );
-        self.supervision = Some(sup);
+        Ok(())
+    }
+
+    /// Books a failed disk respawn attempt: arm a one-shot backoff
+    /// timer, or mark the service failed when the budget is exhausted.
+    fn schedule_disk_retry(&mut self, k: &mut Kernel, ctx: CompCtx) {
+        if self.disk_retry.is_none() {
+            let sel = self.alloc_sel();
+            let created = k
+                .hypercall(ctx, Hypercall::CreateSm { count: 0, dst: sel })
+                .is_ok()
+                && k.hypercall(ctx, Hypercall::SmBind { sm: sel }).is_ok();
+            if !created {
+                // Without a timer channel the retry loop cannot run.
+                self.disk_failed = true;
+                return;
+            }
+            self.disk_retry = Some(DiskRetry {
+                sm_sel: sel,
+                sm: SmId(k.obj.sms.len() - 1),
+                attempts: 0,
+                backoff: RETRY_BACKOFF,
+            });
+        }
+        let Some(r) = &mut self.disk_retry else {
+            return;
+        };
+        r.attempts += 1;
+        if r.attempts >= REVIVE_ATTEMPTS {
+            self.disk_failed = true;
+            return;
+        }
+        if k.hypercall(
+            ctx,
+            Hypercall::SetTimer {
+                sm: r.sm_sel,
+                period: r.backoff,
+            },
+        )
+        .is_err()
+        {
+            self.disk_failed = true;
+            return;
+        }
+        r.backoff = r.backoff.saturating_mul(2).min(BACKOFF_CAP);
+    }
+
+    // ------------------------------------------------------------------
+    // VM supervision: checkpoint cadence and the escalation ladder
+    // ------------------------------------------------------------------
+
+    fn store_vm(&mut self, idx: usize, sup: VmmSupervision) {
+        if let Some(slot) = self.vmm_supervision.get_mut(idx) {
+            *slot = Some(sup);
+        }
+    }
+
+    /// Climbs one rung of the escalation ladder.
+    fn escalate(k: &mut Kernel, sup: &mut VmmSupervision) {
+        sup.level = sup.level.saturating_add(1);
+        sup.attempts = 0;
+        sup.backoff = RETRY_BACKOFF;
+        sup.escalations += 1;
+        k.counters.escalations += 1;
+        if k.machine.bus.trace.active() {
+            k.machine.bus.trace.metrics.add(
+                nova_trace::names::ESCALATIONS_BY_LEVEL,
+                sup.level as u64,
+                1,
+            );
+        }
+    }
+
+    /// Retires the VM: stop its timers, let the recipe tear down any
+    /// remnants, and keep the slot so sibling indices stay stable.
+    fn mark_failed(k: &mut Kernel, ctx: CompCtx, sup: &mut VmmSupervision) {
+        if sup.failed {
+            return;
+        }
+        sup.failed = true;
+        sup.reviving = false;
+        let _ = k.hypercall(
+            ctx,
+            Hypercall::SetTimer {
+                sm: sup.ckpt_sm_sel,
+                period: 0,
+            },
+        );
+        let _ = k.hypercall(
+            ctx,
+            Hypercall::SetTimer {
+                sm: sup.retry_sm_sel,
+                period: 0,
+            },
+        );
+        sup.recipe.abandon(k, ctx);
+        let at = k.now();
+        k.machine.bus.trace.emit(
+            0,
+            ctx.pd.0 as u16,
+            TraceKind::Restore,
+            LEVEL_FAILED as u64,
+            at,
+        );
+    }
+
+    /// Watchdog fired for VM `idx`: its VMM died (or wedged past the
+    /// deadline). Start — or continue — the revive state machine.
+    pub fn handle_vmm_death(&mut self, k: &mut Kernel, ctx: CompCtx, idx: usize) {
+        let Some(mut sup) = self.vmm_supervision.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if sup.failed {
+            self.store_vm(idx, sup);
+            return;
+        }
+        let now = k.now();
+        if !sup.reviving {
+            sup.crash_at = now;
+        }
+        sup.reviving = true;
+        // A crash right after a restore means the current rung does
+        // not hold (the checkpoint itself reproduces the crash, or the
+        // cold image does) — climb instead of looping.
+        if sup.restarts > 0 && now.saturating_sub(sup.last_restore_at) < STABILITY_WINDOW {
+            Self::escalate(k, &mut sup);
+        }
+        self.try_revive(k, ctx, idx, sup);
+    }
+
+    /// One revive attempt at the current escalation rung.
+    fn try_revive(&mut self, k: &mut Kernel, ctx: CompCtx, idx: usize, mut sup: VmmSupervision) {
+        if sup.level >= LEVEL_FAILED {
+            Self::mark_failed(k, ctx, &mut sup);
+            self.store_vm(idx, sup);
+            return;
+        }
+        // The disk server may have been respawned since the recipe was
+        // built; point the recipe at the live server before it wires
+        // the new incarnation's channel.
+        if sup.disk_client_slot.is_some() {
+            if let Some(ds) = self.supervision.as_ref() {
+                sup.recipe.rewire_disk(ds.srv_sel, ds.srv_ctx);
+            }
+        }
+        let outcome = if sup.level == LEVEL_RESUME {
+            let ckpt = sup.last_checkpoint.as_deref();
+            sup.recipe.revive(k, ctx, ckpt)
+        } else {
+            sup.recipe.revive(k, ctx, None)
+        };
+        let outcome = outcome.and_then(|new_sel| {
+            k.hypercall(
+                ctx,
+                Hypercall::WatchdogArm {
+                    pd: new_sel,
+                    sm: sup.wd_sm_sel,
+                    timeout: sup.timeout,
+                },
+            )
+            .map(|_| new_sel)
+            .map_err(|e| RespawnError::Step("vmm watchdog re-arm", e))
+        });
+        match outcome {
+            Ok(new_sel) => {
+                let now = k.now();
+                sup.vmm_sel = new_sel;
+                // Keep the disk supervisor pointing at the live
+                // incarnation for its own future restarts.
+                if let Some(cs) = sup.disk_client_slot {
+                    if let Some(c) = self
+                        .supervision
+                        .as_mut()
+                        .and_then(|ds| ds.clients.get_mut(cs))
+                    {
+                        c.vmm_sel = new_sel;
+                    }
+                }
+                sup.restarts += 1;
+                sup.attempts = 0;
+                sup.backoff = RETRY_BACKOFF;
+                sup.reviving = false;
+                sup.last_restore_at = now;
+                k.counters.vmm_restarts += 1;
+                k.machine.bus.trace.emit(
+                    0,
+                    ctx.pd.0 as u16,
+                    TraceKind::Restore,
+                    sup.level as u64,
+                    now,
+                );
+                if k.machine.bus.trace.active() {
+                    let dom = sup.slot as u64;
+                    k.machine
+                        .bus
+                        .trace
+                        .metrics
+                        .add(nova_trace::names::VMM_RESTARTS, dom, 1);
+                    k.machine.bus.trace.metrics.observe(
+                        nova_trace::names::RESTORE_LATENCY_CYCLES,
+                        dom,
+                        now.saturating_sub(sup.crash_at),
+                    );
+                }
+                self.store_vm(idx, sup);
+            }
+            Err(_e) => {
+                sup.attempts += 1;
+                if sup.attempts >= REVIVE_ATTEMPTS {
+                    Self::escalate(k, &mut sup);
+                    if sup.level >= LEVEL_FAILED {
+                        Self::mark_failed(k, ctx, &mut sup);
+                        self.store_vm(idx, sup);
+                        return;
+                    }
+                }
+                // One-shot backoff retry (the handler disarms it).
+                if k.hypercall(
+                    ctx,
+                    Hypercall::SetTimer {
+                        sm: sup.retry_sm_sel,
+                        period: sup.backoff,
+                    },
+                )
+                .is_err()
+                {
+                    // No timer channel: the ladder cannot make
+                    // progress, so fail the VM now rather than hang.
+                    sup.level = LEVEL_FAILED;
+                    Self::mark_failed(k, ctx, &mut sup);
+                    self.store_vm(idx, sup);
+                    return;
+                }
+                sup.backoff = sup.backoff.saturating_mul(2).min(BACKOFF_CAP);
+                self.store_vm(idx, sup);
+            }
+        }
+    }
+
+    /// Backoff timer fired for VM `idx`: retry the revive.
+    fn retry_vm(&mut self, k: &mut Kernel, ctx: CompCtx, idx: usize) {
+        if let Some(s) = self.vmm_supervision.get(idx).and_then(|s| s.as_ref()) {
+            // The kernel timer is periodic; make it one-shot.
+            let sel = s.retry_sm_sel;
+            let _ = k.hypercall(ctx, Hypercall::SetTimer { sm: sel, period: 0 });
+        }
+        let Some(sup) = self.vmm_supervision.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if sup.failed || !sup.reviving {
+            self.store_vm(idx, sup);
+            return;
+        }
+        self.try_revive(k, ctx, idx, sup);
+    }
+
+    /// Checkpoint cadence tick for VM `idx`: capture a fresh
+    /// checkpoint. Success de-escalates the ladder — the next crash
+    /// resumes from a state known to be consistent.
+    pub fn checkpoint_vm(&mut self, k: &mut Kernel, ctx: CompCtx, idx: usize) {
+        let Some(mut sup) = self.vmm_supervision.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if sup.failed || sup.reviving {
+            self.store_vm(idx, sup);
+            return;
+        }
+        let seq = sup.seq + 1;
+        match sup.recipe.checkpoint(k, ctx, seq) {
+            Ok(blob) => {
+                sup.seq = seq;
+                k.counters.checkpoints_taken += 1;
+                let at = k.now();
+                k.machine.bus.trace.emit(
+                    0,
+                    ctx.pd.0 as u16,
+                    TraceKind::Checkpoint,
+                    blob.len() as u64,
+                    at,
+                );
+                if k.machine.bus.trace.active() {
+                    k.machine.bus.trace.metrics.observe(
+                        nova_trace::names::CHECKPOINT_BYTES,
+                        sup.slot as u64,
+                        blob.len() as u64,
+                    );
+                }
+                sup.last_checkpoint = Some(blob);
+                sup.level = LEVEL_RESUME;
+                sup.attempts = 0;
+                sup.backoff = RETRY_BACKOFF;
+            }
+            // A failed capture keeps the previous checkpoint; the
+            // cadence will try again.
+            Err(_e) => {}
+        }
+        self.store_vm(idx, sup);
     }
 }
 
@@ -246,10 +766,42 @@ impl Component for RootPm {
     }
 
     fn on_signal(&mut self, k: &mut Kernel, ctx: CompCtx, sm: SmId) {
-        // The only signal root subscribes to is the disk-server
-        // watchdog: inactivity deadline or death notification.
-        if self.supervision.as_ref().is_some_and(|s| s.wd_sm == sm) {
+        // Disk-server supervision: watchdog (inactivity deadline or
+        // death notification) and the respawn-retry backoff timer.
+        if self.supervision.as_ref().is_some_and(|s| s.wd_sm == sm)
+            || self.disk_retry.as_ref().is_some_and(|r| r.sm == sm)
+        {
             self.restart_disk_server(k, ctx);
+            return;
+        }
+        // VM supervision: each slot owns three channels — watchdog,
+        // checkpoint cadence, revive-retry backoff.
+        enum Vs {
+            Death,
+            Ckpt,
+            Retry,
+        }
+        let mut hit = None;
+        for (i, slot) in self.vmm_supervision.iter().enumerate() {
+            let Some(s) = slot else { continue };
+            if s.wd_sm == sm {
+                hit = Some((i, Vs::Death));
+                break;
+            }
+            if s.ckpt_sm == sm {
+                hit = Some((i, Vs::Ckpt));
+                break;
+            }
+            if s.retry_sm == sm {
+                hit = Some((i, Vs::Retry));
+                break;
+            }
+        }
+        match hit {
+            Some((i, Vs::Death)) => self.handle_vmm_death(k, ctx, i),
+            Some((i, Vs::Ckpt)) => self.checkpoint_vm(k, ctx, i),
+            Some((i, Vs::Retry)) => self.retry_vm(k, ctx, i),
+            None => {}
         }
     }
 
@@ -380,6 +932,7 @@ impl<'a> RootOps<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use nova_core::KernelConfig;

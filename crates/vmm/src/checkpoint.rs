@@ -1,0 +1,307 @@
+//! Versioned, deterministic VMM checkpoint format.
+//!
+//! A checkpoint is the supervisor's capture of everything needed to
+//! transplant a running guest into a freshly spawned VMM incarnation:
+//! the architectural state of every vCPU (exported by the kernel), the
+//! VMM's virtual-device state (serialized by [`crate::Vmm`]), and an
+//! image of guest-physical memory. The byte layout is fully
+//! deterministic — same guest state, same bytes — which is what lets
+//! the CI gate assert checkpoint byte-identity across same-seed runs.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     8 bytes  "NOVACKPT"
+//! version   u32      format version (1)
+//! seq       u64      checkpoint sequence number
+//! vcpus     u32      count, then count * VcpuSnapshot::BYTES records
+//! vmm       u32 len, then len bytes (Vmm::save_state)
+//! guest mem u64 len, then len bytes (guest-physical image)
+//! ```
+//!
+//! What is *not* captured — host VMCS policy, vTLB shadow tables,
+//! kernel-object identities, portal wiring, in-flight IPC — is state
+//! the respawned VMM re-derives or the restore path reconstructs
+//! (DESIGN.md §6e documents the captured/reconstructed split).
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
+
+use nova_core::kernel::VcpuSnapshot;
+
+/// Magic prefix of every checkpoint blob.
+pub const MAGIC: [u8; 8] = *b"NOVACKPT";
+
+/// Current checkpoint format version. Bump on any layout change; the
+/// parser refuses other versions, which makes a stale checkpoint an
+/// explicit cold-reboot escalation rather than a silent corruption.
+pub const VERSION: u32 = 1;
+
+/// Little-endian byte-stream encoder for checkpoint sections.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn flag(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a u32 length prefix followed by the bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.raw(b);
+    }
+
+    /// The accumulated bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian byte-stream decoder; every read is checked, so a
+/// truncated or corrupt checkpoint surfaces as `None` instead of a
+/// panic inside the restore path.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf` starting at offset zero.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|s| s.first().copied())
+    }
+
+    /// Reads one byte as a bool (non-zero = true).
+    pub fn flag(&mut self) -> Option<bool> {
+        self.u8().map(|b| b != 0)
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+    }
+
+    /// Reads a u32 length prefix, then that many bytes.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// `true` if every byte was consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+}
+
+/// One complete VMM checkpoint: what the supervisor captures on its
+/// periodic cadence and replays into a fresh VMM incarnation after a
+/// crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic sequence number (which capture this is).
+    pub seq: u64,
+    /// Per-vCPU architectural state, in vCPU order.
+    pub vcpus: Vec<VcpuSnapshot>,
+    /// Serialized VMM device state ([`crate::Vmm::save_state`]).
+    pub vmm_state: Vec<u8>,
+    /// Guest-physical memory image, from guest address zero.
+    pub guest_mem: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint into its canonical byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.raw(&MAGIC);
+        e.u32(VERSION);
+        e.u64(self.seq);
+        e.u32(self.vcpus.len() as u32);
+        for v in &self.vcpus {
+            e.raw(&v.to_bytes());
+        }
+        e.bytes(&self.vmm_state);
+        e.u64(self.guest_mem.len() as u64);
+        e.raw(&self.guest_mem);
+        e.finish()
+    }
+
+    /// Parses a checkpoint blob; `None` on bad magic, wrong version,
+    /// truncation, or trailing garbage.
+    pub fn from_bytes(b: &[u8]) -> Option<Checkpoint> {
+        let mut d = Dec::new(b);
+        if d.take(MAGIC.len())? != MAGIC {
+            return None;
+        }
+        if d.u32()? != VERSION {
+            return None;
+        }
+        let seq = d.u64()?;
+        let nvcpus = d.u32()? as usize;
+        // Bound the claimed count by what could physically fit, so a
+        // corrupt header cannot drive a huge allocation.
+        if nvcpus > d.remaining() / VcpuSnapshot::BYTES {
+            return None;
+        }
+        let mut vcpus = Vec::with_capacity(nvcpus);
+        for _ in 0..nvcpus {
+            vcpus.push(VcpuSnapshot::from_bytes(d.take(VcpuSnapshot::BYTES)?)?);
+        }
+        let vmm_state = d.bytes()?.to_vec();
+        let mem_len = d.u64()?;
+        let guest_mem = d.take(usize::try_from(mem_len).ok()?)?.to_vec();
+        if !d.done() {
+            return None;
+        }
+        Some(Checkpoint {
+            seq,
+            vcpus,
+            vmm_state,
+            guest_mem,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut snap = VcpuSnapshot::from_bytes(&[0u8; VcpuSnapshot::BYTES]).unwrap();
+        snap.regs.eip = 0x7c00;
+        snap.halted = true;
+        snap.blocked = true;
+        Checkpoint {
+            seq: 3,
+            vcpus: vec![snap],
+            vmm_state: vec![1, 2, 3, 4, 5],
+            guest_mem: vec![0xaa; 8192],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = sample();
+        let b = c.to_bytes();
+        assert_eq!(&b[..8], b"NOVACKPT");
+        let d = Checkpoint::from_bytes(&b).unwrap();
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let b = sample().to_bytes();
+        let mut bad = b.clone();
+        bad[0] ^= 1;
+        assert!(Checkpoint::from_bytes(&bad).is_none(), "magic");
+        let mut bad = b.clone();
+        bad[8] = 0xff;
+        assert!(Checkpoint::from_bytes(&bad).is_none(), "version");
+        for cut in [0, 7, 11, 19, b.len() / 2, b.len() - 1] {
+            assert!(
+                Checkpoint::from_bytes(&b[..cut]).is_none(),
+                "truncation at {cut}"
+            );
+        }
+        let mut long = b.clone();
+        long.push(0);
+        assert!(Checkpoint::from_bytes(&long).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn corrupt_vcpu_count_does_not_overallocate() {
+        let mut b = sample().to_bytes();
+        // vcpu count lives right after magic+version+seq.
+        b[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Checkpoint::from_bytes(&b).is_none());
+    }
+
+    #[test]
+    fn enc_dec_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.flag(true);
+        e.u32(0xdead_beef);
+        e.u64(0x0123_4567_89ab_cdef);
+        e.bytes(b"hi");
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.flag(), Some(true));
+        assert_eq!(d.u32(), Some(0xdead_beef));
+        assert_eq!(d.u64(), Some(0x0123_4567_89ab_cdef));
+        assert_eq!(d.bytes(), Some(&b"hi"[..]));
+        assert!(d.done());
+        assert_eq!(d.u8(), None, "reads past the end fail");
+    }
+}

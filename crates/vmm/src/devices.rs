@@ -12,6 +12,7 @@ use nova_hw::pit::PIT_HZ;
 use nova_hw::Cycles;
 use nova_x86::insn::OpSize;
 
+use crate::checkpoint::{Dec, Enc};
 use crate::pvdisk::{PvDisk, PV_DISK_IRQ};
 use crate::pvnet::PvNet;
 use crate::vahci::VAhci;
@@ -23,6 +24,10 @@ pub struct VPit {
     cpu_hz: u64,
     timer_sm_sel: CapSel,
     state: Option<u8>, // low byte latched
+    /// The guest completed a divisor write, so a kernel timer feeds
+    /// the VMM's timer semaphore (checkpoint/restore must re-arm it —
+    /// the divisor alone cannot distinguish armed from default).
+    armed: bool,
     /// Current divisor.
     pub divisor: u32,
     /// Ticks delivered to the guest.
@@ -37,6 +42,7 @@ impl VPit {
             cpu_hz,
             timer_sm_sel,
             state: None,
+            armed: false,
             divisor: 0x1_0000,
             ticks: 0,
         }
@@ -57,13 +63,17 @@ impl VPit {
                     let d = (val as u32) << 8 | lo as u32;
                     self.divisor = if d == 0 { 0x1_0000 } else { d };
                     let period = self.period_cycles();
-                    let _ = k.hypercall(
+                    if k.hypercall(
                         ctx,
                         Hypercall::SetTimer {
                             sm: self.timer_sm_sel,
                             period,
                         },
-                    );
+                    )
+                    .is_ok()
+                    {
+                        self.armed = true;
+                    }
                 }
             },
             _ => {}
@@ -73,6 +83,38 @@ impl VPit {
     /// Guest port read (counter latch unsupported; reads zero).
     pub fn io_read(&mut self, _port: u16) -> u8 {
         0
+    }
+
+    /// Serializes the timer state for a checkpoint.
+    pub fn export_state(&self, e: &mut Enc) {
+        e.u32(self.divisor);
+        e.u64(self.ticks);
+        e.flag(self.armed);
+        e.flag(self.state.is_some());
+        e.u8(self.state.unwrap_or(0));
+    }
+
+    /// Restores checkpointed state, re-arming the kernel timer if the
+    /// previous incarnation had one running (the old timer died with
+    /// the old VMM's protection domain).
+    pub fn import_state(&mut self, k: &mut Kernel, ctx: CompCtx, d: &mut Dec) -> Option<()> {
+        self.divisor = d.u32()?;
+        self.ticks = d.u64()?;
+        self.armed = d.flag()?;
+        let latched = d.flag()?;
+        let lo = d.u8()?;
+        self.state = latched.then_some(lo);
+        if self.armed {
+            let period = self.period_cycles();
+            let _ = k.hypercall(
+                ctx,
+                Hypercall::SetTimer {
+                    sm: self.timer_sm_sel,
+                    period,
+                },
+            );
+        }
+        Some(())
     }
 }
 
@@ -108,6 +150,18 @@ impl VKbd {
             }
             _ => 0xff,
         }
+    }
+
+    /// Serializes the undelivered scancode queue.
+    pub fn export_state(&self, e: &mut Enc) {
+        let bytes: Vec<u8> = self.queue.iter().copied().collect();
+        e.bytes(&bytes);
+    }
+
+    /// Restores the scancode queue.
+    pub fn import_state(&mut self, d: &mut Dec) -> Option<()> {
+        self.queue = d.bytes()?.iter().copied().collect();
+        Some(())
     }
 }
 
@@ -188,6 +242,17 @@ impl VPci {
         if port == 0xcf8 {
             self.address = val;
         }
+    }
+
+    /// Serializes the latched config address.
+    pub fn export_state(&self, e: &mut Enc) {
+        e.u32(self.address);
+    }
+
+    /// Restores the latched config address.
+    pub fn import_state(&mut self, d: &mut Dec) -> Option<()> {
+        self.address = d.u32()?;
+        Some(())
     }
 }
 

@@ -3,6 +3,12 @@
 //! way Figure 2 lays the system out. This code is "what the root
 //! partition manager's policy does" — every resource grant goes
 //! through the ordinary hypercall interface with root's identity.
+//!
+//! Boot-time wiring failures are configuration errors, so this module
+//! uses `expect` (not `unwrap`) with step names; runtime respawn paths
+//! live in `nova_user::root` and `crate::microreboot` and are fallible.
+
+#![deny(clippy::indexing_slicing, clippy::unwrap_used, clippy::panic)]
 
 use nova_core::cap::{CapSel, Perms};
 use nova_core::obj::MemRights;
@@ -13,6 +19,7 @@ use nova_user::disk::{DiskServer, DiskServerConfig};
 use nova_user::proto::disk as disk_proto;
 use nova_user::root::{DiskSupervision, RootOps, RootPm, SupervisedClient};
 
+use crate::microreboot::{self, DiskWiring, MicrorebootRecipe};
 use crate::vmm::{Vmm, VmmConfig, SEL_RESTART_SM};
 
 /// Disk portal selectors inside the VMM's capability space (the
@@ -42,6 +49,10 @@ pub struct LaunchOptions {
     /// kernel watchdog, automatic respawn on death, and VMM channel
     /// re-registration (the recovery architecture of Section 4.2).
     pub supervise: bool,
+    /// Run the first VMM under root supervision with this checkpoint
+    /// cadence (cycles): periodic guest-transparent checkpoints and
+    /// microreboot recovery when the VMM dies. `None` disables.
+    pub microreboot: Option<u64>,
     /// The VMM/VM configuration.
     pub vmm: VmmConfig,
 }
@@ -61,6 +72,7 @@ impl LaunchOptions {
             direct_disk: false,
             direct_nic: false,
             supervise: false,
+            microreboot: None,
             vmm,
         }
     }
@@ -70,6 +82,16 @@ impl LaunchOptions {
         LaunchOptions {
             supervise: true,
             ..LaunchOptions::standard(vmm)
+        }
+    }
+
+    /// [`LaunchOptions::supervised`] plus VMM microreboot: the first
+    /// VM runs under root's crash-only supervision tree with periodic
+    /// checkpoints and automatic revive.
+    pub fn microrebootable(vmm: VmmConfig) -> LaunchOptions {
+        LaunchOptions {
+            microreboot: Some(microreboot::DEFAULT_CKPT_PERIOD),
+            ..LaunchOptions::supervised(vmm)
         }
     }
 }
@@ -94,6 +116,8 @@ pub struct System {
     next_frames: u64,
     /// The disk server runs supervised (new VMs join supervision).
     supervised: bool,
+    /// Supervision slot of the microrebooted first VM, if enabled.
+    pub microreboot: Option<usize>,
 }
 
 impl System {
@@ -107,7 +131,11 @@ impl System {
         // Root partition manager.
         let (root, root_ec) = k.load_component(k.root_pd, 0, Box::new(RootPm::new()));
         k.start_component(root, root_ec);
-        let root_ctx = k.component_mut::<RootPm>(root).unwrap().ctx.unwrap();
+        let root_ctx = k
+            .component_mut::<RootPm>(root)
+            .expect("boot wiring")
+            .ctx
+            .expect("boot wiring");
 
         // ---- Disk server ----
         let mut disk = None;
@@ -119,7 +147,7 @@ impl System {
                 DiskServerConfig::standard()
             };
             let mut ops = RootOps::new(&mut k, root_ctx);
-            let (srv_sel, srv_pd) = ops.create_pd("disk-server", None).unwrap();
+            let (srv_sel, srv_pd) = ops.create_pd("disk-server", None).expect("boot wiring");
             ops.grant_mem(
                 srv_sel,
                 nova_hw::machine::AHCI_BASE / 4096,
@@ -127,12 +155,12 @@ impl System {
                 MemRights::RW,
                 cfg.mmio_va / 4096,
             )
-            .unwrap();
+            .expect("boot wiring");
             // Private command memory (2 DMA-able pages from root frames).
             ops.grant_mem(srv_sel, 0x300, 2, MemRights::RW_DMA, cfg.cmd_va / 4096)
-                .unwrap();
-            ops.grant_gsi(srv_sel, cfg.gsi).unwrap();
-            ops.assign_device(srv_sel, ahci_dev).unwrap();
+                .expect("boot wiring");
+            ops.grant_gsi(srv_sel, cfg.gsi).expect("boot wiring");
+            ops.assign_device(srv_sel, ahci_dev).expect("boot wiring");
 
             let (comp, ec) = k.load_component(srv_pd, 0, Box::new(DiskServer::new(cfg)));
             k.start_component(comp, ec);
@@ -151,7 +179,7 @@ impl System {
                     dst: 0x20,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
             k.hypercall(
                 srv_ctx,
                 Hypercall::CreatePt {
@@ -161,7 +189,7 @@ impl System {
                     dst: 0x21,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
             k.hypercall(
                 srv_ctx,
                 Hypercall::CreatePt {
@@ -171,7 +199,7 @@ impl System {
                     dst: 0x22,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
             disk = Some(comp);
             disk_srv_sel = Some((srv_sel, srv_ctx));
 
@@ -180,7 +208,7 @@ impl System {
                 // actually schedules it, and a semaphore for the
                 // kernel to fire when the server goes silent.
                 let (sc_sel, wd_sm_sel) = {
-                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    let rp = k.component_mut::<RootPm>(root).expect("boot wiring");
                     (rp.alloc_sel(), rp.alloc_sel())
                 };
                 k.hypercall(
@@ -192,7 +220,7 @@ impl System {
                         dst: sc_sel,
                     },
                 )
-                .unwrap();
+                .expect("boot wiring");
                 k.hypercall(
                     root_ctx,
                     Hypercall::CreateSm {
@@ -200,9 +228,9 @@ impl System {
                         dst: wd_sm_sel,
                     },
                 )
-                .unwrap();
+                .expect("boot wiring");
                 k.hypercall(root_ctx, Hypercall::SmBind { sm: wd_sm_sel })
-                    .unwrap();
+                    .expect("boot wiring");
                 let wd_sm = nova_core::SmId(k.obj.sms.len() - 1);
                 k.hypercall(
                     root_ctx,
@@ -212,10 +240,11 @@ impl System {
                         timeout: DISK_WATCHDOG_TIMEOUT,
                     },
                 )
-                .unwrap();
-                let rp = k.component_mut::<RootPm>(root).unwrap();
+                .expect("boot wiring");
+                let rp = k.component_mut::<RootPm>(root).expect("boot wiring");
                 rp.supervision = Some(DiskSupervision {
                     srv_sel,
+                    srv_ctx,
                     wd_sm_sel,
                     wd_sm,
                     timeout: DISK_WATCHDOG_TIMEOUT,
@@ -235,7 +264,7 @@ impl System {
         // aligned and physically contiguous for the EPT mirroring).
         let guest_frames_base = 0x1000u64;
         let mut ops = RootOps::new(&mut k, root_ctx);
-        let (vmm_sel, vmm_pd) = ops.create_pd("vmm", None).unwrap();
+        let (vmm_sel, vmm_pd) = ops.create_pd("vmm", None).expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             guest_frames_base,
@@ -243,7 +272,7 @@ impl System {
             MemRights::RW_DMA,
             opts.vmm.guest_base_page,
         )
-        .unwrap();
+        .expect("boot wiring");
         // Completion-ring pages: one for the vAHCI path, one for the
         // PV batched queue (a second disk-server client).
         ops.grant_mem(
@@ -253,7 +282,7 @@ impl System {
             MemRights::RW,
             opts.vmm.ring_page,
         )
-        .unwrap();
+        .expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             guest_frames_base + guest_pages + 1,
@@ -261,9 +290,10 @@ impl System {
             MemRights::RW,
             opts.vmm.pv_ring_page,
         )
-        .unwrap();
+        .expect("boot wiring");
         // Debug/mark ports so the guest's shutdown stops the world.
-        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2).unwrap();
+        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2)
+            .expect("boot wiring");
         // VGA window, direct-mapped into the guest by the VMM.
         ops.grant_mem(
             vmm_sel,
@@ -272,7 +302,7 @@ impl System {
             MemRights::RW,
             nova_hw::vga::VGA_BASE / 4096,
         )
-        .unwrap();
+        .expect("boot wiring");
         opts.vmm.direct_mmio.push((
             nova_hw::vga::VGA_BASE / 4096,
             nova_hw::vga::VGA_BASE / 4096,
@@ -288,8 +318,9 @@ impl System {
                 MemRights::RW,
                 0x7_0000,
             )
-            .unwrap();
-            ops.grant_gsi(vmm_sel, nova_hw::machine::AHCI_IRQ).unwrap();
+            .expect("boot wiring");
+            ops.grant_gsi(vmm_sel, nova_hw::machine::AHCI_IRQ)
+                .expect("boot wiring");
             // Appears in the guest at the same BAR address the
             // virtual controller would use, so one driver serves both.
             opts.vmm
@@ -306,8 +337,9 @@ impl System {
                 MemRights::RW,
                 0x7_0010,
             )
-            .unwrap();
-            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ).unwrap();
+            .expect("boot wiring");
+            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ)
+                .expect("boot wiring");
             opts.vmm
                 .direct_mmio
                 .push((nova_hw::machine::NIC_BASE / 4096, 0x7_0010, 4));
@@ -320,7 +352,8 @@ impl System {
             // physical ones, so this config uses dedicated guest
             // hardware: serial + debug ports suffice for the
             // benchmarks' compute workloads).
-            ops.grant_io(vmm_sel, nova_hw::serial::COM1, 8).unwrap();
+            ops.grant_io(vmm_sel, nova_hw::serial::COM1, 8)
+                .expect("boot wiring");
             opts.vmm.direct_ports.push((nova_hw::serial::COM1, 8));
             opts.vmm.direct_ports.push((crate::devices::PORT_EXIT, 2));
         }
@@ -337,9 +370,10 @@ impl System {
                 MemRights::RW,
                 crate::pvnet::PVNET_MMIO_PAGE,
             )
-            .unwrap();
-            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ).unwrap();
-            ops.assign_device(vmm_sel, nic_dev).unwrap();
+            .expect("boot wiring");
+            ops.grant_gsi(vmm_sel, nova_hw::machine::NIC_IRQ)
+                .expect("boot wiring");
+            ops.assign_device(vmm_sel, nic_dev).expect("boot wiring");
         }
 
         if disk.is_some() {
@@ -348,13 +382,18 @@ impl System {
             opts.vmm.supervised_disk = opts.supervise;
         }
 
+        // The microreboot recipe replays this exact configuration for
+        // every incarnation.
+        let recipe_cfg = opts.vmm.clone();
         let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(opts.vmm)));
 
         // Disk portals into the VMM's space (server code path, using a
         // root-granted PD capability).
+        let mut vm0_restart_sel = None;
         if let Some((_srv_sel, srv_ctx)) = disk_srv_sel {
             let mut ops = RootOps::new(&mut k, root_ctx);
-            ops.grant_cap(_srv_sel, vmm_sel, Perms::ALL, 0x30).unwrap();
+            ops.grant_cap(_srv_sel, vmm_sel, Perms::ALL, 0x30)
+                .expect("boot wiring");
             k.hypercall(
                 srv_ctx,
                 Hypercall::DelegateCap {
@@ -364,7 +403,7 @@ impl System {
                     hot: VMM_SEL_DISK_REG,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
             k.hypercall(
                 srv_ctx,
                 Hypercall::DelegateCap {
@@ -374,7 +413,7 @@ impl System {
                     hot: VMM_SEL_DISK_REQ,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
             k.hypercall(
                 srv_ctx,
                 Hypercall::DelegateCap {
@@ -384,14 +423,14 @@ impl System {
                     hot: VMM_SEL_DISK_BATCH,
                 },
             )
-            .unwrap();
+            .expect("boot wiring");
 
             if opts.supervise {
                 // Restart-notification semaphore: root keeps UP, the
                 // VMM gets DOWN at the well-known selector before it
                 // starts (its on_start binds it).
                 let restart_sel = {
-                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    let rp = k.component_mut::<RootPm>(root).expect("boot wiring");
                     rp.alloc_sel()
                 };
                 k.hypercall(
@@ -401,11 +440,12 @@ impl System {
                         dst: restart_sel,
                     },
                 )
-                .unwrap();
+                .expect("boot wiring");
                 let mut ops = RootOps::new(&mut k, root_ctx);
                 ops.grant_cap(vmm_sel, restart_sel, Perms::DOWN, SEL_RESTART_SM)
-                    .unwrap();
-                let rp = k.component_mut::<RootPm>(root).unwrap();
+                    .expect("boot wiring");
+                vm0_restart_sel = Some(restart_sel);
+                let rp = k.component_mut::<RootPm>(root).expect("boot wiring");
                 if let Some(sup) = rp.supervision.as_mut() {
                     sup.clients.push(SupervisedClient {
                         vmm_sel,
@@ -439,7 +479,7 @@ impl System {
             .collect();
             for d in dev_list {
                 let sel = {
-                    let rp = k.component_mut::<RootPm>(root).unwrap();
+                    let rp = k.component_mut::<RootPm>(root).expect("boot wiring");
                     rp.alloc_sel()
                 };
                 k.obj.pd_mut(k.root_pd).caps.set(
@@ -450,8 +490,43 @@ impl System {
                     },
                 );
                 k.hypercall(root_ctx, Hypercall::AssignDev { pd: sel, device: d })
-                    .unwrap();
+                    .expect("boot wiring");
             }
+        }
+
+        // ---- VMM microreboot supervision ----
+        let mut microreboot_slot = None;
+        if let Some(period) = opts.microreboot {
+            let disk_wiring = disk_srv_sel.and_then(|(srv_sel, srv_ctx)| {
+                vm0_restart_sel.map(|restart_sel| DiskWiring {
+                    srv_sel,
+                    srv_ctx,
+                    client_slot: 0,
+                    restart_sel,
+                })
+            });
+            let recipe = MicrorebootRecipe {
+                root,
+                vmm,
+                vmm_sel,
+                vmm_pd,
+                frames: guest_frames_base,
+                cfg: recipe_cfg,
+                disk: disk_wiring,
+                // Disjoint from RootPm's allocator (see the field doc).
+                next_sel: 0x10_000,
+            };
+            microreboot_slot = Some(
+                microreboot::install(
+                    &mut k,
+                    root,
+                    root_ctx,
+                    recipe,
+                    microreboot::VMM_WATCHDOG_TIMEOUT,
+                    period,
+                )
+                .expect("microreboot supervision install"),
+            );
         }
 
         System {
@@ -464,6 +539,7 @@ impl System {
             disk_srv: disk_srv_sel,
             next_frames: guest_frames_base + guest_pages + 2,
             supervised: opts.supervise,
+            microreboot: microreboot_slot,
         }
     }
 
@@ -479,7 +555,7 @@ impl System {
         self.next_frames = frames + guest_pages + 2;
 
         let mut ops = RootOps::new(k, self.root_ctx);
-        let (vmm_sel, vmm_pd) = ops.create_pd("vmm2", None).unwrap();
+        let (vmm_sel, vmm_pd) = ops.create_pd("vmm2", None).expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             frames,
@@ -487,7 +563,7 @@ impl System {
             MemRights::RW_DMA,
             cfg.guest_base_page,
         )
-        .unwrap();
+        .expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             frames + guest_pages,
@@ -495,7 +571,7 @@ impl System {
             MemRights::RW,
             cfg.ring_page,
         )
-        .unwrap();
+        .expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             frames + guest_pages + 1,
@@ -503,8 +579,9 @@ impl System {
             MemRights::RW,
             cfg.pv_ring_page,
         )
-        .unwrap();
-        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2).unwrap();
+        .expect("boot wiring");
+        ops.grant_io(vmm_sel, crate::devices::PORT_EXIT, 2)
+            .expect("boot wiring");
         ops.grant_mem(
             vmm_sel,
             nova_hw::vga::VGA_BASE / 4096,
@@ -512,7 +589,7 @@ impl System {
             MemRights::RW,
             nova_hw::vga::VGA_BASE / 4096,
         )
-        .unwrap();
+        .expect("boot wiring");
         cfg.direct_mmio.push((
             nova_hw::vga::VGA_BASE / 4096,
             nova_hw::vga::VGA_BASE / 4096,
@@ -527,7 +604,8 @@ impl System {
         let (vmm, vmm_ec) = k.load_component(vmm_pd, 0, Box::new(Vmm::new(cfg)));
         if let Some((srv_sel, srv_ctx)) = self.disk_srv {
             let mut ops = RootOps::new(k, self.root_ctx);
-            ops.grant_cap(srv_sel, vmm_sel, Perms::ALL, 0x31).unwrap();
+            ops.grant_cap(srv_sel, vmm_sel, Perms::ALL, 0x31)
+                .expect("boot wiring");
             for (from, to) in [
                 (0x20, VMM_SEL_DISK_REG),
                 (0x21, VMM_SEL_DISK_REQ),
@@ -542,11 +620,11 @@ impl System {
                         hot: to,
                     },
                 )
-                .unwrap();
+                .expect("boot wiring");
             }
             if self.supervised {
                 let restart_sel = {
-                    let rp = k.component_mut::<RootPm>(self.root).unwrap();
+                    let rp = k.component_mut::<RootPm>(self.root).expect("boot wiring");
                     rp.alloc_sel()
                 };
                 k.hypercall(
@@ -556,11 +634,11 @@ impl System {
                         dst: restart_sel,
                     },
                 )
-                .unwrap();
+                .expect("boot wiring");
                 let mut ops = RootOps::new(k, self.root_ctx);
                 ops.grant_cap(vmm_sel, restart_sel, Perms::DOWN, SEL_RESTART_SM)
-                    .unwrap();
-                let rp = k.component_mut::<RootPm>(self.root).unwrap();
+                    .expect("boot wiring");
+                let rp = k.component_mut::<RootPm>(self.root).expect("boot wiring");
                 if let Some(sup) = rp.supervision.as_mut() {
                     sup.clients.push(SupervisedClient {
                         vmm_sel,
@@ -577,6 +655,18 @@ impl System {
     /// A specific VMM by component id.
     pub fn vmm_by_id(&mut self, id: CompId) -> &mut Vmm {
         self.k.component_mut::<Vmm>(id).expect("vmm component")
+    }
+
+    /// The microrebooted VM's *current* VMM component and protection
+    /// domain — both change across revives, so callers must not cache
+    /// the boot-time ids.
+    pub fn microreboot_vmm(&mut self) -> Option<(CompId, nova_core::PdId)> {
+        let slot = self.microreboot?;
+        let root = self.root;
+        let rp = self.k.component_mut::<RootPm>(root)?;
+        let sup = rp.vmm_supervision.get_mut(slot)?.as_mut()?;
+        let r = sup.recipe.as_any().downcast_mut::<MicrorebootRecipe>()?;
+        Some((r.vmm, r.vmm_pd))
     }
 
     /// Runs the system until shutdown/idle/budget.

@@ -14,13 +14,17 @@
 #![forbid(unsafe_code)]
 
 pub mod bios;
+pub mod checkpoint;
 pub mod devices;
 pub mod emu;
 pub mod launch;
+pub mod microreboot;
 pub mod pvdisk;
 pub mod pvnet;
 pub mod vahci;
 pub mod vmm;
 
+pub use checkpoint::Checkpoint;
 pub use launch::{LaunchOptions, System};
+pub use microreboot::MicrorebootRecipe;
 pub use vmm::{GuestImage, Vmm, VmmConfig};

@@ -43,6 +43,7 @@ use nova_hw::pv::{disk as ring, regs};
 use nova_hw::{GuestFault, GuestSurface, VmKill};
 use nova_user::proto::disk as proto;
 
+use crate::checkpoint::{Dec, Enc};
 use crate::vahci::{DiskChannel, WINDOW_BASE};
 
 /// Virtual interrupt line for PV disk completions (a free slave-PIC
@@ -611,6 +612,125 @@ impl PvDisk {
             p.accepted = false;
             self.resubmits += 1;
             k.counters.request_retries += 1;
+        }
+        let mut raise = false;
+        if any {
+            raise |= self.submit_ready(k, ctx);
+        }
+        raise |= self.publish(k, ctx);
+        raise
+    }
+
+    /// The registered disk-server client id, if a channel is attached.
+    pub fn client_id(&self) -> Option<u64> {
+        self.channel.map(|ch| ch.client)
+    }
+
+    /// Serializes the queue state for a checkpoint: ring location,
+    /// cumulative counters, every in-flight descriptor, and the
+    /// out-of-order completions not yet published. The channel, the
+    /// completion-ring cursor and the delegations are reconstructed
+    /// on restore, exactly as in [`crate::vahci::VAhci::export_state`].
+    pub fn export_state(&self, e: &mut Enc) {
+        e.u64(self.ring_gpa);
+        e.u64(self.submitted);
+        e.u64(self.used);
+        e.u64(self.used_errors);
+        e.u32(self.isr);
+        e.u64(self.raised_used);
+        e.u32(self.pending.len() as u32);
+        for p in &self.pending {
+            e.u64(p.idx);
+            e.u64(p.op);
+            e.u64(p.lba);
+            e.u32(p.sectors);
+            e.u64(p.buf);
+            e.u32(p.bytes);
+            e.u32(p.attempts);
+        }
+        e.u32(self.done.len() as u32);
+        for (&idx, &status) in &self.done {
+            e.u64(idx);
+            e.u32(status);
+        }
+        for c in [
+            self.doorbells,
+            self.batches,
+            self.requests,
+            self.completions,
+            self.errors,
+            self.timeouts,
+            self.resubmits,
+            self.degraded,
+            self.irqs,
+        ] {
+            e.u64(c);
+        }
+    }
+
+    /// Restores checkpointed state; every in-flight descriptor is
+    /// marked unaccepted for the [`PvDisk::restore_resubmit`] replay.
+    pub fn import_state(&mut self, d: &mut Dec) -> Option<()> {
+        self.ring_gpa = d.u64()?;
+        self.submitted = d.u64()?;
+        self.used = d.u64()?;
+        self.used_errors = d.u64()?;
+        self.isr = d.u32()?;
+        self.raised_used = d.u64()?;
+        self.ring_tail = 0;
+        self.delegated.clear();
+        self.fatal = None;
+        let npending = d.u32()? as usize;
+        if npending > d.remaining() / 8 {
+            return None;
+        }
+        self.pending.clear();
+        for _ in 0..npending {
+            self.pending.push_back(PvPending {
+                idx: d.u64()?,
+                op: d.u64()?,
+                lba: d.u64()?,
+                sectors: d.u32()?,
+                buf: d.u64()?,
+                bytes: d.u32()?,
+                submitted_at: 0,
+                attempts: d.u32()?,
+                accepted: false,
+            });
+        }
+        let ndone = d.u32()? as usize;
+        if ndone > d.remaining() / 8 {
+            return None;
+        }
+        self.done.clear();
+        for _ in 0..ndone {
+            let idx = d.u64()?;
+            let status = d.u32()?;
+            self.done.insert(idx, status);
+        }
+        self.doorbells = d.u64()?;
+        self.batches = d.u64()?;
+        self.requests = d.u64()?;
+        self.completions = d.u64()?;
+        self.errors = d.u64()?;
+        self.timeouts = d.u64()?;
+        self.resubmits = d.u64()?;
+        self.degraded = d.u64()?;
+        self.irqs = d.u64()?;
+        Some(())
+    }
+
+    /// Replays every restored in-flight descriptor into the disk
+    /// server after a VMM microreboot. The attempt budget is not
+    /// charged (a restore is a replay, not a failed delivery).
+    /// Returns `true` if the interrupt line should be raised.
+    pub fn restore_resubmit(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let now = k.now();
+        let any = !self.pending.is_empty();
+        for p in self.pending.iter_mut() {
+            p.accepted = false;
+            p.submitted_at = now;
+            self.resubmits += 1;
         }
         let mut raise = false;
         if any {

@@ -33,6 +33,8 @@ use nova_hw::nic::{regs as hw, ICR_RXT0, RXD_STAT_DD};
 use nova_hw::pv::{net as ring, regs};
 use nova_hw::{GuestFault, GuestSurface, VmKill};
 
+use crate::checkpoint::{Dec, Enc};
+
 /// VMM page where the launcher maps the physical NIC's register
 /// window for a paravirtual-NIC VMM (the direct-assignment path uses
 /// `0x7_0010`; this window is the VMM's own, never the guest's).
@@ -303,5 +305,44 @@ impl PvNet {
                 .add(nova_trace::names::PV_COMPLETION_IRQS, 1, 1);
         }
         raise
+    }
+
+    /// Serializes the guest-visible queue state for a checkpoint.
+    /// Deliberately minimal: the physical NIC's descriptor ring is
+    /// *not* captured — restore reprograms the hardware ring from
+    /// scratch via [`PvNet::import_state`], and packets that were
+    /// physically in flight across the crash are lost (the documented
+    /// lossy-network limitation; guests already tolerate drops).
+    pub fn export_state(&self, e: &mut Enc) {
+        e.u64(self.ring_gpa);
+        e.u64(self.posted);
+        e.u64(self.used);
+        e.u32(self.isr);
+        e.u64(self.raised_used);
+        for c in [self.doorbells, self.packets, self.irqs, self.rejected] {
+            e.u64(c);
+        }
+    }
+
+    /// Restores checkpointed state and reprograms the physical
+    /// receive ring (the hardware descriptors live in the
+    /// backend-private guest page, which the memory restore already
+    /// rewrote; only the NIC registers need re-deriving).
+    pub fn import_state(&mut self, k: &mut Kernel, ctx: CompCtx, d: &mut Dec) -> Option<()> {
+        self.ring_gpa = d.u64()?;
+        self.posted = d.u64()?;
+        self.used = d.u64()?;
+        self.isr = d.u32()?;
+        self.raised_used = d.u64()?;
+        self.doorbells = d.u64()?;
+        self.packets = d.u64()?;
+        self.irqs = d.u64()?;
+        self.rejected = d.u64()?;
+        self.fatal = None;
+        if self.ring_gpa != 0 {
+            self.init_hw(k, ctx);
+            self.reg_write(k, ctx, hw::RDT, (self.posted % HW_ENTRIES) as u32);
+        }
+        Some(())
     }
 }

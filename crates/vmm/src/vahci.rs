@@ -34,6 +34,8 @@ use nova_hw::{GuestFault, GuestSurface};
 use nova_user::proto::disk as proto;
 use nova_x86::insn::OpSize;
 
+use crate::checkpoint::{Dec, Enc};
+
 /// First page of the disk server's window for this client's buffers:
 /// the server sees guest page `g` at window page `WINDOW_BASE + g`.
 pub const WINDOW_BASE: u64 = 0x40_000;
@@ -559,5 +561,123 @@ impl VAhci {
     /// `true` when the interrupt condition is pending and enabled.
     pub fn irq_pending(&self) -> bool {
         self.p0is != 0 && self.p0ie != 0
+    }
+
+    /// The registered disk-server client id, if a channel is attached
+    /// — the supervisor detaches this client at the server before it
+    /// respawns the VMM.
+    pub fn client_id(&self) -> Option<u64> {
+        self.channel.map(|ch| ch.client)
+    }
+
+    /// Serializes the guest-visible controller state and every
+    /// pending request for a checkpoint. The disk channel, the
+    /// completion-ring cursor and the standing delegations are *not*
+    /// captured: they name kernel objects of the dead incarnation and
+    /// are reconstructed on restore (fresh registration, ring tail
+    /// zero, empty delegation set, re-submission).
+    pub fn export_state(&self, e: &mut Enc) {
+        e.u64(self.clb);
+        e.u32(self.is);
+        e.u32(self.p0is);
+        e.u32(self.p0ie);
+        e.u32(self.ci);
+        e.u32(self.inflight_slots);
+        for slot in &self.pending {
+            e.flag(slot.is_some());
+            if let Some(req) = slot {
+                e.u64(req.op);
+                e.u64(req.lba);
+                e.u32(req.sectors);
+                e.u32(req.nsegs as u32);
+                for &(dba, bytes) in req.segs.get(..req.nsegs).unwrap_or(&[]) {
+                    e.u64(dba);
+                    e.u32(bytes);
+                }
+                e.u32(req.attempts);
+            }
+        }
+        for c in [
+            self.requests,
+            self.completions,
+            self.errors,
+            self.timeouts,
+            self.resubmits,
+            self.degraded,
+        ] {
+            e.u64(c);
+        }
+    }
+
+    /// Restores checkpointed state into a freshly attached controller.
+    /// Every restored request is marked unaccepted; the caller drives
+    /// [`VAhci::restore_resubmit`] once guest memory is back in place.
+    pub fn import_state(&mut self, d: &mut Dec) -> Option<()> {
+        self.clb = d.u64()?;
+        self.is = d.u32()?;
+        self.p0is = d.u32()?;
+        self.p0ie = d.u32()?;
+        self.ci = d.u32()?;
+        self.inflight_slots = d.u32()?;
+        self.ring_tail = 0;
+        self.delegated.clear();
+        for slot in 0..32u8 {
+            let present = d.flag()?;
+            if !present {
+                self.set_pend(slot, None);
+                continue;
+            }
+            let op = d.u64()?;
+            let lba = d.u64()?;
+            let sectors = d.u32()?;
+            let nsegs = d.u32()? as usize;
+            if nsegs > proto::MAX_SEGMENTS {
+                return None;
+            }
+            let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
+            for s in segs.get_mut(..nsegs).unwrap_or(&mut []) {
+                *s = (d.u64()?, d.u32()?);
+            }
+            let attempts = d.u32()?;
+            self.set_pend(
+                slot,
+                Some(PendingReq {
+                    op,
+                    lba,
+                    sectors,
+                    segs,
+                    nsegs,
+                    submitted_at: 0,
+                    attempts,
+                    accepted: false,
+                }),
+            );
+        }
+        self.requests = d.u64()?;
+        self.completions = d.u64()?;
+        self.errors = d.u64()?;
+        self.timeouts = d.u64()?;
+        self.resubmits = d.u64()?;
+        self.degraded = d.u64()?;
+        Some(())
+    }
+
+    /// Replays every restored request into the disk server after a
+    /// VMM microreboot (the PR 3 resubmit protocol). Unlike
+    /// [`VAhci::reconnect`] the attempt budget is not charged — a
+    /// restore is a replay, not a failed delivery. Returns `true` if
+    /// the guest's interrupt line should be raised.
+    pub fn restore_resubmit(&mut self, k: &mut Kernel, ctx: CompCtx) -> bool {
+        let mut raise = false;
+        for slot in 0..32u8 {
+            if let Some(mut req) = self.pend(slot) {
+                req.accepted = false;
+                req.submitted_at = k.now();
+                self.set_pend(slot, Some(req));
+                self.resubmits += 1;
+                raise |= self.try_submit(k, ctx, slot);
+            }
+        }
+        raise
     }
 }

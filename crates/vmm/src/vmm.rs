@@ -30,6 +30,7 @@ use nova_x86::insn::OpSize;
 use nova_x86::reg::{flags, Reg, Reg8, Regs};
 
 use crate::bios;
+use crate::checkpoint::{Dec, Enc};
 use crate::devices::{SpecialPorts, VDevices};
 use crate::emu::{emulate_one, virtual_cpuid, EmuEnv, EmuErr, GuestView};
 use crate::pvdisk::{PvDisk, PV_DISK_IRQ};
@@ -160,8 +161,10 @@ impl VmmConfig {
 /// after every disk-server restart.
 pub const SEL_RESTART_SM: CapSel = 0x42;
 
-/// Well-known selectors inside the VMM's capability space.
-mod sel {
+/// Well-known selectors inside the VMM's capability space (public so
+/// the microreboot recipe can address the VM PD and the vCPUs of a
+/// dead incarnation through its still-standing capability space).
+pub mod sel {
     use nova_core::cap::CapSel;
     /// Timer semaphore.
     pub const TIMER_SM: CapSel = 0x40;
@@ -822,6 +825,204 @@ impl Vmm {
         {
             self.maint_armed = want;
         }
+    }
+
+    /// The VMM's configuration (the supervisor's recipe replays it
+    /// into the fresh incarnation).
+    pub fn config(&self) -> &VmmConfig {
+        &self.cfg
+    }
+
+    /// The disk-server client ids this VMM holds, if any — the
+    /// supervisor detaches them at the server before respawning, so a
+    /// dead incarnation's slots are reusable and its completions are
+    /// suppressed.
+    pub fn disk_client_ids(&self) -> Vec<u64> {
+        let Some(dev) = self.dev.as_ref() else {
+            return Vec::new();
+        };
+        dev.vahci
+            .client_id()
+            .into_iter()
+            .chain(dev.pvdisk.client_id())
+            .collect()
+    }
+
+    /// Serializes the VMM's runtime and virtual-device state for a
+    /// checkpoint: per-vCPU bookkeeping, guest marks and exit code,
+    /// statistics, and every device model. Deterministic byte-for-byte
+    /// (the CI gate relies on it).
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.vcpu_state.len() as u32);
+        for s in &self.vcpu_state {
+            e.flag(s.halted);
+            e.flag(s.pending_ipi.is_some());
+            e.u8(s.pending_ipi.unwrap_or(0));
+            e.flag(s.recall_armed);
+        }
+        e.u32(self.marks.len() as u32);
+        for &m in &self.marks {
+            e.u32(m);
+        }
+        e.flag(self.guest_exit.is_some());
+        e.u8(self.guest_exit.unwrap_or(0));
+        for c in [
+            self.stats.io_exits,
+            self.stats.mmio_exits,
+            self.stats.cpuid_exits,
+            self.stats.hlt_exits,
+            self.stats.injections,
+            self.stats.emulated,
+        ] {
+            e.u64(c);
+        }
+        match self.dev.as_ref() {
+            None => e.flag(false),
+            Some(dev) => {
+                e.flag(true);
+                e.raw(&dev.vpic.export_state());
+                dev.vpit.export_state(&mut e);
+                e.bytes(&dev.vserial.output);
+                dev.vkbd.export_state(&mut e);
+                dev.vpci.export_state(&mut e);
+                dev.vahci.export_state(&mut e);
+                dev.pvdisk.export_state(&mut e);
+                e.flag(dev.pvnet.is_some());
+                if let Some(n) = dev.pvnet.as_ref() {
+                    n.export_state(&mut e);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Restores [`Vmm::save_state`] bytes into this (freshly started)
+    /// incarnation. Must run *after* guest memory has been rewritten
+    /// and the vCPUs imported: the PV disk replay publishes straight
+    /// into guest ring memory. Clears the stale completion-ring pages
+    /// (the fresh server clients produce from zero), replays every
+    /// in-flight disk request, and re-arms the maintenance timer.
+    /// Returns `false` — leaving the VMM as a cold boot — on any
+    /// malformed input.
+    pub fn restore_state(&mut self, k: &mut Kernel, bytes: &[u8]) -> bool {
+        let Some(ctx) = self.ctx else {
+            return false;
+        };
+        let mut d = Dec::new(bytes);
+        let Some(n) = d.u32() else {
+            return false;
+        };
+        if n as usize != self.vcpu_state.len() {
+            return false;
+        }
+        for i in 0..n as usize {
+            let (Some(halted), Some(has_ipi), Some(ipi), Some(recall)) =
+                (d.flag(), d.flag(), d.u8(), d.flag())
+            else {
+                return false;
+            };
+            if let Some(s) = self.vcpu_state.get_mut(i) {
+                s.halted = halted;
+                s.pending_ipi = has_ipi.then_some(ipi);
+                // Recalls of the dead incarnation died with it; a
+                // restored pending interrupt re-kicks below.
+                s.recall_armed = false;
+                let _ = recall;
+            }
+        }
+        let Some(nmarks) = d.u32() else {
+            return false;
+        };
+        self.marks.clear();
+        for _ in 0..nmarks {
+            let Some(m) = d.u32() else {
+                return false;
+            };
+            self.marks.push(m);
+        }
+        let (Some(has_exit), Some(code)) = (d.flag(), d.u8()) else {
+            return false;
+        };
+        self.guest_exit = has_exit.then_some(code);
+        let mut stats = [0u64; 6];
+        for s in stats.iter_mut() {
+            let Some(v) = d.u64() else {
+                return false;
+            };
+            *s = v;
+        }
+        self.stats = VmmStats {
+            io_exits: stats[0],
+            mmio_exits: stats[1],
+            cpuid_exits: stats[2],
+            hlt_exits: stats[3],
+            injections: stats[4],
+            emulated: stats[5],
+        };
+
+        let Some(has_dev) = d.flag() else {
+            return false;
+        };
+        let Some(mut dev) = self.dev.take() else {
+            return false;
+        };
+        if !has_dev {
+            self.dev = Some(dev);
+            return d.done();
+        }
+        let ok = (|| -> Option<bool> {
+            let pic: [u8; nova_hw::pic::DualPic::STATE_LEN] =
+                d.take(nova_hw::pic::DualPic::STATE_LEN)?.try_into().ok()?;
+            dev.vpic.import_state(&pic);
+            dev.vpit.import_state(k, ctx, &mut d)?;
+            dev.vserial.output = d.bytes()?.to_vec();
+            dev.vkbd.import_state(&mut d)?;
+            dev.vpci.import_state(&mut d)?;
+            dev.vahci.import_state(&mut d)?;
+            dev.pvdisk.import_state(&mut d)?;
+            let has_net = d.flag()?;
+            match (has_net, dev.pvnet.as_mut()) {
+                (true, Some(net)) => net.import_state(k, ctx, &mut d)?,
+                (false, _) => {}
+                (true, None) => return None,
+            }
+            Some(d.done())
+        })()
+        .unwrap_or(false);
+        if !ok {
+            self.dev = Some(dev);
+            return false;
+        }
+
+        // The re-granted ring pages still hold the previous
+        // incarnation's producer head word; the fresh server clients
+        // produce from zero, so the pages must be cleared before any
+        // completion is consumed against a zero ring tail.
+        if self.cfg.disk_portals.is_some() {
+            k.mem_write(ctx, self.cfg.ring_page * 4096, &[0u8; 4096]);
+            if self.cfg.pv_disk {
+                k.mem_write(ctx, self.cfg.pv_ring_page * 4096, &[0u8; 4096]);
+            }
+        }
+
+        // Replay every in-flight disk request into the (fresh or
+        // surviving) server — the same resubmit protocol used after a
+        // disk-server restart.
+        let mut kick = dev.vahci.restore_resubmit(k, ctx);
+        if kick {
+            dev.vpic.pulse(nova_hw::machine::AHCI_IRQ);
+        }
+        if dev.pvdisk.enabled() && dev.pvdisk.restore_resubmit(k, ctx) {
+            dev.vpic.pulse(PV_DISK_IRQ);
+            kick = true;
+        }
+        self.dev = Some(dev);
+        self.update_maint_timer(k, ctx);
+        if kick || self.has_pending(0) {
+            self.kick_vcpu(k, ctx, 0);
+        }
+        true
     }
 }
 

@@ -486,6 +486,7 @@ fn supervised_rig() -> Rig {
     let rp = k.component_mut::<RootPm>(root).unwrap();
     rp.supervision = Some(DiskSupervision {
         srv_sel,
+        srv_ctx,
         wd_sm_sel,
         wd_sm,
         timeout: 8_000_000,

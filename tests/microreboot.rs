@@ -1,0 +1,476 @@
+//! VMM microreboot: guest-transparent checkpoint/restore driven by
+//! root's crash-only supervision tree. The headline property is the
+//! Issue-7 acceptance run — a PV disk workload with the VMM killed
+//! mid-flight completes with byte-identical data versus a crash-free
+//! run, the guest makes forward progress after the restore, and a
+//! co-resident VM never notices. The remaining tests walk the
+//! escalation ladder (resume → cold reboot → mark failed), cross the
+//! recovery with a simultaneous disk-server crash, and pin checkpoint
+//! determinism (same seed ⇒ byte-identical checkpoints).
+
+use nova_core::kernel::VMM_CRASH_CODE;
+use nova_core::RunOutcome;
+use nova_guest::os::{build_os, OsParams};
+use nova_guest::pvdiskload::{self, PvDiskLoadParams};
+use nova_guest::rt::layout;
+use nova_hw::fault::{FaultKind, FaultPlan};
+use nova_trace::{cat, names, Tracer};
+use nova_user::root::{RootPm, LEVEL_FAILED, LEVEL_RESUME};
+use nova_vmm::{GuestImage, LaunchOptions, System, Vmm, VmmConfig};
+use nova_x86::insn::{AluOp, Cond};
+use nova_x86::reg::Reg;
+use nova_x86::MemRef;
+
+const BLOCK: u32 = 4096;
+const BATCH: u32 = 8;
+const REQUESTS: u32 = 32;
+const BUDGET: u64 = 200_000_000_000;
+/// Tighter-than-default checkpoint cadence so a checkpoint exists
+/// well before the workload finishes.
+const CKPT_PERIOD: u64 = 500_000;
+
+fn image(prog: nova_guest::os::Program) -> GuestImage {
+    GuestImage {
+        bytes: prog.bytes,
+        load_gpa: prog.load_gpa,
+        entry: prog.entry,
+        stack: prog.stack,
+    }
+}
+
+/// The microrebootable PV-disk system under test.
+fn microreboot_system() -> System {
+    let prog = pvdiskload::build(PvDiskLoadParams {
+        requests: REQUESTS,
+        block_bytes: BLOCK,
+        batch: BATCH,
+    });
+    let mut cfg = VmmConfig::full_virt(image(prog), 4096);
+    cfg.pv_disk = true;
+    let mut opts = LaunchOptions::microrebootable(cfg);
+    opts.microreboot = Some(CKPT_PERIOD);
+    System::build(opts)
+}
+
+/// Iterations of the co-resident integrity witness.
+const WITNESS_ITERS: u32 = 6;
+
+/// Checksum the witness computes on iteration `iter`.
+fn witness_checksum(iter: u32) -> u32 {
+    let mut v = 0x1234_5678u32.wrapping_add(iter);
+    let mut s = 0u32;
+    for _ in 0..1024 {
+        s = s.wrapping_add(v);
+        v = v.wrapping_add(0x9e37_79b9);
+    }
+    s
+}
+
+/// A sibling VM that fills a page with a rolling pattern, checksums
+/// it, and reports each checksum through the mark port. Faults and
+/// microreboots of the *other* VM must never perturb these values.
+fn witness_guest() -> nova_guest::os::Program {
+    build_os(OsParams::minimal(), |a, _| {
+        a.mov_ri(Reg::Esi, 0);
+        let iter = a.here_label();
+        a.mov_ri(Reg::Edi, 0x8000);
+        a.mov_ri(Reg::Ecx, 1024);
+        a.mov_ri(Reg::Eax, 0x1234_5678);
+        a.alu_rr(AluOp::Add, Reg::Eax, Reg::Esi);
+        let fill = a.here_label();
+        a.mov_mr(MemRef::base_disp(Reg::Edi, 0), Reg::Eax);
+        a.add_ri(Reg::Eax, 0x9e37_79b9);
+        a.add_ri(Reg::Edi, 4);
+        a.dec_r(Reg::Ecx);
+        a.jcc(Cond::Ne, fill);
+        a.mov_ri(Reg::Edi, 0x8000);
+        a.mov_ri(Reg::Ecx, 1024);
+        a.mov_ri(Reg::Ebx, 0);
+        let sum = a.here_label();
+        a.alu_rm(AluOp::Add, Reg::Ebx, MemRef::base_disp(Reg::Edi, 0));
+        a.add_ri(Reg::Edi, 4);
+        a.dec_r(Reg::Ecx);
+        a.jcc(Cond::Ne, sum);
+        a.mov_rr(Reg::Eax, Reg::Ebx);
+        a.mov_ri(Reg::Edx, 0xf5);
+        a.out_dx_eax();
+        a.inc_r(Reg::Esi);
+        a.cmp_ri(Reg::Esi, WITNESS_ITERS);
+        a.jcc(Cond::B, iter);
+        let top = a.here_label();
+        a.jmp(top);
+    })
+}
+
+/// Mark values emitted by the witness (everything except pvdiskload's
+/// begin/end marks).
+fn witness_marks(sys: &System) -> Vec<u32> {
+    sys.k
+        .machine
+        .marks()
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|&v| v != 0x1000 && v != 0x1001)
+        .collect()
+}
+
+/// Host address of the guest's PV read buffer for batch slot `slot`.
+fn pv_buf_host(slot: u32) -> u64 {
+    0x1000 * 4096 + (layout::PV_DISK_BUF + slot * 4096) as u64
+}
+
+/// The microrebooted VM's supervision record, for assertions.
+fn with_sup<R>(sys: &mut System, f: impl FnOnce(&nova_user::root::VmmSupervision) -> R) -> R {
+    let root = sys.root;
+    let slot = sys.microreboot.expect("microreboot enabled");
+    let rp = sys.k.component_mut::<RootPm>(root).expect("root pm");
+    f(rp.vmm_supervision[slot].as_ref().expect("supervised vm"))
+}
+
+/// Slice-runs until `done` says stop (or the workload finishes, which
+/// fails the test via the caller's later assertions).
+fn run_until(sys: &mut System, mut done: impl FnMut(&mut System) -> bool) {
+    loop {
+        let out = sys.run(Some(100_000));
+        assert_ne!(out, RunOutcome::Shutdown(0), "guest finished prematurely");
+        if done(sys) {
+            return;
+        }
+    }
+}
+
+/// Completed PV requests on the *current* VMM incarnation.
+fn pv_completions(sys: &mut System) -> u64 {
+    let (vmm, _) = sys.microreboot_vmm().expect("supervised vmm");
+    sys.k
+        .component_mut::<Vmm>(vmm)
+        .map(|v| v.dev().pvdisk.completions)
+        .unwrap_or(0)
+}
+
+/// Reference run without any crash: the byte-identity baseline.
+fn crash_free_reference() -> Vec<u8> {
+    let mut sys = microreboot_system();
+    assert_eq!(sys.run(Some(BUDGET)), RunOutcome::Shutdown(0));
+    sys.k.machine.mem.read_bytes(pv_buf_host(0), 8 * 4096)
+}
+
+/// Issue-7 acceptance: kill the VMM mid-workload. The supervisor
+/// restores the guest from the last checkpoint; the run completes with
+/// byte-identical disk contents, the sibling VM never stalls, and the
+/// recovery metrics are published.
+#[test]
+fn crash_mid_workload_restores_and_completes_byte_identical() {
+    let reference = crash_free_reference();
+
+    let mut sys = microreboot_system();
+    sys.add_vm(VmmConfig::full_virt(image(witness_guest()), 1024));
+    let cpus = sys.k.machine.cpus.len().max(1);
+    sys.k.machine.bus.trace = Tracer::new(cpus, 1 << 21, cat::ALL);
+
+    // Let the guest make real progress and the cadence timer take at
+    // least one checkpoint, then kill the VMM.
+    run_until(&mut sys, |s| {
+        pv_completions(s) >= 8 && with_sup(s, |sup| sup.last_checkpoint.is_some())
+    });
+    let (_, vmm_pd) = sys.microreboot_vmm().expect("supervised vmm");
+    sys.k.pd_fault(vmm_pd, VMM_CRASH_CODE);
+    assert_eq!(sys.k.counters.pd_deaths, 1);
+
+    let out = sys.run(Some(BUDGET));
+    assert_eq!(
+        out,
+        RunOutcome::Shutdown(0),
+        "guest completed after restore"
+    );
+
+    // Exactly one restore, at the resume rung, and the guest made
+    // forward progress afterwards (the end mark is emitted once).
+    assert_eq!(sys.k.counters.vmm_restarts, 1);
+    assert!(sys.k.counters.checkpoints_taken >= 1);
+    assert_eq!(sys.k.counters.escalations, 0);
+    with_sup(&mut sys, |sup| {
+        assert_eq!(sup.restarts, 1);
+        assert_eq!(sup.level, LEVEL_RESUME);
+        assert!(!sup.failed);
+    });
+    let diskload_marks: Vec<u32> = sys
+        .k
+        .machine
+        .marks()
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|&v| v == 0x1000 || v == 0x1001)
+        .collect();
+    assert_eq!(
+        diskload_marks,
+        vec![0x1000, 0x1001],
+        "begin/end marks each appear once: the restore resumed the \
+         guest mid-workload instead of rebooting it"
+    );
+
+    // Byte-identical disk contents versus the crash-free run, and both
+    // match the backing store.
+    let got = sys.k.machine.mem.read_bytes(pv_buf_host(0), 8 * 4096);
+    assert_eq!(got, reference, "crashed run delivers identical bytes");
+    let sectors = (BLOCK / 512) as u64;
+    let mut expect = Vec::new();
+    for req in 24..32u64 {
+        for s in 0..sectors {
+            expect.extend_from_slice(&sys.k.machine.ahci().sector(req * sectors + s));
+        }
+    }
+    assert_eq!(got, expect, "contents match the backing store");
+
+    // The sibling VM ran to completion with correct checksums.
+    let marks = witness_marks(&sys);
+    assert_eq!(marks.len(), WITNESS_ITERS as usize, "sibling never stalled");
+    for (i, &m) in marks.iter().enumerate() {
+        assert_eq!(m, witness_checksum(i as u32), "sibling data intact");
+    }
+
+    // Recovery metrics are published.
+    let metrics = &sys.k.machine.bus.trace.metrics;
+    let slot = sys.microreboot.expect("slot") as u64;
+    let restarts = metrics.get(names::VMM_RESTARTS, slot).expect("metric");
+    assert_eq!(restarts.count, 1);
+    let lat = metrics
+        .get(names::RESTORE_LATENCY_CYCLES, slot)
+        .expect("metric");
+    assert_eq!(lat.count, 1);
+    assert!(lat.sum > 0, "restore latency is a real cycle count");
+    let ckpt = metrics.get(names::CHECKPOINT_BYTES, slot).expect("metric");
+    assert!(ckpt.count >= 1 && ckpt.sum > 0);
+}
+
+/// A second crash right after the restore means the checkpoint itself
+/// reproduces the failure: the ladder climbs to a cold reboot, and the
+/// cold-booted guest still finishes with correct data.
+#[test]
+fn second_crash_inside_stability_window_escalates_to_cold_reboot() {
+    let mut sys = microreboot_system();
+    run_until(&mut sys, |s| {
+        pv_completions(s) >= 8 && with_sup(s, |sup| sup.last_checkpoint.is_some())
+    });
+    let (_, pd1) = sys.microreboot_vmm().expect("supervised vmm");
+    sys.k.pd_fault(pd1, VMM_CRASH_CODE);
+    run_until(&mut sys, |s| with_sup(s, |sup| sup.restarts == 1));
+
+    // Crash again inside the stability window (well under 2M cycles
+    // after the restore): the resume rung does not hold.
+    let (_, pd2) = sys.microreboot_vmm().expect("supervised vmm");
+    assert_ne!(pd1, pd2, "revive built a fresh protection domain");
+    sys.k.pd_fault(pd2, VMM_CRASH_CODE);
+
+    let out = sys.run(Some(BUDGET));
+    assert_eq!(out, RunOutcome::Shutdown(0), "cold reboot completed");
+    assert_eq!(sys.k.counters.vmm_restarts, 2);
+    assert_eq!(sys.k.counters.escalations, 1);
+    with_sup(&mut sys, |sup| {
+        assert_eq!(sup.restarts, 2);
+        assert!(!sup.failed);
+    });
+
+    // A cold reboot re-runs the workload from the start: the begin
+    // mark appears twice, the end mark once, and the data is correct.
+    let marks: Vec<u32> = sys.k.machine.marks().iter().map(|&(_, v)| v).collect();
+    assert_eq!(marks.iter().filter(|&&v| v == 0x1001).count(), 1);
+    assert_eq!(*marks.last().expect("marks"), 0x1001);
+    let got = sys.k.machine.mem.read_bytes(pv_buf_host(7), 16);
+    let sectors = (BLOCK / 512) as u64;
+    let expect = sys.k.machine.ahci().sector(31 * sectors);
+    assert_eq!(got, expect[..16].to_vec(), "data correct after cold reboot");
+}
+
+/// Revives that keep failing at every rung exhaust the ladder: the VM
+/// is marked failed and left down, while the sibling VM keeps running
+/// untouched — crash-only containment, not a hung system or an
+/// unbounded retry loop. The permanent failure is a disk server whose
+/// own supervisor has given up: every VMM revive then finds a dead
+/// server and must fail cleanly.
+#[test]
+fn ladder_exhaustion_marks_vm_failed_while_sibling_runs() {
+    let mut sys = microreboot_system();
+    sys.add_vm(VmmConfig::full_virt(image(witness_guest()), 1024));
+    run_until(&mut sys, |s| {
+        pv_completions(s) >= 8 && with_sup(s, |sup| sup.last_checkpoint.is_some())
+    });
+
+    // Put the disk server permanently down (its own ladder exhausted),
+    // then kill the VMM: every revive attempt now fails, so the VM
+    // ladder must climb resume -> cold -> failed and stop.
+    let srv_pd = {
+        let root = sys.root;
+        let rp = sys.k.component_mut::<RootPm>(root).expect("root pm");
+        rp.disk_failed = true;
+        rp.supervision
+            .as_ref()
+            .expect("disk supervision")
+            .srv_ctx
+            .pd
+    };
+    sys.k.pd_fault(srv_pd, 0xdead);
+    let (_, vmm_pd) = sys.microreboot_vmm().expect("supervised vmm");
+    sys.k.pd_fault(vmm_pd, VMM_CRASH_CODE);
+
+    // Bounded backoffs: the whole ladder plays out in a few million
+    // cycles; the run never shuts down (the witness spins), so a fixed
+    // slice bounds the test.
+    let _ = sys.run(Some(60_000_000));
+    with_sup(&mut sys, |sup| {
+        assert!(sup.failed, "ladder terminated in the failed state");
+        assert_eq!(sup.level, LEVEL_FAILED);
+        assert_eq!(sup.restarts, 0, "no revive ever succeeded");
+        assert!(!sup.reviving, "no retry left pending after failure");
+    });
+    assert_eq!(
+        sys.k.counters.escalations, 2,
+        "exactly two climbs: resume -> cold -> failed"
+    );
+    assert_eq!(sys.k.counters.vmm_restarts, 0);
+
+    // The sibling finished all its iterations with correct data.
+    let marks = witness_marks(&sys);
+    assert_eq!(marks.len(), WITNESS_ITERS as usize, "sibling never stalled");
+    for (i, &m) in marks.iter().enumerate() {
+        assert_eq!(m, witness_checksum(i as u32), "sibling data intact");
+    }
+}
+
+/// The recovery crossed with a disk-server crash: the server dies at
+/// the same moment as the VMM, so the first revive attempt finds a
+/// dead server and must fail cleanly; the bounded-backoff retry then
+/// succeeds against the respawned server (restore idempotence — a
+/// failed attempt's half-built incarnation is torn down and rebuilt).
+#[test]
+fn disk_server_crash_during_restore_retries_idempotently() {
+    let reference = crash_free_reference();
+
+    let mut sys = microreboot_system();
+    run_until(&mut sys, |s| {
+        pv_completions(s) >= 8 && with_sup(s, |sup| sup.last_checkpoint.is_some())
+    });
+
+    // Kill the disk server and the VMM in the same stopped instant,
+    // then force root to handle the VMM death first, while the disk
+    // server is still dead.
+    let srv_pd = {
+        let root = sys.root;
+        let rp = sys.k.component_mut::<RootPm>(root).expect("root pm");
+        let sup = rp.supervision.as_ref().expect("disk supervision");
+        sup.srv_ctx.pd
+    };
+    let (_, vmm_pd) = sys.microreboot_vmm().expect("supervised vmm");
+    sys.k.pd_fault(srv_pd, 0xdead);
+    sys.k.pd_fault(vmm_pd, VMM_CRASH_CODE);
+    let root = sys.root;
+    let root_ctx = sys.root_ctx;
+    let slot = sys.microreboot.expect("slot");
+    sys.k.invoke_component::<RootPm, _>(root, |rp, k| {
+        rp.handle_vmm_death(k, root_ctx, slot);
+    });
+    with_sup(&mut sys, |sup| {
+        assert!(sup.reviving, "first attempt could not finish");
+        assert_eq!(sup.attempts, 1, "the dead server failed one attempt");
+    });
+
+    let out = sys.run(Some(BUDGET));
+    assert_eq!(
+        out,
+        RunOutcome::Shutdown(0),
+        "guest completed after both crashes"
+    );
+    assert_eq!(sys.k.counters.driver_restarts, 1);
+    assert!(
+        sys.k.counters.vmm_restarts >= 1,
+        "the retry revived the VM against the respawned server"
+    );
+    with_sup(&mut sys, |sup| {
+        assert!(!sup.failed);
+        assert!(!sup.reviving);
+    });
+
+    let got = sys.k.machine.mem.read_bytes(pv_buf_host(0), 8 * 4096);
+    assert_eq!(
+        got, reference,
+        "data byte-identical across the double crash"
+    );
+}
+
+/// The kernel's own fault injector (`FaultKind::VmmCrash`) kills the
+/// VMM at a seed-determined exit; the supervision tree recovers and
+/// the guest completes correctly.
+#[test]
+fn injected_vmm_crash_fault_recovers() {
+    let mut sys = microreboot_system();
+    sys.k
+        .machine
+        .set_fault_plan(FaultPlan::seeded(0x5eed_c0ff_ee07).with(FaultKind::VmmCrash, 20_000, 1));
+    let out = sys.run(Some(BUDGET));
+    assert_eq!(
+        out,
+        RunOutcome::Shutdown(0),
+        "guest completed after injection"
+    );
+    let injected: u64 = sys.k.machine.faults().injected.iter().sum();
+    assert_eq!(injected, 1, "the plan fired exactly once");
+    assert_eq!(sys.k.counters.vmm_restarts, 1);
+
+    let got = sys.k.machine.mem.read_bytes(pv_buf_host(7), 16);
+    let sectors = (BLOCK / 512) as u64;
+    let expect = sys.k.machine.ahci().sector(31 * sectors);
+    assert_eq!(got, expect[..16].to_vec(), "data correct after recovery");
+}
+
+/// Checkpoint determinism (the CI byte-identity gate): two runs of the
+/// same seeded system produce byte-identical checkpoints at the same
+/// cadence tick.
+#[test]
+fn checkpoints_byte_identical_across_same_seed_runs() {
+    let snap = |_: ()| -> Vec<u8> {
+        let mut sys = microreboot_system();
+        run_until(&mut sys, |s| {
+            with_sup(s, |sup| sup.seq >= 2 && sup.last_checkpoint.is_some())
+        });
+        with_sup(&mut sys, |sup| {
+            (sup.last_checkpoint.as_ref().expect("checkpoint")).clone()
+        })
+    };
+    let a = snap(());
+    let b = snap(());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed, same checkpoint, byte for byte");
+}
+
+/// Slow crash-matrix sweep (set `NOVA_SLOW_TESTS=1`): kill the VMM at
+/// a grid of points through the workload; every run must complete with
+/// correct data and exactly one restore.
+#[test]
+fn crash_matrix_sweep() {
+    if std::env::var("NOVA_SLOW_TESTS").is_err() {
+        eprintln!("skipping crash matrix (set NOVA_SLOW_TESTS=1 to run)");
+        return;
+    }
+    let reference = crash_free_reference();
+    for completions_before_crash in [1u64, 4, 8, 12, 16, 24] {
+        let mut sys = microreboot_system();
+        run_until(&mut sys, |s| {
+            pv_completions(s) >= completions_before_crash
+                && with_sup(s, |sup| sup.last_checkpoint.is_some())
+        });
+        let (_, vmm_pd) = sys.microreboot_vmm().expect("supervised vmm");
+        sys.k.pd_fault(vmm_pd, VMM_CRASH_CODE);
+        let out = sys.run(Some(BUDGET));
+        assert_eq!(
+            out,
+            RunOutcome::Shutdown(0),
+            "crash after {completions_before_crash} completions recovered"
+        );
+        assert_eq!(sys.k.counters.vmm_restarts, 1);
+        let got = sys.k.machine.mem.read_bytes(pv_buf_host(0), 8 * 4096);
+        assert_eq!(
+            got, reference,
+            "byte-identical data (crash at {completions_before_crash})"
+        );
+    }
+}
