@@ -672,6 +672,13 @@ impl Kernel {
     /// user/kernel boundary crossing.
     pub fn hypercall(&mut self, ctx: CompCtx, hc: Hypercall) -> Result<HcReply, HcErr> {
         self.counters.hypercalls += 1;
+        // A hypercall arriving outside any request window (no current
+        // context) is itself a request origin; one arriving inside a
+        // window (e.g. from the VMM while it services an exit) stays
+        // on the originating request's context.
+        if self.machine.bus.trace.current_ctx() == nova_trace::CTX_NONE {
+            self.machine.bus.trace.alloc_ctx();
+        }
         self.trace_emit(ctx.pd.0 as u16, TraceKind::Hypercall, hc.number());
         // Any hypercall is a sign of life for watchdogs on the caller.
         self.watchdog_stamp(ctx.pd);
@@ -1865,6 +1872,11 @@ impl Kernel {
         self.counters.count_exit(&reason);
         let pd16 = self.obj.ec(ec_id).pd.0 as u16;
         let cpu16 = cpu as u16;
+        // Each VM exit is a request origin: allocate a fresh causal
+        // trace context so everything the exit sets in motion (the
+        // exit portal IPC, VMM emulation, PV backend work, disk-server
+        // spans) is stamped with one id.
+        self.machine.bus.trace.alloc_ctx();
         let at = self.machine.clock;
         self.machine
             .bus
@@ -1909,6 +1921,9 @@ impl Kernel {
                 .metrics
                 .observe("exit_cycles", pd16 as u64, handled - entered);
         }
+        // The exit's synchronous window is over; async continuations
+        // (pending disk work) carry the id themselves.
+        self.machine.bus.trace.set_ctx(nova_trace::CTX_NONE);
 
         // Quantum accounting and requeue (unless blocked).
         let sc = self.obj.sc_mut(sc_id);
@@ -2171,6 +2186,11 @@ impl Kernel {
             ec: ec_id,
             comp,
         };
+        // Each thread activation is a request origin of its own
+        // (doorbell service, completion drain, supervisor tick); the
+        // component may overwrite the context with a carried one once
+        // it knows which request it is working for.
+        self.machine.bus.trace.alloc_ctx();
         // The activation enters the component through the kernel: one
         // boundary round trip.
         self.trace_emit(ctx.pd.0 as u16, TraceKind::SchedDispatch, ec_id.0 as u64);
@@ -2181,6 +2201,7 @@ impl Kernel {
                 self.with_component(comp, |c, k| c.on_signal(k, ctx, sm));
             }
         }
+        self.machine.bus.trace.set_ctx(nova_trace::CTX_NONE);
         // More pending activations keep the SC runnable.
         if self.activations.get(&ec_id).is_some_and(|q| !q.is_empty()) {
             let prio = self.obj.sc(sc_id).prio;

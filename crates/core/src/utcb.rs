@@ -12,8 +12,14 @@ use nova_x86::reg::Regs;
 use crate::cap::{CapSel, Perms};
 use crate::obj::MemRights;
 
-/// Maximum untyped words per message.
-pub const MAX_WORDS: usize = 64;
+/// Maximum untyped words per message. Sized so a full disk batch —
+/// [`MAX_BATCH`](../../nova_user/proto/disk/constant.MAX_BATCH.html)
+/// single-segment entries of 8 words (op, lba, sectors, tag, trace
+/// context, segment count, segment address/length) plus the 2-word
+/// header — fits in one UTCB with room to spare. Real NOVA UTCBs
+/// carry up to a page of untyped words; the cost model charges per
+/// word actually sent, so the cap is a safety bound, not a tax.
+pub const MAX_WORDS: usize = 128;
 
 /// A typed item delegating a resource during IPC.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,9 +154,15 @@ mod tests {
         assert_eq!(u.word(3), 0);
         assert_eq!(u.len_words(), 3);
 
-        let big: Vec<u64> = (0..100).collect();
+        let big: Vec<u64> = (0..2 * MAX_WORDS as u64).collect();
         u.set_msg(&big);
         assert_eq!(u.len_words(), MAX_WORDS);
+
+        // A full disk batch — 8 entries of 8 words plus the 2-word
+        // header — fits without truncation.
+        let batch = vec![0u64; 2 + 8 * 8];
+        u.set_msg(&batch);
+        assert_eq!(u.len_words(), 66);
     }
 
     #[test]

@@ -258,9 +258,13 @@ impl Machine {
 
     /// Turns on cycle-stamped tracing with the given category mask
     /// (see `nova_trace::cat`), one ring per CPU. Replaces any
-    /// previously recorded trace.
+    /// previously recorded trace, but carries the causal state
+    /// (context allocator/register, flight recorders) over so trace
+    /// context ids stay unique for the life of the machine.
     pub fn enable_tracing(&mut self, mask: u64) {
-        self.bus.trace = Tracer::new(self.cpus.len().max(1), DEFAULT_CAPACITY, mask);
+        let mut fresh = Tracer::new(self.cpus.len().max(1), DEFAULT_CAPACITY, mask);
+        fresh.carry_over(&self.bus.trace);
+        self.bus.trace = fresh;
     }
 
     /// The platform tracer (events, metrics, drop count).

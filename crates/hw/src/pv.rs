@@ -140,6 +140,12 @@ pub mod disk {
     /// u32: completion status, [`ST_OK`] or [`ST_ERROR`]
     /// (VMM-written).
     pub const D_STATUS: u64 = 24;
+    /// u32: low 32 bits of the causal trace context the backend
+    /// assigned to this request (VMM-written at completion, purely
+    /// observational — the guest driver ignores it; trace tooling
+    /// reads it out of ring dumps to join guest-visible completions
+    /// to span trees).
+    pub const D_CTX: u64 = 28;
 
     /// [`D_OP`]: read `sectors` from `lba` into `buf`.
     pub const OP_READ: u32 = 1;

@@ -9,53 +9,155 @@
 //! everything else as instant (`i`) events. Output is byte-stable for
 //! a given trace — the determinism contract makes exported traces
 //! golden-test artifacts.
+//!
+//! Causality renders two ways on top of that: events emitted on
+//! behalf of a request carry its trace context in `args.ctx`, and
+//! every context that crosses a protection domain gets a flow-event
+//! arrow chain (`s`/`t`/`f`) stitching the hop points together —
+//! which is how a revive sequence (checkpoint → restore →
+//! driver-restart under one supervisor context) or a PV disk request
+//! (guest → VMM → disk server) draws as connected arrows in Perfetto.
+//! [`export_full`] additionally appends one counter (`C`) sample per
+//! metrics cell, putting the recovery metrics next to the timeline.
 
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
-use crate::event::{Phase, TraceEvent, PD_NONE};
+use crate::event::{Phase, TraceEvent, CTX_NONE, PD_NONE};
+use crate::metrics::Metrics;
 use crate::ring::Tracer;
 
-fn common(out: &mut String, e: &TraceEvent) {
-    let pid = if e.pd == PD_NONE {
+fn pid_of(pd: u16) -> String {
+    if pd == PD_NONE {
         "hw".to_string()
     } else {
-        format!("pd{}", e.pd)
-    };
+        format!("pd{pd}")
+    }
+}
+
+fn common(out: &mut String, e: &TraceEvent) {
     let _ = write!(
         out,
         r#""name":"{}","cat":"{}","pid":"{}","tid":{},"ts":{}"#,
         e.kind.name(),
         e.kind.category_name(),
-        pid,
+        pid_of(e.pd),
         e.cpu,
         e.cycle
     );
 }
 
+fn write_event(out: &mut String, e: &TraceEvent) {
+    out.push('{');
+    common(out, e);
+    if e.kind.weighted() {
+        // A complete slice: the charge started at `cycle` and
+        // lasted `detail` cycles.
+        let _ = write!(out, r#","ph":"X","dur":{}"#, e.detail);
+    } else {
+        match e.phase {
+            Phase::Begin => out.push_str(r#","ph":"B""#),
+            Phase::End => out.push_str(r#","ph":"E""#),
+            Phase::Instant => out.push_str(r#","ph":"i","s":"t""#),
+        }
+    }
+    if e.ctx == CTX_NONE {
+        let _ = write!(out, r#","args":{{"detail":{}}}}}"#, e.detail);
+    } else {
+        let _ = write!(
+            out,
+            r#","args":{{"ctx":{},"detail":{}}}}}"#,
+            e.ctx, e.detail
+        );
+    }
+}
+
+/// Appends flow-event arrows (`s`/`t`/`f`) for every trace context
+/// that crosses a protection domain: one chain per context, anchored
+/// at the context's first event, every pd-hop point, and its last
+/// event. Contexts confined to a single pd draw no arrows.
+fn write_flows(out: &mut String, events: &[TraceEvent], mut first: bool) -> bool {
+    let mut by_ctx: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.ctx != CTX_NONE {
+            by_ctx.entry(e.ctx).or_default().push(e);
+        }
+    }
+    for (ctx, evs) in by_ctx {
+        let mut anchors: Vec<&TraceEvent> = Vec::new();
+        for (i, e) in evs.iter().enumerate() {
+            let hop = i == 0 || i == evs.len() - 1 || anchors.last().is_some_and(|p| p.pd != e.pd);
+            if hop {
+                anchors.push(e);
+            }
+        }
+        if !anchors.iter().any(|e| e.pd != anchors[0].pd) {
+            continue;
+        }
+        let last = anchors.len() - 1;
+        for (i, e) in anchors.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = match i {
+                0 => r#""ph":"s""#,
+                i if i == last => r#""ph":"f","bp":"e""#,
+                _ => r#""ph":"t""#,
+            };
+            let _ = write!(
+                out,
+                r#"{{"name":"ctx","cat":"flow","id":{},{},"pid":"{}","tid":{},"ts":{}}}"#,
+                ctx,
+                ph,
+                pid_of(e.pd),
+                e.cpu,
+                e.cycle
+            );
+        }
+    }
+    first
+}
+
+/// Appends one counter (`C`) sample per metrics cell, in the
+/// registry's deterministic key order — the recovery metrics
+/// (`vmm_restarts`, `checkpoint_bytes`, `restore_latency_cycles`,
+/// `escalations_by_level`, ...) land next to the timeline.
+fn write_counters(out: &mut String, metrics: &Metrics, mut first: bool) -> bool {
+    for (name, domain, cell) in metrics.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let pid = if domain == u64::MAX {
+            "global".to_string()
+        } else {
+            format!("pd{domain}")
+        };
+        let _ = write!(
+            out,
+            r#"{{"name":"{}","cat":"metrics","ph":"C","pid":"{}","tid":0,"ts":0,"args":{{"count":{},"sum":{}}}}}"#,
+            name, pid, cell.count, cell.sum
+        );
+    }
+    first
+}
+
 /// Renders `events` (already merged/ordered, e.g. from
-/// [`Tracer::events`]) as a Chrome trace JSON document.
+/// [`Tracer::events`]) as a Chrome trace JSON document, flow-event
+/// arrows included.
 pub fn export_events(events: &[TraceEvent]) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for e in events {
+        if !first {
             out.push(',');
         }
-        out.push('{');
-        common(&mut out, e);
-        if e.kind.weighted() {
-            // A complete slice: the charge started at `cycle` and
-            // lasted `detail` cycles.
-            let _ = write!(out, r#","ph":"X","dur":{}"#, e.detail);
-        } else {
-            match e.phase {
-                Phase::Begin => out.push_str(r#","ph":"B""#),
-                Phase::End => out.push_str(r#","ph":"E""#),
-                Phase::Instant => out.push_str(r#","ph":"i","s":"t""#),
-            }
-        }
-        let _ = write!(out, r#","args":{{"detail":{}}}}}"#, e.detail);
+        first = false;
+        write_event(&mut out, e);
     }
+    let _ = write_flows(&mut out, events, first);
     out.push_str("]}");
     out
 }
@@ -63,6 +165,27 @@ pub fn export_events(events: &[TraceEvent]) -> String {
 /// Renders everything the tracer recorded.
 pub fn export(tracer: &Tracer) -> String {
     export_events(&tracer.events())
+}
+
+/// Renders everything the tracer recorded plus one counter event per
+/// metrics cell (Chrome `C`-phase counter tracks), so recovery
+/// metrics ship inside the same artifact as the timeline.
+pub fn export_full(tracer: &Tracer) -> String {
+    let events = tracer.events();
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for e in &events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_event(&mut out, e);
+    }
+    first = write_flows(&mut out, &events, first);
+    let _ = write_counters(&mut out, &tracer.metrics, first);
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]

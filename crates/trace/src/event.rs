@@ -5,6 +5,11 @@
 /// context (raw hardware, kernel-internal accounting).
 pub const PD_NONE: u16 = u16::MAX;
 
+/// The null trace context: the event was not emitted on behalf of any
+/// tracked request. Real context ids start at 1 and are allocated by
+/// [`crate::Tracer::alloc_ctx`] from a deterministic counter.
+pub const CTX_NONE: u64 = 0;
+
 /// Event categories, used as a bitmask in the tracer's enable filter.
 /// Tracing one subsystem costs nothing in the others.
 pub mod cat {
@@ -116,10 +121,17 @@ pub enum Kind {
     /// VMM restore span: respawn through guest resume (`detail` =
     /// escalation level).
     Restore = 33,
+    /// Paravirtual disk request span in the VMM backend: descriptor
+    /// accepted at the doorbell through status writeback into the
+    /// guest ring (`detail` = descriptor index).
+    PvRequest = 34,
+    /// Physical-controller service span in the disk server: command
+    /// issued through completion observed (`detail` = LBA).
+    HwIo = 35,
 }
 
 /// Number of tracepoint kinds.
-pub const KIND_COUNT: usize = 34;
+pub const KIND_COUNT: usize = 36;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [Kind; KIND_COUNT] = [
@@ -157,6 +169,8 @@ pub const ALL_KINDS: [Kind; KIND_COUNT] = [
     Kind::BadPortal,
     Kind::Checkpoint,
     Kind::Restore,
+    Kind::PvRequest,
+    Kind::HwIo,
 ];
 
 impl Kind {
@@ -188,7 +202,9 @@ impl Kind {
             | Kind::DiskTimeout
             | Kind::DiskReset
             | Kind::DiskSpurious
-            | Kind::DiskReject => cat::DISK,
+            | Kind::DiskReject
+            | Kind::PvRequest
+            | Kind::HwIo => cat::DISK,
             Kind::LogWrite | Kind::BadPortal => cat::LOG,
         }
     }
@@ -240,6 +256,8 @@ impl Kind {
             Kind::BadPortal => "bad_portal",
             Kind::Checkpoint => "checkpoint",
             Kind::Restore => "restore",
+            Kind::PvRequest => "pv_request",
+            Kind::HwIo => "hw_io",
         }
     }
 
@@ -290,6 +308,10 @@ pub struct TraceEvent {
     pub phase: Phase,
     /// Kind-specific argument (see [`Kind`] docs).
     pub detail: u64,
+    /// Causal trace context of the request this event was emitted on
+    /// behalf of, or [`CTX_NONE`]. Stamped from the tracer's current
+    /// context register at emission.
+    pub ctx: u64,
 }
 
 #[cfg(test)]

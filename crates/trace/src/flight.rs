@@ -1,0 +1,228 @@
+//! The crash flight recorder: per-PD black-box rings mirroring a
+//! domain's most recent trace events, and the deterministic postmortem
+//! dump a supervisor serializes when the domain dies.
+//!
+//! The black box answers the question the main trace rings cannot
+//! once a VMM has been torn down and revived several times: *what were
+//! the last things this incarnation did before it was killed?* Root
+//! registers a [`FlightRing`] per supervised VMM via
+//! [`crate::Tracer::enable_flight`]; every event the tracer records
+//! for that domain is mirrored into the ring, which survives the
+//! domain's death because it lives on the tracer (machine-owned), not
+//! in the domain.
+//!
+//! # Postmortem format (`NOVADUMP` v1)
+//!
+//! All integers little-endian, layout fixed so two same-seed runs
+//! produce byte-identical dumps (the CI gate diffs them):
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 8     | magic `"NOVADUMP"` |
+//! | 4     | format version (u32) |
+//! | 2     | dead protection domain (u16) |
+//! | 1     | trigger code ([`Trigger`]) |
+//! | 1     | 1 if a checkpoint header follows, else 0 |
+//! | 8     | kill reason / fault code (u64) |
+//! | 8     | cycle clock at dump time (u64) |
+//! | 8     | last checkpoint sequence number (u64, 0 if none) |
+//! | 8     | last checkpoint size in bytes (u64, 0 if none) |
+//! | 4     | flight-tail event count (u32) |
+//! | 31×n  | events: cycle u64, ctx u64, detail u64, cpu u16, pd u16, kind u16, phase u8 |
+//! | 4     | metrics cell count (u32) |
+//! | var   | cells: name len u8, name bytes, domain u64, count u64, sum u64 |
+
+use crate::event::{Phase, TraceEvent};
+use crate::ring::Tracer;
+
+/// Magic bytes opening every postmortem dump.
+pub const DUMP_MAGIC: &[u8; 8] = b"NOVADUMP";
+
+/// Postmortem format version.
+pub const DUMP_VERSION: u32 = 1;
+
+/// What killed the domain the dump describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// The VMM killed its VM with a structured `VmKill` record (the
+    /// reason field carries the 8-bit exit code).
+    VmKill = 0,
+    /// The supervisor's watchdog fired / the domain faulted (the
+    /// reason field carries the PD fault code).
+    Watchdog = 1,
+    /// The microreboot ladder escalated (the reason field carries the
+    /// level entered).
+    Escalation = 2,
+}
+
+impl Trigger {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+/// One domain's fixed-capacity black-box ring: keeps the last
+/// `capacity` mirrored events, overwriting the oldest.
+#[derive(Clone, Debug)]
+pub struct FlightRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl FlightRing {
+    /// An empty ring of `capacity` events.
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            buf: Vec::new(),
+            cap: capacity.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Mirrors one event (overwrites the oldest when full).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = ev;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// The retained tail, oldest first.
+    pub fn tail(&self) -> Vec<TraceEvent> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf
+            .get(split..)
+            .into_iter()
+            .flatten()
+            .chain(self.buf.get(..split).into_iter().flatten())
+            .copied()
+            .collect()
+    }
+
+    /// Total events ever mirrored (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+fn phase_code(p: Phase) -> u8 {
+    match p {
+        Phase::Instant => 0,
+        Phase::Begin => 1,
+        Phase::End => 2,
+    }
+}
+
+/// Serializes the deterministic postmortem dump for a dead domain:
+/// the flight-recorder tail registered for `pd`, the header of the
+/// last checkpoint the supervisor held (`ckpt` = `(seq, bytes)`), the
+/// kill trigger and reason, and a snapshot of every metrics cell.
+/// Byte-identical across same-seed runs.
+pub fn postmortem(
+    tracer: &Tracer,
+    pd: u16,
+    trigger: Trigger,
+    reason: u64,
+    cycle: u64,
+    ckpt: Option<(u64, u64)>,
+) -> Vec<u8> {
+    let events = tracer.flight_tail(pd);
+    let mut out = Vec::with_capacity(64 + events.len() * 31);
+    out.extend_from_slice(DUMP_MAGIC);
+    out.extend_from_slice(&DUMP_VERSION.to_le_bytes());
+    out.extend_from_slice(&pd.to_le_bytes());
+    out.push(trigger.code());
+    out.push(u8::from(ckpt.is_some()));
+    out.extend_from_slice(&reason.to_le_bytes());
+    out.extend_from_slice(&cycle.to_le_bytes());
+    let (seq, bytes) = ckpt.unwrap_or((0, 0));
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&bytes.to_le_bytes());
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for e in &events {
+        out.extend_from_slice(&e.cycle.to_le_bytes());
+        out.extend_from_slice(&e.ctx.to_le_bytes());
+        out.extend_from_slice(&e.detail.to_le_bytes());
+        out.extend_from_slice(&e.cpu.to_le_bytes());
+        out.extend_from_slice(&e.pd.to_le_bytes());
+        out.extend_from_slice(&(e.kind as u16).to_le_bytes());
+        out.push(phase_code(e.phase));
+    }
+    let cells: Vec<_> = tracer.metrics.iter().collect();
+    out.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+    for (name, domain, cell) in cells {
+        out.push(name.len() as u8);
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&domain.to_le_bytes());
+        out.extend_from_slice(&cell.count.to_le_bytes());
+        out.extend_from_slice(&cell.sum.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{cat, Kind};
+
+    #[test]
+    fn flight_ring_keeps_the_last_n() {
+        let mut r = FlightRing::new(4);
+        for i in 0..10u64 {
+            r.push(TraceEvent {
+                cycle: i,
+                cpu: 0,
+                pd: 1,
+                kind: Kind::VmExit,
+                phase: Phase::Instant,
+                detail: i,
+                ctx: 0,
+            });
+        }
+        let tail = r.tail();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(
+            tail.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(r.total(), 10);
+    }
+
+    #[test]
+    fn postmortem_is_deterministic_and_structured() {
+        let build = || {
+            let mut t = Tracer::new(1, 32, cat::ALL);
+            t.enable_flight(3, 8);
+            t.alloc_ctx();
+            t.emit(0, 3, Kind::VmExit, 6, 100);
+            t.emit(0, 3, Kind::PdDeath, 0xc4a5, 200);
+            t.metrics.add("vm_kills_by_reason", 0xa1, 1);
+            postmortem(&t, 3, Trigger::Watchdog, 0xc4a5, 250, Some((7, 4096)))
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same inputs, same bytes");
+        assert_eq!(&a[..8], DUMP_MAGIC);
+        assert_eq!(u32::from_le_bytes(a[8..12].try_into().unwrap()), 1);
+        assert_eq!(u16::from_le_bytes(a[12..14].try_into().unwrap()), 3);
+        assert_eq!(a[14], Trigger::Watchdog.code());
+        assert_eq!(a[15], 1, "checkpoint header present");
+        // A different trigger changes the bytes.
+        let mut t = Tracer::new(1, 32, cat::ALL);
+        t.enable_flight(3, 8);
+        let c = postmortem(&t, 3, Trigger::VmKill, 0xa1, 250, None);
+        assert_ne!(a, c);
+        assert_eq!(c[15], 0, "no checkpoint header");
+    }
+}

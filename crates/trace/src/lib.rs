@@ -21,10 +21,18 @@
 //!   generalising the kernel's aggregate counters, with
 //!   snapshot/delta support for phase attribution.
 //! - [`chrome::export`]: renders the trace as Chrome trace-event JSON
-//!   (spans become a flamegraph-style timeline).
-//! - [`query`]: `events_of` / `span_cycles` / `histogram` over the
-//!   recorded events, so tests assert cost breakdowns instead of
-//!   eyeballing printed tables.
+//!   (spans become a flamegraph-style timeline, causal contexts become
+//!   flow-event arrows).
+//! - [`query`]: `events_of` / `span_cycles` / `histogram` /
+//!   `percentile` over the recorded events, so tests assert cost
+//!   breakdowns instead of eyeballing printed tables.
+//! - [`causal`]: stitches events sharing a trace context (a 64-bit id
+//!   allocated at each request origin and propagated through IPC, PV
+//!   rings and driver queues) into per-request span trees with
+//!   critical-path cycle attribution per layer.
+//! - [`flight`]: per-PD black-box rings mirroring a domain's last N
+//!   events, and the deterministic `NOVADUMP` postmortem a supervisor
+//!   serializes when the domain dies.
 //!
 //! # Determinism contract
 //!
@@ -40,13 +48,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod query;
 pub mod ring;
 
-pub use event::{cat, Kind, Phase, TraceEvent, PD_NONE};
+pub use event::{cat, Kind, Phase, TraceEvent, CTX_NONE, PD_NONE};
 pub use metrics::{names, Cell, Metrics, HIST_BUCKETS};
 pub use ring::Tracer;

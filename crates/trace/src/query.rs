@@ -57,6 +57,11 @@ pub fn span_cycles(events: &[TraceEvent], kind: Kind) -> u64 {
 
 /// log2 histogram of span durations of `kind` (bucket `i` counts
 /// durations with `floor(log2(d)) == i`; zero lands in bucket 0).
+///
+/// Edge cases are well-defined rather than skipped: an empty event
+/// slice (or a kind with no completed spans) yields the all-zero
+/// histogram, and durations that all collapse into a single bucket
+/// yield exactly that one populated bucket.
 pub fn histogram(events: &[TraceEvent], kind: Kind) -> [u64; HIST_BUCKETS] {
     let mut hist = [0u64; HIST_BUCKETS];
     for d in span_durations(events, kind) {
@@ -64,6 +69,49 @@ pub fn histogram(events: &[TraceEvent], kind: Kind) -> [u64; HIST_BUCKETS] {
         hist[b] += 1;
     }
     hist
+}
+
+/// Nearest-rank percentile of `values` (`p` clamped to `0..=100`).
+/// An empty slice returns a well-defined 0 instead of panicking —
+/// empty-ring queries are a legal question.
+pub fn percentile(values: &[u64], p: u32) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let n = v.len() as u64;
+    let rank = (u64::from(p.min(100)) * n).div_ceil(100).max(1);
+    v[(rank - 1).min(n - 1) as usize]
+}
+
+/// `(p50, p90, p99)` of `values` (see [`percentile`]).
+pub fn percentiles(values: &[u64]) -> (u64, u64, u64) {
+    (
+        percentile(values, 50),
+        percentile(values, 90),
+        percentile(values, 99),
+    )
+}
+
+/// Nearest-rank percentile over a log2 histogram: the representative
+/// value (`1 << bucket`) of the bucket holding the `p`-th percentile
+/// observation. An empty histogram returns 0; a single-bucket
+/// histogram returns that bucket's representative for every `p`.
+pub fn hist_percentile(hist: &[u64; HIST_BUCKETS], p: u32) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (u64::from(p.min(100)) * total).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for (i, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (HIST_BUCKETS - 1)
 }
 
 #[cfg(test)]
@@ -114,5 +162,46 @@ mod tests {
         let h = histogram(&evs, Kind::IpcCall);
         assert_eq!(h[5], 1, "50 cycles → bucket 5");
         assert_eq!(h[8], 1, "400 cycles → bucket 8");
+    }
+
+    #[test]
+    fn empty_ring_queries_return_defined_zeros() {
+        let evs: Vec<TraceEvent> = Vec::new();
+        assert!(events_of(&evs, Kind::VmExit).is_empty());
+        assert!(count_by_detail(&evs, Kind::VmExit).is_empty());
+        assert!(span_durations(&evs, Kind::IpcCall).is_empty());
+        assert_eq!(span_cycles(&evs, Kind::IpcCall), 0);
+        assert_eq!(histogram(&evs, Kind::IpcCall), [0u64; HIST_BUCKETS]);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentiles(&[]), (0, 0, 0));
+        assert_eq!(hist_percentile(&[0u64; HIST_BUCKETS], 99), 0);
+    }
+
+    #[test]
+    fn single_bucket_histograms_are_well_defined() {
+        // All durations collapse into bucket 0 (values 0 and 1).
+        let mut t = Tracer::new(1, 16, cat::ALL);
+        t.begin(0, 1, Kind::IpcCall, 0, 100);
+        t.end(0, 1, Kind::IpcCall, 0, 100); // zero-length span
+        t.begin(0, 1, Kind::IpcCall, 0, 200);
+        t.end(0, 1, Kind::IpcCall, 0, 201);
+        let h = histogram(&t.events(), Kind::IpcCall);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1..].iter().sum::<u64>(), 0);
+        for p in [0, 50, 99, 100] {
+            assert_eq!(hist_percentile(&h, p), 1, "single bucket, p{p}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 90), 90);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&v, 0), 1, "p0 is the minimum");
+        assert_eq!(percentile(&[7], 50), 7, "singleton");
+        assert_eq!(percentiles(&[3, 1, 2]), (2, 3, 3), "unsorted input");
     }
 }

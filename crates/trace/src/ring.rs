@@ -1,7 +1,11 @@
 //! The tracer: fixed-capacity per-CPU event rings behind a category
-//! bitmask.
+//! bitmask, a causal trace-context register, and per-PD flight
+//! recorders.
 
-use crate::event::{Kind, Phase, TraceEvent};
+use std::collections::BTreeMap;
+
+use crate::event::{Kind, Phase, TraceEvent, CTX_NONE};
+use crate::flight::FlightRing;
 use crate::metrics::Metrics;
 
 /// Default ring capacity per CPU (events). At ~40 bytes per event
@@ -58,6 +62,15 @@ impl Ring {
 pub struct Tracer {
     mask: u64,
     rings: Vec<Ring>,
+    /// Current causal trace context, stamped into every event.
+    cur_ctx: u64,
+    /// Next context id [`Tracer::alloc_ctx`] hands out. Starts at 1
+    /// (0 is [`CTX_NONE`]) and only ever increments, so ids are unique
+    /// for the life of the machine and deterministic per seed.
+    next_ctx: u64,
+    /// Per-PD flight recorders mirroring that domain's recorded
+    /// events (the crash black box).
+    flight: BTreeMap<u16, FlightRing>,
     /// Named per-domain counters and cycle histograms.
     pub metrics: Metrics,
 }
@@ -70,6 +83,9 @@ impl Tracer {
         Tracer {
             mask: 0,
             rings: Vec::new(),
+            cur_ctx: CTX_NONE,
+            next_ctx: 1,
+            flight: BTreeMap::new(),
             metrics: Metrics::new(),
         }
     }
@@ -80,8 +96,62 @@ impl Tracer {
         Tracer {
             mask,
             rings: (0..cpus.max(1)).map(|_| Ring::new(capacity)).collect(),
+            cur_ctx: CTX_NONE,
+            next_ctx: 1,
+            flight: BTreeMap::new(),
             metrics: Metrics::new(),
         }
+    }
+
+    /// Carries the causal state (context register, allocator position,
+    /// flight-recorder registrations and contents) over from a
+    /// previous tracer. Used when re-tuning the mask or capacity
+    /// mid-run so context ids stay unique and black boxes survive.
+    pub fn carry_over(&mut self, old: &Tracer) {
+        self.cur_ctx = old.cur_ctx;
+        self.next_ctx = old.next_ctx;
+        self.flight = old.flight.clone();
+    }
+
+    /// Allocates a fresh trace context at a request origin and makes
+    /// it current. Context allocation is always on — it never touches
+    /// the cycle clock and costs one increment — so ids are identical
+    /// whether or not any category is being recorded.
+    #[inline]
+    pub fn alloc_ctx(&mut self) -> u64 {
+        let id = self.next_ctx;
+        self.next_ctx += 1;
+        self.cur_ctx = id;
+        id
+    }
+
+    /// Sets the current trace context (restoring a request's context
+    /// on an async completion path, or [`CTX_NONE`] to leave it).
+    #[inline]
+    pub fn set_ctx(&mut self, ctx: u64) {
+        self.cur_ctx = ctx;
+    }
+
+    /// The current trace context.
+    #[inline]
+    pub fn current_ctx(&self) -> u64 {
+        self.cur_ctx
+    }
+
+    /// Registers (or resets) a flight recorder for `pd`: a fixed-size
+    /// black-box ring mirroring the domain's last `capacity` recorded
+    /// events, readable after the domain dies.
+    pub fn enable_flight(&mut self, pd: u16, capacity: usize) {
+        self.flight.insert(pd, FlightRing::new(capacity));
+    }
+
+    /// The flight-recorder tail of `pd` (oldest first), empty if no
+    /// recorder is registered.
+    pub fn flight_tail(&self, pd: u16) -> Vec<TraceEvent> {
+        self.flight
+            .get(&pd)
+            .map(FlightRing::tail)
+            .unwrap_or_default()
     }
 
     /// `true` if any category in `category_mask` is enabled.
@@ -105,15 +175,20 @@ impl Tracer {
         if self.mask & kind.category() == 0 || self.rings.is_empty() {
             return;
         }
-        let ring = (cpu as usize).min(self.rings.len() - 1);
-        self.rings[ring].push(TraceEvent {
+        let ev = TraceEvent {
             cycle,
             cpu,
             pd,
             kind,
             phase,
             detail,
-        });
+            ctx: self.cur_ctx,
+        };
+        let ring = (cpu as usize).min(self.rings.len() - 1);
+        self.rings[ring].push(ev);
+        if let Some(f) = self.flight.get_mut(&pd) {
+            f.push(ev);
+        }
     }
 
     /// Records an instant event.
@@ -193,6 +268,54 @@ mod tests {
             "the most recent window survives"
         );
         assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn context_register_stamps_events() {
+        let mut t = Tracer::new(1, 16, cat::ALL);
+        t.emit(0, 1, Kind::Hypercall, 0, 10);
+        let c = t.alloc_ctx();
+        assert_eq!(c, 1, "ids start at 1");
+        t.emit(0, 1, Kind::DiskIssue, 0, 20);
+        t.set_ctx(CTX_NONE);
+        t.emit(0, 1, Kind::DiskComplete, 0, 30);
+        let evs = t.events();
+        assert_eq!(evs[0].ctx, CTX_NONE);
+        assert_eq!(evs[1].ctx, c);
+        assert_eq!(evs[2].ctx, CTX_NONE);
+    }
+
+    #[test]
+    fn alloc_ctx_is_always_on_and_deterministic() {
+        let mut off = Tracer::off();
+        let mut on = Tracer::new(1, 16, cat::ALL);
+        for _ in 0..5 {
+            assert_eq!(off.alloc_ctx(), on.alloc_ctx());
+        }
+        assert_eq!(off.current_ctx(), 5);
+    }
+
+    #[test]
+    fn flight_mirror_keeps_a_domains_tail() {
+        let mut t = Tracer::new(1, 64, cat::ALL);
+        t.enable_flight(7, 3);
+        for i in 0..5u64 {
+            t.emit(0, 7, Kind::VmExit, i, i * 10);
+            t.emit(0, 8, Kind::VmExit, i, i * 10 + 1); // other pd: not mirrored
+        }
+        let tail = t.flight_tail(7);
+        assert_eq!(tail.len(), 3, "fixed capacity keeps the last N");
+        assert_eq!(
+            tail.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(t.flight_tail(8).is_empty(), "unregistered pd");
+        // carry_over preserves the black box and the allocator.
+        t.alloc_ctx();
+        let mut fresh = Tracer::new(1, 16, cat::ALL);
+        fresh.carry_over(&t);
+        assert_eq!(fresh.flight_tail(7).len(), 3);
+        assert_eq!(fresh.alloc_ctx(), 2);
     }
 
     #[test]

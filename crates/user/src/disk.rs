@@ -117,6 +117,10 @@ struct Request {
     nsegs: usize,
     tag: u64,
     attempts: u32,
+    /// Causal trace context carried on the wire from the client; the
+    /// server runs each request's accept/issue/complete work under it
+    /// so its spans stitch into the originating request's tree.
+    ctx: u64,
 }
 
 /// Aggregate statistics.
@@ -198,7 +202,16 @@ impl DiskServer {
 
     /// Programs the physical controller with `req` (Figure 4, step 3).
     fn issue(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request) {
+        k.machine.bus.trace.set_ctx(req.ctx);
         Self::trace(k, ctx, TraceKind::DiskIssue, req.lba);
+        // The physical-controller service window opens here and closes
+        // when the command's completion is disposed of — the `hw`
+        // layer of the request's critical path.
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .begin(0, ctx.pd.0 as u16, TraceKind::HwIo, req.lba, at);
         k.charge(self.submit_cost);
         let clb = self.cfg.cmd_va;
         let ctba = self.cfg.cmd_va + 0x1000;
@@ -268,6 +281,12 @@ impl DiskServer {
         let Some(mut req) = self.inflight.take() else {
             return;
         };
+        k.machine.bus.trace.set_ctx(req.ctx);
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .end(0, ctx.pd.0 as u16, TraceKind::HwIo, req.lba, at);
         if error && req.attempts + 1 < MAX_ISSUE_ATTEMPTS {
             req.attempts += 1;
             self.stats.media_retries += 1;
@@ -281,6 +300,7 @@ impl DiskServer {
     }
 
     fn complete(&mut self, k: &mut Kernel, ctx: CompCtx, req: Request, status: u32) {
+        k.machine.bus.trace.set_ctx(req.ctx);
         Self::trace(k, ctx, TraceKind::DiskComplete, status as u64);
         if k.machine.bus.trace.active() {
             let served = k.now().saturating_sub(self.issued_at);
@@ -328,11 +348,11 @@ impl DiskServer {
     }
 
     /// Parses and validates one request body
-    /// `(op, lba, sectors, tag, nsegs, (addr, bytes) × nsegs)` starting
-    /// at word `at` of `utcb`, on behalf of `client`. Returns the
-    /// request and the number of words consumed, or `None` when the
-    /// body is malformed or a segment touches memory the client never
-    /// delegated.
+    /// `(op, lba, sectors, tag, ctx, nsegs, (addr, bytes) × nsegs)`
+    /// starting at word `at` of `utcb`, on behalf of `client`. Returns
+    /// the request and the number of words consumed, or `None` when
+    /// the body is malformed or a segment touches memory the client
+    /// never delegated.
     fn parse_request(
         &self,
         k: &Kernel,
@@ -345,7 +365,8 @@ impl DiskServer {
         let lba = utcb.word(at + 1);
         let sectors = utcb.word(at + 2) as u32;
         let tag = utcb.word(at + 3);
-        let nsegs = utcb.word(at + 4) as usize;
+        let rctx = utcb.word(at + 4);
+        let nsegs = utcb.word(at + 5) as usize;
         if !self.clients.get(client).is_some_and(|c| c.active)
             || sectors == 0
             || sectors as u64 > proto::MAX_SECTORS
@@ -358,8 +379,8 @@ impl DiskServer {
         let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
         let mut total = 0u64;
         for (i, seg) in segs.iter_mut().take(nsegs).enumerate() {
-            let addr = utcb.word(at + 5 + i * 2);
-            let bytes = utcb.word(at + 6 + i * 2);
+            let addr = utcb.word(at + 6 + i * 2);
+            let bytes = utcb.word(at + 7 + i * 2);
             if bytes == 0 || bytes > proto::MAX_SECTORS * SECTOR as u64 {
                 return None;
             }
@@ -383,8 +404,9 @@ impl DiskServer {
                 nsegs,
                 tag,
                 attempts: 0,
+                ctx: rctx,
             },
-            5 + nsegs * 2,
+            6 + nsegs * 2,
         ))
     }
 
@@ -396,6 +418,7 @@ impl DiskServer {
             c.outstanding += 1;
         }
         self.stats.accepted += 1;
+        k.machine.bus.trace.set_ctx(req.ctx);
         Self::trace(k, ctx, TraceKind::DiskAccept, req.lba);
         if self.inflight.is_none() {
             self.issue(k, ctx, req);
@@ -458,6 +481,13 @@ impl DiskServer {
         let Some(mut req) = self.inflight.take() else {
             return;
         };
+        // The stuck command's controller window ends with the reset.
+        k.machine.bus.trace.set_ctx(req.ctx);
+        let at = k.now();
+        k.machine
+            .bus
+            .trace
+            .end(0, ctx.pd.0 as u16, TraceKind::HwIo, req.lba, at);
         if req.attempts + 1 < MAX_ISSUE_ATTEMPTS {
             req.attempts += 1;
             k.counters.request_retries += 1;
@@ -913,6 +943,7 @@ mod tests {
             lba,
             sectors as u64,
             99,
+            0,
             1,
             window * 4096,
             bytes,
@@ -1005,30 +1036,30 @@ mod tests {
         let client = register(&mut s);
         // Zero sectors.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, 0, 0, 1, 1, 0x500 * 4096, 512]);
+        utcb.set_msg(&[client, proto::OP_READ, 0, 0, 1, 0, 1, 0x500 * 4096, 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL);
         // Window never delegated.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 1, 0x900 * 4096, 8 * 512]);
+        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 0, 1, 0x900 * 4096, 8 * 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL, "undelegated window refused");
         // Unknown client id.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[77, proto::OP_READ, 0, 1, 1, 1, 0x500 * 4096, 512]);
+        utcb.set_msg(&[77, proto::OP_READ, 0, 1, 1, 0, 1, 0x500 * 4096, 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL);
         // Segment lengths that do not cover the transfer.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 1, 0x500 * 4096, 512]);
+        utcb.set_msg(&[client, proto::OP_READ, 0, 8, 1, 0, 1, 0x500 * 4096, 512]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EINVAL, "short scatter list refused");
         // Too many segments.
-        let mut msg = vec![client, proto::OP_READ, 0, 9, 1, 9];
+        let mut msg = vec![client, proto::OP_READ, 0, 9, 1, 0, 9];
         for i in 0..9u64 {
             msg.extend_from_slice(&[0x500 * 4096 + i * 512, 512]);
         }
@@ -1058,6 +1089,7 @@ mod tests {
             42,
             8,
             7,
+            0,
             2,
             seg_a,
             2048,
@@ -1097,7 +1129,7 @@ mod tests {
         let mut msg = vec![client, proto::MAX_BATCH as u64];
         let mut utcb = Utcb::new();
         for i in 0..proto::MAX_BATCH as u64 {
-            msg.extend_from_slice(&[proto::OP_READ, 10 + i, 1, i, 1, (0x500 + i) * 4096, 512]);
+            msg.extend_from_slice(&[proto::OP_READ, 10 + i, 1, i, 0, 1, (0x500 + i) * 4096, 512]);
             utcb.xfer.push(XferItem::Mem {
                 base: 8 + i,
                 count: 1,
@@ -1117,7 +1149,18 @@ mod tests {
 
         // The channel is full now: another batch accepts nothing.
         let mut utcb = Utcb::new();
-        utcb.set_msg(&[client, 1, proto::OP_READ, 99, 1, 77, 1, 0x500 * 4096, 512]);
+        utcb.set_msg(&[
+            client,
+            1,
+            proto::OP_READ,
+            99,
+            1,
+            77,
+            0,
+            1,
+            0x500 * 4096,
+            512,
+        ]);
         s.k.ipc_call(s.client_ctx, s.server_portal_req_batch, &mut utcb)
             .unwrap();
         assert_eq!(utcb.word(0), proto::EBUSY);

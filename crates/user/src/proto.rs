@@ -11,23 +11,27 @@ pub mod disk {
     pub const PORTAL_REGISTER: u64 = 1;
 
     /// Portal id: request submission. Message words:
-    /// `[client, op, lba, sectors, tag, nsegs, (addr, bytes) × nsegs]`
-    /// — a scatter-gather list of up to [`MAX_SEGMENTS`] segments. Each
-    /// `addr` is a byte address in the server's window (so unaligned
-    /// guest buffers carry their in-page offset), `bytes` its length;
-    /// the lengths must sum to `sectors * 512`. Transfer items delegate
-    /// the DMA buffer pages covering every segment. Reply word 0:
-    /// status ([`OK`] or [`EBUSY`]).
+    /// `[client, op, lba, sectors, tag, ctx, nsegs, (addr, bytes) ×
+    /// nsegs]` — a scatter-gather list of up to [`MAX_SEGMENTS`]
+    /// segments. Each `addr` is a byte address in the server's window
+    /// (so unaligned guest buffers carry their in-page offset),
+    /// `bytes` its length; the lengths must sum to `sectors * 512`.
+    /// `ctx` is the request's causal trace context (0 = none): the
+    /// server runs the request's accept/issue/complete work under it
+    /// so its trace spans stitch into the originating request's tree.
+    /// Transfer items delegate the DMA buffer pages covering every
+    /// segment. Reply word 0: status ([`OK`] or [`EBUSY`]).
     pub const PORTAL_REQUEST: u64 = 2;
 
     /// Portal id: batched request submission — the one-exit-per-batch
     /// path behind the paravirtual ring. Message words:
-    /// `[client, count, (op, lba, sectors, tag, nsegs, (addr, bytes) ×
-    /// nsegs) × count]`, each entry shaped exactly like a
-    /// [`PORTAL_REQUEST`] body. Entries are accepted in order; reply
-    /// words: `[status, accepted]` where entries `0..accepted` were
-    /// accepted and `status` is [`OK`] when all were, otherwise the
-    /// reason entry `accepted` was refused ([`EBUSY`] or [`EINVAL`]).
+    /// `[client, count, (op, lba, sectors, tag, ctx, nsegs,
+    /// (addr, bytes) × nsegs) × count]`, each entry shaped exactly
+    /// like a [`PORTAL_REQUEST`] body (each entry carries its own
+    /// trace context). Entries are accepted in order; reply words:
+    /// `[status, accepted]` where entries `0..accepted` were accepted
+    /// and `status` is [`OK`] when all were, otherwise the reason
+    /// entry `accepted` was refused ([`EBUSY`] or [`EINVAL`]).
     pub const PORTAL_BATCH: u64 = 3;
 
     /// Read operation.

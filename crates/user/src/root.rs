@@ -17,10 +17,10 @@
 
 use nova_core::cap::{CapSel, Perms};
 use nova_core::kernel::SEL_SELF_EC;
-use nova_core::obj::{MemRights, PdId, VmPaging};
+use nova_core::obj::{MemRights, ObjRef, PdId, VmPaging};
 use nova_core::utcb::Utcb;
 use nova_core::{CompCtx, Component, HcErr, HcReply, Hypercall, Kernel, SmId};
-use nova_trace::Kind as TraceKind;
+use nova_trace::{flight, Kind as TraceKind};
 
 use crate::disk::{DiskServer, DiskServerConfig};
 use crate::proto::disk as dproto;
@@ -92,6 +92,8 @@ pub const LEVEL_RESUME: u8 = 0;
 pub const LEVEL_COLD: u8 = 1;
 /// Escalation rung: give up on this VM; siblings keep running.
 pub const LEVEL_FAILED: u8 = 2;
+/// Events retained in each supervised VMM's flight-recorder black box.
+pub const FLIGHT_CAPACITY: usize = 64;
 
 /// Retry state for a failed disk-server respawn, created lazily on the
 /// first failure (the happy path allocates nothing).
@@ -158,6 +160,9 @@ pub struct VmmSupervision {
     /// Root's capability selector for the current VMM PD (refreshed on
     /// every revive).
     pub vmm_sel: CapSel,
+    /// The current VMM incarnation's protection domain (refreshed on
+    /// every revive); keys this VM's flight-recorder black box.
+    pub vmm_pd: u16,
     /// Root's selector for the watchdog semaphore.
     pub wd_sm_sel: CapSel,
     /// The watchdog semaphore's identity.
@@ -224,6 +229,11 @@ pub struct RootPm {
     pub disk_failed: bool,
     /// Per-VM supervision entries, indexed by install order.
     pub vmm_supervision: Vec<Option<VmmSupervision>>,
+    /// The most recent postmortem dump ([`flight::postmortem`]),
+    /// serialized when a supervised VMM dies or the escalation ladder
+    /// climbs; replaced on every incident. Operators (tests, examples,
+    /// CI) read it here to persist the black box.
+    pub last_postmortem: Option<Vec<u8>>,
     next_sel: CapSel,
 }
 
@@ -236,6 +246,7 @@ impl RootPm {
             disk_retry: None,
             disk_failed: false,
             vmm_supervision: Vec::new(),
+            last_postmortem: None,
             // Low selectors stay free for well-known assignments.
             next_sel: 0x100,
         }
@@ -507,8 +518,49 @@ impl RootPm {
         }
     }
 
-    /// Climbs one rung of the escalation ladder.
-    fn escalate(k: &mut Kernel, sup: &mut VmmSupervision) {
+    /// The dead domain's fault code, recovered from its black box: the
+    /// detail of the last `PdDeath` event mirrored for the PD (0 when
+    /// the watchdog fired on a silent wedge).
+    fn death_reason(k: &Kernel, pd: u16) -> u64 {
+        k.machine
+            .bus
+            .trace
+            .flight_tail(pd)
+            .iter()
+            .rev()
+            .find(|e| e.kind as u16 == TraceKind::PdDeath as u16)
+            .map_or(0, |e| e.detail)
+    }
+
+    /// Serializes the deterministic postmortem for a dead (or
+    /// escalating) VM — flight-recorder tail, last checkpoint header,
+    /// trigger, reason, metrics snapshot — and parks it on root for
+    /// the operator to persist.
+    fn record_postmortem(
+        &mut self,
+        k: &Kernel,
+        sup: &VmmSupervision,
+        trigger: flight::Trigger,
+        reason: u64,
+    ) {
+        let ckpt = sup
+            .last_checkpoint
+            .as_ref()
+            .map(|b| (sup.seq, b.len() as u64));
+        self.last_postmortem = Some(flight::postmortem(
+            &k.machine.bus.trace,
+            sup.vmm_pd,
+            trigger,
+            reason,
+            k.now(),
+            ckpt,
+        ));
+    }
+
+    /// Climbs one rung of the escalation ladder and serializes an
+    /// escalation postmortem: the black-box tail explains *why* the
+    /// rung below did not hold.
+    fn escalate(&mut self, k: &mut Kernel, sup: &mut VmmSupervision) {
         sup.level = sup.level.saturating_add(1);
         sup.attempts = 0;
         sup.backoff = RETRY_BACKOFF;
@@ -521,6 +573,7 @@ impl RootPm {
                 1,
             );
         }
+        self.record_postmortem(k, sup, flight::Trigger::Escalation, sup.level as u64);
     }
 
     /// Retires the VM: stop its timers, let the recipe tear down any
@@ -571,11 +624,16 @@ impl RootPm {
             sup.crash_at = now;
         }
         sup.reviving = true;
+        // Serialize the black box before anything tears the wreck
+        // down: the watchdog postmortem is the only record of the dead
+        // incarnation's final events.
+        let reason = Self::death_reason(k, sup.vmm_pd);
+        self.record_postmortem(k, &sup, flight::Trigger::Watchdog, reason);
         // A crash right after a restore means the current rung does
         // not hold (the checkpoint itself reproduces the crash, or the
         // cold image does) — climb instead of looping.
         if sup.restarts > 0 && now.saturating_sub(sup.last_restore_at) < STABILITY_WINDOW {
-            Self::escalate(k, &mut sup);
+            self.escalate(k, &mut sup);
         }
         self.try_revive(k, ctx, idx, sup);
     }
@@ -587,6 +645,10 @@ impl RootPm {
             self.store_vm(idx, sup);
             return;
         }
+        // The revive sequence is a request of its own: one fresh trace
+        // context ties checkpoint restore, rewiring and the Restore
+        // record into a single flow in the exported trace.
+        k.machine.bus.trace.alloc_ctx();
         // The disk server may have been respawned since the recipe was
         // built; point the recipe at the live server before it wires
         // the new incarnation's channel.
@@ -617,6 +679,15 @@ impl RootPm {
             Ok(new_sel) => {
                 let now = k.now();
                 sup.vmm_sel = new_sel;
+                // Re-key the flight recorder to the new incarnation's
+                // domain so its black box starts recording from birth.
+                if let Some(ObjRef::Pd(p)) = k.obj.pd(ctx.pd).caps.get(new_sel).map(|c| c.obj) {
+                    sup.vmm_pd = p.0 as u16;
+                }
+                k.machine
+                    .bus
+                    .trace
+                    .enable_flight(sup.vmm_pd, FLIGHT_CAPACITY);
                 // Keep the disk supervisor pointing at the live
                 // incarnation for its own future restarts.
                 if let Some(cs) = sup.disk_client_slot {
@@ -659,7 +730,7 @@ impl RootPm {
             Err(_e) => {
                 sup.attempts += 1;
                 if sup.attempts >= REVIVE_ATTEMPTS {
-                    Self::escalate(k, &mut sup);
+                    self.escalate(k, &mut sup);
                     if sup.level >= LEVEL_FAILED {
                         Self::mark_failed(k, ctx, &mut sup);
                         self.store_vm(idx, sup);

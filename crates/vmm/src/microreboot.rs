@@ -35,7 +35,7 @@ use nova_core::{Capability, CompCtx, CompId, HcErr, Hypercall, Kernel};
 use nova_user::disk::DiskServer;
 use nova_user::proto::disk as dproto;
 use nova_user::root::{
-    RespawnError, RootPm, VmRecipe, VmmSupervision, LEVEL_RESUME, RETRY_BACKOFF,
+    RespawnError, RootPm, VmRecipe, VmmSupervision, FLIGHT_CAPACITY, LEVEL_RESUME, RETRY_BACKOFF,
 };
 
 use crate::checkpoint::Checkpoint;
@@ -398,6 +398,7 @@ pub fn install(
 ) -> Result<usize, RespawnError> {
     let step = |name: &'static str| move |e: HcErr| RespawnError::Step(name, e);
     let vmm_sel = recipe.vmm_sel;
+    let vmm_pd = recipe.vmm_pd.0 as u16;
     let disk_client_slot = recipe.disk.as_ref().map(|w| w.client_slot);
     let (need_sc, sc_sel, wd_sel, ckpt_sel, retry_sel) = {
         let rp = k
@@ -454,9 +455,14 @@ pub fn install(
     )
     .map_err(step("checkpoint cadence timer"))?;
 
+    // The black box records from the first incarnation's first event;
+    // root re-keys it to each successor domain on revive.
+    k.machine.bus.trace.enable_flight(vmm_pd, FLIGHT_CAPACITY);
+
     let sup = VmmSupervision {
         slot: 0,
         vmm_sel,
+        vmm_pd,
         wd_sm_sel: wd_sel,
         wd_sm,
         ckpt_sm_sel: ckpt_sel,

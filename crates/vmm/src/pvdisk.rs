@@ -71,6 +71,10 @@ struct PvPending {
     submitted_at: u64,
     attempts: u32,
     accepted: bool,
+    /// Causal trace context allocated for this request at ingest;
+    /// carried on the wire to the disk server and restored on the
+    /// completion path so the whole request stitches into one tree.
+    ctx: u64,
 }
 
 /// The paravirtual disk queue backend.
@@ -92,8 +96,8 @@ pub struct PvDisk {
     /// In-flight descriptors, in submission order.
     pending: VecDeque<PvPending>,
     /// Out-of-order completions awaiting in-order publication:
-    /// descriptor index → ring status word.
-    done: BTreeMap<u64, u32>,
+    /// descriptor index → (ring status word, trace context).
+    done: BTreeMap<u64, (u32, u64)>,
     /// Latched completion-interrupt bit ([`regs::DISK_ISR`]).
     isr: u32,
     /// `used` value at the last interrupt raise (coalescing state).
@@ -280,17 +284,30 @@ impl PvDisk {
                 .metrics
                 .observe(nova_trace::names::PV_BATCH_SIZE, 0, count as u64);
         }
+        let pd16 = ctx.pd.0 as u16;
         for _ in 0..count {
             let idx = self.submitted;
             self.submitted += 1;
             self.requests += 1;
+            // Each descriptor is a request origin: allocate its causal
+            // context before touching it so the validation, the batch
+            // IPC and the server's spans all stitch to this id.
+            let rctx = k.machine.bus.trace.alloc_ctx();
+            let at = k.now();
+            k.machine
+                .bus
+                .trace
+                .begin(0, pd16, nova_trace::Kind::PvRequest, idx, at);
             match self.read_desc(k, ctx, idx) {
-                Ok(req) => self.pending.push_back(req),
+                Ok(mut req) => {
+                    req.ctx = rctx;
+                    self.pending.push_back(req);
+                }
                 Err(fault) => {
                     // Malformed descriptor: complete it with an error
                     // status without involving the server.
                     self.reject(k, fault);
-                    self.done.insert(idx, ring::ST_ERROR);
+                    self.done.insert(idx, (ring::ST_ERROR, rctx));
                 }
             }
         }
@@ -341,6 +358,7 @@ impl PvDisk {
             submitted_at: k.now(),
             attempts: 0,
             accepted: false,
+            ctx: 0,
         })
     }
 
@@ -395,6 +413,17 @@ impl PvDisk {
                 });
             }
             let now = k.now();
+            // The batch IPC is sent on behalf of its first request's
+            // context, so the IPC span lands inside that request's
+            // span tree; each entry also carries its own context to
+            // the server on the wire.
+            if let Some(first) = batch
+                .first()
+                .and_then(|&i| self.pending.get(i))
+                .map(|p| p.ctx)
+            {
+                k.machine.bus.trace.set_ctx(first);
+            }
             let mut msg = vec![ch.client, batch.len() as u64];
             for &i in &batch {
                 let Some(p) = self.pending.get(i) else {
@@ -405,6 +434,7 @@ impl PvDisk {
                     p.lba,
                     p.sectors as u64,
                     p.idx,
+                    p.ctx,
                     1,
                     WINDOW_BASE * 4096 + p.buf,
                     p.bytes as u64,
@@ -445,7 +475,7 @@ impl PvDisk {
                             {
                                 self.degraded += 1;
                                 k.counters.degraded_errors += 1;
-                                self.done.insert(p.idx, ring::ST_ERROR);
+                                self.done.insert(p.idx, (ring::ST_ERROR, p.ctx));
                                 raise = true;
                             } else {
                                 return raise;
@@ -465,17 +495,30 @@ impl PvDisk {
         if self.ring_gpa == 0 {
             return false;
         }
+        let pd16 = ctx.pd.0 as u16;
+        let prev_ctx = k.machine.bus.trace.current_ctx();
         let mut advanced = false;
-        while let Some(status) = self.done.remove(&self.used) {
+        while let Some((status, rctx)) = self.done.remove(&self.used) {
             let slot = self.used % ring::CAPACITY as u64;
             let base = self.guest_va(self.ring_gpa + ring::DESC0 + slot * ring::DESC_SIZE);
             k.mem_write_u32(ctx, base + ring::D_STATUS, status);
+            // Publish the request's context into the descriptor's free
+            // word (observational; the guest driver ignores it) and
+            // close the request span under its own context.
+            k.mem_write_u32(ctx, base + ring::D_CTX, rctx as u32);
+            k.machine.bus.trace.set_ctx(rctx);
+            let at = k.now();
+            k.machine
+                .bus
+                .trace
+                .end(0, pd16, nova_trace::Kind::PvRequest, self.used, at);
             if status != ring::ST_OK {
                 self.used_errors += 1;
             }
             self.used += 1;
             advanced = true;
         }
+        k.machine.bus.trace.set_ctx(prev_ctx);
         if !advanced {
             return false;
         }
@@ -529,11 +572,14 @@ impl PvDisk {
                 self.completions += 1;
                 self.done.insert(
                     p.idx,
-                    if status == 0 {
-                        ring::ST_OK
-                    } else {
-                        ring::ST_ERROR
-                    },
+                    (
+                        if status == 0 {
+                            ring::ST_OK
+                        } else {
+                            ring::ST_ERROR
+                        },
+                        p.ctx,
+                    ),
                 );
                 drained = true;
             }
@@ -583,7 +629,7 @@ impl PvDisk {
                 if let Some(p) = self.pending.remove(i) {
                     self.degraded += 1;
                     k.counters.degraded_errors += 1;
-                    self.done.insert(p.idx, ring::ST_ERROR);
+                    self.done.insert(p.idx, (ring::ST_ERROR, p.ctx));
                     raise = true;
                 }
                 continue;
@@ -647,11 +693,13 @@ impl PvDisk {
             e.u64(p.buf);
             e.u32(p.bytes);
             e.u32(p.attempts);
+            e.u64(p.ctx);
         }
         e.u32(self.done.len() as u32);
-        for (&idx, &status) in &self.done {
+        for (&idx, &(status, ctx)) in &self.done {
             e.u64(idx);
             e.u32(status);
+            e.u64(ctx);
         }
         for c in [
             self.doorbells,
@@ -696,6 +744,7 @@ impl PvDisk {
                 submitted_at: 0,
                 attempts: d.u32()?,
                 accepted: false,
+                ctx: d.u64()?,
             });
         }
         let ndone = d.u32()? as usize;
@@ -706,7 +755,8 @@ impl PvDisk {
         for _ in 0..ndone {
             let idx = d.u64()?;
             let status = d.u32()?;
-            self.done.insert(idx, status);
+            let ctx = d.u64()?;
+            self.done.insert(idx, (status, ctx));
         }
         self.doorbells = d.u64()?;
         self.batches = d.u64()?;

@@ -215,6 +215,10 @@ impl PvNet {
         if self.ring_gpa == 0 {
             return;
         }
+        // Each refill batch is one request origin (buffer posting is
+        // batch-granular; packets have no per-descriptor identity on
+        // the wire).
+        k.machine.bus.trace.alloc_ctx();
         self.doorbells += 1;
         if k.machine.bus.trace.active() {
             k.machine
@@ -269,6 +273,8 @@ impl PvNet {
         if self.ring_gpa == 0 {
             return false;
         }
+        // Each drain of hardware completions is one request origin.
+        k.machine.bus.trace.alloc_ctx();
         // Read-to-clear: drops the physical line.
         let _ = self.reg_read(k, ctx, hw::ICR);
         let mut advanced = false;

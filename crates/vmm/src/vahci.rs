@@ -73,6 +73,9 @@ struct PendingReq {
     attempts: u32,
     /// Whether the server accepted the last submission.
     accepted: bool,
+    /// Causal trace context allocated for this request at issue();
+    /// carried to the disk server and restored around completion.
+    ctx: u64,
 }
 
 enum SubmitOutcome {
@@ -329,6 +332,8 @@ impl VAhci {
             return self.fail_guest(k, slot, GuestFault::Rerung);
         }
 
+        // Each accepted doorbell command is a request origin.
+        let rctx = k.machine.bus.trace.alloc_ctx();
         self.set_pend(
             slot,
             Some(PendingReq {
@@ -344,6 +349,7 @@ impl VAhci {
                 submitted_at: k.now(),
                 attempts: 1,
                 accepted: false,
+                ctx: rctx,
             }),
         );
         self.requests += 1;
@@ -408,6 +414,9 @@ impl VAhci {
                 hot: WINDOW_BASE + p,
             });
         }
+        // The submission IPC runs on the request's own context so the
+        // IPC span and the server's spans stitch to its tree.
+        k.machine.bus.trace.set_ctx(req.ctx);
         // Window byte address of guest byte `b` is
         // `WINDOW_BASE * 4096 + b` (pages map at WINDOW_BASE + page),
         // so unaligned buffers keep their in-page offset.
@@ -417,6 +426,7 @@ impl VAhci {
             req.lba,
             req.sectors as u64,
             slot as u64,
+            req.ctx,
             req.nsegs as u64,
         ];
         for &(dba, bytes) in segs {
@@ -489,6 +499,7 @@ impl VAhci {
             return false;
         };
         let mut raised = false;
+        let prev_ctx = k.machine.bus.trace.current_ctx();
         loop {
             let head = k.mem_read_u32(ctx, ch.ring_va + 4092).unwrap_or(0);
             if self.ring_tail == head {
@@ -501,6 +512,10 @@ impl VAhci {
             self.ring_tail = self.ring_tail.wrapping_add(1);
 
             let slot = (tag & 31) as u8;
+            // Completion work runs on the completed request's context.
+            if let Some(p) = self.pend(slot) {
+                k.machine.bus.trace.set_ctx(p.ctx);
+            }
             self.ci &= !(1 << slot);
             self.inflight_slots &= !(1 << slot);
             self.set_pend(slot, None);
@@ -515,6 +530,7 @@ impl VAhci {
                 raised = true;
             }
         }
+        k.machine.bus.trace.set_ctx(prev_ctx);
         raised
     }
 
@@ -595,6 +611,7 @@ impl VAhci {
                     e.u32(bytes);
                 }
                 e.u32(req.attempts);
+                e.u64(req.ctx);
             }
         }
         for c in [
@@ -639,6 +656,7 @@ impl VAhci {
                 *s = (d.u64()?, d.u32()?);
             }
             let attempts = d.u32()?;
+            let rctx = d.u64()?;
             self.set_pend(
                 slot,
                 Some(PendingReq {
@@ -650,6 +668,7 @@ impl VAhci {
                     submitted_at: 0,
                     attempts,
                     accepted: false,
+                    ctx: rctx,
                 }),
             );
         }

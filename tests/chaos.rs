@@ -557,6 +557,7 @@ fn submit_read(r: &mut Rig, client: u64, lba: u64, sectors: u32, window: u64, ta
         lba,
         sectors as u64,
         tag,
+        0,
         1,
         window * 4096,
         sectors as u64 * 512,
