@@ -12,9 +12,9 @@
 //! was removed — a full TLB flush and refill on every kernel entry.
 
 use nova_core::counters::Counters;
-use nova_core::hostpt::{FrameAllocator, NestedTable, ShadowPt};
+use nova_core::hostpt::{FrameAllocator, NestedTable};
 use nova_core::obj::{MemMapping, MemRights, MemSpace};
-use nova_core::vtlb::{self, VtlbOutcome};
+use nova_core::vtlb::{self, CrOutcome, ShadowCache, TlbOp, VtlbOutcome};
 use nova_hw::cpu::run_guest;
 use nova_hw::machine::{Machine, MachineConfig};
 use nova_hw::pic::DualPic;
@@ -165,7 +165,7 @@ pub struct Monolithic {
     ms: MemSpace,
     alloc: FrameAllocator,
     _nested: Option<NestedTable>,
-    shadow: Option<ShadowPt>,
+    shadow: Option<ShadowCache>,
     _guest_pages: u64,
     // In-kernel device models.
     vpic: DualPic,
@@ -260,18 +260,23 @@ impl Monolithic {
                 (Some(t), None, PagingVirt::Nested { root, fmt }, vpid)
             }
             MonoPaging::Shadow => {
-                let s = ShadowPt::new(&mut alloc, &mut machine.mem);
                 let vpid = if cfg.use_tags && machine.cost.has_tagged_tlb {
                     1
                 } else {
                     0
                 };
+                // Monolithic shadow implementations rebuild the shadow
+                // table on every address-space switch; the legacy
+                // single-slot cache reproduces exactly that.
+                let s = ShadowCache::legacy(&mut machine.mem, &mut alloc, vpid);
                 (None, Some(s), PagingVirt::Shadow { root: 0 }, vpid)
             }
         };
 
         let mut vmcs = match paging {
-            PagingVirt::Shadow { .. } => Vmcs::new_shadow(shadow.as_ref().unwrap().root, vpid),
+            PagingVirt::Shadow { .. } => {
+                Vmcs::new_shadow(shadow.as_ref().unwrap().active_root(), vpid)
+            }
             p => Vmcs::new(p, vpid),
         };
 
@@ -715,30 +720,34 @@ impl Monolithic {
                 gpr,
                 len,
             } => {
-                if let Some(shadow) = self.shadow.as_mut() {
-                    let flushed = vtlb::handle_cr_access(
+                if let Some(cache) = self.shadow.as_mut() {
+                    let outcome = vtlb::handle_cr_access(
                         &mut self.machine.mem,
-                        shadow,
+                        &mut self.alloc,
+                        &self.ms,
+                        cache,
                         &mut self.vmcs,
                         cr,
                         write,
                         gpr,
                         len,
                     );
-                    if flushed {
+                    if outcome != CrOutcome::None {
                         self.counters.vtlb_flushes += 1;
-                        let vpid = self.vmcs.vpid;
-                        if vpid == 0 {
-                            self.machine.cpus[0].tlb.flush_all();
-                        } else {
-                            self.machine.cpus[0].tlb.flush_vpid(vpid);
+                    }
+                    let tlb = &mut self.machine.cpus[0].tlb;
+                    for op in cache.take_tlb_ops() {
+                        match op {
+                            TlbOp::FlushAll | TlbOp::FlushVpid(0) => tlb.flush_all(),
+                            TlbOp::FlushVpid(v) => tlb.flush_vpid(v),
+                            TlbOp::Invl { vpid, gva } => tlb.invalidate(vpid, gva as u64),
                         }
                     }
                 }
             }
             ExitReason::Invlpg { addr, len } => {
-                if let Some(shadow) = self.shadow.as_mut() {
-                    vtlb::handle_invlpg(&mut self.machine.mem, shadow, &mut self.vmcs, addr, len);
+                if let Some(cache) = self.shadow.as_mut() {
+                    vtlb::handle_invlpg(&mut self.machine.mem, cache, &mut self.vmcs, addr, len);
                     let vpid = self.vmcs.vpid;
                     self.machine.cpus[0].tlb.invalidate(vpid, addr as u64);
                 }
@@ -763,14 +772,14 @@ impl Monolithic {
         let cost = self.machine.cost;
         self.machine.clock += 6 * cost.vmread + cost.vtlb_fill_sw;
         let prefetch = self.cfg.shadow_prefetch.max(1);
-        let Some(shadow) = self.shadow.as_mut() else {
+        let Some(cache) = self.shadow.as_mut() else {
             return;
         };
         match vtlb::handle_page_fault(
             &mut self.machine.mem,
             &mut self.alloc,
             &self.ms,
-            shadow,
+            cache,
             &self.vmcs,
             addr,
             err,
@@ -785,7 +794,7 @@ impl Monolithic {
                         &mut self.machine.mem,
                         &mut self.alloc,
                         &self.ms,
-                        shadow,
+                        cache,
                         &self.vmcs,
                         next,
                         err & !nova_x86::reg::pf_err::WRITE,

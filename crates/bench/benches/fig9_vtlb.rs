@@ -8,7 +8,7 @@
 //! The per-fill cost is the timed difference.
 
 use nova_bench::paper;
-use nova_bench::report::{banner, Table};
+use nova_bench::report::{banner, write_json, Table};
 use nova_core::obj::VmPaging;
 use nova_core::KernelConfig;
 use nova_guest::os::{build_os, OsParams};
@@ -19,6 +19,7 @@ use nova_x86::insn::{AluOp, Cond, MemRef};
 use nova_x86::reg::Reg;
 
 const PAGES: u32 = 1024;
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
 fn guest() -> GuestImage {
     let prog = build_os(
@@ -127,6 +128,9 @@ fn main() {
         format!("{:.0}", paper_ns[4].1),
     ]);
     t.print();
+
+    let path = write_json(REPO_ROOT, "fig9", vec![("rows".into(), t.to_json())]);
+    println!("wrote {path}");
 
     println!("\nDecomposition (from the calibrated cost model):");
     let mut t = Table::new(&["CPU", "exit+resume", "6x VMREAD", "vTLB fill sw"]);

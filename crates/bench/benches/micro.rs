@@ -150,7 +150,7 @@ fn bench_shadow_fill() {
     let mut va = 0u32;
     bench("shadow_fill", 200_000, || {
         va = va.wrapping_add(4096);
-        s.fill(&mut mem, &mut alloc, black_box(va), 0x9000, true);
+        s.fill(&mut mem, &mut alloc, black_box(va), 0x9000, true, true);
     });
 }
 

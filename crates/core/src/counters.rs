@@ -11,8 +11,17 @@ pub struct Counters {
     pub exits: [u64; ExitReason::COUNT],
     /// vTLB fills (subset of the #PF exits).
     pub vtlb_fills: u64,
-    /// vTLB flushes (CR writes that dropped the shadow table).
+    /// vTLB flushes (CR writes that dropped or rebuilt a shadow table:
+    /// paging-relevant CR0/CR4 toggles and cold CR3 switches).
     pub vtlb_flushes: u64,
+    /// CR3 reloads that hit the shadow-table cache (the shadow was
+    /// kept and merely resynchronized — no rebuild).
+    pub vtlb_switch_hits: u64,
+    /// CR3 reloads that missed the shadow-table cache (a fresh shadow
+    /// is built for the new address space).
+    pub vtlb_switch_misses: u64,
+    /// Cached shadow tables evicted to make room (bounded cache).
+    pub vtlb_shadow_evictions: u64,
     /// Page faults forwarded to the guest kernel.
     pub guest_page_faults: u64,
     /// Virtual interrupts injected by VMMs.
@@ -120,6 +129,13 @@ impl Counters {
         }
         d.vtlb_fills = d.vtlb_fills.saturating_sub(earlier.vtlb_fills);
         d.vtlb_flushes = d.vtlb_flushes.saturating_sub(earlier.vtlb_flushes);
+        d.vtlb_switch_hits = d.vtlb_switch_hits.saturating_sub(earlier.vtlb_switch_hits);
+        d.vtlb_switch_misses = d
+            .vtlb_switch_misses
+            .saturating_sub(earlier.vtlb_switch_misses);
+        d.vtlb_shadow_evictions = d
+            .vtlb_shadow_evictions
+            .saturating_sub(earlier.vtlb_shadow_evictions);
         d.guest_page_faults = d
             .guest_page_faults
             .saturating_sub(earlier.guest_page_faults);

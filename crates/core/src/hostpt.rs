@@ -250,7 +250,7 @@ impl NestedTable {
 pub struct ShadowPt {
     /// Root physical address (the table the hardware walks).
     pub root: PAddr,
-    subs: Vec<PAddr>,
+    subs: Vec<(u32, PAddr)>,
     pool: Vec<PAddr>,
 }
 
@@ -264,7 +264,9 @@ impl ShadowPt {
         }
     }
 
-    /// Installs a 4 KB translation `gva` → `hpa`.
+    /// Installs a 4 KB translation `gva` → `hpa`. `write` and `user`
+    /// are the effective guest rights for the page (already intersected
+    /// across the guest walk).
     pub fn fill(
         &mut self,
         mem: &mut PhysMem,
@@ -272,6 +274,7 @@ impl ShadowPt {
         gva: u32,
         hpa: PAddr,
         write: bool,
+        user: bool,
     ) {
         let (di, ti, _) = nova_x86::paging::split_2level(gva);
         let pde_addr = self.root + di as u64 * 4;
@@ -286,14 +289,18 @@ impl ShadowPt {
                 }
                 None => alloc.alloc(mem),
             };
-            self.subs.push(f);
-            // The PDE is always writable; per-page rights live in PTEs.
-            mem.write_u32(pde_addr, f as u32 | pte::P | pte::W);
+            self.subs.push((di, f));
+            // The PDE is always writable/user; per-page rights live in
+            // PTEs.
+            mem.write_u32(pde_addr, f as u32 | pte::P | pte::W | pte::US);
             f
         };
         let mut e = hpa as u32 & pte::ADDR | pte::P;
         if write {
             e |= pte::W;
+        }
+        if user {
+            e |= pte::US;
         }
         mem.write_u32(pt + ti as u64 * 4, e);
     }
@@ -307,11 +314,32 @@ impl ShadowPt {
         }
     }
 
+    /// Drops the whole 4 MB region under directory slot `di`, recycling
+    /// its sub-table frame (precise invalidation after the guest
+    /// repointed or cleared a PDE).
+    pub fn clear_pde(&mut self, mem: &mut PhysMem, di: u32) {
+        mem.write_u32(self.root + di as u64 * 4, 0);
+        if let Some(pos) = self.subs.iter().position(|(d, _)| *d == di) {
+            let (_, f) = self.subs.swap_remove(pos);
+            self.pool.push(f);
+        }
+    }
+
     /// Drops every translation (guest address-space switch), recycling
     /// the sub-table frames.
     pub fn flush(&mut self, mem: &mut PhysMem) {
         mem.fill(self.root, PAGE_SIZE as usize, 0);
-        self.pool.append(&mut self.subs);
+        self.pool.extend(self.subs.drain(..).map(|(_, f)| f));
+    }
+
+    /// Flushes and returns every sub-table frame (live and pooled) to
+    /// the global allocator — cache eviction gives the frames back to
+    /// the hypervisor pool instead of hoarding them per slot.
+    pub fn release_frames(&mut self, mem: &mut PhysMem, alloc: &mut FrameAllocator) {
+        self.flush(mem);
+        for f in self.pool.drain(..) {
+            alloc.release(f);
+        }
     }
 
     /// Number of live sub-tables (diagnostics).
@@ -507,8 +535,8 @@ mod tests {
     fn shadow_fill_flush_recycle() {
         let (mut mem, mut alloc) = setup();
         let mut s = ShadowPt::new(&mut alloc, &mut mem);
-        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true);
-        s.fill(&mut mem, &mut alloc, 0x40_1000, 0xa000, false);
+        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true, true);
+        s.fill(&mut mem, &mut alloc, 0x40_1000, 0xa000, false, true);
         let mut cyc = 0;
         let leaf = nova_hw::mmu::walk_2level(
             &mem,
@@ -546,7 +574,7 @@ mod tests {
         )
         .is_err());
         // Refill after flush reuses pooled frames: no new allocation.
-        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true);
+        s.fill(&mut mem, &mut alloc, 0x40_0000, 0x9000, true, true);
         assert_eq!(alloc.allocated, before, "sub-table frame recycled");
     }
 
@@ -554,8 +582,8 @@ mod tests {
     fn shadow_invalidate_single() {
         let (mut mem, mut alloc) = setup();
         let mut s = ShadowPt::new(&mut alloc, &mut mem);
-        s.fill(&mut mem, &mut alloc, 0x1000, 0x9000, true);
-        s.fill(&mut mem, &mut alloc, 0x2000, 0xa000, true);
+        s.fill(&mut mem, &mut alloc, 0x1000, 0x9000, true, true);
+        s.fill(&mut mem, &mut alloc, 0x2000, 0xa000, true, true);
         s.invalidate(&mut mem, 0x1000);
         let mut cyc = 0;
         assert!(nova_hw::mmu::walk_2level(

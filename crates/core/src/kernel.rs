@@ -22,7 +22,7 @@ use nova_x86::reg::Regs;
 
 use crate::cap::{CapSel, Capability, Perms};
 use crate::counters::Counters;
-use crate::hostpt::{FrameAllocator, NestedTable, ShadowPt};
+use crate::hostpt::{FrameAllocator, NestedTable};
 use crate::hypercall::{HcErr, HcReply, Hypercall};
 use crate::mdb::MapDb;
 use crate::obj::{
@@ -31,7 +31,7 @@ use crate::obj::{
 };
 use crate::sched::Scheduler;
 use crate::utcb::{Utcb, VmExitMsg, XferItem};
-use crate::vtlb::{self, VtlbOutcome};
+use crate::vtlb::{self, CrOutcome, ShadowCache, TlbOp, VtlbOutcome};
 
 /// Component handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,6 +93,10 @@ pub struct KernelConfig {
     /// [`HcErr::QuotaExceeded`] — graceful backpressure instead of
     /// kernel memory exhaustion by a hostile or runaway component.
     pub obj_quota: usize,
+    /// Shadow page tables cached per virtual CPU, keyed by guest CR3:
+    /// a CR3 reload that hits the cache switches shadow roots instead
+    /// of rebuilding (1 reproduces flush-per-switch behaviour).
+    pub vtlb_cache_slots: usize,
 }
 
 impl Default for KernelConfig {
@@ -104,6 +108,7 @@ impl Default for KernelConfig {
             hv_mem: 16 << 20,
             scheduler_timer_hz: None,
             obj_quota: 4096,
+            vtlb_cache_slots: 8,
         }
     }
 }
@@ -173,7 +178,7 @@ pub struct Kernel {
     components: Vec<Option<Box<dyn Component>>>,
     ec_component: HashMap<EcId, CompId>,
     nested: HashMap<PdId, NestedTable>,
-    shadows: HashMap<EcId, ShadowPt>,
+    shadows: HashMap<EcId, ShadowCache>,
     large_chunks: HashMap<PdId, HashSet<u64>>,
     gsi_owner: HashMap<u8, PdId>,
     gsi_sm: HashMap<u8, SmId>,
@@ -723,25 +728,45 @@ impl Kernel {
                 self.charge_quota(caller)?;
                 let kind = if vcpu {
                     let paging = self.obj.pd(target).vm_paging.ok_or(HcErr::BadParam)?;
-                    let vpid = if self.config.use_tags && self.machine.cost.has_tagged_tlb {
-                        let v = self.next_vpid;
-                        self.next_vpid += 1;
-                        v
-                    } else {
-                        0
-                    };
+                    let tagged = self.config.use_tags && self.machine.cost.has_tagged_tlb;
                     let vmcs = match paging {
                         VmPaging::Nested(fmt) => {
+                            let vpid = if tagged {
+                                let v = self.next_vpid;
+                                self.next_vpid += 1;
+                                v
+                            } else {
+                                0
+                            };
                             let root = self.obj.pd(target).nested_root.ok_or(HcErr::BadParam)?;
                             Box::new(Vmcs::new(PagingVirt::Nested { root, fmt }, vpid))
                         }
                         VmPaging::Shadow => {
-                            let shadow = ShadowPt::new(&mut self.alloc, &mut self.machine.mem);
-                            let vmcs = Box::new(Vmcs::new_shadow(shadow.root, vpid));
-                            // Stash the shadow keyed by the EC id we are
+                            // Each cached shadow space owns its own TLB
+                            // tag, so the vCPU claims a consecutive
+                            // block of VPIDs.
+                            let slots = self.config.vtlb_cache_slots;
+                            let base_vpid = if tagged {
+                                let v = self.next_vpid;
+                                self.next_vpid += ShadowCache::vpid_span(slots);
+                                v
+                            } else {
+                                0
+                            };
+                            let cache = ShadowCache::new(
+                                &mut self.machine.mem,
+                                &mut self.alloc,
+                                slots,
+                                base_vpid,
+                            );
+                            let vmcs = Box::new(Vmcs::new_shadow(
+                                cache.active_root(),
+                                cache.active_vpid(),
+                            ));
+                            // Stash the cache keyed by the EC id we are
                             // about to create.
                             let ec_id = EcId(self.obj.ecs.len());
-                            self.shadows.insert(ec_id, shadow);
+                            self.shadows.insert(ec_id, cache);
                             vmcs
                         }
                     };
@@ -1291,11 +1316,36 @@ impl Kernel {
         let vcpus = self.obj.pd(pd).vcpus.clone();
         for ec in vcpus {
             let cpu = self.obj.ec(ec).cpu;
+            // A shadow-paging vCPU owns one VPID per cached address
+            // space; every one of them must go.
+            if let Some(cache) = self.shadows.get(&ec) {
+                let vpids = cache.vpids();
+                self.machine.cpus[cpu].tlb.flush_vpids(vpids);
+                continue;
+            }
             let vpid = self.obj.ec(ec).vmcs().map(|v| v.vpid).unwrap_or(0);
             if vpid == 0 {
                 self.machine.cpus[cpu].tlb.flush_all();
             } else {
                 self.machine.cpus[cpu].tlb.flush_vpid(vpid);
+            }
+        }
+    }
+
+    /// Applies the hardware-TLB maintenance the vCPU's shadow cache
+    /// queued while handling an exit (tag 0 widens to a full flush).
+    fn drain_tlb_ops(&mut self, ec_id: EcId) {
+        let cpu = self.obj.ec(ec_id).cpu;
+        let Some(cache) = self.shadows.get_mut(&ec_id) else {
+            return;
+        };
+        let ops = cache.take_tlb_ops();
+        let tlb = &mut self.machine.cpus[cpu].tlb;
+        for op in ops {
+            match op {
+                TlbOp::FlushAll | TlbOp::FlushVpid(0) => tlb.flush_all(),
+                TlbOp::FlushVpid(v) => tlb.flush_vpid(v),
+                TlbOp::Invl { vpid, gva } => tlb.invalidate(vpid, gva as u64),
             }
         }
     }
@@ -1394,7 +1444,10 @@ impl Kernel {
         }
         self.large_chunks.remove(&pd);
         for ec in &ecs {
-            self.shadows.remove(ec);
+            if let Some(mut cache) = self.shadows.remove(ec) {
+                // Sub-table frames go back to the pool with the domain.
+                cache.release_all(&mut self.machine.mem, &mut self.alloc);
+            }
         }
         let devices = std::mem::take(&mut self.obj.pd_mut(pd).devices);
         for dev in devices {
@@ -1725,6 +1778,14 @@ impl Kernel {
         vmcs.intwin_exit = snap.intwin_exit;
         vmcs.recall_pending = snap.recall_pending;
         vmcs.tsc_offset = snap.tsc_offset;
+        if snap.regs.paging() {
+            // Bind the fresh (empty) shadow to the restored CR3 so the
+            // guest's next reload of the same value is a cache hit
+            // instead of a spurious rebuild.
+            if let Some(cache) = self.shadows.get_mut(&ec_id) {
+                cache.rebind_active_tag(snap.regs.cr3);
+            }
+        }
         if snap.blocked {
             self.obj.ec_mut(ec_id).blocked = true;
         } else {
@@ -1959,42 +2020,58 @@ impl Kernel {
                 // microhypervisor (Section 5.3), not the VMM.
                 let cost = self.machine.cost;
                 self.charge_kernel(2 * cost.vmread + cost.emul_simple / 2);
-                let shadow = self.shadows.get_mut(&ec_id).expect("shadow exists");
+                let pd = self.obj.ec(ec_id).pd;
+                let cache = self.shadows.get_mut(&ec_id).expect("shadow exists");
                 let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
                     EcKind::Vcpu { vmcs } => vmcs,
                     EcKind::Thread => return,
                 };
-                let flushed = vtlb::handle_cr_access(
+                let ms = &self.obj.pds[pd.0].mem;
+                let outcome = vtlb::handle_cr_access(
                     &mut self.machine.mem,
-                    shadow,
+                    &mut self.alloc,
+                    ms,
+                    cache,
                     vmcs,
                     cr,
                     write,
                     gpr,
                     len,
                 );
-                if flushed {
-                    self.counters.vtlb_flushes += 1;
-                    let pd16 = self.obj.ec(ec_id).pd.0 as u16;
-                    self.trace_emit(pd16, TraceKind::VtlbFlush, cr as u64);
-                    let cpu = self.obj.ec(ec_id).cpu;
-                    let vpid = self.obj.ec(ec_id).vmcs().unwrap().vpid;
-                    if vpid == 0 {
-                        self.machine.cpus[cpu].tlb.flush_all();
-                    } else {
-                        self.machine.cpus[cpu].tlb.flush_vpid(vpid);
+                let pd16 = pd.0 as u16;
+                match outcome {
+                    CrOutcome::None => {}
+                    CrOutcome::Flush => {
+                        self.counters.vtlb_flushes += 1;
+                        self.trace_emit(pd16, TraceKind::VtlbFlush, cr as u64);
+                    }
+                    CrOutcome::Switch { hit, evicted } => {
+                        if hit {
+                            self.counters.vtlb_switch_hits += 1;
+                        } else {
+                            // A cold switch rebuilds the shadow from
+                            // scratch — the cost class the flush
+                            // counter has always measured.
+                            self.counters.vtlb_switch_misses += 1;
+                            self.counters.vtlb_flushes += 1;
+                        }
+                        if evicted {
+                            self.counters.vtlb_shadow_evictions += 1;
+                        }
+                        self.trace_emit(pd16, TraceKind::VtlbSwitch, hit as u64);
                     }
                 }
+                self.drain_tlb_ops(ec_id);
             }
             ExitReason::Invlpg { addr, len } if self.is_shadow(ec_id) => {
                 let cost = self.machine.cost;
                 self.charge_kernel(2 * cost.vmread + cost.emul_simple / 2);
-                let shadow = self.shadows.get_mut(&ec_id).expect("shadow exists");
+                let cache = self.shadows.get_mut(&ec_id).expect("shadow exists");
                 let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
                     EcKind::Vcpu { vmcs } => vmcs,
                     EcKind::Thread => return,
                 };
-                vtlb::handle_invlpg(&mut self.machine.mem, shadow, vmcs, addr, len);
+                vtlb::handle_invlpg(&mut self.machine.mem, cache, vmcs, addr, len);
                 let cpu = self.obj.ec(ec_id).cpu;
                 let vpid = self.obj.ec(ec_id).vmcs().unwrap().vpid;
                 self.machine.cpus[cpu].tlb.invalidate(vpid, addr as u64);
@@ -2026,7 +2103,7 @@ impl Kernel {
         self.charge_kernel(6 * cost.vmread + cost.vtlb_fill_sw);
 
         let pd = self.obj.ec(ec_id).pd;
-        let Some(shadow) = self.shadows.get_mut(&ec_id) else {
+        let Some(cache) = self.shadows.get_mut(&ec_id) else {
             return;
         };
         let vmcs = match &mut self.obj.ecs[ec_id.0].kind {
@@ -2038,7 +2115,7 @@ impl Kernel {
             &mut self.machine.mem,
             &mut self.alloc,
             ms,
-            shadow,
+            cache,
             vmcs,
             addr,
             err,

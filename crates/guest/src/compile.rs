@@ -9,8 +9,11 @@
 //! distribution of Table 2:
 //!
 //! - under nested paging, only the timer/disk I/O traps remain;
-//! - under the vTLB, every address-space switch flushes the shadow
-//!   page table and every first touch afterwards is a fill exit —
+//! - under the vTLB, every demand fault costs a fill exit and every
+//!   address-space switch a CR exit. With the tagged shadow cache the
+//!   switch reuses the cached shadow table (fills track guest faults
+//!   ≈ 1:1); in legacy flush-per-switch mode (the monolithic shadow
+//!   baselines) every switch rebuilds the shadow table and
 //!   context-switch rounds multiply fills over guest faults, giving
 //!   the fills ≫ guest-faults structure of the paper's vTLB column.
 
@@ -256,7 +259,7 @@ mod tests {
     }
 
     #[test]
-    fn vtlb_has_orders_of_magnitude_more_exits_than_ept() {
+    fn vtlb_has_several_fold_more_exits_than_ept() {
         let mut ept = System::build(LaunchOptions::standard(VmmConfig::full_virt(
             image(CompileParams::smoke()),
             8192,
@@ -270,9 +273,19 @@ mod tests {
         vtlb.run(Some(40_000_000_000));
         let vtlb_exits = vtlb.k.counters.total_exits();
 
+        // Nested paging eliminates the fill/CR/INVLPG exit classes
+        // entirely, so the vTLB still takes several times more exits.
+        // The gap used to be >10x when every CR3 write rebuilt the
+        // shadow table; the tagged shadow cache reuses shadows across
+        // address-space switches (measured ~6.5x on this workload), so
+        // the bound reflects the cached vTLB with headroom.
         assert!(
-            vtlb_exits > 10 * ept_exits,
+            vtlb_exits > 3 * ept_exits,
             "nested paging eliminates most exits: vtlb {vtlb_exits} vs ept {ept_exits}"
+        );
+        assert!(
+            vtlb.k.counters.vtlb_switch_hits > 0,
+            "the narrowed gap comes from shadow-cache hits on CR3 reloads"
         );
     }
 }

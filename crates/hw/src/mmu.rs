@@ -17,9 +17,13 @@
 //!   violation is reported to the hypervisor (as a #PF VM exit), never
 //!   directly to the guest.
 //!
-//! Accessed/dirty-bit maintenance is omitted: the guest OS in this
-//! reproduction does not use them, and they do not affect any measured
-//! quantity.
+//! Accessed/dirty-bit maintenance is omitted *here*: these walkers
+//! model the hardware's lookup path only. For shadow paging, the
+//! architectural A/D (and user/supervisor) semantics of the *guest*
+//! table are maintained in software by the vTLB walker in
+//! `nova-core::vtlb`, which sets A on every successful walk, D on
+//! writes, and fills writable-but-clean pages read-only so the first
+//! guest write faults and dirties the guest entry.
 
 use nova_x86::paging::{pte, Access, NestedFormat, PAGE_SIZE};
 use nova_x86::reg::{cr0, cr4, Regs};

@@ -163,6 +163,20 @@ impl Tlb {
         self.stats.flushed_entries += discarded;
     }
 
+    /// Flushes every tag of a set (a vCPU whose shadow-table cache owns
+    /// one VPID per cached address space releases them all at once on
+    /// teardown). Tag 0 widens to a full flush — an untagged TLB cannot
+    /// flush selectively.
+    pub fn flush_vpids(&mut self, vpids: impl IntoIterator<Item = u16>) {
+        for v in vpids {
+            if v == 0 {
+                self.flush_all();
+            } else {
+                self.flush_vpid(v);
+            }
+        }
+    }
+
     /// Flushes everything (untagged VM transition, CR3 write on a CPU
     /// without tags).
     pub fn flush_all(&mut self) {

@@ -281,6 +281,15 @@ impl Vmcs {
         v
     }
 
+    /// Repoints a shadow-paging VMCS at a (possibly different) shadow
+    /// root and its TLB tag — the vTLB address-space-switch path, where
+    /// the hypervisor swaps cached shadow tables instead of rebuilding
+    /// one.
+    pub fn set_shadow(&mut self, root: PAddr, vpid: u16) {
+        self.paging = PagingVirt::Shadow { root };
+        self.vpid = vpid;
+    }
+
     /// Marks a port range as directly assigned (no intercept).
     pub fn passthrough_ports(&mut self, first: u16, count: u16) {
         for p in first..first.saturating_add(count) {

@@ -77,6 +77,7 @@ pub fn layer_of(kind: Kind) -> Layer {
         | Kind::CostKernel
         | Kind::VtlbFill
         | Kind::VtlbFlush
+        | Kind::VtlbSwitch
         | Kind::GuestPageFault => Layer::Kernel,
         Kind::IpcCall | Kind::CostIpc => Layer::Ipc,
         Kind::VmmEmulate

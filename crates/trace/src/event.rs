@@ -128,10 +128,13 @@ pub enum Kind {
     /// Physical-controller service span in the disk server: command
     /// issued through completion observed (`detail` = LBA).
     HwIo = 35,
+    /// A CR3 reload switched the active shadow table in the vCPU's
+    /// shadow cache (`detail` = 1 for a cache hit, 0 for a miss).
+    VtlbSwitch = 36,
 }
 
 /// Number of tracepoint kinds.
-pub const KIND_COUNT: usize = 36;
+pub const KIND_COUNT: usize = 37;
 
 /// All kinds, in discriminant order.
 pub const ALL_KINDS: [Kind; KIND_COUNT] = [
@@ -171,6 +174,7 @@ pub const ALL_KINDS: [Kind; KIND_COUNT] = [
     Kind::Restore,
     Kind::PvRequest,
     Kind::HwIo,
+    Kind::VtlbSwitch,
 ];
 
 impl Kind {
@@ -192,7 +196,7 @@ impl Kind {
             Kind::IrqRaise | Kind::IrqDeliver => cat::IRQ,
             Kind::DmaStart | Kind::DmaComplete => cat::DMA,
             Kind::FaultInject => cat::FAULT,
-            Kind::VtlbFill | Kind::VtlbFlush | Kind::GuestPageFault => cat::TLB,
+            Kind::VtlbFill | Kind::VtlbFlush | Kind::VtlbSwitch | Kind::GuestPageFault => cat::TLB,
             Kind::VmmEmulate => cat::EMU,
             Kind::VirqInject => cat::VIRQ,
             Kind::DiskAccept
@@ -258,6 +262,7 @@ impl Kind {
             Kind::Restore => "restore",
             Kind::PvRequest => "pv_request",
             Kind::HwIo => "hw_io",
+            Kind::VtlbSwitch => "vtlb_switch",
         }
     }
 

@@ -21,12 +21,17 @@ pub mod pte {
     pub const W: u32 = 1 << 1;
     /// User-accessible (carried, not enforced by the flat-privilege CPU).
     pub const U: u32 = 1 << 2;
+    /// User/supervisor — the architectural name for [`U`]. The guest
+    /// walker intersects it across PDE and PTE.
+    pub const US: u32 = U;
     /// Accessed.
     pub const A: u32 = 1 << 5;
     /// Dirty.
     pub const D: u32 = 1 << 6;
     /// Page size (PDE only): maps a 4 MB page.
     pub const PS: u32 = 1 << 7;
+    /// Global (PTE / PS PDE): survives CR3 reloads when CR4.PGE is set.
+    pub const G: u32 = 1 << 8;
     /// Mask of the physical frame address.
     pub const ADDR: u32 = 0xffff_f000;
     /// Mask of the 4 MB frame address in a PS PDE.

@@ -121,14 +121,33 @@ pub mod vector {
 pub mod cr0 {
     /// Protected-mode enable (always set in our flat model).
     pub const PE: u32 = 1 << 0;
+    /// Monitor coprocessor (lazy-FPU plumbing; not paging-relevant).
+    pub const MP: u32 = 1 << 1;
+    /// Task switched (toggled on every context switch by lazy-FPU
+    /// kernels; not paging-relevant).
+    pub const TS: u32 = 1 << 3;
+    /// Write protect: when set, supervisor writes honor read-only PTEs.
+    pub const WP: u32 = 1 << 16;
     /// Paging enable.
     pub const PG: u32 = 1 << 31;
+
+    /// The bits whose value changes paging semantics — the only CR0
+    /// writes that may invalidate cached translations.
+    pub const PAGING_MASK: u32 = PE | WP | PG;
 }
 
 /// CR4 bit masks.
 pub mod cr4 {
     /// Page-size extensions (4 MB guest pages).
     pub const PSE: u32 = 1 << 4;
+    /// Physical-address extension (unsupported; tracked for flushes).
+    pub const PAE: u32 = 1 << 5;
+    /// Page global enable (honors [`crate::paging::pte::G`]).
+    pub const PGE: u32 = 1 << 7;
+
+    /// The bits whose value changes paging semantics — the only CR4
+    /// writes that may invalidate cached translations.
+    pub const PAGING_MASK: u32 = PSE | PAE | PGE;
 }
 
 /// Page-fault error-code bits (pushed with #PF).
@@ -137,6 +156,8 @@ pub mod pf_err {
     pub const PRESENT: u32 = 1 << 0;
     /// Fault caused by a write access.
     pub const WRITE: u32 = 1 << 1;
+    /// Fault taken while in user mode (CPL 3).
+    pub const USER: u32 = 1 << 2;
     /// Fault caused by an instruction fetch.
     pub const FETCH: u32 = 1 << 4;
 }

@@ -372,7 +372,14 @@ fn shadow_fills_match_walker() {
         let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
         let mut s = ShadowPt::new(&mut alloc, &mut mem);
         for (&va_page, &pa_page) in &fills {
-            s.fill(&mut mem, &mut alloc, va_page << 12, pa_page << 12, true);
+            s.fill(
+                &mut mem,
+                &mut alloc,
+                va_page << 12,
+                pa_page << 12,
+                true,
+                true,
+            );
         }
         let cost = nova_hw::cost::BLM;
         let mut cyc = 0;
@@ -404,6 +411,250 @@ fn shadow_fills_match_walker() {
                 .is_err(),
                 "flush drops every translation"
             );
+        }
+    }
+}
+
+/// The vTLB guest walk agrees with the architectural access-check
+/// predicate (P, W∧WP, US intersected across levels) for arbitrary
+/// PDE/PTE flag combinations, and maintains A/D exactly when the
+/// access is allowed.
+#[test]
+fn vtlb_walk_matches_architectural_predicate() {
+    use nova_core::hostpt::FrameAllocator;
+    use nova_core::obj::{MemMapping, MemRights, MemSpace};
+    use nova_core::vtlb::{self, ShadowCache, VtlbOutcome};
+    use nova_x86::paging::pte;
+    use nova_x86::reg::{cr0, pf_err};
+
+    let mut rng = Rng::new(0x100c);
+    for _ in 0..CASES {
+        let mut mem = nova_hw::mem::PhysMem::new(32 << 20);
+        let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
+        let mut cache = ShadowCache::new(&mut mem, &mut alloc, 4, 1);
+        let mut ms = MemSpace::default();
+        for p in 0..1024u64 {
+            ms.map(
+                p,
+                MemMapping {
+                    hpa: (4 << 20) + p * 4096,
+                    rights: MemRights::RW,
+                },
+            );
+        }
+
+        // Random guest PDE/PTE flags (P always set on the PDE so the
+        // walk reaches the PTE; the PTE's P is itself random).
+        let pde_w = rng.below(2) == 1;
+        let pde_us = rng.below(2) == 1;
+        let pte_p = rng.below(8) != 0;
+        let pte_w = rng.below(2) == 1;
+        let pte_us = rng.below(2) == 1;
+        let wp = rng.below(2) == 1;
+        let write = rng.below(2) == 1;
+        let user = rng.below(2) == 1;
+
+        let groot: u32 = 0x10_000;
+        let gpt: u32 = 0x11_000;
+        let mut pde = gpt | pte::P;
+        if pde_w {
+            pde |= pte::W;
+        }
+        if pde_us {
+            pde |= pte::US;
+        }
+        let mut pte_v = 0x5000;
+        if pte_p {
+            pte_v |= pte::P;
+        }
+        if pte_w {
+            pte_v |= pte::W;
+        }
+        if pte_us {
+            pte_v |= pte::US;
+        }
+        let pde_hpa = ms.translate(groot as u64 + 4).unwrap(); // di = 1
+        mem.write_u32(pde_hpa, pde);
+        let pte_hpa = ms.translate(gpt as u64).unwrap(); // ti = 0
+        mem.write_u32(pte_hpa, pte_v);
+
+        let mut vmcs = nova_hw::vmx::Vmcs::new_shadow(cache.active_root(), cache.active_vpid());
+        vmcs.guest.cr3 = groot;
+        vmcs.guest.cr0 = cr0::PE | cr0::PG | if wp { cr0::WP } else { 0 };
+
+        let gva: u32 = 0x40_0000; // di = 1, ti = 0
+        let mut err_in = 0;
+        if write {
+            err_in |= pf_err::WRITE;
+        }
+        if user {
+            err_in |= pf_err::USER;
+        }
+        let out =
+            vtlb::handle_page_fault(&mut mem, &mut alloc, &ms, &mut cache, &vmcs, gva, err_in);
+
+        // The architectural predicate.
+        let user_ok = pde_us && pte_us;
+        let writable = (pde_w && pte_w) || (!user && !wp);
+        let expected = if !pte_p {
+            VtlbOutcome::InjectPf { err: err_in }
+        } else if (user && !user_ok) || (write && !writable) {
+            VtlbOutcome::InjectPf {
+                err: err_in | pf_err::PRESENT,
+            }
+        } else {
+            VtlbOutcome::Filled
+        };
+        assert_eq!(
+            out, expected,
+            "pde_w={pde_w} pde_us={pde_us} pte_p={pte_p} pte_w={pte_w} \
+             pte_us={pte_us} wp={wp} write={write} user={user}"
+        );
+
+        // A/D maintenance: set exactly on allowed accesses, D only on
+        // writes.
+        let pde_after = mem.read_u32(pde_hpa);
+        let pte_after = mem.read_u32(pte_hpa);
+        if expected == VtlbOutcome::Filled {
+            assert_ne!(pde_after & pte::A, 0, "PDE.A after allowed access");
+            assert_ne!(pte_after & pte::A, 0, "PTE.A after allowed access");
+            assert_eq!(
+                pte_after & pte::D != 0,
+                write,
+                "PTE.D tracks writes exactly"
+            );
+        } else {
+            assert_eq!(pde_after & pte::A, 0, "faulting walk leaves A clear");
+            assert_eq!(pte_after & (pte::A | pte::D), 0);
+        }
+    }
+}
+
+/// Shadow-cache coherence across address-space switches: after an
+/// A→B→A round trip, translations whose guest entries the guest left
+/// alone still resolve from the cached shadow, and every entry the
+/// guest rewrote while B was active is gone.
+#[test]
+fn shadow_cache_round_trip_is_coherent() {
+    use nova_core::hostpt::FrameAllocator;
+    use nova_core::obj::{MemMapping, MemRights, MemSpace};
+    use nova_core::vtlb::{self, CrOutcome, ShadowCache};
+    use nova_x86::paging::pte;
+    use nova_x86::reg::{cr0, pf_err};
+    use nova_x86::Reg;
+
+    let mut rng = Rng::new(0x100d);
+    for _ in 0..32 {
+        let mut mem = nova_hw::mem::PhysMem::new(32 << 20);
+        let mut alloc = FrameAllocator::new(24 << 20, 8 << 20);
+        let mut cache = ShadowCache::new(&mut mem, &mut alloc, 4, 1);
+        let mut ms = MemSpace::default();
+        for p in 0..1024u64 {
+            ms.map(
+                p,
+                MemMapping {
+                    hpa: (4 << 20) + p * 4096,
+                    rights: MemRights::RW,
+                },
+            );
+        }
+
+        // Space A: root 0x10_000, PT 0x11_000 mapping random PTEs in
+        // the 4 MB region at GVA 0x40_0000. Space B: root 0x20_000.
+        let build = |mem: &mut nova_hw::mem::PhysMem, ms: &MemSpace, root: u32, pt: u32| {
+            let pde_hpa = ms.translate(root as u64 + 4).unwrap();
+            mem.write_u32(pde_hpa, pt | pte::P | pte::W | pte::US);
+        };
+        build(&mut mem, &ms, 0x10_000, 0x11_000);
+        build(&mut mem, &ms, 0x20_000, 0x21_000);
+        let mut mapped = std::collections::BTreeMap::new();
+        for _ in 0..(1 + rng.below(15)) {
+            let ti = rng.below(16) as u32;
+            let target = 0x100 + rng.below(512) as u32;
+            mapped.insert(ti, target);
+            let pte_hpa = ms.translate(0x11_000u64 + ti as u64 * 4).unwrap();
+            mem.write_u32(pte_hpa, (target << 12) | pte::P | pte::W | pte::US);
+        }
+        let pte_hpa_b = ms.translate(0x21_000u64).unwrap();
+        mem.write_u32(pte_hpa_b, (0x90 << 12) | pte::P | pte::W | pte::US);
+
+        let mut vmcs = nova_hw::vmx::Vmcs::new_shadow(cache.active_root(), cache.active_vpid());
+        vmcs.guest.cr0 = cr0::PE | cr0::PG;
+        let mov_cr3 = |mem: &mut nova_hw::mem::PhysMem,
+                       alloc: &mut FrameAllocator,
+                       cache: &mut ShadowCache,
+                       vmcs: &mut nova_hw::vmx::Vmcs,
+                       val: u32| {
+            vmcs.guest.set(Reg::Eax, val);
+            vtlb::handle_cr_access(mem, alloc, &ms, cache, vmcs, 3, true, Reg::Eax, 3)
+        };
+
+        // Enter A, fill everything, visit B, then mutate a random
+        // subset of A's PTEs behind the cache's back.
+        mov_cr3(&mut mem, &mut alloc, &mut cache, &mut vmcs, 0x10_000);
+        for &ti in mapped.keys() {
+            let gva = 0x40_0000 | (ti << 12);
+            let out = vtlb::handle_page_fault(
+                &mut mem,
+                &mut alloc,
+                &ms,
+                &mut cache,
+                &vmcs,
+                gva,
+                pf_err::WRITE,
+            );
+            assert_eq!(out, nova_core::vtlb::VtlbOutcome::Filled);
+        }
+        mov_cr3(&mut mem, &mut alloc, &mut cache, &mut vmcs, 0x20_000);
+        vtlb::handle_page_fault(
+            &mut mem,
+            &mut alloc,
+            &ms,
+            &mut cache,
+            &vmcs,
+            0x40_0000,
+            pf_err::WRITE,
+        );
+        let mut changed = std::collections::BTreeSet::new();
+        for &ti in mapped.keys() {
+            if rng.below(2) == 1 {
+                changed.insert(ti);
+                let pte_hpa = ms.translate(0x11_000u64 + ti as u64 * 4).unwrap();
+                mem.write_u32(pte_hpa, (0x300 << 12) | pte::P | pte::W | pte::US);
+            }
+        }
+
+        // Return to A: a cache hit that must resynchronize precisely.
+        let out = mov_cr3(&mut mem, &mut alloc, &mut cache, &mut vmcs, 0x10_000);
+        assert_eq!(
+            out,
+            CrOutcome::Switch {
+                hit: true,
+                evicted: false
+            }
+        );
+        let cost = nova_hw::cost::BLM;
+        let mut cyc = 0;
+        for (&ti, &target) in &mapped {
+            let gva = 0x40_0000 | (ti << 12);
+            let walk = nova_hw::mmu::walk_2level(
+                &mem,
+                cache.active_root() as u32,
+                gva,
+                nova_x86::paging::Access::WRITE,
+                false,
+                &cost,
+                &mut cyc,
+            );
+            if changed.contains(&ti) {
+                assert!(walk.is_err(), "rewritten entry must not survive resync");
+            } else {
+                assert_eq!(
+                    walk.unwrap().hpa,
+                    (4 << 20) + (target as u64) * 4096,
+                    "untouched entry survives the round trip"
+                );
+            }
         }
     }
 }
