@@ -26,8 +26,8 @@ use crate::hostpt::{FrameAllocator, NestedTable};
 use crate::hypercall::{HcErr, HcReply, Hypercall};
 use crate::mdb::MapDb;
 use crate::obj::{
-    Ec, EcId, EcKind, MemMapping, MemRights, ObjRef, Objects, Pd, PdId, Portal, PtId, Sc, ScId,
-    Semaphore, SmId, VmPaging,
+    Ec, EcId, EcKind, MemMapping, MemRights, MemSpace, ObjRef, Objects, Pd, PdId, Portal, PtId, Sc,
+    ScId, Semaphore, SmId, VmPaging,
 };
 use crate::sched::Scheduler;
 use crate::utcb::{Utcb, VmExitMsg, XferItem};
@@ -97,6 +97,11 @@ pub struct KernelConfig {
     /// a CR3 reload that hits the cache switches shadow roots instead
     /// of rebuilding (1 reproduces flush-per-switch behaviour).
     pub vtlb_cache_slots: usize,
+    /// Use the pre-radix `BTreeMap` memory spaces ([`MemSpace::legacy`])
+    /// and the allocating guest-memory accessors for every domain.
+    /// Purely a wall-clock A/B knob for the bench harness: simulated
+    /// cycle charges, traces and counters are identical either way.
+    pub legacy_memspace: bool,
 }
 
 impl Default for KernelConfig {
@@ -109,6 +114,7 @@ impl Default for KernelConfig {
             scheduler_timer_hz: None,
             obj_quota: 4096,
             vtlb_cache_slots: 8,
+            legacy_memspace: false,
         }
     }
 }
@@ -376,6 +382,9 @@ impl Kernel {
 
         let mut obj = Objects::default();
         let mut root = Pd::new("root");
+        if config.legacy_memspace {
+            root.mem = MemSpace::legacy();
+        }
 
         // Root owns all I/O ports except the interrupt controllers
         // (PIC) and the scheduling timer (PIT).
@@ -393,6 +402,7 @@ impl Kernel {
         // mapped, and the device MMIO windows.
         let mut mem_db = MapDb::new();
         let root_id = PdId(0);
+        mem_db.reserve((hv_base / PAGE_SIZE as u64) as usize + 16);
         for page in 0..hv_base / PAGE_SIZE as u64 {
             root.mem.map(
                 page,
@@ -430,6 +440,7 @@ impl Kernel {
         }
 
         let mut io_db = MapDb::new();
+        io_db.reserve(1 << 16);
         for port in 0..=u16::MAX {
             if root.io.allowed(port) {
                 io_db.insert_root(root_id.0, port);
@@ -694,6 +705,9 @@ impl Kernel {
             Hypercall::CreatePd { name, vm, dst } => {
                 self.charge_quota(caller)?;
                 let mut pd = Pd::new(name);
+                if self.config.legacy_memspace {
+                    pd.mem = MemSpace::legacy();
+                }
                 pd.vm_paging = vm;
                 pd.large_pages = self.config.host_large_pages;
                 let id = self.obj.add_pd(pd);
@@ -1384,6 +1398,9 @@ impl Kernel {
         for page in pages {
             self.revoke_mem_page(pd, page, true);
         }
+        // Every unmap above already bumped the generation; this makes
+        // the cold-cache contract explicit for teardown.
+        self.obj.pd_mut(pd).mem.invalidate_cache();
         // I/O ports.
         let ports: Vec<u16> = (0..=u16::MAX)
             .filter(|p| self.obj.pd(pd).io.allowed(*p))
@@ -1496,9 +1513,17 @@ impl Kernel {
         self.charge_ipc(one_way);
         self.counters.ipc_calls += 1;
 
-        // Typed items: delegation from caller to handler.
-        let items: Vec<XferItem> = utcb.xfer.drain(..).collect();
-        self.apply_xfer(caller_pd, handler_pd, &items)?;
+        // Typed items: delegation from caller to handler. Taking the
+        // buffer (rather than draining into a fresh Vec) keeps the
+        // common zero-item call allocation-free; the emptied buffer is
+        // handed back before dispatch so the handler's reply items
+        // reuse its capacity.
+        let mut items: Vec<XferItem> = std::mem::take(&mut utcb.xfer);
+        if !items.is_empty() {
+            self.apply_xfer(caller_pd, handler_pd, &items)?;
+            items.clear();
+        }
+        utcb.xfer = items;
 
         // Dispatch with the SC donated: the handler runs to completion
         // on the caller's time (charged to the shared clock).
@@ -1518,8 +1543,12 @@ impl Kernel {
             + if cross { cost.ipc_tlb_effects } else { 0 }
             + words * cost.ipc_per_word;
         self.charge_ipc(reply_cost);
-        let items: Vec<XferItem> = utcb.xfer.drain(..).collect();
-        self.apply_xfer(handler_pd, caller_pd, &items)?;
+        let mut items: Vec<XferItem> = std::mem::take(&mut utcb.xfer);
+        if !items.is_empty() {
+            self.apply_xfer(handler_pd, caller_pd, &items)?;
+            items.clear();
+        }
+        utcb.xfer = items;
         self.trace_emit_span(caller_pd.0 as u16, TraceKind::IpcCall, portal_id, false);
         Ok(())
     }
@@ -1799,18 +1828,82 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Reads bytes from the component's address space.
+    ///
+    /// Allocates the result; hot paths should prefer
+    /// [`Kernel::mem_read_into`] or [`Kernel::mem_slice`]. Under
+    /// [`KernelConfig::legacy_memspace`] this reproduces the original
+    /// per-chunk-allocating copy loop so wall-clock A/B benchmarks
+    /// compare against the true pre-fast-path behaviour.
     pub fn mem_read(&self, ctx: CompCtx, addr: u64, len: usize) -> Option<Vec<u8>> {
+        if self.config.legacy_memspace {
+            let ms = &self.obj.pd(ctx.pd).mem;
+            let mut out = Vec::with_capacity(len);
+            let mut off = 0;
+            while off < len {
+                let a = addr + off as u64;
+                let chunk = ((PAGE_SIZE as u64 - (a & 0xfff)) as usize).min(len - off);
+                let hpa = ms.translate(a)?;
+                out.extend_from_slice(&self.machine.mem.read_bytes(hpa, chunk));
+                off += chunk;
+            }
+            return Some(out);
+        }
+        let mut out = vec![0u8; len];
+        self.mem_read_into(ctx, addr, &mut out)?;
+        Some(out)
+    }
+
+    /// Reads bytes from the component's address space into a
+    /// caller-provided buffer, without allocating. Returns `None` if
+    /// any touched page is unmapped; the buffer contents are
+    /// unspecified in that case.
+    pub fn mem_read_into(&self, ctx: CompCtx, addr: u64, out: &mut [u8]) -> Option<()> {
         let ms = &self.obj.pd(ctx.pd).mem;
-        let mut out = Vec::with_capacity(len);
+        let len = out.len();
         let mut off = 0;
         while off < len {
             let a = addr + off as u64;
             let chunk = ((PAGE_SIZE as u64 - (a & 0xfff)) as usize).min(len - off);
             let hpa = ms.translate(a)?;
-            out.extend_from_slice(&self.machine.mem.read_bytes(hpa, chunk));
+            self.machine.mem.read_into(hpa, &mut out[off..off + chunk]);
             off += chunk;
         }
-        Some(out)
+        Some(())
+    }
+
+    /// Borrows `len` bytes of the component's address space in place
+    /// (zero-copy). The range must lie within one page (contiguity of
+    /// host frames across page boundaries is not guaranteed) and be
+    /// RAM-backed: device MMIO windows are not `PhysMem`-backed, so a
+    /// returned slice can never alias live device state. Returns
+    /// `None` on a page-crossing range — callers fall back to
+    /// [`Kernel::mem_read_into`].
+    pub fn mem_slice(&self, ctx: CompCtx, addr: u64, len: usize) -> Option<&[u8]> {
+        if len == 0 {
+            return Some(&[]);
+        }
+        if (addr & 0xfff) as usize + len > PAGE_SIZE as usize {
+            return None;
+        }
+        let hpa = self.obj.pd(ctx.pd).mem.translate(addr)?;
+        self.machine.mem.slice(hpa, len)
+    }
+
+    /// Mutably borrows `len` bytes of the component's address space in
+    /// place (zero-copy; write rights required). Same single-page and
+    /// RAM-backed contract as [`Kernel::mem_slice`].
+    pub fn mem_slice_mut(&mut self, ctx: CompCtx, addr: u64, len: usize) -> Option<&mut [u8]> {
+        if len == 0 {
+            return Some(&mut []);
+        }
+        if (addr & 0xfff) as usize + len > PAGE_SIZE as usize {
+            return None;
+        }
+        let m = self.obj.pd(ctx.pd).mem.lookup(addr >> 12)?;
+        if !m.rights.write {
+            return None;
+        }
+        self.machine.mem.slice_mut(m.hpa + (addr & 0xfff), len)
     }
 
     /// Writes bytes into the component's address space (write rights
@@ -1832,15 +1925,79 @@ impl Kernel {
         true
     }
 
-    /// Reads a u32 from the component's address space.
+    /// Reads one byte from the component's address space.
+    pub fn mem_read_u8(&self, ctx: CompCtx, addr: u64) -> Option<u8> {
+        if self.config.legacy_memspace {
+            return self.mem_read(ctx, addr, 1).map(|b| b[0]);
+        }
+        let hpa = self.obj.pd(ctx.pd).mem.translate(addr)?;
+        Some(self.machine.mem.read_u8(hpa))
+    }
+
+    /// Reads a u32 from the component's address space (direct load; no
+    /// heap round trip unless the read crosses a page boundary onto the
+    /// legacy path).
     pub fn mem_read_u32(&self, ctx: CompCtx, addr: u64) -> Option<u32> {
-        self.mem_read(ctx, addr, 4)
-            .and_then(|b| Some(u32::from_le_bytes(b.try_into().ok()?)))
+        if self.config.legacy_memspace {
+            return self
+                .mem_read(ctx, addr, 4)
+                .and_then(|b| Some(u32::from_le_bytes(b.try_into().ok()?)));
+        }
+        let ms = &self.obj.pd(ctx.pd).mem;
+        if addr & 0xfff <= 0xffc {
+            let hpa = ms.translate(addr)?;
+            Some(self.machine.mem.read_u32(hpa))
+        } else {
+            // Page-crossing: compose bytes through per-byte translation.
+            let mut v = 0u32;
+            for i in 0..4 {
+                let hpa = ms.translate(addr + i)?;
+                v |= (self.machine.mem.read_u8(hpa) as u32) << (8 * i);
+            }
+            Some(v)
+        }
+    }
+
+    /// Reads a u64 from the component's address space (direct load).
+    pub fn mem_read_u64(&self, ctx: CompCtx, addr: u64) -> Option<u64> {
+        if self.config.legacy_memspace {
+            // The pre-fast-path idiom: two u32 loads, each through the
+            // allocating byte path.
+            let lo = self.mem_read_u32(ctx, addr)? as u64;
+            let hi = self.mem_read_u32(ctx, addr + 4)? as u64;
+            return Some(lo | hi << 32);
+        }
+        let ms = &self.obj.pd(ctx.pd).mem;
+        if addr & 0xfff <= 0xff8 {
+            let hpa = ms.translate(addr)?;
+            Some(self.machine.mem.read_u64(hpa))
+        } else {
+            let mut v = 0u64;
+            for i in 0..8 {
+                let hpa = ms.translate(addr + i)?;
+                v |= (self.machine.mem.read_u8(hpa) as u64) << (8 * i);
+            }
+            Some(v)
+        }
     }
 
     /// Writes a u32 into the component's address space.
     pub fn mem_write_u32(&mut self, ctx: CompCtx, addr: u64, val: u32) -> bool {
-        self.mem_write(ctx, addr, &val.to_le_bytes())
+        if self.config.legacy_memspace {
+            return self.mem_write(ctx, addr, &val.to_le_bytes());
+        }
+        if addr & 0xfff <= 0xffc {
+            let Some(m) = self.obj.pd(ctx.pd).mem.lookup(addr >> 12) else {
+                return false;
+            };
+            if !m.rights.write {
+                return false;
+            }
+            self.machine.mem.write_u32(m.hpa + (addr & 0xfff), val);
+            true
+        } else {
+            self.mem_write(ctx, addr, &val.to_le_bytes())
+        }
     }
 
     /// Device MMIO read: the page must be mapped in the component's

@@ -10,7 +10,8 @@
 //! inherits from L4, "with the ability to make policy decisions at
 //! each level".
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::Hash;
 
 /// A node key: (domain index, resource key).
 pub type NodeKey<K> = (usize, K);
@@ -22,22 +23,33 @@ struct Node<K> {
 
 /// The mapping database for one resource kind, generic over the
 /// resource key (page number, port, capability selector).
-pub struct MapDb<K: Ord + Copy> {
-    nodes: BTreeMap<NodeKey<K>, Node<K>>,
+///
+/// Nodes live in a hash map: no database operation observes node
+/// ordering (revocation order is fixed by the per-node `children`
+/// lists), and boot inserts tens of thousands of root entries — one
+/// per RAM page and I/O port — so node insertion is on the
+/// kernel-construction critical path.
+pub struct MapDb<K: Ord + Copy + Hash> {
+    nodes: HashMap<NodeKey<K>, Node<K>>,
 }
 
-impl<K: Ord + Copy> Default for MapDb<K> {
+impl<K: Ord + Copy + Hash> Default for MapDb<K> {
     fn default() -> Self {
         MapDb {
-            nodes: BTreeMap::new(),
+            nodes: HashMap::new(),
         }
     }
 }
 
-impl<K: Ord + Copy> MapDb<K> {
+impl<K: Ord + Copy + Hash> MapDb<K> {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-sizes the node table for `n` additional entries.
+    pub fn reserve(&mut self, n: usize) {
+        self.nodes.reserve(n);
     }
 
     /// Records an initial (root) ownership, not derived from anyone.

@@ -2,6 +2,7 @@
 //! execution contexts, scheduling contexts, portals and semaphores,
 //! plus the typed object tables holding them.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use nova_hw::vmx::Vmcs;
@@ -99,19 +100,137 @@ pub struct MemMapping {
     pub rights: MemRights,
 }
 
+/// Pages per radix leaf (one directory slot spans `2^LEAF_BITS` pages).
+const LEAF_BITS: usize = 9;
+/// Entries in one radix leaf.
+const LEAF_ENTRIES: usize = 1 << LEAF_BITS;
+/// Directory slots the radix table will grow to at most. Pages whose
+/// leaf index is at or above this cap (page numbers ≥ 2^24, i.e. 64 GiB
+/// of address space) fall back to a sorted overflow map so a hostile
+/// delegation of a huge page number cannot balloon the directory.
+const DIR_MAX_LEAVES: usize = 1 << 15;
+/// Slots in the per-space direct-mapped translation cache.
+const TC_SLOTS: usize = 64;
+
+/// One 512-entry radix leaf plus its population count.
+struct Leaf {
+    slots: [Option<MemMapping>; LEAF_ENTRIES],
+    used: u16,
+}
+
+impl Leaf {
+    fn new() -> Box<Leaf> {
+        Box::new(Leaf {
+            slots: [None; LEAF_ENTRIES],
+            used: 0,
+        })
+    }
+}
+
+/// A validated translation-cache entry: `page → m`, valid while the
+/// space's generation counter still equals `gen`.
+#[derive(Clone, Copy)]
+struct TcEntry {
+    page: u64,
+    m: MemMapping,
+    gen: u64,
+}
+
+/// Storage backend of a [`MemSpace`].
+enum Backend {
+    /// Two-level radix table: a flat directory of 512-entry leaves
+    /// (O(1) lookup), with a sorted overflow map for page numbers
+    /// beyond the directory span. `iter()` stays page-ordered because
+    /// every overflow page number sorts after every directory page.
+    Radix {
+        dir: Vec<Option<Box<Leaf>>>,
+        overflow: BTreeMap<u64, MemMapping>,
+        count: usize,
+    },
+    /// The original `BTreeMap` implementation, kept for in-process A/B
+    /// benchmarking (same precedent as `ShadowCache::legacy`).
+    Legacy { pages: BTreeMap<u64, MemMapping> },
+}
+
 /// The memory space of a protection domain: its "host page table",
 /// mapping domain-virtual (or guest-physical, for VMs) page numbers to
 /// host-physical frames. For VM domains the kernel mirrors this table
 /// into real EPT/NPT/shadow structures in hypervisor memory.
-#[derive(Default)]
+///
+/// Lookups go through a small direct-mapped software translation cache
+/// invalidated wholesale by a generation counter that every mutation
+/// bumps; the backing store is a two-level radix table (or, for
+/// benchmarking, the legacy `BTreeMap` via [`MemSpace::legacy`]).
 pub struct MemSpace {
-    pages: BTreeMap<u64, MemMapping>,
+    backend: Backend,
+    /// Generation stamp: bumped on every `map`/`unmap` (which covers
+    /// `delegate_mem`, revocation and PD teardown — they all mutate
+    /// through those two entry points) and on explicit invalidation.
+    gen: u64,
+    /// Direct-mapped translation cache, filled from `&self` lookups.
+    tc: [Cell<Option<TcEntry>>; TC_SLOTS],
+}
+
+impl Default for MemSpace {
+    fn default() -> Self {
+        MemSpace {
+            backend: Backend::Radix {
+                dir: Vec::new(),
+                overflow: BTreeMap::new(),
+                count: 0,
+            },
+            gen: 0,
+            tc: std::array::from_fn(|_| Cell::new(None)),
+        }
+    }
 }
 
 impl MemSpace {
+    /// The pre-radix `BTreeMap` implementation, kept so benchmarks can
+    /// A/B the fast path against the original in one process. The
+    /// translation cache is bypassed in this mode.
+    pub fn legacy() -> MemSpace {
+        MemSpace {
+            backend: Backend::Legacy {
+                pages: BTreeMap::new(),
+            },
+            gen: 0,
+            tc: std::array::from_fn(|_| Cell::new(None)),
+        }
+    }
+
+    /// `true` if this space uses the legacy `BTreeMap` backend.
+    pub fn is_legacy(&self) -> bool {
+        matches!(self.backend, Backend::Legacy { .. })
+    }
+
     /// Looks up the mapping covering page number `page`.
     pub fn lookup(&self, page: u64) -> Option<MemMapping> {
-        self.pages.get(&page).copied()
+        match &self.backend {
+            Backend::Radix { dir, overflow, .. } => {
+                let slot = &self.tc[(page as usize) & (TC_SLOTS - 1)];
+                if let Some(e) = slot.get() {
+                    if e.page == page && e.gen == self.gen {
+                        return Some(e.m);
+                    }
+                }
+                let leaf = (page >> LEAF_BITS) as usize;
+                let found = if leaf < DIR_MAX_LEAVES {
+                    dir.get(leaf)?.as_ref()?.slots[page as usize & (LEAF_ENTRIES - 1)]
+                } else {
+                    overflow.get(&page).copied()
+                };
+                if let Some(m) = found {
+                    slot.set(Some(TcEntry {
+                        page,
+                        m,
+                        gen: self.gen,
+                    }));
+                }
+                found
+            }
+            Backend::Legacy { pages } => pages.get(&page).copied(),
+        }
     }
 
     /// Translates a byte address through the space.
@@ -121,22 +240,99 @@ impl MemSpace {
 
     /// Installs a mapping.
     pub fn map(&mut self, page: u64, m: MemMapping) {
-        self.pages.insert(page, m);
+        self.gen = self.gen.wrapping_add(1);
+        match &mut self.backend {
+            Backend::Radix {
+                dir,
+                overflow,
+                count,
+            } => {
+                let leaf = (page >> LEAF_BITS) as usize;
+                if leaf < DIR_MAX_LEAVES {
+                    if dir.len() <= leaf {
+                        dir.resize_with(leaf + 1, || None);
+                    }
+                    let l = dir[leaf].get_or_insert_with(Leaf::new);
+                    let slot = &mut l.slots[page as usize & (LEAF_ENTRIES - 1)];
+                    if slot.is_none() {
+                        l.used += 1;
+                        *count += 1;
+                    }
+                    *slot = Some(m);
+                } else if overflow.insert(page, m).is_none() {
+                    *count += 1;
+                }
+            }
+            Backend::Legacy { pages } => {
+                pages.insert(page, m);
+            }
+        }
     }
 
     /// Removes a mapping.
     pub fn unmap(&mut self, page: u64) -> Option<MemMapping> {
-        self.pages.remove(&page)
+        self.gen = self.gen.wrapping_add(1);
+        match &mut self.backend {
+            Backend::Radix {
+                dir,
+                overflow,
+                count,
+            } => {
+                let leaf = (page >> LEAF_BITS) as usize;
+                let old = if leaf < DIR_MAX_LEAVES {
+                    let l = dir.get_mut(leaf)?.as_mut()?;
+                    let old = l.slots[page as usize & (LEAF_ENTRIES - 1)].take();
+                    if old.is_some() {
+                        l.used -= 1;
+                        if l.used == 0 {
+                            dir[leaf] = None; // return the leaf's memory
+                        }
+                    }
+                    old
+                } else {
+                    overflow.remove(&page)
+                };
+                if old.is_some() {
+                    *count -= 1;
+                }
+                old
+            }
+            Backend::Legacy { pages } => pages.remove(&page),
+        }
+    }
+
+    /// Drops every translation-cache entry without touching the
+    /// mappings. `map`/`unmap` invalidate implicitly; this is for
+    /// paths that want the cache cold by contract (PD teardown).
+    pub fn invalidate_cache(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
     }
 
     /// Number of mapped pages.
     pub fn count(&self) -> usize {
-        self.pages.len()
+        match &self.backend {
+            Backend::Radix { count, .. } => *count,
+            Backend::Legacy { pages } => pages.len(),
+        }
     }
 
     /// Iterates over `(page, mapping)` in page order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, MemMapping)> + '_ {
-        self.pages.iter().map(|(p, m)| (*p, *m))
+        let it: Box<dyn Iterator<Item = (u64, MemMapping)> + '_> = match &self.backend {
+            Backend::Radix { dir, overflow, .. } => Box::new(
+                dir.iter()
+                    .enumerate()
+                    .filter_map(|(li, l)| l.as_deref().map(|l| (li, l)))
+                    .flat_map(|(li, l)| {
+                        l.slots.iter().enumerate().filter_map(move |(si, s)| {
+                            s.map(|m| ((((li << LEAF_BITS) | si) as u64), m))
+                        })
+                    })
+                    .chain(overflow.iter().map(|(p, m)| (*p, *m))),
+            ),
+            Backend::Legacy { pages } => Box::new(pages.iter().map(|(p, m)| (*p, *m))),
+        };
+        it
     }
 }
 
@@ -436,19 +632,80 @@ mod tests {
 
     #[test]
     fn memspace_translate() {
+        for mut ms in [MemSpace::default(), MemSpace::legacy()] {
+            ms.map(
+                0x40,
+                MemMapping {
+                    hpa: 0x123000,
+                    rights: MemRights::RW,
+                },
+            );
+            assert_eq!(ms.translate(0x40_abc), Some(0x123abc));
+            assert_eq!(ms.translate(0x41_000), None);
+            assert_eq!(ms.count(), 1);
+            ms.unmap(0x40);
+            assert_eq!(ms.translate(0x40_abc), None);
+        }
+    }
+
+    #[test]
+    fn memspace_overflow_pages_and_iter_order() {
+        // Pages beyond the directory span land in the overflow map and
+        // still iterate in page order after all directory pages.
         let mut ms = MemSpace::default();
-        ms.map(
-            0x40,
-            MemMapping {
-                hpa: 0x123000,
-                rights: MemRights::RW,
-            },
-        );
-        assert_eq!(ms.translate(0x40_abc), Some(0x123abc));
-        assert_eq!(ms.translate(0x41_000), None);
-        assert_eq!(ms.count(), 1);
-        ms.unmap(0x40);
-        assert_eq!(ms.translate(0x40_abc), None);
+        let far = (super::DIR_MAX_LEAVES as u64) << super::LEAF_BITS;
+        for p in [far + 7, 3, far, 0x1_0000, 512, 0] {
+            ms.map(
+                p,
+                MemMapping {
+                    hpa: p << 12,
+                    rights: MemRights::RW,
+                },
+            );
+        }
+        assert_eq!(ms.count(), 6);
+        let pages: Vec<u64> = ms.iter().map(|(p, _)| p).collect();
+        assert_eq!(pages, vec![0, 3, 512, 0x1_0000, far, far + 7]);
+        for (p, m) in ms.iter() {
+            assert_eq!(m.hpa, p << 12);
+            assert_eq!(ms.lookup(p).unwrap().hpa, p << 12);
+        }
+        assert_eq!(ms.unmap(far).unwrap().hpa, far << 12);
+        assert_eq!(ms.lookup(far), None);
+        assert_eq!(ms.count(), 5);
+    }
+
+    #[test]
+    fn memspace_cache_no_stale_hits() {
+        // A cached translation must not survive unmap or remap: the
+        // generation bump invalidates every cached entry at once.
+        let mut ms = MemSpace::default();
+        let m1 = MemMapping {
+            hpa: 0xa000,
+            rights: MemRights::RW,
+        };
+        ms.map(7, m1);
+        assert_eq!(ms.lookup(7), Some(m1)); // fills the cache
+        assert_eq!(ms.lookup(7), Some(m1)); // hits the cache
+        ms.unmap(7);
+        assert_eq!(ms.lookup(7), None);
+        let m2 = MemMapping {
+            hpa: 0xb000,
+            rights: MemRights::RO,
+        };
+        ms.map(7, m2);
+        assert_eq!(ms.lookup(7), Some(m2));
+        // Aliasing: pages 7 and 7 + TC_SLOTS share a cache slot; each
+        // probe must verify the tag, not just the slot.
+        let m3 = MemMapping {
+            hpa: 0xc000,
+            rights: MemRights::RW_DMA,
+        };
+        ms.map(7 + super::TC_SLOTS as u64, m3);
+        assert_eq!(ms.lookup(7 + super::TC_SLOTS as u64), Some(m3));
+        assert_eq!(ms.lookup(7), Some(m2));
+        ms.invalidate_cache();
+        assert_eq!(ms.lookup(7), Some(m2));
     }
 
     #[test]

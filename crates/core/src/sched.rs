@@ -11,9 +11,17 @@ use std::collections::{BTreeMap, VecDeque};
 use crate::obj::ScId;
 
 /// One CPU's runqueue.
+///
+/// Alongside the per-priority FIFO queues, a side map tracks the
+/// priority class (and occurrence count) of every queued SC, so
+/// `remove` and `contains` are point lookups instead of scans over
+/// every class. The side map also pins each SC to a single class: an
+/// SC can never be queued at two priorities at once.
 #[derive(Default)]
 pub struct RunQueue {
     queues: BTreeMap<u8, VecDeque<ScId>>,
+    /// `sc → (priority class, occurrences)` for every queued SC.
+    queued: BTreeMap<ScId, (u8, u32)>,
 }
 
 impl RunQueue {
@@ -22,14 +30,33 @@ impl RunQueue {
         RunQueue::default()
     }
 
+    /// Records one more queued occurrence of `sc`, returning the class
+    /// it must join: an SC already queued stays in its current class
+    /// regardless of the priority passed, so it can never straddle two.
+    fn note_queued(&mut self, sc: ScId, prio: u8) -> u8 {
+        match self.queued.entry(sc) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let (p, n) = e.get_mut();
+                *n += 1;
+                *p
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert((prio, 1));
+                prio
+            }
+        }
+    }
+
     /// Enqueues an SC at the tail of its priority class.
     pub fn enqueue(&mut self, sc: ScId, prio: u8) {
+        let prio = self.note_queued(sc, prio);
         self.queues.entry(prio).or_default().push_back(sc);
     }
 
     /// Enqueues an SC at the head of its priority class (used when a
     /// preempted SC still has quantum left).
     pub fn enqueue_front(&mut self, sc: ScId, prio: u8) {
+        let prio = self.note_queued(sc, prio);
         self.queues.entry(prio).or_default().push_front(sc);
     }
 
@@ -40,6 +67,14 @@ impl RunQueue {
         if q.is_empty() {
             self.queues.remove(&prio);
         }
+        if let Some(sc) = sc {
+            if let Some((_, n)) = self.queued.get_mut(&sc) {
+                *n -= 1;
+                if *n == 0 {
+                    self.queued.remove(&sc);
+                }
+            }
+        }
         sc
     }
 
@@ -48,17 +83,22 @@ impl RunQueue {
         self.queues.keys().next_back().copied()
     }
 
-    /// Removes a specific SC wherever it is queued (blocking).
+    /// Removes a specific SC wherever it is queued (blocking). Only
+    /// the SC's own priority class is touched.
     pub fn remove(&mut self, sc: ScId) {
-        for q in self.queues.values_mut() {
-            q.retain(|s| *s != sc);
+        if let Some((prio, _)) = self.queued.remove(&sc) {
+            if let Some(q) = self.queues.get_mut(&prio) {
+                q.retain(|s| *s != sc);
+                if q.is_empty() {
+                    self.queues.remove(&prio);
+                }
+            }
         }
-        self.queues.retain(|_, q| !q.is_empty());
     }
 
     /// `true` if the SC is queued.
     pub fn contains(&self, sc: ScId) -> bool {
-        self.queues.values().any(|q| q.contains(&sc))
+        self.queued.contains_key(&sc)
     }
 
     /// Number of queued SCs.
@@ -148,6 +188,40 @@ mod tests {
         assert!(!q.contains(ScId(1)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pick(), Some(ScId(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn never_queued_at_two_priorities() {
+        // A queued SC is pinned to its class: re-enqueueing it with a
+        // different priority joins the existing class, so a single
+        // remove always clears every occurrence.
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(1), 5);
+        q.enqueue(ScId(1), 200); // joins class 5, not 200
+        assert_eq!(q.best_prio(), Some(5));
+        assert_eq!(q.len(), 2);
+        q.remove(ScId(1));
+        assert!(!q.contains(ScId(1)));
+        assert!(q.is_empty());
+        assert_eq!(q.pick(), None);
+    }
+
+    #[test]
+    fn duplicate_occurrences_round_trip() {
+        // The same SC queued twice (self-signal during its own
+        // dispatch) is picked twice, and the bookkeeping map drains
+        // with the queue.
+        let mut q = RunQueue::new();
+        q.enqueue(ScId(3), 7);
+        q.enqueue(ScId(4), 7);
+        q.enqueue(ScId(3), 7);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pick(), Some(ScId(3)));
+        assert!(q.contains(ScId(3)), "second occurrence still queued");
+        assert_eq!(q.pick(), Some(ScId(4)));
+        assert_eq!(q.pick(), Some(ScId(3)));
+        assert!(!q.contains(ScId(3)));
         assert!(q.is_empty());
     }
 

@@ -379,8 +379,24 @@ fn resync(slot: &mut Slot, mem: &mut PhysMem, ms: &MemSpace, pending: &mut Vec<T
             dead.push(frame);
             continue;
         };
-        for idx in 0..PT_ENTRIES {
-            let new = mem.read_u32(hpa + idx as u64 * 4);
+        // One borrow of the whole guest frame beats 1024 bounds-checked
+        // word reads; the shadow structures the loop body writes live
+        // in hypervisor frames, never in this guest frame, so snapshot-
+        // then-diff is equivalent to interleaved reads.
+        let mut new_page = [0u32; PT_ENTRIES];
+        match mem.slice(hpa, PT_ENTRIES * 4) {
+            Some(bytes) => {
+                for (dst, c) in new_page.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *dst = u32::from_le_bytes(c.try_into().unwrap_or([0; 4]));
+                }
+            }
+            None => {
+                for (idx, dst) in new_page.iter_mut().enumerate() {
+                    *dst = mem.read_u32(hpa + idx as u64 * 4);
+                }
+            }
+        }
+        for (idx, &new) in new_page.iter().enumerate() {
             let Some(old_cell) = t.snap.get_mut(idx) else {
                 continue;
             };
@@ -463,8 +479,17 @@ fn track_frame(
                 return;
             };
             let mut snap = Vec::with_capacity(PT_ENTRIES);
-            for idx in 0..PT_ENTRIES {
-                snap.push(mem.read_u32(hpa + idx as u64 * 4));
+            match mem.slice(hpa, PT_ENTRIES * 4) {
+                Some(bytes) => snap.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap_or([0; 4]))),
+                ),
+                None => {
+                    for idx in 0..PT_ENTRIES {
+                        snap.push(mem.read_u32(hpa + idx as u64 * 4));
+                    }
+                }
             }
             v.insert(TrackedPt {
                 root,

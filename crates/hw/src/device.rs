@@ -128,14 +128,14 @@ impl DevCtx<'_> {
         if self.inject_iommu_fault(addr, false) {
             return None;
         }
-        let mut out = Vec::with_capacity(len);
+        let mut out = vec![0u8; len];
         let mut off = 0usize;
         while off < len {
             let a = addr + off as u64;
             let in_page = (4096 - (a & 0xfff)) as usize;
             let chunk = in_page.min(len - off);
             let hpa = self.iommu.translate(self.dev, a, false)?;
-            out.extend_from_slice(&self.mem.read_bytes(hpa, chunk));
+            self.mem.read_into(hpa, &mut out[off..off + chunk]);
             off += chunk;
         }
         self.trace

@@ -123,6 +123,34 @@ impl PhysMem {
         }
     }
 
+    /// Copies bytes out of RAM into a caller-provided buffer without
+    /// allocating; bytes beyond the end of RAM read as zero.
+    pub fn read_into(&self, addr: PAddr, out: &mut [u8]) {
+        let a = addr as usize;
+        match self.bytes.get(a..a.wrapping_add(out.len())) {
+            Some(s) => out.copy_from_slice(s),
+            None => {
+                for (i, b) in out.iter_mut().enumerate() {
+                    *b = self.read_u8(addr.wrapping_add(i as u64));
+                }
+            }
+        }
+    }
+
+    /// Borrows `len` bytes of RAM in place (zero-copy read access);
+    /// `None` if the range is not fully RAM-backed.
+    pub fn slice(&self, addr: PAddr, len: usize) -> Option<&[u8]> {
+        let a = addr as usize;
+        self.bytes.get(a..a.checked_add(len)?)
+    }
+
+    /// Borrows `len` bytes of RAM mutably in place (zero-copy write
+    /// access); `None` if the range is not fully RAM-backed.
+    pub fn slice_mut(&mut self, addr: PAddr, len: usize) -> Option<&mut [u8]> {
+        let a = addr as usize;
+        self.bytes.get_mut(a..a.checked_add(len)?)
+    }
+
     /// Fills a region with a byte value.
     pub fn fill(&mut self, addr: PAddr, len: usize, val: u8) {
         let a = addr as usize;

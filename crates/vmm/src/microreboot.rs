@@ -153,12 +153,8 @@ impl VmRecipe for MicrorebootRecipe {
             .component_mut::<Vmm>(self.vmm)
             .ok_or(RespawnError::State("vmm component missing"))?
             .save_state();
-        let guest_mem = k
-            .mem_read(
-                ctx,
-                self.frames * 4096,
-                (self.cfg.guest_pages * 4096) as usize,
-            )
+        let mut guest_mem = vec![0u8; (self.cfg.guest_pages * 4096) as usize];
+        k.mem_read_into(ctx, self.frames * 4096, &mut guest_mem)
             .ok_or(RespawnError::State("guest memory window unreadable"))?;
         Ok(Checkpoint {
             seq,

@@ -326,10 +326,11 @@ impl PvDisk {
         let slot = idx % ring::CAPACITY as u64;
         let base = self.guest_va(self.ring_gpa + ring::DESC0 + slot * ring::DESC_SIZE);
         let rd = |off: u64| k.mem_read_u32(ctx, base + off).ok_or(GuestFault::BadBase);
+        let rd64 = |off: u64| k.mem_read_u64(ctx, base + off).ok_or(GuestFault::BadBase);
         let op = rd(ring::D_OP)?;
         let sectors = rd(ring::D_SECTORS)?;
-        let lba = rd(ring::D_LBA)? as u64 | (rd(ring::D_LBA + 4)? as u64) << 32;
-        let buf = rd(ring::D_BUF)? as u64 | (rd(ring::D_BUF + 4)? as u64) << 32;
+        let lba = rd64(ring::D_LBA)?;
+        let buf = rd64(ring::D_BUF)?;
         let write = match op {
             ring::OP_READ => false,
             ring::OP_WRITE => true,

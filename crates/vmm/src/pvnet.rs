@@ -232,8 +232,7 @@ impl PvNet {
             let idx = self.posted;
             let slot = idx % ring::CAPACITY as u64;
             let entry = self.guest_va(self.ring_gpa + ring::ENTRY0 + slot * ring::ENTRY_SIZE);
-            let buf = k.mem_read_u32(ctx, entry + ring::E_BUF).unwrap_or(0) as u64
-                | (k.mem_read_u32(ctx, entry + ring::E_BUF + 4).unwrap_or(0) as u64) << 32;
+            let buf = k.mem_read_u64(ctx, entry + ring::E_BUF).unwrap_or(0);
             let cap = k.mem_read_u32(ctx, entry + ring::E_LEN).unwrap_or(0) as u64;
             // The posted buffer becomes a hardware DMA target: it must
             // lie entirely inside guest RAM (capacity included, and at

@@ -196,8 +196,8 @@ impl VAhci {
         k.mem_read_u32(ctx, self.guest_base_page * 4096 + gpa)
     }
 
-    fn read_guest(&self, k: &Kernel, ctx: CompCtx, gpa: u64, len: usize) -> Option<Vec<u8>> {
-        k.mem_read(ctx, self.guest_base_page * 4096 + gpa, len)
+    fn read_guest_into(&self, k: &Kernel, ctx: CompCtx, gpa: u64, out: &mut [u8]) -> Option<()> {
+        k.mem_read_into(ctx, self.guest_base_page * 4096 + gpa, out)
     }
 
     /// The pending request in `slot`, if any (the slot index is
@@ -266,9 +266,10 @@ impl VAhci {
         ) {
             return self.fail_guest(k, slot, GuestFault::BadBase);
         }
-        let Some(cfis) = self.read_guest(k, ctx, ctba, 64) else {
+        let mut cfis = [0u8; 64];
+        if self.read_guest_into(k, ctx, ctba, &mut cfis).is_none() {
             return self.fail_guest(k, slot, GuestFault::BadBase);
-        };
+        }
         let fis = |i: usize| cfis.get(i).copied().unwrap_or(0);
         if fis(0) != 0x27 {
             return self.fail_guest(k, slot, GuestFault::BadOpcode);
@@ -300,9 +301,14 @@ impl VAhci {
         // in-page offset), but the entries must cover the transfer
         // exactly — a mismatch is a guest driver bug and fails the
         // slot instead of transferring to the wrong window address.
-        let Some(prdt) = self.read_guest(k, ctx, ctba + 0x80, prdtl * 16) else {
-            return self.fail_guest(k, slot, GuestFault::BadBase);
+        let mut prdt_buf = [0u8; proto::MAX_SEGMENTS * 16];
+        let prdt = match prdt_buf.get_mut(..prdtl * 16) {
+            Some(p) => p,
+            None => return self.fail_guest(k, slot, GuestFault::IndexOutOfRange),
         };
+        if self.read_guest_into(k, ctx, ctba + 0x80, prdt).is_none() {
+            return self.fail_guest(k, slot, GuestFault::BadBase);
+        }
         let mut segs = [(0u64, 0u32); proto::MAX_SEGMENTS];
         let mut total = 0u64;
         for (i, e) in prdt.chunks_exact(16).enumerate() {
